@@ -1,0 +1,212 @@
+// Repository-level benchmarks: one testing.B benchmark per table and
+// figure of the paper's evaluation, each regenerating the experiment via
+// internal/exp and reporting the reproduced quantities as custom metrics
+// (paper-vs-measured lives in EXPERIMENTS.md). Run with:
+//
+//	go test -bench=. -benchmem
+package repro_test
+
+import (
+	"testing"
+
+	"repro/internal/exp"
+)
+
+// BenchmarkTable2Bootstrap regenerates Table 2 (service bootstrapping
+// time, 4 services × 2 hosts) and reports the headline boot times in
+// virtual seconds.
+func BenchmarkTable2Bootstrap(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		r, err := exp.RunTable2()
+		if err != nil {
+			b.Fatal(err)
+		}
+		for _, row := range r.Rows {
+			b.ReportMetric(row.MeasuredSec, row.Label+"/"+row.Host+"/vsec")
+		}
+	}
+}
+
+// BenchmarkTable3ConfigFile regenerates Table 3 (the service
+// configuration file for <3, M>).
+func BenchmarkTable3ConfigFile(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		r, err := exp.RunTable3()
+		if err != nil {
+			b.Fatal(err)
+		}
+		b.ReportMetric(float64(r.Service.TotalCapacity()), "capacity")
+	}
+}
+
+// BenchmarkTable4Syscall regenerates Table 4 (syscall slow-down in clock
+// cycles) and reports the mean UML/host ratio.
+func BenchmarkTable4Syscall(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		r, err := exp.RunTable4()
+		if err != nil {
+			b.Fatal(err)
+		}
+		var sum float64
+		for _, row := range r.Rows {
+			sum += row.Slowdown
+		}
+		b.ReportMetric(sum/float64(len(r.Rows)), "mean-slowdown-x")
+	}
+}
+
+// BenchmarkFig4LoadBalancing regenerates Figure 4 (per-node response
+// times under weighted round-robin) and reports the request split and
+// the worst per-node response-time divergence.
+func BenchmarkFig4LoadBalancing(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		r, err := exp.RunFig4()
+		if err != nil {
+			b.Fatal(err)
+		}
+		var worst float64 = 1
+		for _, p := range r.Points {
+			split := float64(p.SeattleServed) / float64(p.TacomaServed)
+			b.ReportMetric(split, "split-at-"+itoa(p.DatasetMB)+"MB")
+			hi, lo := p.SeattleRespMs, p.TacomaRespMs
+			if lo > hi {
+				hi, lo = lo, hi
+			}
+			if hi/lo > worst {
+				worst = hi / lo
+			}
+		}
+		b.ReportMetric(worst, "worst-node-divergence")
+	}
+}
+
+// BenchmarkFig5CPUIsolation regenerates Figure 5 (CPU shares under the
+// unmodified and proportional schedulers) and reports the maximum
+// deviation from the 1/3 allocation under each.
+func BenchmarkFig5CPUIsolation(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		r, err := exp.RunFig5()
+		if err != nil {
+			b.Fatal(err)
+		}
+		b.ReportMetric(r.Unmodified.MaxDeviation, "unmodified-deviation")
+		b.ReportMetric(r.Proportional.MaxDeviation, "proportional-deviation")
+	}
+}
+
+// BenchmarkFig6Slowdown regenerates Figure 6 (application-level
+// slow-down across the three deployments) and reports the slow-down
+// factor range.
+func BenchmarkFig6Slowdown(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		r, err := exp.RunFig6()
+		if err != nil {
+			b.Fatal(err)
+		}
+		minSD, maxSD := 1e9, 0.0
+		for _, d := range r.Datasets {
+			sd := r.SlowdownAt(d)
+			if sd < minSD {
+				minSD = sd
+			}
+			if sd > maxSD {
+				maxSD = sd
+			}
+		}
+		b.ReportMetric(minSD, "min-slowdown-x")
+		b.ReportMetric(maxSD, "max-slowdown-x")
+	}
+}
+
+// BenchmarkDownloadLinearity regenerates the §4.3 in-text measurement
+// (download time vs image size) and reports the fit.
+func BenchmarkDownloadLinearity(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		r, err := exp.RunDownload()
+		if err != nil {
+			b.Fatal(err)
+		}
+		b.ReportMetric(r.Slope, "sec-per-MB")
+		b.ReportMetric(r.R2, "r-squared")
+	}
+}
+
+// BenchmarkAttackIsolation regenerates the §5 attack experiment
+// (Figure 3's setting) and reports the web service's response-time ratio
+// under attack.
+func BenchmarkAttackIsolation(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		r, err := exp.RunAttack()
+		if err != nil {
+			b.Fatal(err)
+		}
+		b.ReportMetric(float64(r.Crashes), "honeypot-crashes")
+		b.ReportMetric(r.UnderAttackRespMs/r.BaselineRespMs, "web-latency-ratio")
+	}
+}
+
+// --- Ablation benches: design choices DESIGN.md calls out ----------------
+
+// BenchmarkAblationInflation measures the victim-latency cost of dropping
+// the §3.2 slow-down inflation on a saturated host.
+func BenchmarkAblationInflation(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		r, err := exp.RunAblationInflation()
+		if err != nil {
+			b.Fatal(err)
+		}
+		b.ReportMetric(r.LatencyInflatedMs, "victim-ms-1.5x")
+		b.ReportMetric(r.LatencyFlatMs, "victim-ms-1.0x")
+	}
+}
+
+// BenchmarkAblationStrategy compares Spread and Pack placements under
+// whole-host failures.
+func BenchmarkAblationStrategy(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		r, err := exp.RunAblationStrategy()
+		if err != nil {
+			b.Fatal(err)
+		}
+		for _, o := range r.Outcomes {
+			b.ReportMetric(float64(o.Completed), o.Strategy+"-"+o.FailedHost+"-served")
+		}
+	}
+}
+
+// BenchmarkAblationShaper compares the work-conserving and hard-cap
+// shaper semantics.
+func BenchmarkAblationShaper(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		r, err := exp.RunAblationShaper()
+		if err != nil {
+			b.Fatal(err)
+		}
+		b.ReportMetric(r.LoneShareSec, "lone-share-vsec")
+		b.ReportMetric(r.LoneCapSec, "lone-cap-vsec")
+	}
+}
+
+// BenchmarkAblationDDoS reproduces the paper's §3.5 concession: switch
+// inundation degrades co-hosted virtual service nodes.
+func BenchmarkAblationDDoS(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		r, err := exp.RunAblationDDoS()
+		if err != nil {
+			b.Fatal(err)
+		}
+		b.ReportMetric(r.FloodMs/r.QuietMs, "cohost-degradation-x")
+	}
+}
+
+func itoa(n int) string {
+	if n == 0 {
+		return "0"
+	}
+	var digits []byte
+	for n > 0 {
+		digits = append([]byte{byte('0' + n%10)}, digits...)
+		n /= 10
+	}
+	return string(digits)
+}

@@ -1,0 +1,91 @@
+// Command sodabench regenerates every table and figure of the paper's
+// evaluation (HPDC 2003, §4.3 and §5) and prints them in the paper's
+// row/series format with shape checks against the published results.
+//
+// Usage:
+//
+//	sodabench                 # run everything
+//	sodabench -exp table2     # one experiment
+//	sodabench -list           # list experiment ids
+//
+// Experiment ids: table1 table2 table3 table4 fig3 fig4 fig5 fig6
+// download.
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+	"strings"
+	"time"
+
+	"repro/internal/exp"
+)
+
+type experiment struct {
+	id   string
+	what string
+	run  func() (exp.Result, error)
+}
+
+func experiments() []experiment {
+	return []experiment{
+		{"table1", "machine configuration M", func() (exp.Result, error) { return exp.RunTable1() }},
+		{"table2", "service bootstrapping time (4 services × 2 hosts)", func() (exp.Result, error) { return exp.RunTable2() }},
+		{"table3", "sample service configuration file", func() (exp.Result, error) { return exp.RunTable3() }},
+		{"table4", "syscall-level slow-down (clock cycles)", func() (exp.Result, error) { return exp.RunTable4() }},
+		{"fig3", "attack isolation (honeypot vs web)", func() (exp.Result, error) { return exp.RunAttack() }},
+		{"fig4", "per-node response time under weighted round-robin", func() (exp.Result, error) { return exp.RunFig4() }},
+		{"fig5", "CPU shares under two schedulers", func() (exp.Result, error) { return exp.RunFig5() }},
+		{"fig6", "application-level slow-down (3 deployments)", func() (exp.Result, error) { return exp.RunFig6() }},
+		{"download", "image download time vs size (§4.3 in-text)", func() (exp.Result, error) { return exp.RunDownload() }},
+		{"abl-inflation", "ablation: §3.2 slow-down inflation factor", func() (exp.Result, error) { return exp.RunAblationInflation() }},
+		{"abl-strategy", "ablation: Spread vs Pack under host failures", func() (exp.Result, error) { return exp.RunAblationStrategy() }},
+		{"abl-shaper", "ablation: shaper share vs cap semantics", func() (exp.Result, error) { return exp.RunAblationShaper() }},
+		{"abl-ddos", "ablation: §3.5 DDoS inundation limitation", func() (exp.Result, error) { return exp.RunAblationDDoS() }},
+		{"breakdown", "supplementary: per-stage response-time breakdown", func() (exp.Result, error) { return exp.RunBreakdown() }},
+		{"sweep-inflation", "sweep: inflation factor 1.0..2.0", func() (exp.Result, error) { return exp.RunInflationSweep() }},
+	}
+}
+
+func main() {
+	expFlag := flag.String("exp", "all", "experiment id to run, or 'all'")
+	list := flag.Bool("list", false, "list experiment ids and exit")
+	flag.Parse()
+
+	if *list {
+		for _, e := range experiments() {
+			fmt.Printf("%-9s %s\n", e.id, e.what)
+		}
+		return
+	}
+
+	ran := 0
+	failed := 0
+	for _, e := range experiments() {
+		if *expFlag != "all" && *expFlag != e.id {
+			continue
+		}
+		ran++
+		start := time.Now()
+		res, err := e.run()
+		if err != nil {
+			fmt.Fprintf(os.Stderr, "%s: %v\n", e.id, err)
+			failed++
+			continue
+		}
+		out := res.Render()
+		fmt.Printf("=== %s (%.2fs wall) ===\n%s\n", e.id, time.Since(start).Seconds(), out)
+		if strings.Contains(out, "shape[FAIL]") {
+			failed++
+		}
+	}
+	if ran == 0 {
+		fmt.Fprintf(os.Stderr, "unknown experiment %q; use -list\n", *expFlag)
+		os.Exit(2)
+	}
+	if failed > 0 {
+		fmt.Fprintf(os.Stderr, "%d experiment(s) failed shape checks\n", failed)
+		os.Exit(1)
+	}
+}

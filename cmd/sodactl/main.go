@@ -1,0 +1,125 @@
+// Command sodactl is the command-line client for a running sodad: it
+// issues the paper's three API calls — SODA_service_creation,
+// SODA_service_teardown, SODA_service_resizing (§4.1) — plus image
+// publication and HUP inspection, over HTTP.
+//
+// Usage:
+//
+//	sodactl -server http://localhost:7083 publish  -image web-img -size 30
+//	sodactl -server http://localhost:7083 create   -name web -image web-img -n 3
+//	sodactl -server http://localhost:7083 list
+//	sodactl -server http://localhost:7083 get      -name web
+//	sodactl -server http://localhost:7083 resize   -name web -n 5
+//	sodactl -server http://localhost:7083 status   -name web
+//	sodactl -server http://localhost:7083 teardown -name web
+//	sodactl -server http://localhost:7083 hup
+package main
+
+import (
+	"bytes"
+	"encoding/json"
+	"flag"
+	"fmt"
+	"io"
+	"net/http"
+	"os"
+
+	"repro/internal/api"
+)
+
+func main() {
+	server := flag.String("server", "http://localhost:7083", "sodad base URL")
+	credential := flag.String("credential", "demo-key", "ASP credential")
+	name := flag.String("name", "", "service name")
+	imageName := flag.String("image", "", "image name")
+	n := flag.Int("n", 1, "machine instances (the n of <n, M>)")
+	size := flag.Int("size", 30, "image size in MB (publish)")
+	dataset := flag.Int("dataset", 8, "dataset size in MB")
+	flag.Parse()
+
+	if flag.NArg() < 1 {
+		fmt.Fprintln(os.Stderr, "usage: sodactl [flags] publish|create|list|get|resize|status|probe|teardown|hup [flags]")
+		os.Exit(2)
+	}
+	cmd := flag.Arg(0)
+	// Accept flags after the command too ("sodactl create -name web …").
+	if flag.NArg() > 1 {
+		if err := flag.CommandLine.Parse(flag.Args()[1:]); err != nil {
+			os.Exit(2)
+		}
+	}
+	var err error
+	switch cmd {
+	case "publish":
+		err = do(http.MethodPost, *server+"/v1/images", api.PublishRequest{
+			Credential: *credential, Name: *imageName, SizeMB: *size, DatasetMB: *dataset,
+		})
+	case "create":
+		err = do(http.MethodPost, *server+"/v1/services", api.CreateRequest{
+			Credential: *credential, Name: *name, Image: *imageName, N: *n, DatasetMB: *dataset,
+		})
+	case "list":
+		err = do(http.MethodGet, *server+"/v1/services", nil)
+	case "get":
+		err = do(http.MethodGet, *server+"/v1/services/"+*name, nil)
+	case "resize":
+		err = do(http.MethodPost, *server+"/v1/services/"+*name+"/resize", api.ResizeRequest{
+			Credential: *credential, N: *n,
+		})
+	case "status":
+		err = do(http.MethodGet, *server+"/v1/services/"+*name+"/status?credential="+*credential, nil)
+	case "probe":
+		err = do(http.MethodPost, *server+"/v1/services/"+*name+"/probe", api.ProbeRequest{
+			Credential: *credential, Requests: *n,
+		})
+	case "teardown":
+		err = do(http.MethodDelete, *server+"/v1/services/"+*name+"?credential="+*credential, nil)
+	case "hup":
+		err = do(http.MethodGet, *server+"/v1/hup", nil)
+	default:
+		fmt.Fprintf(os.Stderr, "sodactl: unknown command %q\n", cmd)
+		os.Exit(2)
+	}
+	if err != nil {
+		fmt.Fprintf(os.Stderr, "sodactl: %v\n", err)
+		os.Exit(1)
+	}
+}
+
+// do sends one API call and pretty-prints the JSON response.
+func do(method, url string, body any) error {
+	var reader io.Reader
+	if body != nil {
+		buf, err := json.Marshal(body)
+		if err != nil {
+			return err
+		}
+		reader = bytes.NewReader(buf)
+	}
+	req, err := http.NewRequest(method, url, reader)
+	if err != nil {
+		return err
+	}
+	if body != nil {
+		req.Header.Set("Content-Type", "application/json")
+	}
+	resp, err := http.DefaultClient.Do(req)
+	if err != nil {
+		return err
+	}
+	defer resp.Body.Close()
+	raw, err := io.ReadAll(resp.Body)
+	if err != nil {
+		return err
+	}
+	var pretty bytes.Buffer
+	if json.Indent(&pretty, raw, "", "  ") == nil {
+		fmt.Println(pretty.String())
+	} else {
+		fmt.Println(string(raw))
+	}
+	if resp.StatusCode >= 400 {
+		return fmt.Errorf("server returned %s", resp.Status)
+	}
+	return nil
+}

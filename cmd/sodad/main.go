@@ -1,0 +1,88 @@
+// Command sodad runs a simulated Hosting Utility Platform with its SODA
+// control plane and serves the SODA API (§4.1) over real HTTP, so live
+// clients — cmd/sodactl, curl — can create, resize, and tear down
+// application services against it.
+//
+// Usage:
+//
+//	sodad -listen :7083 -asp bio-institute -credential genome-key
+//
+// The HUP is the paper's testbed (seattle + tacoma on a 100 Mbps LAN)
+// unless -hosts changes it.
+package main
+
+import (
+	"flag"
+	"fmt"
+	"log"
+	"net/http"
+	"os"
+
+	"repro/internal/api"
+	"repro/internal/hostos"
+	"repro/internal/hup"
+	"repro/internal/soda"
+)
+
+func main() {
+	listen := flag.String("listen", ":7083", "address to serve the SODA API on")
+	asp := flag.String("asp", "demo-asp", "ASP account name to enroll")
+	credential := flag.String("credential", "demo-key", "credential for the enrolled ASP")
+	hosts := flag.Int("hosts", 2, "number of HUP hosts (1 = seattle only, 2 = paper testbed, >2 adds tacoma clones)")
+	seed := flag.Uint64("seed", 1, "simulation seed")
+	configPath := flag.String("config", "", "JSON scenario file describing the HUP (overrides -hosts/-seed)")
+	imageCache := flag.Bool("image-cache", false, "enable daemon-side master-image caching")
+	flag.Parse()
+
+	var cfg hup.Config
+	if *configPath != "" {
+		f, err := os.Open(*configPath)
+		if err != nil {
+			log.Fatalf("sodad: %v", err)
+		}
+		cfg, err = hup.LoadConfig(f)
+		f.Close()
+		if err != nil {
+			log.Fatalf("sodad: %v", err)
+		}
+	} else {
+		var specs []hostos.Spec
+		switch {
+		case *hosts <= 1:
+			specs = []hostos.Spec{hostos.Seattle()}
+		case *hosts == 2:
+			specs = []hostos.Spec{hostos.Seattle(), hostos.Tacoma()}
+		default:
+			specs = []hostos.Spec{hostos.Seattle(), hostos.Tacoma()}
+			for i := 2; i < *hosts; i++ {
+				extra := hostos.Tacoma()
+				extra.Name = fmt.Sprintf("tacoma-%d", i)
+				specs = append(specs, extra)
+			}
+		}
+		cfg = hup.Config{Hosts: specs, Seed: *seed}
+	}
+	tb, err := hup.New(cfg)
+	if err != nil {
+		log.Fatalf("sodad: building HUP: %v", err)
+	}
+	if *imageCache {
+		for _, d := range tb.Daemons {
+			d.EnableImageCache()
+		}
+	}
+	if err := tb.Agent.RegisterASP(*asp, *credential); err != nil {
+		log.Fatalf("sodad: enrolling ASP: %v", err)
+	}
+	// Stream the control-plane event trace to the log.
+	tb.Master.Observe(func(e soda.Event) {
+		log.Printf("sodad: %v", e)
+	})
+
+	srv := api.NewServer(tb)
+	log.Printf("sodad: HUP with %d host(s) up; SODA API on %s (ASP %q)", len(tb.Hosts), *listen, *asp)
+	log.Printf("sodad: try: curl -s -X POST localhost%s/v1/images -d '{\"name\":\"web\",\"size_mb\":30}'", *listen)
+	if err := http.ListenAndServe(*listen, srv.Handler()); err != nil {
+		log.Fatalf("sodad: %v", err)
+	}
+}

@@ -1,0 +1,113 @@
+// Autoscale: an ASP-side control loop built from SODA's public API — the
+// "prescient early cloud" pattern the paper enables. The controller
+// samples its service's monitoring view (Agent.ServiceStatus, §1's
+// "monitoring and management as if hosted locally"), plans capacity with
+// the Master's what-if API, and calls SODA_service_resizing to track a
+// diurnal load curve.
+//
+// Run with: go run ./examples/autoscale
+package main
+
+import (
+	"fmt"
+	"log"
+	"math"
+
+	"repro"
+	"repro/internal/hup"
+	"repro/internal/sim"
+	"repro/internal/workload"
+)
+
+func main() {
+	tb := repro.MustNewTestbed(repro.TestbedConfig{Seed: 23})
+	if err := tb.Agent.RegisterASP("news-site", "news-key"); err != nil {
+		log.Fatal(err)
+	}
+	img := repro.WebContentImage("newsfront-3.2", 8)
+	if err := tb.Publish(img); err != nil {
+		log.Fatal(err)
+	}
+	m := repro.DefaultM()
+	m.DiskMB = 2048
+	params := repro.DefaultWebParams(64)
+	params.ExtraCyclesPerRequest = 1.5e6
+	wd := repro.NewWebDeployment(tb, params)
+	svc, err := tb.CreateService("news-key", repro.ServiceSpec{
+		Name: "newsfront", ImageName: img.Name, Repository: repro.RepoIP,
+		Requirement:  repro.Requirement{N: 1, M: m},
+		GuestProfile: img.SystemServices, Behavior: wd.Behavior(),
+	})
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Printf("newsfront up at <1, M>; headroom: %d more instances of M\n",
+		tb.Master.Headroom(m))
+
+	// A compressed "day": load swells and fades over 120 virtual seconds.
+	start := tb.K.Now()
+	gen := workload.NewGenerator(tb.K, hup.SwitchTarget{Switch: svc.Switch}, tb.AddClient(), sim.NewRNG(7))
+	day := 120.0
+	baseClients, peakClients := 2, 14
+	// Closed-loop population follows a sinusoidal profile by starting and
+	// stopping client groups every 10 s.
+	active := 0
+	adjustLoad := func() {
+		tOfDay := tb.K.Now().Sub(start).Seconds()
+		want := baseClients + int(float64(peakClients-baseClients)*
+			math.Sin(math.Pi*tOfDay/day))
+		for active < want {
+			gen.RunClosedLoop(1, 2*sim.Millisecond)
+			active++
+		}
+		// (Closed-loop clients cannot be individually retired; the
+		// controller reacts to latency, which is what matters here.)
+	}
+
+	// The autoscaler: every 10 s, read the switch's active counts and the
+	// measured latency; resize when the p95 drifts.
+	var lastN = 1
+	fmt.Printf("\n%8s %8s %10s %9s %s\n", "t", "clients", "p95(ms)", "capacity", "action")
+	tick := 10 * sim.Second
+	for step := 1; step <= 12; step++ {
+		adjustLoad()
+		preCount := gen.LatencyQ.Count()
+		tb.K.RunUntil(start.Add(sim.Duration(step) * tick))
+		if gen.LatencyQ.Count() == preCount {
+			continue
+		}
+		p95 := gen.LatencyQ.Quantile(0.95) * 1000
+		st, err := tb.Agent.ServiceStatus("news-key", "newsfront")
+		if err != nil {
+			log.Fatal(err)
+		}
+		action := "hold"
+		switch {
+		case p95 > 8 && lastN < 6:
+			plan := tb.Master.PlanService(repro.Requirement{N: 1, M: m}, 0, 0)
+			if plan.Admissible {
+				lastN++
+				if _, err := tb.Resize("news-key", "newsfront", lastN); err != nil {
+					log.Fatal(err)
+				}
+				action = fmt.Sprintf("scale up to <%d, M>", lastN)
+			} else {
+				action = "wanted to scale up, HUP full"
+			}
+		case p95 < 2.5 && lastN > 1:
+			lastN--
+			if _, err := tb.Resize("news-key", "newsfront", lastN); err != nil {
+				log.Fatal(err)
+			}
+			action = fmt.Sprintf("scale down to <%d, M>", lastN)
+		}
+		fmt.Printf("%7.0fs %8d %10.2f %9d %s\n",
+			tb.K.Now().Sub(start).Seconds(), active, p95, st.Capacity, action)
+	}
+	gen.Stop()
+	tb.K.RunFor(2 * sim.Second)
+	if acct, ok := tb.Agent.Billing("news-site"); ok {
+		fmt.Printf("\nday complete: %d requests served, %.0f instance-seconds billed\n",
+			gen.Completed, acct.InstanceSeconds)
+	}
+}

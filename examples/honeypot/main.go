@@ -1,0 +1,116 @@
+// Honeypot: the paper's §5 attack-isolation scenario (Figure 3). A web
+// content service and a deliberately "dangerous" honeypot service share
+// HUP host seattle. An attacker repeatedly exploits the honeypot's
+// vulnerable ghttpd, crashing its guest OS — while the co-located web
+// service keeps serving, untouched, because the honeypot's root is the
+// root of the *guest* OS, not the host OS (§2.1).
+//
+// Run with: go run ./examples/honeypot
+package main
+
+import (
+	"fmt"
+	"log"
+
+	"repro"
+	"repro/internal/hup"
+	"repro/internal/sim"
+	"repro/internal/workload"
+)
+
+func main() {
+	tb := repro.MustNewTestbed(repro.TestbedConfig{Seed: 8})
+	if err := tb.Agent.RegisterASP("security-lab", "lab-key"); err != nil {
+		log.Fatal(err)
+	}
+
+	m := repro.DefaultM()
+	m.DiskMB = 2048
+
+	// The production web service: <3, M> spread over both hosts.
+	webImg := repro.WebContentImage("webcontent-1.0", 16)
+	if err := tb.Publish(webImg); err != nil {
+		log.Fatal(err)
+	}
+	wd := repro.NewWebDeployment(tb, repro.DefaultWebParams(64))
+	web, err := tb.CreateService("lab-key", repro.ServiceSpec{
+		Name: "webcontent", ImageName: webImg.Name, Repository: repro.RepoIP,
+		Requirement:  repro.Requirement{N: 3, M: m},
+		GuestProfile: webImg.SystemServices, Behavior: wd.Behavior(),
+	})
+	if err != nil {
+		log.Fatal(err)
+	}
+
+	// The honeypot: one node, which SODA places on seattle (most free CPU)
+	// — exactly the paper's Figure 2 layout.
+	hpImg := repro.HoneypotImage("honeypot-ghttpd")
+	if err := tb.Publish(hpImg); err != nil {
+		log.Fatal(err)
+	}
+	hd := repro.NewHoneypotDeployment(tb)
+	hp, err := tb.CreateService("lab-key", repro.ServiceSpec{
+		Name: "honeypot", ImageName: hpImg.Name, Repository: repro.RepoIP,
+		Requirement:  repro.Requirement{N: 1, M: m},
+		GuestProfile: hpImg.SystemServices, Behavior: hd.Behavior(),
+	})
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Printf("honeypot node on %s, victim server: %s\n",
+		hp.Nodes[0].HostName, hp.Nodes[0].Guest.Image.ServiceCommand)
+
+	// Figure 3: the two co-located guests' process tables, side by side.
+	var webOnSeattle *repro.NodeInfo
+	for i := range web.Nodes {
+		if web.Nodes[i].HostName == "seattle" {
+			webOnSeattle = &web.Nodes[i]
+		}
+	}
+	fmt.Println("\nweb VSN (seattle)                  | honeypot VSN (seattle)")
+	left, right := webOnSeattle.Guest.PS(), hp.Nodes[0].Guest.PS()
+	for i := 0; i < len(left) || i < len(right); i++ {
+		var l, r string
+		if i < len(left) {
+			l = left[i]
+		}
+		if i < len(right) {
+			r = right[i]
+		}
+		fmt.Printf("%-34s | %s\n", l, r)
+	}
+
+	// Continuous web load while the attack runs. (Times are relative to
+	// now: service creation already consumed virtual time for downloads
+	// and boots.)
+	gen := workload.NewGenerator(tb.K, hup.SwitchTarget{Switch: web.Switch}, tb.AddClient(), sim.NewRNG(3))
+	gen.RunClosedLoop(6, 5*sim.Millisecond)
+	tb.K.RunFor(5 * sim.Second)
+	baselineMean := gen.Latency.MeanDuration()
+
+	// The attack: one exploit packet crashes the victim's guest OS.
+	attacker := tb.AddClient()
+	victim := hd.Victim(hp.Nodes[0].NodeName)
+	crashed := false
+	if err := tb.Net.Transfer(attacker, hp.Nodes[0].IP, workload.RequestBytes, func() {
+		victim.HandleAttack(func() { crashed = true })
+	}); err != nil {
+		log.Fatal(err)
+	}
+	tb.K.RunFor(sim.Second)
+	if !crashed {
+		log.Fatal("exploit did not land")
+	}
+	fmt.Printf("\nattack delivered: ghttpd buffer overflow; honeypot guest state: %v\n",
+		hp.Nodes[0].Guest.State())
+
+	// The web service is unaffected: same host, different guest OS.
+	tb.K.RunFor(9 * sim.Second)
+	gen.Stop()
+	tb.K.RunFor(sim.Second)
+	fmt.Printf("web service: alive=%v, response before attack %.2f ms, overall %.2f ms (%d requests)\n",
+		webOnSeattle.Guest.Alive(), baselineMean.Seconds()*1000,
+		gen.Latency.MeanDuration().Seconds()*1000, gen.Completed)
+	fmt.Printf("host OS processes on seattle: %d (honeypot uid gone, web uid intact)\n",
+		len(tb.Hosts[0].Processes()))
+}

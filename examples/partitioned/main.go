@@ -1,0 +1,99 @@
+// Partitioned: the §3.5 extension the paper lists as future work — "a
+// partitionable service where different service components are mapped to
+// different virtual service nodes". A storefront ships two components
+// with separate images and separate <n, M> requirements: a read-heavy
+// catalog (2 instances) and a CPU-heavy checkout (1 instance). One
+// service switch routes requests by component; the configuration file
+// grows a component column.
+//
+// Run with: go run ./examples/partitioned
+package main
+
+import (
+	"fmt"
+	"log"
+
+	"repro"
+	"repro/internal/sim"
+	"repro/internal/soda"
+	"repro/internal/svcswitch"
+	"repro/internal/workload"
+)
+
+func main() {
+	tb := repro.MustNewTestbed(repro.TestbedConfig{Seed: 17})
+	if err := tb.Agent.RegisterASP("shop", "shop-key"); err != nil {
+		log.Fatal(err)
+	}
+
+	catalogImg := repro.WebContentImage("catalog-1.0", 16)
+	checkoutImg := repro.WebContentImage("checkout-1.0", 2)
+	for _, img := range []*repro.Image{catalogImg, checkoutImg} {
+		if err := tb.Publish(img); err != nil {
+			log.Fatal(err)
+		}
+	}
+
+	m := repro.DefaultM()
+	m.DiskMB = 2048
+	catalogWD := repro.NewWebDeployment(tb, repro.DefaultWebParams(256))
+	checkoutParams := repro.DefaultWebParams(16)
+	checkoutParams.ExtraCyclesPerRequest = 2e6 // payment/crypto work
+	checkoutWD := repro.NewWebDeployment(tb, checkoutParams)
+
+	var ps *soda.PartitionedService
+	var perr error
+	done := false
+	tb.Master.CreatePartitionedService("storefront", []soda.ComponentSpec{
+		{
+			Component: "catalog", ImageName: catalogImg.Name, Repository: repro.RepoIP,
+			Requirement:  repro.Requirement{N: 2, M: m},
+			GuestProfile: catalogImg.SystemServices, Behavior: catalogWD.Behavior(),
+		},
+		{
+			Component: "checkout", ImageName: checkoutImg.Name, Repository: repro.RepoIP,
+			Requirement:  repro.Requirement{N: 1, M: m},
+			GuestProfile: checkoutImg.SystemServices, Behavior: checkoutWD.Behavior(),
+		},
+	}, func(p *soda.PartitionedService) { ps, done = p, true },
+		func(err error) { perr, done = err, true })
+	for !done && tb.K.Pending() > 0 {
+		tb.K.RunFor(sim.Second)
+	}
+	if perr != nil {
+		log.Fatal(perr)
+	}
+
+	fmt.Printf("partitioned service %q: components %v, total capacity %d\n",
+		ps.Name, ps.ComponentNames(), ps.TotalCapacity())
+	fmt.Printf("\ncomponent-tagged configuration file:\n%s\n", ps.Config.Render())
+
+	// A browsing session: 9 catalog hits per checkout.
+	client := tb.AddClient()
+	route := func(comp string, n int) {
+		for i := 0; i < n; i++ {
+			if err := ps.Switch.Route(svcswitch.Request{
+				ClientIP: client, Bytes: workload.RequestBytes, Component: comp,
+			}); err != nil {
+				log.Fatal(err)
+			}
+		}
+	}
+	route("catalog", 90)
+	route("checkout", 10)
+	tb.K.RunFor(30 * sim.Second)
+
+	fmt.Println("per-component traffic:")
+	for _, comp := range ps.ComponentNames() {
+		for _, e := range ps.Config.EntriesFor(comp) {
+			st := ps.Switch.StatsFor(e)
+			fmt.Printf("  %-9s %-14s capacity=%d served=%d\n", comp, e.IP, e.Capacity, st.Forwarded)
+		}
+	}
+	fmt.Printf("switch: routed=%d dropped=%d\n", ps.Switch.Routed, ps.Switch.Dropped)
+
+	if err := tb.Master.TeardownPartitionedService(ps); err != nil {
+		log.Fatal(err)
+	}
+	fmt.Println("storefront torn down")
+}

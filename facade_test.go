@@ -1,0 +1,95 @@
+package repro_test
+
+import (
+	"strings"
+	"testing"
+
+	"repro"
+)
+
+// The facade test drives the whole public API surface end to end —
+// what a downstream user's first program exercises.
+
+func TestFacadeEndToEnd(t *testing.T) {
+	tb := repro.MustNewTestbed(repro.TestbedConfig{Seed: 99})
+	if err := tb.Agent.RegisterASP("asp", "key"); err != nil {
+		t.Fatal(err)
+	}
+	img := repro.WebContentImage("app-1.0", 8)
+	if err := tb.Publish(img); err != nil {
+		t.Fatal(err)
+	}
+	m := repro.DefaultM()
+	m.DiskMB = 2048
+	wd := repro.NewWebDeployment(tb, repro.DefaultWebParams(64))
+	svc, err := tb.CreateService("key", repro.ServiceSpec{
+		Name:         "app",
+		ImageName:    img.Name,
+		Repository:   repro.RepoIP,
+		Requirement:  repro.Requirement{N: 3, M: m},
+		GuestProfile: img.SystemServices,
+		Behavior:     wd.Behavior(),
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if svc.TotalCapacity() != 3 || len(svc.Nodes) != 2 {
+		t.Fatalf("capacity=%d nodes=%d", svc.TotalCapacity(), len(svc.Nodes))
+	}
+	// Config round-trips through the public parser.
+	parsed, err := repro.ParseConfig(svc.Config.Render())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if parsed.TotalCapacity() != 3 {
+		t.Fatal("parsed capacity wrong")
+	}
+	// Policy swap through the facade.
+	svc.Switch.SetPolicy(repro.NewLeastActive())
+	if svc.Switch.Policy().Name() != "least-active" {
+		t.Fatal("policy swap failed")
+	}
+	// Resize and teardown.
+	if _, err := tb.Resize("key", "app", 4); err != nil {
+		t.Fatal(err)
+	}
+	if err := tb.Teardown("key", "app"); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestFacadeConstants(t *testing.T) {
+	if repro.SlowdownFactor != 1.5 {
+		t.Fatal("facade slow-down factor drifted")
+	}
+	if repro.Seattle().Name != "seattle" || repro.Tacoma().Name != "tacoma" {
+		t.Fatal("testbed host specs wrong")
+	}
+	m := repro.DefaultM()
+	if m.CPUMHz != 512 {
+		t.Fatal("DefaultM drifted from Table 1")
+	}
+}
+
+func TestFacadeImages(t *testing.T) {
+	if !strings.Contains(repro.HoneypotImage("h").ServiceCommand, "ghttpd") {
+		t.Fatal("honeypot image wrong")
+	}
+	if repro.WebContentImage("w", 0).SizeMB() != 29 {
+		t.Fatal("web image base size drifted from S_I's 29.3MB")
+	}
+}
+
+func TestFacadeLiveProxy(t *testing.T) {
+	cfg := repro.NewConfigFile("svc")
+	if err := cfg.SetEntries([]repro.BackendEntry{{IP: "127.0.0.1", Port: 1, Capacity: 1}}); err != nil {
+		t.Fatal(err)
+	}
+	if repro.NewLiveProxy(cfg) == nil {
+		t.Fatal("nil proxy")
+	}
+	if repro.NewWeightedRoundRobin().Name() != "weighted-round-robin" ||
+		repro.NewRoundRobin().Name() != "round-robin" {
+		t.Fatal("policy constructors wrong")
+	}
+}

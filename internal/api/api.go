@@ -1,0 +1,403 @@
+// Package api exposes the SODA control plane — SODA_service_creation,
+// SODA_service_teardown, SODA_service_resizing (§4.1) — as a JSON/HTTP
+// service in front of a HUP testbed. cmd/sodad serves it; cmd/sodactl is
+// its command-line client. Incoming calls drive the simulated HUP's
+// virtual clock forward until the operation settles, so a live HTTP
+// client observes the same admission decisions, placements, and
+// configuration files the simulation produces.
+package api
+
+import (
+	"encoding/json"
+	"fmt"
+	"net/http"
+	"strings"
+	"sync"
+	"time"
+
+	"repro/internal/appsvc"
+	"repro/internal/hup"
+	"repro/internal/image"
+	"repro/internal/soda"
+	"repro/internal/workload"
+)
+
+// MachineConfig is the wire form of the paper's M tuple.
+type MachineConfig struct {
+	CPUMHz        int     `json:"cpu_mhz"`
+	MemoryMB      int     `json:"memory_mb"`
+	DiskMB        int     `json:"disk_mb"`
+	BandwidthMbps float64 `json:"bandwidth_mbps"`
+}
+
+// CreateRequest is the body of POST /v1/services.
+type CreateRequest struct {
+	Credential string        `json:"credential"`
+	Name       string        `json:"name"`
+	Image      string        `json:"image"`
+	N          int           `json:"n"`
+	M          MachineConfig `json:"m"`
+	// DatasetMB sizes the web content service's dataset (the default
+	// behaviour bound to API-created services).
+	DatasetMB int `json:"dataset_mb"`
+}
+
+// ResizeRequest is the body of POST /v1/services/{name}/resize.
+type ResizeRequest struct {
+	Credential string `json:"credential"`
+	N          int    `json:"n"`
+}
+
+// PublishRequest is the body of POST /v1/images: it builds and publishes
+// a synthetic web-content image of the requested size.
+type PublishRequest struct {
+	Credential string `json:"credential"`
+	Name       string `json:"name"`
+	SizeMB     int    `json:"size_mb"`
+	DatasetMB  int    `json:"dataset_mb"`
+}
+
+// NodeView is the wire form of a created virtual service node.
+type NodeView struct {
+	Node        string  `json:"node"`
+	Host        string  `json:"host"`
+	IP          string  `json:"ip"`
+	Port        int     `json:"port"`
+	Capacity    int     `json:"capacity"`
+	BootSec     float64 `json:"boot_sec"`
+	DownloadSec float64 `json:"download_sec"`
+	RAMDisk     bool    `json:"ram_disk"`
+}
+
+// ServiceView is the wire form of a hosted service.
+type ServiceView struct {
+	Name       string     `json:"name"`
+	State      string     `json:"state"`
+	Capacity   int        `json:"capacity"`
+	Nodes      []NodeView `json:"nodes"`
+	ConfigFile string     `json:"config_file"`
+}
+
+// HostView is the wire form of one HUP host's availability.
+type HostView struct {
+	Name          string  `json:"name"`
+	CPUMHz        int     `json:"cpu_mhz_free"`
+	MemoryMB      int     `json:"memory_mb_free"`
+	DiskMB        int     `json:"disk_mb_free"`
+	BandwidthMbps float64 `json:"bandwidth_mbps_free"`
+	Nodes         int     `json:"nodes"`
+}
+
+// Server wires the HTTP API to a testbed. All handlers serialise on one
+// mutex: the simulation kernel is single-threaded by design.
+type Server struct {
+	mu sync.Mutex
+	tb *hup.Testbed
+}
+
+// NewServer wraps a testbed.
+func NewServer(tb *hup.Testbed) *Server { return &Server{tb: tb} }
+
+// Handler returns the API's routing table.
+func (s *Server) Handler() http.Handler {
+	mux := http.NewServeMux()
+	mux.HandleFunc("POST /v1/images", s.handlePublish)
+	mux.HandleFunc("POST /v1/services", s.handleCreate)
+	mux.HandleFunc("GET /v1/services", s.handleList)
+	mux.HandleFunc("GET /v1/services/{name}", s.handleGet)
+	mux.HandleFunc("DELETE /v1/services/{name}", s.handleDelete)
+	mux.HandleFunc("POST /v1/services/{name}/resize", s.handleResize)
+	mux.HandleFunc("GET /v1/services/{name}/status", s.handleStatus)
+	mux.HandleFunc("POST /v1/services/{name}/probe", s.handleProbe)
+	mux.HandleFunc("GET /v1/hup", s.handleHUP)
+	return mux
+}
+
+func writeJSON(w http.ResponseWriter, status int, v any) {
+	w.Header().Set("Content-Type", "application/json")
+	w.WriteHeader(status)
+	json.NewEncoder(w).Encode(v)
+}
+
+func writeErr(w http.ResponseWriter, status int, err error) {
+	writeJSON(w, status, map[string]string{"error": err.Error()})
+}
+
+func statusFor(err error) int {
+	msg := err.Error()
+	switch {
+	case strings.Contains(msg, "authentication"):
+		return http.StatusUnauthorized
+	case strings.Contains(msg, "insufficient") || strings.Contains(msg, "cannot"):
+		return http.StatusConflict
+	case strings.Contains(msg, "no service") || strings.Contains(msg, "not in repository"):
+		return http.StatusNotFound
+	default:
+		return http.StatusBadRequest
+	}
+}
+
+func (s *Server) handlePublish(w http.ResponseWriter, r *http.Request) {
+	var req PublishRequest
+	if err := json.NewDecoder(r.Body).Decode(&req); err != nil {
+		writeErr(w, http.StatusBadRequest, err)
+		return
+	}
+	if req.Name == "" || req.SizeMB <= 0 {
+		writeErr(w, http.StatusBadRequest, fmt.Errorf("api: image needs a name and positive size"))
+		return
+	}
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	img := hup.WebContentImage(req.Name, req.DatasetMB)
+	if img.SizeMB() < req.SizeMB {
+		img = image.NewBuilder(req.Name).
+			WithService("/usr/sbin/httpd", 2<<20, 8080).
+			WithWorkers(8).
+			WithSystemServices(img.SystemServices...).
+			WithDataset(req.DatasetMB*32, 32<<10).
+			PadToMB(req.SizeMB).
+			MustBuild()
+	}
+	if err := s.tb.Publish(img); err != nil {
+		writeErr(w, http.StatusBadRequest, err)
+		return
+	}
+	writeJSON(w, http.StatusCreated, map[string]any{"name": img.Name, "size_mb": img.SizeMB()})
+}
+
+func (s *Server) handleCreate(w http.ResponseWriter, r *http.Request) {
+	var req CreateRequest
+	if err := json.NewDecoder(r.Body).Decode(&req); err != nil {
+		writeErr(w, http.StatusBadRequest, err)
+		return
+	}
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	m := soda.MachineConfig(req.M)
+	if m == (soda.MachineConfig{}) {
+		m = soda.DefaultM()
+		m.DiskMB = 2048
+	}
+	dataset := req.DatasetMB
+	if dataset <= 0 {
+		dataset = 64
+	}
+	img, err := s.tb.Repo.Lookup(req.Image)
+	if err != nil {
+		writeErr(w, http.StatusNotFound, err)
+		return
+	}
+	wd := hup.NewWebDeployment(s.tb, appsvc.DefaultWebParams(dataset))
+	svc, err := s.tb.CreateService(req.Credential, soda.ServiceSpec{
+		Name:         req.Name,
+		ImageName:    req.Image,
+		Repository:   hup.RepoIP,
+		Requirement:  soda.Requirement{N: req.N, M: m},
+		GuestProfile: img.SystemServices,
+		Behavior:     wd.Behavior(),
+	})
+	if err != nil {
+		writeErr(w, statusFor(err), err)
+		return
+	}
+	writeJSON(w, http.StatusCreated, serviceView(svc))
+}
+
+func (s *Server) handleList(w http.ResponseWriter, r *http.Request) {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	var out []ServiceView
+	for _, name := range s.tb.Master.Services() {
+		svc, _ := s.tb.Master.Service(name)
+		out = append(out, serviceView(svc))
+	}
+	writeJSON(w, http.StatusOK, out)
+}
+
+func (s *Server) handleGet(w http.ResponseWriter, r *http.Request) {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	svc, ok := s.tb.Master.Service(r.PathValue("name"))
+	if !ok {
+		writeErr(w, http.StatusNotFound, fmt.Errorf("api: no service %q", r.PathValue("name")))
+		return
+	}
+	writeJSON(w, http.StatusOK, serviceView(svc))
+}
+
+func (s *Server) handleDelete(w http.ResponseWriter, r *http.Request) {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	err := s.tb.Teardown(r.URL.Query().Get("credential"), r.PathValue("name"))
+	if err != nil {
+		writeErr(w, statusFor(err), err)
+		return
+	}
+	writeJSON(w, http.StatusOK, map[string]string{"status": "torn-down"})
+}
+
+func (s *Server) handleResize(w http.ResponseWriter, r *http.Request) {
+	var req ResizeRequest
+	if err := json.NewDecoder(r.Body).Decode(&req); err != nil {
+		writeErr(w, http.StatusBadRequest, err)
+		return
+	}
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	svc, err := s.tb.Resize(req.Credential, r.PathValue("name"), req.N)
+	if err != nil {
+		writeErr(w, statusFor(err), err)
+		return
+	}
+	writeJSON(w, http.StatusOK, serviceView(svc))
+}
+
+// NodeStatusView is the wire form of a node's monitoring snapshot.
+type NodeStatusView struct {
+	Node       string  `json:"node"`
+	Host       string  `json:"host"`
+	IP         string  `json:"ip"`
+	GuestState string  `json:"guest_state"`
+	Workers    int     `json:"workers"`
+	CPUGcycles float64 `json:"cpu_gcycles"`
+	Forwarded  int     `json:"forwarded"`
+	Active     int     `json:"active"`
+}
+
+// StatusView is the wire form of the ASP monitoring snapshot.
+type StatusView struct {
+	Name    string           `json:"name"`
+	State   string           `json:"state"`
+	Healthy bool             `json:"healthy"`
+	Routed  int              `json:"routed"`
+	Dropped int              `json:"dropped"`
+	Nodes   []NodeStatusView `json:"nodes"`
+}
+
+func (s *Server) handleStatus(w http.ResponseWriter, r *http.Request) {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	st, err := s.tb.Agent.ServiceStatus(r.URL.Query().Get("credential"), r.PathValue("name"))
+	if err != nil {
+		writeErr(w, statusFor(err), err)
+		return
+	}
+	view := StatusView{
+		Name:    st.Name,
+		State:   st.State.String(),
+		Healthy: st.Healthy(),
+		Routed:  st.Routed,
+		Dropped: st.Dropped,
+	}
+	for _, n := range st.Nodes {
+		view.Nodes = append(view.Nodes, NodeStatusView{
+			Node:       n.NodeName,
+			Host:       n.HostName,
+			IP:         string(n.IP),
+			GuestState: n.GuestState,
+			Workers:    n.Workers,
+			CPUGcycles: n.CPUCycles / 1e9,
+			Forwarded:  n.Forwarded,
+			Active:     n.Active,
+		})
+	}
+	writeJSON(w, http.StatusOK, view)
+}
+
+// ProbeRequest is the body of POST /v1/services/{name}/probe.
+type ProbeRequest struct {
+	Credential string `json:"credential"`
+	// Requests is how many back-to-back probe requests to issue (1–1000).
+	Requests int `json:"requests"`
+}
+
+// ProbeView reports a probe's measured latencies (virtual time).
+type ProbeView struct {
+	Requests  int     `json:"requests"`
+	Completed int     `json:"completed"`
+	MeanMs    float64 `json:"mean_ms"`
+	P95Ms     float64 `json:"p95_ms"`
+}
+
+// handleProbe drives real requests through the simulated service switch
+// and reports the response-time distribution — a synthetic `siege` the
+// ASP can run against its own hosted service.
+func (s *Server) handleProbe(w http.ResponseWriter, r *http.Request) {
+	var req ProbeRequest
+	if err := json.NewDecoder(r.Body).Decode(&req); err != nil {
+		writeErr(w, http.StatusBadRequest, err)
+		return
+	}
+	if req.Requests <= 0 {
+		req.Requests = 10
+	}
+	if req.Requests > 1000 {
+		req.Requests = 1000
+	}
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	name := r.PathValue("name")
+	// Ownership check via the monitoring path.
+	if _, err := s.tb.Agent.ServiceStatus(req.Credential, name); err != nil {
+		writeErr(w, statusFor(err), err)
+		return
+	}
+	svc, ok := s.tb.Master.Service(name)
+	if !ok || svc.Switch == nil {
+		writeErr(w, http.StatusNotFound, fmt.Errorf("api: no routable service %q", name))
+		return
+	}
+	gen := workload.NewGenerator(s.tb.K, hup.SwitchTarget{Switch: svc.Switch}, s.tb.AddClient(), s.tb.RNG.Split())
+	done := false
+	gen.IssueN(req.Requests, func() { done = true })
+	for !done && s.tb.K.Pending() > 0 {
+		s.tb.K.RunFor(time.Second)
+	}
+	writeJSON(w, http.StatusOK, ProbeView{
+		Requests:  req.Requests,
+		Completed: gen.Completed,
+		MeanMs:    gen.Latency.MeanDuration().Seconds() * 1000,
+		P95Ms:     gen.LatencyQ.Quantile(0.95) * 1000,
+	})
+}
+
+func (s *Server) handleHUP(w http.ResponseWriter, r *http.Request) {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	var out []HostView
+	for i, d := range s.tb.Master.Daemons() {
+		avail := d.Availability()
+		out = append(out, HostView{
+			Name:          s.tb.Hosts[i].Spec.Name,
+			CPUMHz:        avail.CPUMHz,
+			MemoryMB:      avail.MemoryMB,
+			DiskMB:        avail.DiskMB,
+			BandwidthMbps: avail.BandwidthMbps,
+			Nodes:         d.Nodes(),
+		})
+	}
+	writeJSON(w, http.StatusOK, out)
+}
+
+func serviceView(svc *soda.Service) ServiceView {
+	v := ServiceView{
+		Name:       svc.Spec.Name,
+		State:      svc.State.String(),
+		Capacity:   svc.TotalCapacity(),
+		ConfigFile: svc.Config.Render(),
+	}
+	for _, n := range svc.Nodes {
+		v.Nodes = append(v.Nodes, NodeView{
+			Node:        n.NodeName,
+			Host:        n.HostName,
+			IP:          string(n.IP),
+			Port:        n.Port,
+			Capacity:    n.Capacity,
+			BootSec:     n.BootTime.Seconds(),
+			DownloadSec: n.DownloadTime.Seconds(),
+			RAMDisk:     n.RAMDisk,
+		})
+	}
+	return v
+}

@@ -1,0 +1,129 @@
+// Package appsvc models the application services the paper deploys on
+// SODA: the static web content service of §5, the honeypot's vulnerable
+// ghttpd, and the comp/log background loads of the resource-isolation
+// experiment. A service runs on a Backend — either inside a UML guest
+// (paying the interception tax) or directly on the host OS (the Figure 6
+// baselines).
+package appsvc
+
+import (
+	"repro/internal/cycles"
+	"repro/internal/hostos"
+	"repro/internal/simnet"
+	"repro/internal/uml"
+)
+
+// Backend abstracts where a service's work executes. The two
+// implementations differ in exactly one way: the syscall price list.
+type Backend interface {
+	// Name labels the backend in measurements.
+	Name() string
+	// IP is the address responses are sent from.
+	IP() simnet.IP
+	// Host returns the physical host, for clock/disk parameters.
+	Host() *hostos.Host
+	// ExecCPU runs a CPU burst, reporting whether it was accepted.
+	ExecCPU(c cycles.Cycles, onDone func()) bool
+	// SyscallCost prices one system call on this backend.
+	SyscallCost(s cycles.Syscall) cycles.Cycles
+	// ReadDisk performs file I/O, reporting whether it was accepted.
+	ReadDisk(n int64, onDone func()) bool
+	// Alive reports whether the backend can accept work.
+	Alive() bool
+}
+
+// GuestBackend runs the service inside a UML guest — the deployment SODA
+// creates (Figure 6 scenario 1).
+type GuestBackend struct {
+	G *uml.Guest
+}
+
+// Name implements Backend.
+func (b *GuestBackend) Name() string { return b.G.NodeName }
+
+// IP implements Backend.
+func (b *GuestBackend) IP() simnet.IP { return b.G.IP }
+
+// Host implements Backend.
+func (b *GuestBackend) Host() *hostos.Host { return b.G.Host() }
+
+// ExecCPU implements Backend.
+func (b *GuestBackend) ExecCPU(c cycles.Cycles, onDone func()) bool { return b.G.ExecCPU(c, onDone) }
+
+// SyscallCost implements Backend: guests pay the UML interception tax.
+func (b *GuestBackend) SyscallCost(s cycles.Syscall) cycles.Cycles { return cycles.UMLCost(s) }
+
+// ReadDisk implements Backend.
+func (b *GuestBackend) ReadDisk(n int64, onDone func()) bool { return b.G.ReadDisk(n, onDone) }
+
+// Alive implements Backend.
+func (b *GuestBackend) Alive() bool { return b.G.Alive() && b.G.Workers() > 0 }
+
+// NativeBackend runs the service directly on the host OS — the paper's
+// Figure 6 scenarios 2 and 3, with no guest-OS slow-down and no
+// administration/fault isolation.
+type NativeBackend struct {
+	// Label names the deployment ("host-direct").
+	Label string
+	// Addr is the host's own bridged address.
+	Addr simnet.IP
+
+	h     *hostos.Host
+	procs []*hostos.Process
+	next  int
+}
+
+// NewNativeBackend spawns worker processes directly on the host.
+func NewNativeBackend(h *hostos.Host, label string, addr simnet.IP, uid, workers int) *NativeBackend {
+	b := &NativeBackend{Label: label, Addr: addr, h: h}
+	for i := 0; i < workers; i++ {
+		b.procs = append(b.procs, h.Spawn(label, uid))
+	}
+	return b
+}
+
+// Name implements Backend.
+func (b *NativeBackend) Name() string { return b.Label }
+
+// IP implements Backend.
+func (b *NativeBackend) IP() simnet.IP { return b.Addr }
+
+// Host implements Backend.
+func (b *NativeBackend) Host() *hostos.Host { return b.h }
+
+func (b *NativeBackend) worker() *hostos.Process {
+	for i := 0; i < len(b.procs); i++ {
+		p := b.procs[b.next%len(b.procs)]
+		b.next++
+		if p.Alive() {
+			return p
+		}
+	}
+	return nil
+}
+
+// ExecCPU implements Backend.
+func (b *NativeBackend) ExecCPU(c cycles.Cycles, onDone func()) bool {
+	p := b.worker()
+	if p == nil {
+		return false
+	}
+	p.Exec(c, onDone)
+	return true
+}
+
+// SyscallCost implements Backend: native processes pay host-OS prices.
+func (b *NativeBackend) SyscallCost(s cycles.Syscall) cycles.Cycles { return cycles.HostCost(s) }
+
+// ReadDisk implements Backend.
+func (b *NativeBackend) ReadDisk(n int64, onDone func()) bool {
+	p := b.worker()
+	if p == nil {
+		return false
+	}
+	p.ReadDisk(n, onDone)
+	return true
+}
+
+// Alive implements Backend.
+func (b *NativeBackend) Alive() bool { return b.worker() != nil }

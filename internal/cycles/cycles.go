@@ -1,0 +1,164 @@
+// Package cycles is the CPU cycle cost model underlying the SODA
+// reproduction. The paper measures two kinds of quantities that reduce to
+// cycle counts: syscall completion times (Table 4) and service/boot
+// processing costs. Keeping all cycle constants in one package makes the
+// calibration auditable — every number below is traceable either to the
+// paper's host-OS column of Table 4 or to a stated modelling assumption in
+// DESIGN.md.
+package cycles
+
+import (
+	"fmt"
+	"time"
+)
+
+// Cycles counts CPU clock cycles.
+type Cycles int64
+
+// Hz is a CPU clock rate in cycles per second.
+type Hz int64
+
+// Common clock rates.
+const (
+	MHz Hz = 1e6
+	GHz Hz = 1e9
+)
+
+// Duration converts a cycle count at the given clock rate into wall
+// (virtual) time.
+func (c Cycles) Duration(clock Hz) time.Duration {
+	if clock <= 0 {
+		panic(fmt.Sprintf("cycles: non-positive clock %d", clock))
+	}
+	return time.Duration(float64(c) / float64(clock) * float64(time.Second))
+}
+
+// FromDuration converts a duration at the given clock rate into cycles.
+func FromDuration(d time.Duration, clock Hz) Cycles {
+	return Cycles(float64(d) / float64(time.Second) * float64(clock))
+}
+
+// Syscall identifies a system call in the cost model. The six explicitly
+// listed calls are the ones measured in the paper's Table 4; the rest are
+// the calls the rest of the simulation needs (file and socket I/O).
+type Syscall int
+
+// Syscalls with modelled costs.
+const (
+	Dup2 Syscall = iota
+	Getpid
+	Geteuid
+	Mmap
+	MmapMunmap
+	Gettimeofday
+	Read
+	Write
+	Open
+	Close
+	Socket
+	Send
+	Recv
+	Fork
+	Execve
+	numSyscalls
+)
+
+var syscallNames = [...]string{
+	Dup2:         "dup2",
+	Getpid:       "getpid",
+	Geteuid:      "geteuid",
+	Mmap:         "mmap",
+	MmapMunmap:   "mmap_munmap",
+	Gettimeofday: "gettimeofday",
+	Read:         "read",
+	Write:        "write",
+	Open:         "open",
+	Close:        "close",
+	Socket:       "socket",
+	Send:         "send",
+	Recv:         "recv",
+	Fork:         "fork",
+	Execve:       "execve",
+}
+
+// String returns the syscall's conventional name.
+func (s Syscall) String() string {
+	if s < 0 || s >= numSyscalls {
+		return fmt.Sprintf("syscall(%d)", int(s))
+	}
+	return syscallNames[s]
+}
+
+// Table4Syscalls lists, in the paper's order, the six syscalls measured in
+// Table 4.
+var Table4Syscalls = []Syscall{Dup2, Getpid, Geteuid, Mmap, MmapMunmap, Gettimeofday}
+
+// hostCost is the cost of each syscall executed directly in the host OS.
+// The six Table 4 entries are the paper's measured host-OS column; the
+// others are modelled relative to them (I/O calls cost more than getpid,
+// process-creation calls much more).
+var hostCost = [...]Cycles{
+	Dup2:         1208,
+	Getpid:       1064,
+	Geteuid:      1084,
+	Mmap:         1208,
+	MmapMunmap:   1200,
+	Gettimeofday: 1368,
+	Read:         2400,
+	Write:        2600,
+	Open:         5200,
+	Close:        1500,
+	Socket:       4800,
+	Send:         3000,
+	Recv:         3000,
+	Fork:         90000,
+	Execve:       180000,
+}
+
+// The UML syscall path: every guest syscall is intercepted by the tracing
+// thread via ptrace. Each interception costs four host context switches
+// (guest process → host kernel → tracing thread → host kernel → guest
+// process, with ptrace stops on entry and exit) plus the tracing thread's
+// own decoding/redirection work. These constants reproduce the paper's
+// ≈26 k-cycle UML column within a few percent.
+const (
+	// ContextSwitch is the host-OS context switch cost.
+	ContextSwitch Cycles = 4600
+	// ptraceStops is the number of context switches per intercepted call.
+	ptraceStops = 4
+	// TracingThreadWork is the tracing thread's per-call decode/redirect cost.
+	TracingThreadWork Cycles = 7500
+	// TimeVirtualization is the extra work gettimeofday needs inside a
+	// guest: the tracing thread must translate host time into the guest's
+	// virtualized clock. It explains why gettimeofday's UML overhead in
+	// Table 4 exceeds the other calls' by ~10k cycles.
+	TimeVirtualization Cycles = 9700
+)
+
+// InterceptionOverhead is the fixed per-syscall cost added by the UML
+// tracing-thread redirection path.
+const InterceptionOverhead = ptraceStops*ContextSwitch + TracingThreadWork
+
+// HostCost returns the cycle cost of executing s directly on the host OS.
+func HostCost(s Syscall) Cycles {
+	if s < 0 || s >= numSyscalls {
+		panic(fmt.Sprintf("cycles: unknown syscall %d", int(s)))
+	}
+	return hostCost[s]
+}
+
+// UMLCost returns the cycle cost of executing s inside a UML guest: the
+// host cost plus tracing-thread interception, plus time-virtualization
+// work for gettimeofday.
+func UMLCost(s Syscall) Cycles {
+	c := HostCost(s) + InterceptionOverhead
+	if s == Gettimeofday {
+		c += TimeVirtualization
+	}
+	return c
+}
+
+// SlowdownFactor returns the UML/host cost ratio for syscall s.
+func SlowdownFactor(s Syscall) float64 {
+	return float64(UMLCost(s)) / float64(HostCost(s))
+}

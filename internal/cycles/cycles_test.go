@@ -1,0 +1,110 @@
+package cycles
+
+import (
+	"testing"
+	"time"
+)
+
+func TestDurationConversionRoundTrip(t *testing.T) {
+	c := Cycles(2_600_000_000) // one second at 2.6 GHz
+	d := c.Duration(2600 * MHz)
+	if d != time.Second {
+		t.Fatalf("duration = %v, want 1s", d)
+	}
+	back := FromDuration(d, 2600*MHz)
+	if back != c {
+		t.Fatalf("round trip = %d, want %d", back, c)
+	}
+}
+
+func TestDurationPanicsOnZeroClock(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Fatal("no panic on zero clock")
+		}
+	}()
+	Cycles(1).Duration(0)
+}
+
+func TestHostCostsMatchPaperTable4(t *testing.T) {
+	want := map[Syscall]Cycles{
+		Dup2:         1208,
+		Getpid:       1064,
+		Geteuid:      1084,
+		Mmap:         1208,
+		MmapMunmap:   1200,
+		Gettimeofday: 1368,
+	}
+	for s, c := range want {
+		if got := HostCost(s); got != c {
+			t.Errorf("HostCost(%v) = %d, want %d (paper Table 4)", s, got, c)
+		}
+	}
+}
+
+func TestUMLCostsWithinFivePercentOfPaper(t *testing.T) {
+	paper := map[Syscall]Cycles{
+		Dup2:         27276,
+		Getpid:       26648,
+		Geteuid:      26904,
+		Mmap:         27864,
+		MmapMunmap:   27044,
+		Gettimeofday: 37004,
+	}
+	for s, want := range paper {
+		got := UMLCost(s)
+		diff := float64(got-want) / float64(want)
+		if diff < 0 {
+			diff = -diff
+		}
+		if diff > 0.05 {
+			t.Errorf("UMLCost(%v) = %d, paper %d (off by %.1f%%)", s, got, want, diff*100)
+		}
+	}
+}
+
+func TestSlowdownFactorIsLarge(t *testing.T) {
+	for _, s := range Table4Syscalls {
+		f := SlowdownFactor(s)
+		if f < 15 || f > 35 {
+			t.Errorf("slowdown(%v) = %.1f, expect 15–35× per paper", s, f)
+		}
+	}
+}
+
+func TestGettimeofdayHasExtraVirtualizationCost(t *testing.T) {
+	base := UMLCost(Getpid) - HostCost(Getpid)
+	gtod := UMLCost(Gettimeofday) - HostCost(Gettimeofday)
+	if gtod-base != TimeVirtualization {
+		t.Fatalf("gettimeofday extra = %d, want %d", gtod-base, TimeVirtualization)
+	}
+}
+
+func TestSyscallStrings(t *testing.T) {
+	if Dup2.String() != "dup2" || Gettimeofday.String() != "gettimeofday" {
+		t.Fatal("syscall names wrong")
+	}
+	if Syscall(999).String() != "syscall(999)" {
+		t.Fatal("out-of-range name wrong")
+	}
+}
+
+func TestAllSyscallsHavePositiveCosts(t *testing.T) {
+	for s := Syscall(0); s < numSyscalls; s++ {
+		if HostCost(s) <= 0 {
+			t.Errorf("HostCost(%v) not positive", s)
+		}
+		if UMLCost(s) <= HostCost(s) {
+			t.Errorf("UMLCost(%v) not greater than host cost", s)
+		}
+	}
+}
+
+func TestUnknownSyscallPanics(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Fatal("no panic for unknown syscall")
+		}
+	}()
+	HostCost(numSyscalls)
+}

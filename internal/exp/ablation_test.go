@@ -1,0 +1,119 @@
+package exp
+
+import (
+	"strings"
+	"testing"
+)
+
+func TestAblationInflation(t *testing.T) {
+	r, err := RunAblationInflation()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if r.LatencyFlatMs < 1.3*r.LatencyInflatedMs {
+		t.Fatalf("no-inflation latency %.2fms not ≥1.3x inflated %.2fms — the 1.5x factor looks unnecessary",
+			r.LatencyFlatMs, r.LatencyInflatedMs)
+	}
+	if strings.Contains(r.Render(), "FAIL") {
+		t.Errorf("shape failed:\n%s", r.Render())
+	}
+}
+
+func TestAblationStrategy(t *testing.T) {
+	r, err := RunAblationStrategy()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(r.Outcomes) != 4 {
+		t.Fatalf("outcomes = %d", len(r.Outcomes))
+	}
+	if out := r.Render(); strings.Contains(out, "FAIL") {
+		t.Errorf("shape failed:\n%s", out)
+	}
+	// Spread keeps 2 of 3 capacity and full availability when the
+	// non-switch host (tacoma) fails.
+	spreadTac := r.outcome("spread", "tacoma")
+	if spreadTac.SurvivingCapacity != 2 || spreadTac.Completed != 100 {
+		t.Fatalf("spread/tacoma = %+v", spreadTac)
+	}
+	// Pack's single node means a seattle failure is total loss.
+	packSea := r.outcome("pack", "seattle")
+	if packSea.SurvivingCapacity != 0 || packSea.Completed != 0 {
+		t.Fatalf("pack/seattle = %+v", packSea)
+	}
+	// The §3.4 co-located switch is a SPOF in both placements.
+	if spreadSea := r.outcome("spread", "seattle"); spreadSea.Completed != 0 {
+		t.Fatalf("spread/seattle served %d with the switch home down", spreadSea.Completed)
+	}
+}
+
+func TestAblationShaper(t *testing.T) {
+	r, err := RunAblationShaper()
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Work conservation: share mode finishes a lone transfer at wire
+	// speed; cap mode pins it to the 10 Mbps allocation (10x slower).
+	if r.LoneShareSec > 1.1 {
+		t.Fatalf("share-mode lone transfer took %.2fs, want ≈1s", r.LoneShareSec)
+	}
+	if r.LoneCapSec < 9 || r.LoneCapSec > 11 {
+		t.Fatalf("cap-mode lone transfer took %.2fs, want ≈10s", r.LoneCapSec)
+	}
+	// Share mode: 25/75 split then the survivor speeds up → ratio 1.5.
+	// Cap mode: pinned 10/30 throughout → ratio 3.0.
+	if r.ContendedRatioShare < 1.4 || r.ContendedRatioCap < 2.5 {
+		t.Fatalf("contention ratios share=%.2f cap=%.2f", r.ContendedRatioShare, r.ContendedRatioCap)
+	}
+}
+
+func TestAblationDDoS(t *testing.T) {
+	r, err := RunAblationDDoS()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if r.FloodPackets < 100_000 {
+		t.Fatalf("flood delivered only %d packets", r.FloodPackets)
+	}
+	if r.FloodMs < 1.2*r.QuietMs {
+		t.Fatalf("flood did not degrade the co-hosted service: %.2fms vs %.2fms — "+
+			"the §3.5 limitation should reproduce", r.FloodMs, r.QuietMs)
+	}
+	// Isolation is pierced but not annihilated: the victim still serves.
+	if r.FloodMs > 20*r.QuietMs {
+		t.Fatalf("flood impact implausibly catastrophic: %.2fx", r.FloodMs/r.QuietMs)
+	}
+}
+
+func TestBreakdownTracesDecomposeResponseTime(t *testing.T) {
+	r, err := RunBreakdown()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(r.Points) != 3 {
+		t.Fatalf("points = %d", len(r.Points))
+	}
+	if out := r.Render(); strings.Contains(out, "FAIL") {
+		t.Errorf("shape failed:\n%s", out)
+	}
+}
+
+func TestInflationSweepMonotone(t *testing.T) {
+	r, err := RunInflationSweep()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(r.Points) != 5 {
+		t.Fatalf("points = %d", len(r.Points))
+	}
+	if !r.monotone() {
+		t.Fatalf("victim latency not monotone in the factor:\n%s", r.Render())
+	}
+	if out := r.Render(); strings.Contains(out, "FAIL") {
+		t.Errorf("shape failed:\n%s", out)
+	}
+	// More admitted hogs at lower factors.
+	if r.Points[0].AdmittedInstances <= r.Points[2].AdmittedInstances {
+		t.Fatalf("admission counts wrong: %+v", r.Points)
+	}
+}

@@ -1,0 +1,187 @@
+package exp
+
+import (
+	"fmt"
+	"strings"
+
+	"repro/internal/appsvc"
+	"repro/internal/hup"
+	"repro/internal/sim"
+	"repro/internal/soda"
+	"repro/internal/workload"
+)
+
+// AttackResult reproduces the §5 attack-isolation experiment (Figure 3's
+// setting): the honeypot service is constantly attacked and crashed while
+// the web content service — sharing HUP host seattle — keeps serving.
+type AttackResult struct {
+	// Attacks and Crashes count exploit deliveries and honeypot deaths.
+	Attacks, Crashes int
+	// BaselineRespMs is the web service's mean response time with no
+	// attacks; UnderAttackRespMs with the honeypot being crashed.
+	BaselineRespMs, UnderAttackRespMs float64
+	// WebAlive reports whether the web service survived; HostAlive
+	// whether seattle's host OS kept all non-honeypot processes.
+	WebAlive bool
+	// WebPS and HoneypotPS are the ps listings of the two co-located
+	// nodes after the first crash — Figure 3's screenshot.
+	WebPS, HoneypotPS []string
+}
+
+// RunAttack creates the paper's two services (web on seattle+tacoma,
+// honeypot on seattle), measures web response time without attacks, then
+// unleashes repeated ghttpd exploits — rebooting the honeypot after each
+// crash — and measures again.
+func RunAttack() (*AttackResult, error) {
+	baseline, err := runAttackScenario(false)
+	if err != nil {
+		return nil, err
+	}
+	attacked, err := runAttackScenario(true)
+	if err != nil {
+		return nil, err
+	}
+	attacked.BaselineRespMs = baseline.UnderAttackRespMs
+	return attacked, nil
+}
+
+func runAttackScenario(withAttacks bool) (*AttackResult, error) {
+	tb, err := hup.New(hup.Config{Seed: 11})
+	if err != nil {
+		return nil, err
+	}
+	if err := tb.Agent.RegisterASP("asp", "secret"); err != nil {
+		return nil, err
+	}
+	webImg := hup.WebContentImage("webcontent", 4)
+	hpImg := hup.HoneypotImage("honeypot")
+	if err := tb.Publish(webImg); err != nil {
+		return nil, err
+	}
+	if err := tb.Publish(hpImg); err != nil {
+		return nil, err
+	}
+	wd := hup.NewWebDeployment(tb, appsvc.DefaultWebParams(64))
+	webSvc, err := tb.CreateService("secret", soda.ServiceSpec{
+		Name:         "webcontent",
+		ImageName:    webImg.Name,
+		Repository:   hup.RepoIP,
+		Requirement:  soda.Requirement{N: 3, M: defaultM()},
+		GuestProfile: webImg.SystemServices,
+		Behavior:     wd.Behavior(),
+	})
+	if err != nil {
+		return nil, err
+	}
+	hd := hup.NewHoneypotDeployment(tb)
+	hpSvc, err := tb.CreateService("secret", soda.ServiceSpec{
+		Name:         "honeypot",
+		ImageName:    hpImg.Name,
+		Repository:   hup.RepoIP,
+		Requirement:  soda.Requirement{N: 1, M: defaultM()},
+		GuestProfile: hpImg.SystemServices,
+		Behavior:     hd.Behavior(),
+	})
+	if err != nil {
+		return nil, err
+	}
+	if hpSvc.Nodes[0].HostName != "seattle" {
+		return nil, fmt.Errorf("attack: honeypot placed on %s, want seattle (most free CPU)", hpSvc.Nodes[0].HostName)
+	}
+
+	res := &AttackResult{}
+	// Figure 3: the two nodes' ps listings, side by side on seattle.
+	for _, n := range webSvc.Nodes {
+		if n.HostName == "seattle" {
+			res.WebPS = n.Guest.PS()
+		}
+	}
+	res.HoneypotPS = hpSvc.Nodes[0].Guest.PS()
+
+	// Creation consumed virtual time (downloads, boots); every horizon
+	// below is relative to now.
+	start := tb.K.Now()
+	gen := workload.NewGenerator(tb.K, hup.SwitchTarget{Switch: webSvc.Switch}, tb.AddClient(), tb.RNG.Split())
+	gen.RunClosedLoop(8, 5*sim.Millisecond)
+
+	if withAttacks {
+		attacker := tb.AddClient()
+		victimNode := hpSvc.Nodes[0].NodeName
+		var wave func()
+		wave = func() {
+			victim := hd.Victim(victimNode)
+			if victim == nil || !victim.Guest.Alive() {
+				// Reboot the honeypot: tear down and recreate, as the
+				// operator keeps the victim available for study.
+				tb.Agent.ServiceTeardown("secret", "honeypot", func() {
+					tb.Agent.ServiceCreation("secret", soda.ServiceSpec{
+						Name:         "honeypot",
+						ImageName:    hpImg.Name,
+						Repository:   hup.RepoIP,
+						Requirement:  soda.Requirement{N: 1, M: defaultM()},
+						GuestProfile: hpImg.SystemServices,
+						Behavior:     hd.Behavior(),
+					}, func(s *soda.Service) {
+						victimNode = s.Nodes[0].NodeName
+						tb.K.After(200*sim.Millisecond, wave)
+					}, func(error) {})
+				}, func(error) {})
+				return
+			}
+			tb.Net.Transfer(attacker, victim.Guest.IP, workload.RequestBytes, func() {
+				res.Attacks++
+				victim.HandleAttack(func() {
+					res.Crashes++
+					tb.K.After(200*sim.Millisecond, wave)
+				})
+			})
+		}
+		tb.K.After(2*sim.Second, wave)
+	}
+
+	tb.K.RunUntil(start.Add(40 * sim.Second))
+	gen.Stop()
+	tb.K.RunUntil(start.Add(42 * sim.Second))
+
+	res.UnderAttackRespMs = gen.Latency.MeanDuration().Seconds() * 1000
+	res.WebAlive = true
+	for _, n := range webSvc.Nodes {
+		if !n.Guest.Alive() {
+			res.WebAlive = false
+		}
+	}
+	return res, nil
+}
+
+// Title implements Result.
+func (*AttackResult) Title() string {
+	return "§5 attack isolation (Figure 3): honeypot crashed repeatedly, co-located web service unaffected"
+}
+
+// Render implements Result.
+func (r *AttackResult) Render() string {
+	var b strings.Builder
+	b.WriteString(r.Title() + "\n\n")
+	b.WriteString("web VSN (seattle)            | honeypot VSN (seattle)\n")
+	rows := len(r.WebPS)
+	if len(r.HoneypotPS) > rows {
+		rows = len(r.HoneypotPS)
+	}
+	for i := 0; i < rows; i++ {
+		var l, rgt string
+		if i < len(r.WebPS) {
+			l = r.WebPS[i]
+		}
+		if i < len(r.HoneypotPS) {
+			rgt = r.HoneypotPS[i]
+		}
+		fmt.Fprintf(&b, "%-28s | %s\n", l, rgt)
+	}
+	fmt.Fprintf(&b, "\nattacks delivered: %d, honeypot crashes: %d\n", r.Attacks, r.Crashes)
+	fmt.Fprintf(&b, "web response time: baseline %.2f ms, under attack %.2f ms\n",
+		r.BaselineRespMs, r.UnderAttackRespMs)
+	b.WriteString(shapeCheck("honeypot crashed at least 3 times", r.Crashes >= 3) + "\n")
+	b.WriteString(shapeCheck("web content service not affected (alive, response within 10%)",
+		r.WebAlive && r.UnderAttackRespMs <= r.BaselineRespMs*1.10) + "\n")
+	return b.String()
+}

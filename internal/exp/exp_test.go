@@ -1,0 +1,191 @@
+package exp
+
+import (
+	"math"
+	"strings"
+	"testing"
+)
+
+// These tests run the full experiment drivers and assert the paper's
+// shape criteria programmatically — they are the reproduction's
+// integration tests.
+
+func TestTable1MatchesPaper(t *testing.T) {
+	r, err := RunTable1()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if r.M.CPUMHz != 512 || r.M.MemoryMB != 256 || r.M.DiskMB != 1024 || r.M.BandwidthMbps != 10 {
+		t.Fatalf("M = %+v", r.M)
+	}
+	if !strings.Contains(r.Render(), "512MHz") {
+		t.Fatal("render missing CPU row")
+	}
+}
+
+func TestTable2ReproducesBootstrapShape(t *testing.T) {
+	r, err := RunTable2()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(r.Rows) != 8 {
+		t.Fatalf("rows = %d, want 4 services × 2 hosts", len(r.Rows))
+	}
+	get := func(label, host string) Table2Row {
+		for _, row := range r.Rows {
+			if row.Label == label && row.Host == host {
+				return row
+			}
+		}
+		t.Fatalf("missing row %s/%s", label, host)
+		return Table2Row{}
+	}
+	// Every service boots slower on tacoma.
+	for _, label := range []string{"S_I", "S_II", "S_III", "S_IV"} {
+		if get(label, "tacoma").MeasuredSec <= get(label, "seattle").MeasuredSec {
+			t.Errorf("%s: tacoma (%.1fs) not slower than seattle (%.1fs)",
+				label, get(label, "tacoma").MeasuredSec, get(label, "seattle").MeasuredSec)
+		}
+	}
+	// S_III: RAM disk on seattle, disk mount on tacoma — the 4s vs 16s cliff.
+	if !get("S_III", "seattle").RAMDisk || get("S_III", "tacoma").RAMDisk {
+		t.Error("S_III mount paths wrong")
+	}
+	// Every measurement within 35% of the paper's value.
+	for _, row := range r.Rows {
+		rel := math.Abs(row.MeasuredSec-row.PaperSec) / row.PaperSec
+		if rel > 0.35 {
+			t.Errorf("%s/%s: measured %.1fs vs paper %.1fs (%.0f%% off)",
+				row.Label, row.Host, row.MeasuredSec, row.PaperSec, rel*100)
+		}
+	}
+	if strings.Contains(r.Render(), "FAIL") {
+		t.Errorf("shape check failed:\n%s", r.Render())
+	}
+}
+
+func TestTable3ConfigurationFile(t *testing.T) {
+	r, err := RunTable3()
+	if err != nil {
+		t.Fatal(err)
+	}
+	caps := capacities(r.Service.Config)
+	if len(caps) != 2 || caps[0]+caps[1] != 3 {
+		t.Fatalf("capacities = %v, want {2,1}", caps)
+	}
+	if !strings.Contains(r.Rendered, "BackEnd") {
+		t.Fatalf("rendered config:\n%s", r.Rendered)
+	}
+	if strings.Contains(r.Render(), "FAIL") {
+		t.Errorf("shape check failed:\n%s", r.Render())
+	}
+}
+
+func TestTable4SyscallSlowdown(t *testing.T) {
+	r, err := RunTable4()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(r.Rows) != 6 {
+		t.Fatalf("rows = %d", len(r.Rows))
+	}
+	for _, row := range r.Rows {
+		if row.Slowdown < 15 || row.Slowdown > 35 {
+			t.Errorf("%s slowdown = %.1f, want 15–35x", row.Syscall, row.Slowdown)
+		}
+		if relErr(float64(row.UMLCycles), float64(row.PaperUML)) > 0.05 {
+			t.Errorf("%s UML cycles %d vs paper %d", row.Syscall, row.UMLCycles, row.PaperUML)
+		}
+		if relErr(float64(row.HostCycles), float64(row.PaperHost)) > 0.02 {
+			t.Errorf("%s host cycles %d vs paper %d", row.Syscall, row.HostCycles, row.PaperHost)
+		}
+	}
+	if strings.Contains(r.Render(), "FAIL") {
+		t.Errorf("shape check failed:\n%s", r.Render())
+	}
+}
+
+func TestDownloadLinearity(t *testing.T) {
+	r, err := RunDownload()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if r.R2 < 0.999 {
+		t.Fatalf("R² = %v, download time not linear in size", r.R2)
+	}
+	if r.Slope < 0.08 || r.Slope > 0.10 {
+		t.Fatalf("slope = %v s/MB, inconsistent with 100 Mbps LAN", r.Slope)
+	}
+}
+
+func TestFig4LoadBalancing(t *testing.T) {
+	r, err := RunFig4()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(r.Points) != 6 {
+		t.Fatalf("points = %d", len(r.Points))
+	}
+	splitOK, respOK, risesOK := r.shape()
+	if !splitOK {
+		t.Errorf("2:1 request split violated:\n%s", r.Render())
+	}
+	if !respOK {
+		t.Errorf("per-node response times diverge:\n%s", r.Render())
+	}
+	if !risesOK {
+		t.Errorf("response time does not rise with dataset size:\n%s", r.Render())
+	}
+}
+
+func TestFig5SchedulerComparison(t *testing.T) {
+	r, err := RunFig5()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if r.Unmodified.MaxDeviation <= 0.10 {
+		t.Errorf("unmodified Linux unexpectedly enforced shares (deviation %.3f):\n%s",
+			r.Unmodified.MaxDeviation, r.Render())
+	}
+	if r.Proportional.MaxDeviation > 0.05 {
+		t.Errorf("proportional scheduler failed to enforce shares (deviation %.3f):\n%s",
+			r.Proportional.MaxDeviation, r.Render())
+	}
+	if c := r.Unmodified.MeanShare["comp"]; c <= r.Unmodified.MeanShare["web"] {
+		t.Errorf("comp (%.2f) should dominate web (%.2f) under fair share",
+			c, r.Unmodified.MeanShare["web"])
+	}
+}
+
+func TestFig6ApplicationSlowdown(t *testing.T) {
+	r, err := RunFig6()
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, d := range r.Datasets {
+		vsn, hsw, hd := r.at(ScenarioVSN, d), r.at(ScenarioHostSwitch, d), r.at(ScenarioHostDirect, d)
+		if !(vsn > hsw && hsw > hd) {
+			t.Errorf("dataset %dMB: ordering violated (%.2f, %.2f, %.2f)", d, vsn, hsw, hd)
+		}
+		if sd := vsn / hd; sd > 2.0 || sd < 1.01 {
+			t.Errorf("dataset %dMB: app slow-down %.2fx outside (1.01, 2.0)", d, sd)
+		}
+	}
+}
+
+func TestAttackIsolation(t *testing.T) {
+	r, err := RunAttack()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if r.Crashes < 3 {
+		t.Fatalf("honeypot crashed only %d times", r.Crashes)
+	}
+	if !r.WebAlive {
+		t.Fatal("web service died — isolation violated")
+	}
+	if r.UnderAttackRespMs > r.BaselineRespMs*1.10 {
+		t.Fatalf("web response degraded: %.2fms vs baseline %.2fms",
+			r.UnderAttackRespMs, r.BaselineRespMs)
+	}
+}

@@ -1,0 +1,162 @@
+package exp
+
+import (
+	"fmt"
+	"strings"
+
+	"repro/internal/appsvc"
+	"repro/internal/hup"
+	"repro/internal/metrics"
+	"repro/internal/sim"
+	"repro/internal/soda"
+	"repro/internal/svcswitch"
+	"repro/internal/workload"
+)
+
+// Fig4Point is one dataset-size measurement: the per-node served counts
+// and mean response times.
+type Fig4Point struct {
+	DatasetMB  int
+	RatePerSec float64
+	// SeattleServed/TacomaServed are the switch's forwarding counts — the
+	// paper observes a ≈2:1 split.
+	SeattleServed, TacomaServed int
+	// SeattleRespMs/TacomaRespMs are the nodes' mean response times — the
+	// paper observes they are approximately equal.
+	SeattleRespMs, TacomaRespMs float64
+}
+
+// Fig4Result reproduces Figure 4: "Average request response time of the
+// web content service achieved by the two virtual service nodes in
+// seattle and tacoma — the former serves approximately twice as many
+// requests as the latter, under each dataset size".
+type Fig4Result struct {
+	Points []Fig4Point
+}
+
+// RunFig4 creates the paper's web content service (<3, M>, which the
+// Master spreads as a capacity-2 node on seattle and a capacity-1 node on
+// tacoma), drives it with siege-style open-loop clients under six dataset
+// sizes — reducing the arrival rate as the dataset grows, as the paper
+// does — and reports per-node request counts and response times under the
+// default weighted-round-robin policy.
+func RunFig4() (*Fig4Result, error) {
+	res := &Fig4Result{}
+	datasets := []int{64, 128, 256, 512, 1024, 2048}
+	for i, datasetMB := range datasets {
+		rate := 300.0 / (1 + float64(i)*0.4) // decreasing with dataset size
+		pt, err := runFig4Point(datasetMB, rate)
+		if err != nil {
+			return nil, err
+		}
+		res.Points = append(res.Points, *pt)
+	}
+	return res, nil
+}
+
+// Title implements Result.
+func (*Fig4Result) Title() string {
+	return "Figure 4: per-node response time of the web content service (weighted round-robin, capacity 2:1)"
+}
+
+// Render implements Result.
+func (r *Fig4Result) Render() string {
+	t := metrics.NewTable(r.Title(),
+		"Dataset", "Rate", "seattle served", "tacoma served", "split", "seattle resp", "tacoma resp")
+	for _, p := range r.Points {
+		split := "n/a"
+		if p.TacomaServed > 0 {
+			split = fmt.Sprintf("%.2f:1", float64(p.SeattleServed)/float64(p.TacomaServed))
+		}
+		t.AddRow(fmt.Sprintf("%dMB", p.DatasetMB), fmt.Sprintf("%.0f/s", p.RatePerSec),
+			fmt.Sprintf("%d", p.SeattleServed), fmt.Sprintf("%d", p.TacomaServed), split,
+			fmt.Sprintf("%.2f ms", p.SeattleRespMs), fmt.Sprintf("%.2f ms", p.TacomaRespMs))
+	}
+	var b strings.Builder
+	b.WriteString(t.String())
+	splitOK, respOK, risesOK := r.shape()
+	b.WriteString(shapeCheck("seattle serves ≈2× tacoma's requests at every dataset size", splitOK) + "\n")
+	b.WriteString(shapeCheck("per-node response times approximately equal (within 25%)", respOK) + "\n")
+	b.WriteString(shapeCheck("response time rises with dataset size (cache misses)", risesOK) + "\n")
+	return b.String()
+}
+
+func (r *Fig4Result) shape() (splitOK, respOK, risesOK bool) {
+	splitOK, respOK = true, true
+	for _, p := range r.Points {
+		if p.TacomaServed == 0 {
+			splitOK = false
+			continue
+		}
+		split := float64(p.SeattleServed) / float64(p.TacomaServed)
+		if split < 1.7 || split > 2.3 {
+			splitOK = false
+		}
+		hi, lo := p.SeattleRespMs, p.TacomaRespMs
+		if lo > hi {
+			hi, lo = lo, hi
+		}
+		if lo <= 0 || hi/lo > 1.25 {
+			respOK = false
+		}
+	}
+	first, last := r.Points[0], r.Points[len(r.Points)-1]
+	risesOK = last.SeattleRespMs > first.SeattleRespMs && last.TacomaRespMs > first.TacomaRespMs
+	return splitOK, respOK, risesOK
+}
+
+func runFig4Point(datasetMB int, rate float64) (*Fig4Point, error) {
+	tb, err := hup.New(hup.Config{Seed: uint64(datasetMB)})
+	if err != nil {
+		return nil, err
+	}
+	img := hup.WebContentImage("webcontent", 8)
+	if err := tb.Publish(img); err != nil {
+		return nil, err
+	}
+	if err := tb.Agent.RegisterASP("asp", "secret"); err != nil {
+		return nil, err
+	}
+	wd := hup.NewWebDeployment(tb, appsvc.DefaultWebParams(datasetMB))
+	svc, err := tb.CreateService("secret", soda.ServiceSpec{
+		Name:         "webcontent",
+		ImageName:    img.Name,
+		Repository:   hup.RepoIP,
+		Requirement:  soda.Requirement{N: 3, M: defaultM()},
+		GuestProfile: img.SystemServices,
+		Behavior:     wd.Behavior(),
+	})
+	if err != nil {
+		return nil, err
+	}
+	if len(svc.Nodes) != 2 {
+		return nil, fmt.Errorf("fig4: expected 2 nodes (2M seattle + 1M tacoma), got %d", len(svc.Nodes))
+	}
+
+	start := tb.K.Now() // creation already consumed virtual time
+	gen := workload.NewGenerator(tb.K, hup.SwitchTarget{Switch: svc.Switch}, tb.AddClient(), tb.RNG.Split())
+	gen.RunOpenLoop(rate)
+	tb.K.RunUntil(start.Add(30 * sim.Second))
+	gen.Stop()
+	tb.K.RunUntil(start.Add(35 * sim.Second)) // drain in-flight requests
+
+	pt := &Fig4Point{DatasetMB: datasetMB, RatePerSec: rate}
+	for _, n := range svc.Nodes {
+		var st svcswitch.Stats
+		for _, e := range svc.Config.Entries() {
+			if e.IP == n.IP {
+				st = svc.Switch.StatsFor(e)
+				break
+			}
+		}
+		lat := wd.Latency(n.NodeName)
+		ms := lat.MeanDuration().Seconds() * 1000
+		switch n.HostName {
+		case "seattle":
+			pt.SeattleServed, pt.SeattleRespMs = st.Forwarded, ms
+		case "tacoma":
+			pt.TacomaServed, pt.TacomaRespMs = st.Forwarded, ms
+		}
+	}
+	return pt, nil
+}

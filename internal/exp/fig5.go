@@ -1,0 +1,185 @@
+package exp
+
+import (
+	"fmt"
+	"strings"
+
+	"repro/internal/appsvc"
+	"repro/internal/hostos"
+	"repro/internal/hostos/sched"
+	"repro/internal/hup"
+	"repro/internal/metrics"
+	"repro/internal/sim"
+	"repro/internal/soda"
+	"repro/internal/workload"
+)
+
+// Fig5Run is one 60-second trace of the three nodes' CPU shares under one
+// scheduler.
+type Fig5Run struct {
+	Scheduler string
+	// Series holds the per-second share samples for web, comp, log.
+	Series *metrics.SeriesSet
+	// MeanShare maps node → mean share over the steady-state window.
+	MeanShare map[string]float64
+	// MaxDeviation is the largest |share − 1/3| among the three nodes.
+	MaxDeviation float64
+}
+
+// Fig5Result reproduces Figure 5: "CPU shares (versus time) of the three
+// virtual service nodes web, comp and log" under (a) the unmodified Linux
+// host OS and (b) SODA's CPU proportional-sharing scheduler.
+type Fig5Result struct {
+	Unmodified   *Fig5Run
+	Proportional *Fig5Run
+}
+
+// fig5M is the per-node machine configuration: 400 MHz × 1.5 inflation =
+// 600 MHz reserved each, exactly a third of tacoma's 1.8 GHz — the
+// experiment's "equal share" allocation.
+func fig5M() soda.MachineConfig {
+	return soda.MachineConfig{CPUMHz: 400, MemoryMB: 160, DiskMB: 2048, BandwidthMbps: 10}
+}
+
+// RunFig5 creates the three service nodes on tacoma (web: request
+// serving; comp: an infinite arithmetic loop; log: continuous formatted
+// disk writes), loads each beyond its share, and samples per-node CPU
+// shares every second for 60 s — once under the fair-share (unmodified
+// Linux) scheduler and once under the proportional-share scheduler.
+func RunFig5() (*Fig5Result, error) {
+	unmod, err := runFig5Once(false)
+	if err != nil {
+		return nil, err
+	}
+	prop, err := runFig5Once(true)
+	if err != nil {
+		return nil, err
+	}
+	return &Fig5Result{Unmodified: unmod, Proportional: prop}, nil
+}
+
+func runFig5Once(proportional bool) (*Fig5Run, error) {
+	newSched := func() sched.Scheduler { return sched.NewFairShare() }
+	name := "unmodified Linux (fair share per process)"
+	if proportional {
+		newSched = func() sched.Scheduler { return sched.NewProportional() }
+		name = "Linux with SODA CPU proportional-sharing scheduler"
+	}
+	tb, err := hup.New(hup.Config{
+		Hosts:        []hostos.Spec{hostos.Tacoma()},
+		NewScheduler: newSched,
+		Seed:         5,
+	})
+	if err != nil {
+		return nil, err
+	}
+	if err := tb.Agent.RegisterASP("asp", "secret"); err != nil {
+		return nil, err
+	}
+
+	// Publish the three service images.
+	webImg := hup.WebContentImage("web", 2)
+	compImg := hup.HoneypotImage("comp-img") // small image; behaviour overrides
+	logImg := hup.HoneypotImage("log-img")
+	if err := tb.Publish(webImg); err != nil {
+		return nil, err
+	}
+	if err := tb.Publish(compImg); err != nil {
+		return nil, err
+	}
+	if err := tb.Publish(logImg); err != nil {
+		return nil, err
+	}
+
+	params := appsvc.DefaultWebParams(2)
+	params.FileBytes = 8 << 10
+	params.ExtraCyclesPerRequest = 2e6 // dynamic-content work so demand > share
+	wd := hup.NewWebDeployment(tb, params)
+	comp := hup.NewCompDeployment(6)
+	logd := hup.NewLogDeployment()
+
+	create := func(name, imgName string, profile []string, behavior soda.Behavior) (*soda.Service, error) {
+		return tb.CreateService("secret", soda.ServiceSpec{
+			Name:         name,
+			ImageName:    imgName,
+			Repository:   hup.RepoIP,
+			Requirement:  soda.Requirement{N: 1, M: fig5M()},
+			GuestProfile: profile,
+			Behavior:     behavior,
+		})
+	}
+	webSvc, err := create("web", webImg.Name, webImg.SystemServices, wd.Behavior())
+	if err != nil {
+		return nil, err
+	}
+	compSvc, err := create("comp", compImg.Name, compImg.SystemServices, comp.Behavior())
+	if err != nil {
+		return nil, err
+	}
+	logSvc, err := create("log", logImg.Name, logImg.SystemServices, logd.Behavior())
+	if err != nil {
+		return nil, err
+	}
+
+	// Load the web node beyond its share: 5 closed-loop clients with no
+	// think time keep it permanently backlogged, while keeping its
+	// runnable-process count below comp's 6 spinners (the per-process
+	// unfairness Figure 5(a) exposes).
+	gen := workload.NewGenerator(tb.K, hup.SwitchTarget{Switch: webSvc.Switch}, tb.AddClient(), tb.RNG.Split())
+	gen.RunClosedLoop(5, 0)
+
+	uids := map[string]int{
+		"web":  webSvc.Nodes[0].Guest.UID,
+		"comp": compSvc.Nodes[0].Guest.UID,
+		"log":  logSvc.Nodes[0].Guest.UID,
+	}
+	names := map[int]string{uids["web"]: "web", uids["comp"]: "comp", uids["log"]: "log"}
+	start := tb.K.Now()
+	mon := hostos.NewCPUMonitor(tb.Hosts[0], sim.Second,
+		[]int{uids["web"], uids["comp"], uids["log"]}, names)
+	tb.K.RunUntil(start.Add(60 * sim.Second))
+	mon.Stop()
+	gen.Stop()
+
+	run := &Fig5Run{Scheduler: name, Series: mon.SeriesSet(), MeanShare: make(map[string]float64)}
+	for node, uid := range uids {
+		s := mon.Series(uid)
+		// Steady-state window: skip the first 5 samples.
+		win := s.Window(start.Duration()+5*sim.Second, start.Duration()+61*sim.Second)
+		run.MeanShare[node] = win.Mean()
+		dev := win.Mean() - 1.0/3.0
+		if dev < 0 {
+			dev = -dev
+		}
+		if dev > run.MaxDeviation {
+			run.MaxDeviation = dev
+		}
+	}
+	return run, nil
+}
+
+// Title implements Result.
+func (*Fig5Result) Title() string {
+	return "Figure 5: CPU shares (vs time) of the web/comp/log virtual service nodes on tacoma"
+}
+
+// Render implements Result.
+func (r *Fig5Result) Render() string {
+	var b strings.Builder
+	b.WriteString(r.Title() + "\n")
+	for _, run := range []*Fig5Run{r.Unmodified, r.Proportional} {
+		fmt.Fprintf(&b, "\n(%s)\n", run.Scheduler)
+		b.WriteString(run.Series.RenderASCII(60, 12, 1.0))
+		fmt.Fprintf(&b, "  mean shares: web=%.2f comp=%.2f log=%.2f (max deviation from 1/3: %.2f)\n",
+			run.MeanShare["web"], run.MeanShare["comp"], run.MeanShare["log"], run.MaxDeviation)
+	}
+	b.WriteString("\n")
+	b.WriteString(shapeCheck("unmodified Linux fails equal-share isolation (deviation > 0.10)",
+		r.Unmodified.MaxDeviation > 0.10) + "\n")
+	b.WriteString(shapeCheck("proportional scheduler enforces ≈1/3 each (deviation ≤ 0.05)",
+		r.Proportional.MaxDeviation <= 0.05) + "\n")
+	b.WriteString(shapeCheck("comp dominates under unmodified Linux (most runnable processes)",
+		r.Unmodified.MeanShare["comp"] > r.Unmodified.MeanShare["web"] &&
+			r.Unmodified.MeanShare["comp"] > r.Unmodified.MeanShare["log"]) + "\n")
+	return b.String()
+}

@@ -1,0 +1,203 @@
+package exp
+
+import (
+	"fmt"
+	"strings"
+
+	"repro/internal/appsvc"
+	"repro/internal/hostos"
+	"repro/internal/hup"
+	"repro/internal/metrics"
+	"repro/internal/simnet"
+	"repro/internal/soda"
+	"repro/internal/svcswitch"
+	"repro/internal/workload"
+)
+
+// Fig6Scenario names the paper's three deployments.
+type Fig6Scenario string
+
+// The three §5 slow-down scenarios.
+const (
+	// ScenarioVSN is "(1) in one virtual service node with service
+	// switch" — the deployment SODA creates.
+	ScenarioVSN Fig6Scenario = "VSN + switch"
+	// ScenarioHostSwitch is "(2) directly on the host OS with service
+	// switch".
+	ScenarioHostSwitch Fig6Scenario = "host OS + switch"
+	// ScenarioHostDirect is "(3) directly on the host OS without service
+	// switch".
+	ScenarioHostDirect Fig6Scenario = "host OS direct"
+)
+
+// Fig6Point is one (scenario, dataset size) measurement.
+type Fig6Point struct {
+	Scenario  Fig6Scenario
+	DatasetMB int
+	RespMs    float64
+}
+
+// Fig6Result reproduces Figure 6: "Measuring slow-down at application
+// level (request response time)" — the same web content service deployed
+// three ways, with no other load in the system.
+type Fig6Result struct {
+	Points []Fig6Point
+	// Datasets lists the x-axis values in order.
+	Datasets []int
+}
+
+// RunFig6 measures mean response time for each scenario across dataset
+// sizes under a light fixed workload (the paper: "the service load in
+// this experiment is lighter than in the previous experiments").
+func RunFig6() (*Fig6Result, error) {
+	res := &Fig6Result{Datasets: []int{64, 128, 256, 512, 1024, 2048}}
+	for _, datasetMB := range res.Datasets {
+		for _, sc := range []Fig6Scenario{ScenarioVSN, ScenarioHostSwitch, ScenarioHostDirect} {
+			ms, err := runFig6Point(sc, datasetMB)
+			if err != nil {
+				return nil, err
+			}
+			res.Points = append(res.Points, Fig6Point{Scenario: sc, DatasetMB: datasetMB, RespMs: ms})
+		}
+	}
+	return res, nil
+}
+
+const fig6Requests = 400
+
+func runFig6Point(sc Fig6Scenario, datasetMB int) (float64, error) {
+	tb, err := hup.New(hup.Config{Hosts: []hostos.Spec{hostos.Seattle()}, Seed: uint64(datasetMB) * 7})
+	if err != nil {
+		return 0, err
+	}
+	if err := tb.Agent.RegisterASP("asp", "secret"); err != nil {
+		return 0, err
+	}
+	params := appsvc.DefaultWebParams(datasetMB)
+	clientIP := tb.AddClient()
+
+	var target workload.Target
+	switch sc {
+	case ScenarioVSN:
+		img := hup.WebContentImage("webcontent", 8)
+		if err := tb.Publish(img); err != nil {
+			return 0, err
+		}
+		wd := hup.NewWebDeployment(tb, params)
+		svc, err := tb.CreateService("secret", soda.ServiceSpec{
+			Name:         "webcontent",
+			ImageName:    img.Name,
+			Repository:   hup.RepoIP,
+			Requirement:  soda.Requirement{N: 1, M: defaultM()},
+			GuestProfile: img.SystemServices,
+			Behavior:     wd.Behavior(),
+		})
+		if err != nil {
+			return 0, err
+		}
+		target = hup.SwitchTarget{Switch: svc.Switch}
+
+	case ScenarioHostSwitch, ScenarioHostDirect:
+		// The service runs directly on the host OS: no guest, no SODA.
+		host := tb.Hosts[0]
+		hostIP := simnet.IP("128.10.9.10")
+		backend := appsvc.NewNativeBackend(host, "httpd-native", hostIP, 500, 8)
+		ws := appsvc.NewWebService(tb.Net, backend, params, tb.RNG.Split())
+		handler := func(client simnet.IP, onDone func()) bool {
+			return ws.HandleRequest(client, onDone)
+		}
+		if sc == ScenarioHostDirect {
+			// Client → server transfer, then service handling; no switch.
+			target = workload.TargetFunc(func(client simnet.IP, bytes int64, onDone func()) error {
+				return tb.Net.Transfer(client, hostIP, bytes, func() {
+					handler(client, onDone)
+				})
+			})
+		} else {
+			cfg := svcswitch.NewConfigFile("webcontent")
+			entry := svcswitch.BackendEntry{IP: hostIP, Port: 8080, Capacity: 1}
+			if err := cfg.SetEntries([]svcswitch.BackendEntry{entry}); err != nil {
+				return 0, err
+			}
+			sw := svcswitch.New(tb.Net, backend, cfg)
+			sw.Bind(entry, handler)
+			target = hup.SwitchTarget{Switch: sw}
+		}
+	}
+
+	gen := workload.NewGenerator(tb.K, target, clientIP, tb.RNG.Split())
+	finished := false
+	gen.IssueN(fig6Requests, func() { finished = true })
+	tb.K.Run()
+	if !finished || gen.Completed < fig6Requests {
+		return 0, fmt.Errorf("fig6 %s/%dMB: only %d of %d requests completed", sc, datasetMB, gen.Completed, fig6Requests)
+	}
+	return gen.Latency.MeanDuration().Seconds() * 1000, nil
+}
+
+// Title implements Result.
+func (*Fig6Result) Title() string {
+	return "Figure 6: measuring slow-down at application level (request response time)"
+}
+
+// SlowdownAt returns the VSN-vs-direct slow-down factor at a dataset
+// size.
+func (r *Fig6Result) SlowdownAt(datasetMB int) float64 {
+	direct := r.at(ScenarioHostDirect, datasetMB)
+	if direct == 0 {
+		return 0
+	}
+	return r.at(ScenarioVSN, datasetMB) / direct
+}
+
+// at returns the response time for (scenario, dataset).
+func (r *Fig6Result) at(sc Fig6Scenario, datasetMB int) float64 {
+	for _, p := range r.Points {
+		if p.Scenario == sc && p.DatasetMB == datasetMB {
+			return p.RespMs
+		}
+	}
+	return 0
+}
+
+// Render implements Result.
+func (r *Fig6Result) Render() string {
+	t := metrics.NewTable(r.Title(),
+		"Dataset", string(ScenarioVSN), string(ScenarioHostSwitch), string(ScenarioHostDirect), "app slow-down")
+	var slowdowns []float64
+	for _, d := range r.Datasets {
+		vsn, hsw, hd := r.at(ScenarioVSN, d), r.at(ScenarioHostSwitch, d), r.at(ScenarioHostDirect, d)
+		sd := vsn / hd
+		slowdowns = append(slowdowns, sd)
+		t.AddRow(fmt.Sprintf("%dMB", d),
+			fmt.Sprintf("%.2f ms", vsn), fmt.Sprintf("%.2f ms", hsw), fmt.Sprintf("%.2f ms", hd),
+			fmt.Sprintf("%.2fx", sd))
+	}
+	var b strings.Builder
+	b.WriteString(t.String())
+	ordered, modest, flat := true, true, true
+	var minSD, maxSD = slowdowns[0], slowdowns[0]
+	for i, d := range r.Datasets {
+		vsn, hsw, hd := r.at(ScenarioVSN, d), r.at(ScenarioHostSwitch, d), r.at(ScenarioHostDirect, d)
+		if !(vsn > hsw && hsw > hd) {
+			ordered = false
+		}
+		if slowdowns[i] > 2.0 {
+			modest = false
+		}
+		if slowdowns[i] < minSD {
+			minSD = slowdowns[i]
+		}
+		if slowdowns[i] > maxSD {
+			maxSD = slowdowns[i]
+		}
+	}
+	if maxSD/minSD > 1.35 {
+		flat = false
+	}
+	b.WriteString(shapeCheck("response time ordered: VSN+switch > host+switch > host direct", ordered) + "\n")
+	b.WriteString(shapeCheck("application-level slow-down ≪ the ~25x syscall-level slow-down", modest) + "\n")
+	b.WriteString(shapeCheck("slow-down factor approximately constant across dataset sizes", flat) + "\n")
+	fmt.Fprintf(&b, "  slow-down range: %.2fx – %.2fx (Table 4 syscall level: ~22x–27x)\n", minSD, maxSD)
+	return b.String()
+}

@@ -1,0 +1,41 @@
+package exp
+
+import (
+	"fmt"
+	"strings"
+
+	"repro/internal/metrics"
+	"repro/internal/soda"
+)
+
+// Table1Result reproduces Table 1: the example machine configuration M in
+// the resource requirement <n, M>, and shows the inflated slice the
+// Master actually reserves under the §3.2 slow-down assumption.
+type Table1Result struct {
+	M soda.MachineConfig
+}
+
+// RunTable1 returns the specification table (no measurement involved).
+func RunTable1() (*Table1Result, error) {
+	return &Table1Result{M: soda.DefaultM()}, nil
+}
+
+// Title implements Result.
+func (*Table1Result) Title() string {
+	return "Table 1: example of machine configuration M in resource requirement <n, M>"
+}
+
+// Render implements Result.
+func (r *Table1Result) Render() string {
+	t := metrics.NewTable(r.Title(), "Type of resource", "Amount of resource", "Reserved after 1.5x inflation")
+	inflated := soda.InflatedSlice(r.M, 1, soda.SlowdownFactor)
+	t.AddRow("CPU", fmt.Sprintf("%dMHz", r.M.CPUMHz), fmt.Sprintf("%dMHz", inflated.CPUMHz))
+	t.AddRow("Memory", fmt.Sprintf("%dMB", r.M.MemoryMB), fmt.Sprintf("%dMB (not inflated)", inflated.MemoryMB))
+	t.AddRow("Disk", fmt.Sprintf("%dGB", r.M.DiskMB/1024), fmt.Sprintf("%dGB (not inflated)", inflated.DiskMB/1024))
+	t.AddRow("Bandwidth", fmt.Sprintf("%.0fMbps", r.M.BandwidthMbps), fmt.Sprintf("%.0fMbps", inflated.BandwidthMbps))
+	var b strings.Builder
+	b.WriteString(t.String())
+	b.WriteString(shapeCheck("matches the paper: 512MHz / 256MB / 1GB / 10Mbps",
+		r.M.CPUMHz == 512 && r.M.MemoryMB == 256 && r.M.DiskMB == 1024 && r.M.BandwidthMbps == 10) + "\n")
+	return b.String()
+}

@@ -1,0 +1,145 @@
+package exp
+
+import (
+	"fmt"
+	"strings"
+
+	"repro/internal/hostos"
+	"repro/internal/hup"
+	"repro/internal/metrics"
+	"repro/internal/soda"
+)
+
+// Table2Row is one measured bootstrap: a service image on a host.
+type Table2Row struct {
+	Label         string
+	Configuration string
+	ImageMB       int
+	Host          string
+	MeasuredSec   float64
+	PaperSec      float64
+	RAMDisk       bool
+	DownloadSec   float64
+}
+
+// Table2Result reproduces the paper's Table 2: "Service bootstrapping
+// time for four different application services" on seattle and tacoma.
+type Table2Result struct {
+	Rows []Table2Row
+}
+
+// RunTable2 measures the bootstrap time of S_I … S_IV on each testbed
+// host. Each measurement uses a fresh single-host HUP so boots do not
+// contend; the reported time is the daemon's tailor+mount+boot span,
+// excluding the image download (reported separately), matching the
+// paper's definition of bootstrapping.
+func RunTable2() (*Table2Result, error) {
+	res := &Table2Result{}
+	for _, c := range hup.Table2Cases() {
+		for _, spec := range paperHosts() {
+			tb, err := hup.New(hup.Config{Hosts: []hostos.Spec{spec}, Seed: 2})
+			if err != nil {
+				return nil, err
+			}
+			img := c.Image("img-" + c.Label)
+			if err := tb.Publish(img); err != nil {
+				return nil, err
+			}
+			if err := tb.Agent.RegisterASP("asp", "secret"); err != nil {
+				return nil, err
+			}
+			svc, err := tb.CreateService("secret", soda.ServiceSpec{
+				Name:         "svc-" + c.Label,
+				ImageName:    img.Name,
+				Repository:   hup.RepoIP,
+				Requirement:  soda.Requirement{N: 1, M: defaultM()},
+				GuestProfile: c.Profile,
+			})
+			if err != nil {
+				return nil, fmt.Errorf("table2 %s on %s: %w", c.Label, spec.Name, err)
+			}
+			node := svc.Nodes[0]
+			paper := c.PaperSeattleSec
+			if spec.Name == "tacoma" {
+				paper = c.PaperTacomaSec
+			}
+			res.Rows = append(res.Rows, Table2Row{
+				Label:         c.Label,
+				Configuration: c.Configuration,
+				ImageMB:       img.SizeMB(),
+				Host:          spec.Name,
+				MeasuredSec:   node.BootTime.Seconds(),
+				PaperSec:      paper,
+				RAMDisk:       node.RAMDisk,
+				DownloadSec:   node.DownloadTime.Seconds(),
+			})
+		}
+	}
+	return res, nil
+}
+
+// Title implements Result.
+func (*Table2Result) Title() string {
+	return "Table 2: service bootstrapping time for four application services"
+}
+
+// Render implements Result.
+func (r *Table2Result) Render() string {
+	t := metrics.NewTable(r.Title(),
+		"App. service", "Linux configuration", "Image size", "Host", "Measured", "Paper", "Mount", "Download")
+	for _, row := range r.Rows {
+		mount := "disk"
+		if row.RAMDisk {
+			mount = "RAM"
+		}
+		t.AddRow(row.Label, row.Configuration, fmt.Sprintf("%dMB", row.ImageMB), row.Host,
+			fmt.Sprintf("%.1f sec", row.MeasuredSec), fmt.Sprintf("%.1f sec", row.PaperSec),
+			mount, fmt.Sprintf("%.1f sec", row.DownloadSec))
+	}
+	var b strings.Builder
+	b.WriteString(t.String())
+	b.WriteString(r.shapeReport())
+	return b.String()
+}
+
+// shapeReport checks the paper's qualitative structure: the ordering of
+// services, the seattle<tacoma relation, and the S_III disk-mount cliff
+// on tacoma.
+func (r *Table2Result) shapeReport() string {
+	byKey := make(map[string]Table2Row)
+	for _, row := range r.Rows {
+		byKey[row.Label+"/"+row.Host] = row
+	}
+	var b strings.Builder
+	get := func(k string) float64 { return byKey[k].MeasuredSec }
+	b.WriteString(shapeCheck("S_II ≤ S_I ≤ S_III ≪ S_IV on seattle",
+		get("S_II/seattle") <= get("S_I/seattle") &&
+			get("S_I/seattle") <= get("S_III/seattle")+0.5 &&
+			get("S_IV/seattle") > 3*get("S_III/seattle")) + "\n")
+	ok := true
+	for _, label := range []string{"S_I", "S_II", "S_III", "S_IV"} {
+		if get(label+"/tacoma") <= get(label+"/seattle") {
+			ok = false
+		}
+	}
+	b.WriteString(shapeCheck("tacoma slower than seattle for every service", ok) + "\n")
+	b.WriteString(shapeCheck("S_III disk-mount cliff on tacoma (≥3× seattle)",
+		get("S_III/tacoma") >= 3*get("S_III/seattle")) + "\n")
+	b.WriteString(shapeCheck("every measurement within 35% of the paper", r.maxRelErr() <= 0.35) + "\n")
+	fmt.Fprintf(&b, "  max relative error vs paper: %.0f%%\n", r.maxRelErr()*100)
+	return b.String()
+}
+
+func (r *Table2Result) maxRelErr() float64 {
+	var worst float64
+	for _, row := range r.Rows {
+		e := (row.MeasuredSec - row.PaperSec) / row.PaperSec
+		if e < 0 {
+			e = -e
+		}
+		if e > worst {
+			worst = e
+		}
+	}
+	return worst
+}

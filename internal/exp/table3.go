@@ -1,0 +1,93 @@
+package exp
+
+import (
+	"strconv"
+	"strings"
+
+	"repro/internal/appsvc"
+	"repro/internal/hup"
+	"repro/internal/soda"
+	"repro/internal/svcswitch"
+)
+
+// Table3Result reproduces Table 3: "A sample service configuration file
+// created by the SODA Master after service priming" — the <3, M> web
+// content service mapped to a capacity-2 node and a capacity-1 node.
+type Table3Result struct {
+	// Service is the created service whose configuration file is shown.
+	Service *soda.Service
+	// Rendered is the configuration file's on-disk form.
+	Rendered string
+}
+
+// RunTable3 creates the paper's web content service and returns its
+// service configuration file.
+func RunTable3() (*Table3Result, error) {
+	tb, err := hup.New(hup.Config{Seed: 9})
+	if err != nil {
+		return nil, err
+	}
+	img := hup.WebContentImage("webcontent", 4)
+	if err := tb.Publish(img); err != nil {
+		return nil, err
+	}
+	if err := tb.Agent.RegisterASP("asp", "secret"); err != nil {
+		return nil, err
+	}
+	wd := hup.NewWebDeployment(tb, appsvc.DefaultWebParams(64))
+	svc, err := tb.CreateService("secret", soda.ServiceSpec{
+		Name:         "webcontent",
+		ImageName:    img.Name,
+		Repository:   hup.RepoIP,
+		Requirement:  soda.Requirement{N: 3, M: defaultM()},
+		GuestProfile: img.SystemServices,
+		Behavior:     wd.Behavior(),
+	})
+	if err != nil {
+		return nil, err
+	}
+	return &Table3Result{Service: svc, Rendered: svc.Config.Render()}, nil
+}
+
+// Title implements Result.
+func (*Table3Result) Title() string {
+	return "Table 3: sample service configuration file created by the SODA Master"
+}
+
+// Render implements Result.
+func (r *Table3Result) Render() string {
+	var b strings.Builder
+	b.WriteString(r.Title() + "\n")
+	b.WriteString("Directive  IP address    Port number  Capacity\n")
+	for _, e := range r.Service.Config.Entries() {
+		b.WriteString("BackEnd    ")
+		b.WriteString(pad(string(e.IP), 14))
+		b.WriteString(pad(strconv.Itoa(e.Port), 13))
+		b.WriteString(strconv.Itoa(e.Capacity))
+		b.WriteString("\n")
+	}
+	b.WriteString("\nOn-disk form:\n")
+	b.WriteString(r.Rendered)
+	caps := capacities(r.Service.Config)
+	b.WriteString(shapeCheck("<3, M> provided by two nodes with capacities 2 and 1",
+		len(caps) == 2 && ((caps[0] == 2 && caps[1] == 1) || (caps[0] == 1 && caps[1] == 2))) + "\n")
+	roundTrip, err := svcswitch.ParseConfig(r.Rendered)
+	b.WriteString(shapeCheck("configuration file round-trips through its parser",
+		err == nil && roundTrip.TotalCapacity() == r.Service.Config.TotalCapacity()) + "\n")
+	return b.String()
+}
+
+func capacities(c *svcswitch.ConfigFile) []int {
+	var out []int
+	for _, e := range c.Entries() {
+		out = append(out, e.Capacity)
+	}
+	return out
+}
+
+func pad(s string, w int) string {
+	for len(s) < w {
+		s += " "
+	}
+	return s
+}

@@ -1,0 +1,119 @@
+package exp
+
+import (
+	"fmt"
+	"strings"
+
+	"repro/internal/cycles"
+	"repro/internal/hostos"
+	"repro/internal/metrics"
+	"repro/internal/sim"
+)
+
+// Table4Row is one syscall's measured cost in and out of a UML.
+type Table4Row struct {
+	Syscall               string
+	UMLCycles, HostCycles cycles.Cycles
+	PaperUML, PaperHost   cycles.Cycles
+	Slowdown              float64
+}
+
+// Table4Result reproduces the paper's Table 4: "Measuring slow-down at
+// system call level (clock cycles)".
+type Table4Result struct {
+	Rows []Table4Row
+}
+
+// paperTable4 holds the published numbers for comparison.
+var paperTable4 = map[cycles.Syscall][2]cycles.Cycles{ // {UML, host}
+	cycles.Dup2:         {27276, 1208},
+	cycles.Getpid:       {26648, 1064},
+	cycles.Geteuid:      {26904, 1084},
+	cycles.Mmap:         {27864, 1208},
+	cycles.MmapMunmap:   {27044, 1200},
+	cycles.Gettimeofday: {37004, 1368},
+}
+
+// RunTable4 measures each Table 4 syscall end-to-end through the host
+// model: a process executes the call with host-OS pricing and with UML
+// (tracing-thread) pricing; the virtual durations are converted back to
+// cycles at the host clock — the same rdtsc-style methodology the paper
+// uses.
+func RunTable4() (*Table4Result, error) {
+	k := sim.NewKernel()
+	h, err := hostos.New(k, hostos.Seattle(), nil)
+	if err != nil {
+		return nil, err
+	}
+	res := &Table4Result{}
+	measure := func(s cycles.Syscall, guest bool) cycles.Cycles {
+		p := h.Spawn("bench", 1000)
+		start := k.Now()
+		var elapsed sim.Duration
+		p.Syscall(s, guest, func() { elapsed = k.Now().Sub(start) })
+		k.Run()
+		h.Kill(p)
+		return cycles.FromDuration(elapsed, h.Spec.Clock)
+	}
+	for _, s := range cycles.Table4Syscalls {
+		uml := measure(s, true)
+		host := measure(s, false)
+		paper := paperTable4[s]
+		res.Rows = append(res.Rows, Table4Row{
+			Syscall:    s.String(),
+			UMLCycles:  uml,
+			HostCycles: host,
+			PaperUML:   paper[0],
+			PaperHost:  paper[1],
+			Slowdown:   float64(uml) / float64(host),
+		})
+	}
+	return res, nil
+}
+
+// Title implements Result.
+func (*Table4Result) Title() string {
+	return "Table 4: measuring slow-down at system call level (clock cycles)"
+}
+
+// Render implements Result.
+func (r *Table4Result) Render() string {
+	t := metrics.NewTable(r.Title(),
+		"System call", "in UML", "in host OS", "paper UML", "paper host", "slow-down")
+	for _, row := range r.Rows {
+		t.AddRow(row.Syscall,
+			fmt.Sprintf("%d", row.UMLCycles), fmt.Sprintf("%d", row.HostCycles),
+			fmt.Sprintf("%d", row.PaperUML), fmt.Sprintf("%d", row.PaperHost),
+			fmt.Sprintf("%.1fx", row.Slowdown))
+	}
+	var b strings.Builder
+	b.WriteString(t.String())
+	allBig := true
+	gtodExtra := false
+	var maxErr float64
+	for _, row := range r.Rows {
+		if row.Slowdown < 15 {
+			allBig = false
+		}
+		e := relErr(float64(row.UMLCycles), float64(row.PaperUML))
+		if e > maxErr {
+			maxErr = e
+		}
+		if row.Syscall == "gettimeofday" && row.UMLCycles > 33000 {
+			gtodExtra = true
+		}
+	}
+	b.WriteString(shapeCheck("every syscall ≥15× slower in UML", allBig) + "\n")
+	b.WriteString(shapeCheck("gettimeofday pays extra time-virtualization cost", gtodExtra) + "\n")
+	b.WriteString(shapeCheck("UML column within 5% of paper", maxErr <= 0.05) + "\n")
+	fmt.Fprintf(&b, "  max relative error vs paper (UML column): %.1f%%\n", maxErr*100)
+	return b.String()
+}
+
+func relErr(got, want float64) float64 {
+	e := (got - want) / want
+	if e < 0 {
+		e = -e
+	}
+	return e
+}

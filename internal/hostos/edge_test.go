@@ -1,0 +1,171 @@
+package hostos
+
+import (
+	"math"
+	"testing"
+
+	"repro/internal/cycles"
+	"repro/internal/hostos/sched"
+	"repro/internal/sim"
+)
+
+// Edge-case tests for the host model's accounting invariants.
+
+func TestFreeMemoryPanicsOnUnderflow(t *testing.T) {
+	_, h := newSeattle(t, nil)
+	defer func() {
+		if recover() == nil {
+			t.Fatal("no panic freeing unowned memory")
+		}
+	}()
+	h.FreeMemory(1)
+}
+
+func TestFreeDiskPanicsOnUnderflow(t *testing.T) {
+	_, h := newSeattle(t, nil)
+	defer func() {
+		if recover() == nil {
+			t.Fatal("no panic freeing unowned disk")
+		}
+	}()
+	h.FreeDisk(1)
+}
+
+func TestUseMemoryRejectsNegative(t *testing.T) {
+	_, h := newSeattle(t, nil)
+	if err := h.UseMemory(-1); err == nil {
+		t.Fatal("negative memory accepted")
+	}
+	if err := h.UseDisk(-1); err == nil {
+		t.Fatal("negative disk accepted")
+	}
+}
+
+func TestRandomReadPaysSeek(t *testing.T) {
+	k, h := newSeattle(t, nil)
+	p := h.Spawn("reader", 1)
+	var random, sequential sim.Duration
+	start := k.Now()
+	p.ReadDisk(1024, func() { random = k.Now().Sub(start) })
+	k.Run()
+	start2 := k.Now()
+	p.ReadDiskSequential(1024, func() { sequential = k.Now().Sub(start2) })
+	k.Run()
+	seek := sim.Duration(h.Spec.DiskSeekMs * float64(sim.Millisecond))
+	if random-sequential < seek {
+		t.Fatalf("random read %v not ≥ sequential %v + seek %v", random, sequential, seek)
+	}
+}
+
+func TestReadDiskOnDeadProcessNoop(t *testing.T) {
+	k, h := newSeattle(t, nil)
+	p := h.Spawn("dead", 1)
+	h.Kill(p)
+	p.ReadDisk(1024, func() { t.Error("dead read completed") })
+	p.ReadDiskSequential(1024, func() { t.Error("dead sequential read completed") })
+	p.WriteDisk(1024, func() { t.Error("dead write completed") })
+	k.Run()
+}
+
+func TestKillDuringSeekDropsTheRead(t *testing.T) {
+	k, h := newSeattle(t, nil)
+	p := h.Spawn("reader", 1)
+	p.ReadDisk(1<<20, func() { t.Error("read completed after kill") })
+	// Kill mid-seek (seek is 6 ms).
+	k.After(sim.Millisecond, func() { h.Kill(p) })
+	k.Run()
+}
+
+func TestCanReserveChecksEveryDimension(t *testing.T) {
+	_, h := newSeattle(t, nil)
+	base := SliceRequest{CPUMHz: 100, MemoryMB: 100, DiskMB: 100, BandwidthMbps: 10}
+	if !h.CanReserve(base) {
+		t.Fatal("small request refused")
+	}
+	for name, req := range map[string]SliceRequest{
+		"cpu":  {CPUMHz: 9999, MemoryMB: 100, DiskMB: 100, BandwidthMbps: 10},
+		"mem":  {CPUMHz: 100, MemoryMB: 99999, DiskMB: 100, BandwidthMbps: 10},
+		"disk": {CPUMHz: 100, MemoryMB: 100, DiskMB: 9999999, BandwidthMbps: 10},
+		"bw":   {CPUMHz: 100, MemoryMB: 100, DiskMB: 100, BandwidthMbps: 999},
+	} {
+		if h.CanReserve(req) {
+			t.Errorf("%s-oversized request accepted", name)
+		}
+	}
+}
+
+func TestSliceRequestScale(t *testing.T) {
+	s := SliceRequest{CPUMHz: 100, MemoryMB: 10, DiskMB: 20, BandwidthMbps: 1.5}.Scale(3)
+	if s.CPUMHz != 300 || s.MemoryMB != 30 || s.DiskMB != 60 || s.BandwidthMbps != 4.5 {
+		t.Fatalf("scaled = %+v", s)
+	}
+}
+
+func TestResizeOfReleasedReservationFails(t *testing.T) {
+	_, h := newSeattle(t, nil)
+	r, err := h.Reserve(1, SliceRequest{CPUMHz: 100, MemoryMB: 100, DiskMB: 100, BandwidthMbps: 1})
+	if err != nil {
+		t.Fatal(err)
+	}
+	r.Release()
+	if err := r.Resize(SliceRequest{CPUMHz: 200, MemoryMB: 100, DiskMB: 100, BandwidthMbps: 1}); err == nil {
+		t.Fatal("resize of released reservation accepted")
+	}
+}
+
+func TestReleaseKeepsSchedulerShareForRemainingReservations(t *testing.T) {
+	// Two reservations for one uid (a resize window): releasing one must
+	// leave the other's share registered.
+	prop := newSeattle2Prop(t)
+	h := prop.h
+	r1, err := h.Reserve(7, SliceRequest{CPUMHz: 100, MemoryMB: 50, DiskMB: 50, BandwidthMbps: 1})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := h.Reserve(7, SliceRequest{CPUMHz: 200, MemoryMB: 50, DiskMB: 50, BandwidthMbps: 1}); err != nil {
+		t.Fatal(err)
+	}
+	r1.Release()
+	if w, ok := prop.sched.Share(7); !ok || w != 200 {
+		t.Fatalf("share after partial release = %v,%v, want 200", w, ok)
+	}
+}
+
+type propFixture struct {
+	h     *Host
+	sched interface{ Share(int) (float64, bool) }
+}
+
+func newSeattle2Prop(t *testing.T) propFixture {
+	t.Helper()
+	k := sim.NewKernel()
+	s := sched.NewProportional()
+	h, err := New(k, Seattle(), s)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return propFixture{h: h, sched: s}
+}
+
+func TestCPUCyclesForUnknownUIDIsZero(t *testing.T) {
+	_, h := newSeattle(t, nil)
+	if h.CPUCyclesFor(12345) != 0 {
+		t.Fatal("unknown uid has cycles")
+	}
+}
+
+func TestSyscallSequenceAccumulates(t *testing.T) {
+	k, h := newSeattle(t, nil)
+	p := h.Spawn("seq", 1)
+	var done sim.Time
+	p.Syscall(cycles.Open, false, func() {
+		p.Syscall(cycles.Read, false, func() {
+			p.Syscall(cycles.Close, false, func() { done = k.Now() })
+		})
+	})
+	k.Run()
+	want := (cycles.HostCost(cycles.Open) + cycles.HostCost(cycles.Read) + cycles.HostCost(cycles.Close)).Duration(h.Spec.Clock)
+	if math.Abs(float64(done.Duration()-want)) > float64(want)/100 {
+		t.Fatalf("sequence took %v, want %v", done.Duration(), want)
+	}
+}

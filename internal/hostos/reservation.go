@@ -1,0 +1,213 @@
+package hostos
+
+import (
+	"fmt"
+	"sort"
+
+	"repro/internal/cycles"
+)
+
+// SliceRequest describes the resources one virtual service node needs from
+// a host — the per-machine configuration M of the paper's <n, M>
+// requirement (Table 1), possibly multiplied when several Ms map to one
+// node.
+type SliceRequest struct {
+	// CPUMHz is the reserved CPU rate in MHz-equivalents. The SODA Master
+	// inflates this by the slow-down factor before reserving (§3.2).
+	CPUMHz int
+	// MemoryMB is reserved RAM in MiB (guest OS + service working set).
+	MemoryMB int
+	// DiskMB is reserved disk space in MiB (root file system + data).
+	DiskMB int
+	// BandwidthMbps is the outbound bandwidth share enforced by the
+	// host-OS traffic shaper.
+	BandwidthMbps float64
+}
+
+// Validate reports the first problem with the request, or nil.
+func (r SliceRequest) Validate() error {
+	switch {
+	case r.CPUMHz <= 0:
+		return fmt.Errorf("hostos: slice with non-positive CPU %dMHz", r.CPUMHz)
+	case r.MemoryMB <= 0:
+		return fmt.Errorf("hostos: slice with non-positive memory %dMB", r.MemoryMB)
+	case r.DiskMB <= 0:
+		return fmt.Errorf("hostos: slice with non-positive disk %dMB", r.DiskMB)
+	case r.BandwidthMbps <= 0:
+		return fmt.Errorf("hostos: slice with non-positive bandwidth %.1fMbps", r.BandwidthMbps)
+	}
+	return nil
+}
+
+// Scale returns the request multiplied by k machine instances.
+func (r SliceRequest) Scale(k int) SliceRequest {
+	return SliceRequest{
+		CPUMHz:        r.CPUMHz * k,
+		MemoryMB:      r.MemoryMB * k,
+		DiskMB:        r.DiskMB * k,
+		BandwidthMbps: r.BandwidthMbps * float64(k),
+	}
+}
+
+// Reservation is a granted slice of a host: the physical substance of a
+// virtual service node. The reservation pins memory and disk space, and
+// registers the owning userid's CPU weight with the proportional
+// scheduler (if one is active).
+type Reservation struct {
+	ID  int
+	UID int
+	Req SliceRequest
+
+	h        *Host
+	released bool
+}
+
+// Available reports the resources not yet reserved on the host.
+func (h *Host) Available() SliceRequest {
+	avail := SliceRequest{
+		CPUMHz:        int(h.Spec.Clock / cycles.MHz),
+		MemoryMB:      h.Spec.MemoryMB,
+		DiskMB:        h.Spec.DiskMB,
+		BandwidthMbps: h.Spec.NICMbps,
+	}
+	for _, r := range h.reservs {
+		avail.CPUMHz -= r.Req.CPUMHz
+		avail.MemoryMB -= r.Req.MemoryMB
+		avail.DiskMB -= r.Req.DiskMB
+		avail.BandwidthMbps -= r.Req.BandwidthMbps
+	}
+	return avail
+}
+
+// CanReserve reports whether the host currently has room for req.
+func (h *Host) CanReserve(req SliceRequest) bool {
+	avail := h.Available()
+	return req.CPUMHz <= avail.CPUMHz &&
+		req.MemoryMB <= avail.MemoryMB &&
+		req.DiskMB <= avail.DiskMB &&
+		req.BandwidthMbps <= avail.BandwidthMbps
+}
+
+// Reserve grants a slice to the given userid, or explains why it cannot.
+// The userid's CPU share (weight = reserved MHz) is registered with the
+// scheduler so the proportional policy can enforce it.
+func (h *Host) Reserve(uid int, req SliceRequest) (*Reservation, error) {
+	if err := req.Validate(); err != nil {
+		return nil, err
+	}
+	if !h.CanReserve(req) {
+		return nil, fmt.Errorf("hostos: %s: insufficient resources for %+v (available %+v)",
+			h.Spec.Name, req, h.Available())
+	}
+	r := &Reservation{ID: h.nextResID, UID: uid, Req: req, h: h}
+	h.nextResID++
+	h.reservs[r.ID] = r
+	h.scheduler.SetShare(uid, float64(req.CPUMHz))
+	return r, nil
+}
+
+// Release returns the slice's resources to the host. Releasing twice is a
+// no-op.
+func (r *Reservation) Release() {
+	if r.released {
+		return
+	}
+	r.released = true
+	delete(r.h.reservs, r.ID)
+	// Only clear the scheduler share if no other reservation remains for
+	// the same uid (resizing can briefly hold two).
+	for _, other := range r.h.reservs {
+		if other.UID == r.UID {
+			r.h.scheduler.SetShare(r.UID, float64(other.Req.CPUMHz))
+			return
+		}
+	}
+	r.h.scheduler.ClearShare(r.UID)
+}
+
+// Resize adjusts the reservation in place, failing (and leaving the
+// reservation unchanged) if the delta does not fit.
+func (r *Reservation) Resize(req SliceRequest) error {
+	if err := req.Validate(); err != nil {
+		return err
+	}
+	if r.released {
+		return fmt.Errorf("hostos: resize of released reservation %d", r.ID)
+	}
+	avail := r.h.Available()
+	// The host's own reservation returns to the pool during the check.
+	avail.CPUMHz += r.Req.CPUMHz
+	avail.MemoryMB += r.Req.MemoryMB
+	avail.DiskMB += r.Req.DiskMB
+	avail.BandwidthMbps += r.Req.BandwidthMbps
+	if req.CPUMHz > avail.CPUMHz || req.MemoryMB > avail.MemoryMB ||
+		req.DiskMB > avail.DiskMB || req.BandwidthMbps > avail.BandwidthMbps {
+		return fmt.Errorf("hostos: %s: cannot resize reservation %d to %+v", r.h.Spec.Name, r.ID, req)
+	}
+	r.Req = req
+	r.h.scheduler.SetShare(r.UID, float64(req.CPUMHz))
+	return nil
+}
+
+// Reservations returns the host's live reservations sorted by ID.
+func (h *Host) Reservations() []*Reservation {
+	out := make([]*Reservation, 0, len(h.reservs))
+	for _, r := range h.reservs {
+		out = append(out, r)
+	}
+	sort.Slice(out, func(i, j int) bool { return out[i].ID < out[j].ID })
+	return out
+}
+
+// MemoryFreeMB returns RAM not pinned by reservations or transient use —
+// the budget available for mounting a root file system in a RAM disk.
+func (h *Host) MemoryFreeMB() int {
+	free := h.Spec.MemoryMB - h.memUsedMB
+	for _, r := range h.reservs {
+		free -= r.Req.MemoryMB
+	}
+	return free
+}
+
+// UseMemory pins n MiB of transient memory (e.g. a RAM-disk mount),
+// failing if it does not fit alongside reservations.
+func (h *Host) UseMemory(n int) error {
+	if n < 0 {
+		return fmt.Errorf("hostos: negative memory use %d", n)
+	}
+	if n > h.MemoryFreeMB() {
+		return fmt.Errorf("hostos: %s: %dMB transient memory exceeds %dMB free",
+			h.Spec.Name, n, h.MemoryFreeMB())
+	}
+	h.memUsedMB += n
+	return nil
+}
+
+// FreeMemory unpins transient memory.
+func (h *Host) FreeMemory(n int) {
+	if n < 0 || n > h.memUsedMB {
+		panic(fmt.Sprintf("hostos: %s: freeing %dMB with %dMB in use", h.Spec.Name, n, h.memUsedMB))
+	}
+	h.memUsedMB -= n
+}
+
+// UseDisk pins n MiB of disk space (e.g. a downloaded image).
+func (h *Host) UseDisk(n int) error {
+	if n < 0 {
+		return fmt.Errorf("hostos: negative disk use %d", n)
+	}
+	if h.diskUsedMB+n > h.Spec.DiskMB {
+		return fmt.Errorf("hostos: %s: disk full (%d used + %d > %d)",
+			h.Spec.Name, h.diskUsedMB, n, h.Spec.DiskMB)
+	}
+	h.diskUsedMB += n
+	return nil
+}
+
+// FreeDisk unpins disk space.
+func (h *Host) FreeDisk(n int) {
+	if n < 0 || n > h.diskUsedMB {
+		panic(fmt.Sprintf("hostos: %s: freeing %dMB disk with %dMB in use", h.Spec.Name, n, h.diskUsedMB))
+	}
+	h.diskUsedMB -= n
+}

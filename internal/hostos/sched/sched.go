@@ -1,0 +1,158 @@
+// Package sched implements the CPU scheduling policies contrasted in the
+// paper's Figure 5: the per-process fair sharing of an unmodified Linux
+// host ("FairShare") and SODA's coarse-grain proportional-share scheduler
+// that enforces per-userid CPU shares ("Proportional").
+//
+// In SODA every process inside one virtual service node bears the same
+// userid (§4.2), so enforcing shares per userid is exactly enforcing
+// shares per virtual service node.
+package sched
+
+import (
+	"fmt"
+	"sort"
+
+	"repro/internal/sim"
+)
+
+// FlowMeta is attached to every CPU flow submitted to the host so
+// schedulers can see which userid (virtual service node) owns the work.
+type FlowMeta struct {
+	// UID is the host userid the flow's process runs under.
+	UID int
+	// PID identifies the owning process, for traces.
+	PID int
+	// Guest marks work executed inside a UML guest.
+	Guest bool
+}
+
+// MetaOf extracts the scheduler metadata from a flow, panicking on flows
+// submitted without it — that is a wiring bug, not a runtime condition.
+func MetaOf(f *sim.Flow) *FlowMeta {
+	m, ok := f.Meta.(*FlowMeta)
+	if !ok {
+		panic(fmt.Sprintf("sched: flow %q submitted without FlowMeta", f.Label))
+	}
+	return m
+}
+
+// Scheduler turns the host's runnable flow set into per-flow CPU rates.
+// Implementations must be deterministic functions of (capacity, flows,
+// configured weights).
+type Scheduler interface {
+	// Name identifies the policy in experiment output.
+	Name() string
+	// Assign sets the service rate of every flow; the sum must not exceed
+	// capacity.
+	Assign(capacity float64, flows []*sim.Flow)
+	// SetShare configures the CPU share (an arbitrary positive weight,
+	// e.g. reserved MHz) for a userid. Policies that ignore shares accept
+	// and discard them.
+	SetShare(uid int, weight float64)
+	// ClearShare removes a userid's configured share.
+	ClearShare(uid int)
+}
+
+// FairShare models the unmodified Linux host OS: every runnable *process*
+// gets an equal share of the CPU, so a virtual service node with more
+// runnable processes receives proportionally more CPU — the unfairness
+// visible in Figure 5(a).
+type FairShare struct{}
+
+// NewFairShare returns the unmodified-Linux policy.
+func NewFairShare() *FairShare { return &FairShare{} }
+
+// Name implements Scheduler.
+func (*FairShare) Name() string { return "fair-share (unmodified Linux)" }
+
+// Assign implements Scheduler: equal rate per runnable flow.
+func (*FairShare) Assign(capacity float64, flows []*sim.Flow) {
+	sim.EqualShare(capacity, flows)
+}
+
+// SetShare implements Scheduler; FairShare has no per-userid state.
+func (*FairShare) SetShare(int, float64) {}
+
+// ClearShare implements Scheduler.
+func (*FairShare) ClearShare(int) {}
+
+// Proportional is SODA's coarse-grain proportional-share CPU scheduler:
+// capacity is divided among *userids* in proportion to their configured
+// weights (work-conserving: only userids with runnable work participate),
+// then equally among each userid's runnable processes.
+type Proportional struct {
+	weights map[int]float64
+	// DefaultWeight applies to userids that never called SetShare
+	// (e.g. host-OS system processes).
+	DefaultWeight float64
+}
+
+// NewProportional returns the SODA scheduler with no configured shares and
+// a default weight of 1.
+func NewProportional() *Proportional {
+	return &Proportional{weights: make(map[int]float64), DefaultWeight: 1}
+}
+
+// Name implements Scheduler.
+func (*Proportional) Name() string { return "proportional-share (SODA)" }
+
+// SetShare implements Scheduler.
+func (p *Proportional) SetShare(uid int, weight float64) {
+	if weight <= 0 {
+		panic(fmt.Sprintf("sched: non-positive share %v for uid %d", weight, uid))
+	}
+	p.weights[uid] = weight
+}
+
+// ClearShare implements Scheduler.
+func (p *Proportional) ClearShare(uid int) { delete(p.weights, uid) }
+
+// Share returns the configured weight for uid and whether one is set.
+func (p *Proportional) Share(uid int) (float64, bool) {
+	w, ok := p.weights[uid]
+	return w, ok
+}
+
+// Assign implements Scheduler.
+func (p *Proportional) Assign(capacity float64, flows []*sim.Flow) {
+	if len(flows) == 0 {
+		return
+	}
+	byUID := make(map[int][]*sim.Flow)
+	for _, f := range flows {
+		uid := MetaOf(f).UID
+		byUID[uid] = append(byUID[uid], f)
+	}
+	uids := make([]int, 0, len(byUID))
+	var totalWeight float64
+	for uid := range byUID {
+		uids = append(uids, uid)
+		totalWeight += p.weightOf(uid)
+	}
+	sort.Ints(uids) // determinism
+	for _, uid := range uids {
+		group := byUID[uid]
+		groupRate := capacity * p.weightOf(uid) / totalWeight
+		perFlow := groupRate / float64(len(group))
+		for _, f := range group {
+			f.SetRate(perFlow)
+		}
+	}
+}
+
+func (p *Proportional) weightOf(uid int) float64 {
+	if w, ok := p.weights[uid]; ok {
+		return w
+	}
+	if p.DefaultWeight > 0 {
+		return p.DefaultWeight
+	}
+	return 1
+}
+
+// Policy adapts a Scheduler to the fluid engine's RatePolicy.
+func Policy(s Scheduler) sim.RatePolicy {
+	return func(capacity float64, flows []*sim.Flow) {
+		s.Assign(capacity, flows)
+	}
+}

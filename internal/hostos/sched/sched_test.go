@@ -1,0 +1,159 @@
+package sched
+
+import (
+	"math"
+	"testing"
+
+	"repro/internal/sim"
+)
+
+func flowsWithUIDs(uids ...int) []*sim.Flow {
+	k := sim.NewKernel()
+	s := sim.NewFluidServer(k, "t", 1e9, sim.EqualShare)
+	var out []*sim.Flow
+	for i, uid := range uids {
+		f := s.Submit("f", 1, 1e6, &FlowMeta{UID: uid, PID: i + 1}, nil)
+		out = append(out, f)
+	}
+	return out
+}
+
+func TestFairShareEqualPerProcess(t *testing.T) {
+	flows := flowsWithUIDs(100, 100, 100, 200)
+	NewFairShare().Assign(400, flows)
+	for _, f := range flows {
+		if f.Rate() != 100 {
+			t.Fatalf("rate = %v, want 100", f.Rate())
+		}
+	}
+}
+
+func TestProportionalEnforcesPerUIDShares(t *testing.T) {
+	// uid 100 has 3 runnable processes, uid 200 has 1; equal weights mean
+	// each *uid* gets half the CPU regardless of process count.
+	flows := flowsWithUIDs(100, 100, 100, 200)
+	p := NewProportional()
+	p.SetShare(100, 512)
+	p.SetShare(200, 512)
+	p.Assign(600, flows)
+	var uid100, uid200 float64
+	for _, f := range flows {
+		switch MetaOf(f).UID {
+		case 100:
+			uid100 += f.Rate()
+		case 200:
+			uid200 += f.Rate()
+		}
+	}
+	if math.Abs(uid100-300) > 1e-9 || math.Abs(uid200-300) > 1e-9 {
+		t.Fatalf("group rates = %v, %v, want 300 each", uid100, uid200)
+	}
+	// Within uid 100 each of the 3 processes gets 100.
+	if flows[0].Rate() != 100 {
+		t.Fatalf("per-process rate = %v, want 100", flows[0].Rate())
+	}
+}
+
+func TestProportionalWeightedShares(t *testing.T) {
+	flows := flowsWithUIDs(1, 2)
+	p := NewProportional()
+	p.SetShare(1, 1024) // seattle-style node: capacity 2
+	p.SetShare(2, 512)  // capacity 1
+	p.Assign(900, flows)
+	if math.Abs(flows[0].Rate()-600) > 1e-9 || math.Abs(flows[1].Rate()-300) > 1e-9 {
+		t.Fatalf("rates = %v, %v, want 600/300", flows[0].Rate(), flows[1].Rate())
+	}
+}
+
+func TestProportionalWorkConserving(t *testing.T) {
+	// Only uid 1 has runnable work: it gets the whole CPU even though its
+	// configured share is small.
+	flows := flowsWithUIDs(1, 1)
+	p := NewProportional()
+	p.SetShare(1, 10)
+	p.SetShare(2, 990) // absent uid
+	p.Assign(1000, flows)
+	var total float64
+	for _, f := range flows {
+		total += f.Rate()
+	}
+	if math.Abs(total-1000) > 1e-9 {
+		t.Fatalf("total rate = %v, want full capacity 1000", total)
+	}
+}
+
+func TestProportionalDefaultWeightForUnregisteredUIDs(t *testing.T) {
+	flows := flowsWithUIDs(7, 8)
+	p := NewProportional() // no SetShare calls: both default to weight 1
+	p.Assign(100, flows)
+	if flows[0].Rate() != 50 || flows[1].Rate() != 50 {
+		t.Fatalf("rates = %v, %v, want 50/50", flows[0].Rate(), flows[1].Rate())
+	}
+}
+
+func TestProportionalClearShare(t *testing.T) {
+	p := NewProportional()
+	p.SetShare(1, 100)
+	if _, ok := p.Share(1); !ok {
+		t.Fatal("share not set")
+	}
+	p.ClearShare(1)
+	if _, ok := p.Share(1); ok {
+		t.Fatal("share not cleared")
+	}
+}
+
+func TestProportionalRejectsNonPositiveShare(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Fatal("no panic for non-positive share")
+		}
+	}()
+	NewProportional().SetShare(1, 0)
+}
+
+func TestMetaOfPanicsWithoutMeta(t *testing.T) {
+	k := sim.NewKernel()
+	s := sim.NewFluidServer(k, "t", 1, sim.EqualShare)
+	f := s.Submit("bare", 1, 1, nil, nil)
+	defer func() {
+		if recover() == nil {
+			t.Fatal("no panic for missing meta")
+		}
+	}()
+	MetaOf(f)
+}
+
+func TestSchedulerNames(t *testing.T) {
+	if NewFairShare().Name() == NewProportional().Name() {
+		t.Fatal("policies share a name")
+	}
+}
+
+func TestPolicyAdapterDelegates(t *testing.T) {
+	flows := flowsWithUIDs(1, 1)
+	Policy(NewFairShare())(100, flows)
+	if flows[0].Rate() != 50 {
+		t.Fatalf("adapter rate = %v", flows[0].Rate())
+	}
+}
+
+func TestProportionalDeterministicAcrossMapOrder(t *testing.T) {
+	// Many uids: repeated assignment must produce identical rates even
+	// though map iteration order varies.
+	for trial := 0; trial < 10; trial++ {
+		flows := flowsWithUIDs(5, 3, 9, 1, 7, 3, 5)
+		p := NewProportional()
+		for _, uid := range []int{1, 3, 5, 7, 9} {
+			p.SetShare(uid, float64(uid*100))
+		}
+		p.Assign(2500, flows)
+		var total float64
+		for _, f := range flows {
+			total += f.Rate()
+		}
+		if math.Abs(total-2500) > 1e-6 {
+			t.Fatalf("trial %d: total = %v", trial, total)
+		}
+	}
+}

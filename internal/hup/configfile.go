@@ -1,0 +1,138 @@
+package hup
+
+import (
+	"encoding/json"
+	"fmt"
+	"io"
+
+	"repro/internal/cycles"
+	"repro/internal/hostos"
+	"repro/internal/hostos/sched"
+	"repro/internal/sim"
+	"repro/internal/soda"
+)
+
+// FileConfig is the JSON scenario format cmd/sodad loads with -config:
+// a HUP topology plus platform knobs. Omitted fields default to the
+// paper's testbed values.
+//
+//	{
+//	  "seed": 7,
+//	  "latency_us": 100,
+//	  "scheduler": "proportional",
+//	  "address_mode": "bridging",
+//	  "hosts": [
+//	    {"name": "seattle", "clock_mhz": 2600, "memory_mb": 2048,
+//	     "disk_mb": 60000, "disk_write_mbps": 45, "disk_read_mbps": 55,
+//	     "disk_seek_ms": 6, "nic_mbps": 100}
+//	  ]
+//	}
+type FileConfig struct {
+	Seed        uint64         `json:"seed"`
+	LatencyUs   int            `json:"latency_us"`
+	Scheduler   string         `json:"scheduler"`
+	AddressMode string         `json:"address_mode"`
+	Hosts       []FileHostSpec `json:"hosts"`
+}
+
+// FileHostSpec is one host row of the scenario file.
+type FileHostSpec struct {
+	Name          string  `json:"name"`
+	ClockMHz      int     `json:"clock_mhz"`
+	MemoryMB      int     `json:"memory_mb"`
+	DiskMB        int     `json:"disk_mb"`
+	DiskWriteMBps float64 `json:"disk_write_mbps"`
+	DiskReadMBps  float64 `json:"disk_read_mbps"`
+	DiskSeekMs    float64 `json:"disk_seek_ms"`
+	NICMbps       float64 `json:"nic_mbps"`
+}
+
+// spec converts a host row to a hostos.Spec with paper-testbed defaults
+// for omitted fields.
+func (f FileHostSpec) spec() (hostos.Spec, error) {
+	base := hostos.Tacoma() // conservative defaults
+	s := hostos.Spec{
+		Name:          f.Name,
+		Clock:         cycles.Hz(f.ClockMHz) * cycles.MHz,
+		MemoryMB:      f.MemoryMB,
+		DiskMB:        f.DiskMB,
+		DiskWriteMBps: f.DiskWriteMBps,
+		DiskReadMBps:  f.DiskReadMBps,
+		DiskSeekMs:    f.DiskSeekMs,
+		NICMbps:       f.NICMbps,
+	}
+	if s.Clock <= 0 {
+		s.Clock = base.Clock
+	}
+	if s.MemoryMB <= 0 {
+		s.MemoryMB = base.MemoryMB
+	}
+	if s.DiskMB <= 0 {
+		s.DiskMB = base.DiskMB
+	}
+	if s.DiskWriteMBps <= 0 {
+		s.DiskWriteMBps = base.DiskWriteMBps
+	}
+	if s.DiskReadMBps <= 0 {
+		s.DiskReadMBps = base.DiskReadMBps
+	}
+	if s.DiskSeekMs <= 0 {
+		s.DiskSeekMs = base.DiskSeekMs
+	}
+	if s.NICMbps <= 0 {
+		s.NICMbps = base.NICMbps
+	}
+	if err := s.Validate(); err != nil {
+		return hostos.Spec{}, err
+	}
+	return s, nil
+}
+
+// LoadConfig parses a JSON scenario into a testbed Config.
+func LoadConfig(r io.Reader) (Config, error) {
+	dec := json.NewDecoder(r)
+	dec.DisallowUnknownFields()
+	var fc FileConfig
+	if err := dec.Decode(&fc); err != nil {
+		return Config{}, fmt.Errorf("hup: parsing scenario: %w", err)
+	}
+	cfg := Config{Seed: fc.Seed}
+	if fc.LatencyUs < 0 {
+		return Config{}, fmt.Errorf("hup: negative latency_us")
+	}
+	if fc.LatencyUs > 0 {
+		cfg.Latency = sim.Duration(fc.LatencyUs) * sim.Microsecond
+	}
+	switch fc.Scheduler {
+	case "", "proportional":
+		// default
+	case "fair":
+		cfg.NewScheduler = func() sched.Scheduler { return sched.NewFairShare() }
+	default:
+		return Config{}, fmt.Errorf("hup: unknown scheduler %q (want proportional|fair)", fc.Scheduler)
+	}
+	switch fc.AddressMode {
+	case "", "bridging":
+		cfg.AddressMode = soda.Bridging
+	case "proxying":
+		cfg.AddressMode = soda.Proxying
+	default:
+		return Config{}, fmt.Errorf("hup: unknown address_mode %q (want bridging|proxying)", fc.AddressMode)
+	}
+	seen := make(map[string]bool)
+	for i, fh := range fc.Hosts {
+		if fh.Name == "" {
+			return Config{}, fmt.Errorf("hup: host %d has no name", i)
+		}
+		if seen[fh.Name] {
+			return Config{}, fmt.Errorf("hup: duplicate host %q", fh.Name)
+		}
+		seen[fh.Name] = true
+		s, err := fh.spec()
+		if err != nil {
+			return Config{}, err
+		}
+		cfg.Hosts = append(cfg.Hosts, s)
+	}
+	return cfg, nil
+}

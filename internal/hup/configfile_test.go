@@ -1,0 +1,87 @@
+package hup
+
+import (
+	"strings"
+	"testing"
+
+	"repro/internal/cycles"
+	"repro/internal/sim"
+	"repro/internal/soda"
+)
+
+func TestLoadConfigFull(t *testing.T) {
+	const js = `{
+		"seed": 7,
+		"latency_us": 250,
+		"scheduler": "fair",
+		"address_mode": "proxying",
+		"hosts": [
+			{"name": "alpha", "clock_mhz": 3000, "memory_mb": 4096,
+			 "disk_mb": 100000, "disk_write_mbps": 80, "disk_read_mbps": 90,
+			 "disk_seek_ms": 4, "nic_mbps": 1000},
+			{"name": "beta"}
+		]
+	}`
+	cfg, err := LoadConfig(strings.NewReader(js))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if cfg.Seed != 7 || cfg.Latency != 250*sim.Microsecond {
+		t.Fatalf("cfg = %+v", cfg)
+	}
+	if cfg.AddressMode != soda.Proxying {
+		t.Fatal("address mode wrong")
+	}
+	if cfg.NewScheduler == nil || !strings.Contains(cfg.NewScheduler().Name(), "fair") {
+		t.Fatal("scheduler wrong")
+	}
+	if len(cfg.Hosts) != 2 {
+		t.Fatalf("hosts = %d", len(cfg.Hosts))
+	}
+	if cfg.Hosts[0].Clock != 3000*cycles.MHz || cfg.Hosts[0].NICMbps != 1000 {
+		t.Fatalf("alpha = %+v", cfg.Hosts[0])
+	}
+	// beta inherits tacoma-class defaults.
+	if cfg.Hosts[1].Clock != 1800*cycles.MHz || cfg.Hosts[1].MemoryMB != 768 {
+		t.Fatalf("beta defaults = %+v", cfg.Hosts[1])
+	}
+	// The loaded config builds a working testbed.
+	tb, err := New(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if tb.Hosts[0].Spec.Name != "alpha" || tb.Daemons[1].Mode() != soda.Proxying {
+		t.Fatal("testbed from file config wrong")
+	}
+}
+
+func TestLoadConfigDefaultsToPaperTestbed(t *testing.T) {
+	cfg, err := LoadConfig(strings.NewReader(`{}`))
+	if err != nil {
+		t.Fatal(err)
+	}
+	tb, err := New(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(tb.Hosts) != 2 || tb.Hosts[0].Spec.Name != "seattle" {
+		t.Fatal("empty scenario should yield the paper testbed")
+	}
+}
+
+func TestLoadConfigErrors(t *testing.T) {
+	cases := map[string]string{
+		"bad json":       `{`,
+		"unknown field":  `{"bogus": 1}`,
+		"bad scheduler":  `{"scheduler": "lottery"}`,
+		"bad mode":       `{"address_mode": "nat"}`,
+		"nameless host":  `{"hosts": [{"clock_mhz": 100}]}`,
+		"duplicate host": `{"hosts": [{"name": "a"}, {"name": "a"}]}`,
+		"neg latency":    `{"latency_us": -5}`,
+	}
+	for label, js := range cases {
+		if _, err := LoadConfig(strings.NewReader(js)); err == nil {
+			t.Errorf("%s: accepted", label)
+		}
+	}
+}

@@ -1,0 +1,156 @@
+package hup
+
+import (
+	"testing"
+
+	"repro/internal/appsvc"
+	"repro/internal/sim"
+	"repro/internal/soda"
+)
+
+func deployTestbed(t *testing.T) *Testbed {
+	t.Helper()
+	tb, err := New(Config{Seed: 71})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := tb.Agent.RegisterASP("asp", "k"); err != nil {
+		t.Fatal(err)
+	}
+	return tb
+}
+
+func smallM() soda.MachineConfig {
+	return soda.MachineConfig{CPUMHz: 256, MemoryMB: 64, DiskMB: 256, BandwidthMbps: 2}
+}
+
+func TestWebDeploymentTracksPerNodeState(t *testing.T) {
+	tb := deployTestbed(t)
+	img := WebContentImage("img", 2)
+	if err := tb.Publish(img); err != nil {
+		t.Fatal(err)
+	}
+	wd := NewWebDeployment(tb, appsvc.DefaultWebParams(64))
+	svc, err := tb.CreateService("k", soda.ServiceSpec{
+		Name: "web", ImageName: img.Name, Repository: RepoIP,
+		Requirement:  soda.Requirement{N: 2, M: smallM()},
+		GuestProfile: img.SystemServices, Behavior: wd.Behavior(),
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	nodes := wd.Nodes()
+	if len(nodes) != len(svc.Nodes) {
+		t.Fatalf("deployment tracked %d nodes, service has %d", len(nodes), len(svc.Nodes))
+	}
+	for _, n := range nodes {
+		if wd.Service(n) == nil || wd.Latency(n) == nil {
+			t.Fatalf("node %s missing instruments", n)
+		}
+	}
+	// Serve one request and check the instruments move.
+	client := tb.AddClient()
+	done := false
+	SwitchTarget{Switch: svc.Switch}.Route(client, 256, func() { done = true })
+	tb.K.Run()
+	if !done {
+		t.Fatal("request never completed")
+	}
+	var served int
+	var observed int64
+	for _, n := range nodes {
+		served += wd.Service(n).Served
+		observed += wd.Latency(n).Count()
+	}
+	if served != 1 || observed != 1 {
+		t.Fatalf("served=%d observed=%d", served, observed)
+	}
+}
+
+func TestCompDeploymentSpins(t *testing.T) {
+	tb := deployTestbed(t)
+	img := HoneypotImage("img")
+	if err := tb.Publish(img); err != nil {
+		t.Fatal(err)
+	}
+	cd := NewCompDeployment(3)
+	svc, err := tb.CreateService("k", soda.ServiceSpec{
+		Name: "comp", ImageName: img.Name, Repository: RepoIP,
+		Requirement:  soda.Requirement{N: 1, M: smallM()},
+		GuestProfile: img.SystemServices, Behavior: cd.Behavior(),
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	node := svc.Nodes[0]
+	job := cd.Jobs[node.NodeName]
+	if job == nil || job.Spinners != 3 {
+		t.Fatalf("job = %+v", job)
+	}
+	host := node.Guest.Host()
+	before := host.CPUCyclesFor(node.Guest.UID)
+	tb.K.RunFor(2 * sim.Second)
+	if host.CPUCyclesFor(node.Guest.UID) <= before {
+		t.Fatal("comp deployment not consuming CPU")
+	}
+}
+
+func TestLogDeploymentWrites(t *testing.T) {
+	tb := deployTestbed(t)
+	img := HoneypotImage("img")
+	if err := tb.Publish(img); err != nil {
+		t.Fatal(err)
+	}
+	ld := NewLogDeployment()
+	svc, err := tb.CreateService("k", soda.ServiceSpec{
+		Name: "log", ImageName: img.Name, Repository: RepoIP,
+		Requirement:  soda.Requirement{N: 1, M: smallM()},
+		GuestProfile: img.SystemServices, Behavior: ld.Behavior(),
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	tb.K.RunFor(2 * sim.Second)
+	job := ld.Jobs[svc.Nodes[0].NodeName]
+	if job == nil || job.Writes == 0 {
+		t.Fatalf("log job = %+v", job)
+	}
+	job.Stop()
+}
+
+func TestHoneypotDeploymentVictims(t *testing.T) {
+	tb := deployTestbed(t)
+	img := HoneypotImage("img")
+	if err := tb.Publish(img); err != nil {
+		t.Fatal(err)
+	}
+	hd := NewHoneypotDeployment(tb)
+	svc, err := tb.CreateService("k", soda.ServiceSpec{
+		Name: "hp", ImageName: img.Name, Repository: RepoIP,
+		Requirement:  soda.Requirement{N: 1, M: smallM()},
+		GuestProfile: img.SystemServices, Behavior: hd.Behavior(),
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(hd.Victims()) != 1 {
+		t.Fatalf("victims = %v", hd.Victims())
+	}
+	v := hd.Victim(svc.Nodes[0].NodeName)
+	if v == nil {
+		t.Fatal("victim missing")
+	}
+	crashed := false
+	v.HandleAttack(func() { crashed = true })
+	tb.K.Run()
+	if !crashed || v.Guest.Alive() {
+		t.Fatal("attack did not crash the victim")
+	}
+	// Honeypots bind no switch handler: routed requests drop.
+	client := tb.AddClient()
+	SwitchTarget{Switch: svc.Switch}.Route(client, 64, nil)
+	tb.K.Run()
+	if svc.Switch.Routed != 0 {
+		t.Fatal("honeypot served a routed request")
+	}
+}

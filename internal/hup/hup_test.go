@@ -1,0 +1,131 @@
+package hup
+
+import (
+	"fmt"
+	"strings"
+	"testing"
+
+	"repro/internal/hostos"
+	"repro/internal/simnet"
+	"repro/internal/soda"
+	"repro/internal/uml"
+)
+
+func TestNewDefaultIsPaperTestbed(t *testing.T) {
+	tb, err := New(Config{Seed: 1})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(tb.Hosts) != 2 || tb.Hosts[0].Spec.Name != "seattle" || tb.Hosts[1].Spec.Name != "tacoma" {
+		t.Fatalf("hosts = %v", tb.Hosts)
+	}
+	if len(tb.Daemons) != 2 || tb.Master == nil || tb.Agent == nil || tb.Repo == nil {
+		t.Fatal("control plane incomplete")
+	}
+	// Control-plane addresses are bridged.
+	for _, ip := range []simnet.IP{MasterIP, AgentIP, RepoIP} {
+		if _, ok := tb.Net.Lookup(ip); !ok {
+			t.Fatalf("%s not bridged", ip)
+		}
+	}
+	// Host addresses are bridged too.
+	for i := range tb.Hosts {
+		ip := simnet.IP(fmt.Sprintf("128.10.9.%d", 10+i))
+		if _, ok := tb.Net.Lookup(ip); !ok {
+			t.Fatalf("host IP %s not bridged", ip)
+		}
+	}
+}
+
+func TestAddClientGivesRoutableAddresses(t *testing.T) {
+	tb, err := New(Config{Seed: 1})
+	if err != nil {
+		t.Fatal(err)
+	}
+	a := tb.AddClient()
+	b := tb.AddClient()
+	if a == b {
+		t.Fatalf("duplicate client IPs %s", a)
+	}
+	delivered := false
+	if err := tb.Net.Transfer(a, b, 100, func() { delivered = true }); err != nil {
+		t.Fatal(err)
+	}
+	tb.K.Run()
+	if !delivered {
+		t.Fatal("client-to-client transfer failed")
+	}
+}
+
+func TestCustomHostsAndScheduler(t *testing.T) {
+	tb, err := New(Config{
+		Hosts: []hostos.Spec{hostos.Tacoma()},
+		Seed:  2,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(tb.Hosts) != 1 || tb.Hosts[0].Spec.Name != "tacoma" {
+		t.Fatal("custom host list ignored")
+	}
+	// Default scheduler is proportional.
+	if !strings.Contains(tb.Hosts[0].Scheduler().Name(), "proportional") {
+		t.Fatalf("default scheduler = %s", tb.Hosts[0].Scheduler().Name())
+	}
+}
+
+func TestTable2CasesMatchPaperRows(t *testing.T) {
+	cases := Table2Cases()
+	if len(cases) != 4 {
+		t.Fatalf("cases = %d", len(cases))
+	}
+	wantSizes := map[string]int{"S_I": 29, "S_II": 15, "S_III": 400, "S_IV": 253}
+	for _, c := range cases {
+		img := c.Image("x")
+		if got := img.SizeMB(); got != wantSizes[c.Label] {
+			t.Errorf("%s image = %dMB, want %d", c.Label, got, wantSizes[c.Label])
+		}
+		if c.PaperSeattleSec <= 0 || c.PaperTacomaSec <= c.PaperSeattleSec {
+			t.Errorf("%s paper values wrong: %v/%v", c.Label, c.PaperSeattleSec, c.PaperTacomaSec)
+		}
+	}
+}
+
+func TestImagesValidateAndCarryProfiles(t *testing.T) {
+	web := WebContentImage("w", 16)
+	if err := web.Validate(); err != nil {
+		t.Fatal(err)
+	}
+	if web.SizeMB() != 29+16 {
+		t.Fatalf("web image = %dMB", web.SizeMB())
+	}
+	if len(web.RootFS.ListDir("/var/www/data")) != 16*32 {
+		t.Fatal("dataset file count wrong")
+	}
+	hp := HoneypotImage("h")
+	if !strings.Contains(hp.ServiceCommand, "ghttpd") {
+		t.Fatalf("honeypot serves %s", hp.ServiceCommand)
+	}
+	if len(FullServerImage("f").SystemServices) != len(uml.ProfileFullServer()) {
+		t.Fatal("full server profile incomplete")
+	}
+}
+
+func TestSyncCreateHelpersSurfaceErrors(t *testing.T) {
+	tb, err := New(Config{Seed: 3})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := tb.Agent.RegisterASP("a", "k"); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := tb.CreateService("k", soda.ServiceSpec{Name: "bad"}); err == nil {
+		t.Fatal("bad spec accepted")
+	}
+	if err := tb.Teardown("k", "ghost"); err == nil {
+		t.Fatal("teardown of unknown service accepted")
+	}
+	if _, err := tb.Resize("k", "ghost", 2); err == nil {
+		t.Fatal("resize of unknown service accepted")
+	}
+}

@@ -1,0 +1,106 @@
+package hup
+
+import (
+	"repro/internal/image"
+	"repro/internal/uml"
+)
+
+// The paper's four benchmark images (Table 2), reconstructed with the
+// documented sizes and guest-OS configurations.
+
+// WebContentImage is S_I: the static web content service on
+// rootfs_base_1.0 (29.3 MB). datasetMB of static files are included so
+// the Figure 4/6 experiments can vary the served dataset.
+func WebContentImage(name string, datasetMB int) *image.Image {
+	b := image.NewBuilder(name).
+		WithService("/usr/sbin/httpd", 2<<20, 8080).
+		WithWorkers(8).
+		WithSystemServices(uml.ProfileBase()...)
+	files := datasetMB * 32 // 32 KiB files
+	if files > 0 {
+		b.WithDataset(files, 32<<10)
+	}
+	return b.PadToMB(29 + datasetMB).MustBuild()
+}
+
+// HoneypotImage is S_II: the vulnerable ghttpd victim on
+// root_fs_tomrtbt_1.7.205 (15 MB).
+func HoneypotImage(name string) *image.Image {
+	return image.NewBuilder(name).
+		WithService("/usr/sbin/ghttpd-1.4", 1<<20, 8080).
+		WithWorkers(1).
+		WithSystemServices(uml.ProfileTomsrtbt()...).
+		PadToMB(15).
+		MustBuild()
+}
+
+// LFSImage is S_III: a service on root_fs_lfs_4.0 — few system services
+// but a 400 MB root file system.
+func LFSImage(name string) *image.Image {
+	return image.NewBuilder(name).
+		WithService("/usr/sbin/httpd", 2<<20, 8080).
+		WithWorkers(4).
+		WithSystemServices(uml.ProfileLFS()...).
+		PadToMB(400).
+		MustBuild()
+}
+
+// FullServerImage is S_IV: root_fs.rh-7.2-server.pristine.20021012 — a
+// full-blown 253 MB Linux server requiring every system service.
+func FullServerImage(name string) *image.Image {
+	return image.NewBuilder(name).
+		WithService("/usr/sbin/httpd", 2<<20, 8080).
+		WithWorkers(4).
+		WithSystemServices(uml.ProfileFullServer()...).
+		PadToMB(253).
+		MustBuild()
+}
+
+// Table2Case describes one row of the paper's Table 2.
+type Table2Case struct {
+	// Label is the paper's service name (S_I … S_IV).
+	Label string
+	// Configuration is the paper's "Linux configuration" column.
+	Configuration string
+	// Image builds the packaged image.
+	Image func(name string) *image.Image
+	// Profile is the image's guest-OS configuration.
+	Profile []string
+	// PaperSeattleSec and PaperTacomaSec are the published bootstrap
+	// times, kept for EXPERIMENTS.md comparison.
+	PaperSeattleSec, PaperTacomaSec float64
+}
+
+// Table2Cases returns the paper's four bootstrap measurements.
+func Table2Cases() []Table2Case {
+	return []Table2Case{
+		{
+			Label:           "S_I",
+			Configuration:   "rootfs_base_1.0",
+			Image:           func(name string) *image.Image { return WebContentImage(name, 0) },
+			Profile:         uml.ProfileBase(),
+			PaperSeattleSec: 3.0, PaperTacomaSec: 4.0,
+		},
+		{
+			Label:           "S_II",
+			Configuration:   "root_fs_tomrtbt_1.7.205",
+			Image:           HoneypotImage,
+			Profile:         uml.ProfileTomsrtbt(),
+			PaperSeattleSec: 2.0, PaperTacomaSec: 3.0,
+		},
+		{
+			Label:           "S_III",
+			Configuration:   "root_fs_lfs_4.0",
+			Image:           LFSImage,
+			Profile:         uml.ProfileLFS(),
+			PaperSeattleSec: 4.0, PaperTacomaSec: 16.0,
+		},
+		{
+			Label:           "S_IV",
+			Configuration:   "root_fs.rh-7.2-server.pristine.20021012",
+			Image:           FullServerImage,
+			Profile:         uml.ProfileFullServer(),
+			PaperSeattleSec: 22.0, PaperTacomaSec: 42.0,
+		},
+	}
+}

@@ -1,0 +1,224 @@
+// Package hup assembles a complete Hosting Utility Platform testbed: the
+// simulation kernel, the LAN, the HUP hosts with their SODA Daemons, the
+// SODA Master and Agent, an ASP image repository, and client machines.
+// The default configuration reproduces the paper's two-host testbed
+// (§4: seattle and tacoma on a 100 Mbps LAN, with "a number of laptop and
+// desktop PCs running as the SODA Agent, SODA Master, and service
+// clients").
+package hup
+
+import (
+	"fmt"
+
+	"repro/internal/hostos"
+	"repro/internal/hostos/sched"
+	"repro/internal/image"
+	"repro/internal/sim"
+	"repro/internal/simnet"
+	"repro/internal/soda"
+)
+
+// Config parameterises a testbed.
+type Config struct {
+	// Hosts are the HUP hosts; nil means the paper's seattle + tacoma.
+	Hosts []hostos.Spec
+	// Latency is the LAN's one-way propagation delay; 0 means 100 µs.
+	Latency sim.Duration
+	// NewScheduler builds each host's CPU scheduler; nil means SODA's
+	// proportional-share scheduler.
+	NewScheduler func() sched.Scheduler
+	// Seed drives all the testbed's randomness.
+	Seed uint64
+	// AddressMode selects bridging (default) or the §3.3-footnote-3
+	// proxying for virtual service node addressing.
+	AddressMode soda.AddressMode
+}
+
+// Well-known control-plane addresses on the testbed LAN.
+const (
+	MasterIP = simnet.IP("128.10.9.2")
+	AgentIP  = simnet.IP("128.10.9.3")
+	RepoIP   = simnet.IP("128.10.8.1")
+)
+
+// Testbed is a running HUP with its SODA control plane.
+type Testbed struct {
+	K       *sim.Kernel
+	Net     *simnet.Network
+	Hosts   []*hostos.Host
+	Daemons []*soda.Daemon
+	Master  *soda.Master
+	Agent   *soda.Agent
+	Repo    *image.Repository
+	RNG     *sim.RNG
+
+	clients int
+}
+
+// New builds a testbed.
+func New(cfg Config) (*Testbed, error) {
+	if cfg.Hosts == nil {
+		cfg.Hosts = []hostos.Spec{hostos.Seattle(), hostos.Tacoma()}
+	}
+	if cfg.Latency == 0 {
+		cfg.Latency = 100 * sim.Microsecond
+	}
+	if cfg.NewScheduler == nil {
+		cfg.NewScheduler = func() sched.Scheduler { return sched.NewProportional() }
+	}
+	k := sim.NewKernel()
+	net := simnet.New(k, cfg.Latency)
+	tb := &Testbed{K: k, Net: net, RNG: sim.NewRNG(cfg.Seed ^ 0x50da)}
+
+	for i, spec := range cfg.Hosts {
+		h, err := hostos.New(k, spec, cfg.NewScheduler())
+		if err != nil {
+			return nil, err
+		}
+		nic, err := net.Attach(spec.Name, spec.NICMbps)
+		if err != nil {
+			return nil, err
+		}
+		hostIP := simnet.IP(fmt.Sprintf("128.10.9.%d", 10+i))
+		if err := nic.AddIP(hostIP); err != nil {
+			return nil, err
+		}
+		// Disjoint per-daemon IP pools (§4.3).
+		lo := 100 + i*20
+		pool, err := simnet.NewIPPool("128.10.9", lo, lo+19)
+		if err != nil {
+			return nil, err
+		}
+		d, err := soda.NewDaemon(soda.DaemonConfig{
+			Host:    h,
+			NIC:     nic,
+			Net:     net,
+			HostIP:  hostIP,
+			Pool:    pool,
+			UIDBase: 10000 * (i + 1),
+			Mode:    cfg.AddressMode,
+		})
+		if err != nil {
+			return nil, err
+		}
+		tb.Hosts = append(tb.Hosts, h)
+		tb.Daemons = append(tb.Daemons, d)
+	}
+
+	// Control-plane machines.
+	for _, m := range []struct {
+		name string
+		ip   simnet.IP
+	}{{"master", MasterIP}, {"agent", AgentIP}, {"asp-repo", RepoIP}} {
+		nic, err := net.Attach(m.name, 100)
+		if err != nil {
+			return nil, err
+		}
+		if err := nic.AddIP(m.ip); err != nil {
+			return nil, err
+		}
+	}
+	repo, err := image.NewRepository(net, RepoIP)
+	if err != nil {
+		return nil, err
+	}
+	tb.Repo = repo
+	master, err := soda.NewMaster(net, MasterIP, tb.Daemons)
+	if err != nil {
+		return nil, err
+	}
+	tb.Master = master
+	agent, err := soda.NewAgent(net, AgentIP, master)
+	if err != nil {
+		return nil, err
+	}
+	tb.Agent = agent
+	for _, d := range tb.Daemons {
+		d.RegisterRepository(repo)
+	}
+	return tb, nil
+}
+
+// MustNew is New, panicking on error; for benchmarks and examples.
+func MustNew(cfg Config) *Testbed {
+	tb, err := New(cfg)
+	if err != nil {
+		panic(err)
+	}
+	return tb
+}
+
+// AddClient attaches one client machine to the LAN and returns its
+// address.
+func (tb *Testbed) AddClient() simnet.IP {
+	tb.clients++
+	name := fmt.Sprintf("client-%d", tb.clients)
+	ip := simnet.IP(fmt.Sprintf("128.10.7.%d", tb.clients))
+	nic := tb.Net.MustAttach(name, 100)
+	if err := nic.AddIP(ip); err != nil {
+		panic(err)
+	}
+	return ip
+}
+
+// Publish stores an image in the ASP repository.
+func (tb *Testbed) Publish(im *image.Image) error { return tb.Repo.Publish(im) }
+
+// CreateService runs a creation request through the Agent with the given
+// credential and blocks the simulation until it settles, returning the
+// active service. It is the synchronous convenience used by tests,
+// examples, and benchmarks.
+func (tb *Testbed) CreateService(credential string, spec soda.ServiceSpec) (*soda.Service, error) {
+	var (
+		svc  *soda.Service
+		serr error
+		done bool
+	)
+	tb.Agent.ServiceCreation(credential, spec,
+		func(s *soda.Service) { svc, done = s, true },
+		func(err error) { serr, done = err, true })
+	for !done && tb.K.Pending() > 0 {
+		tb.K.RunFor(sim.Second)
+	}
+	if !done {
+		return nil, fmt.Errorf("hup: service creation for %q never settled", spec.Name)
+	}
+	return svc, serr
+}
+
+// Resize runs a resizing request synchronously.
+func (tb *Testbed) Resize(credential, name string, newN int) (*soda.Service, error) {
+	var (
+		svc  *soda.Service
+		serr error
+		done bool
+	)
+	tb.Agent.ServiceResizing(credential, name, newN,
+		func(s *soda.Service) { svc, done = s, true },
+		func(err error) { serr, done = err, true })
+	for !done && tb.K.Pending() > 0 {
+		tb.K.RunFor(sim.Second)
+	}
+	if !done {
+		return nil, fmt.Errorf("hup: resize of %q never settled", name)
+	}
+	return svc, serr
+}
+
+// Teardown runs a tear-down request synchronously.
+func (tb *Testbed) Teardown(credential, name string) error {
+	var (
+		serr error
+		done bool
+	)
+	tb.Agent.ServiceTeardown(credential, name,
+		func() { done = true },
+		func(err error) { serr, done = err, true })
+	for !done && tb.K.Pending() > 0 {
+		tb.K.RunFor(sim.Second)
+	}
+	if !done {
+		return fmt.Errorf("hup: teardown of %q never settled", name)
+	}
+	return serr
+}

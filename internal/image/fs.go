@@ -1,0 +1,166 @@
+// Package image models application service images: root file systems
+// packaged by the ASP (the paper assumes RPM packaging, §4.3), the
+// ASP-side image repository, and the HTTP/1.1 download performed by the
+// SODA Daemon during service priming.
+package image
+
+import (
+	"fmt"
+	"path"
+	"sort"
+	"strings"
+)
+
+// File is one entry in a root file system tree.
+type File struct {
+	// Path is the absolute path within the image ("/etc/init.d/httpd").
+	Path string
+	// SizeBytes is the file's size.
+	SizeBytes int64
+	// Executable marks binaries and init scripts.
+	Executable bool
+}
+
+// Tree is an in-memory root file system: the unit the SODA Daemon
+// downloads, tailors, and hands to the UML as its root. Paths are unique;
+// directories are implicit.
+type Tree struct {
+	files map[string]*File
+}
+
+// NewTree returns an empty file system.
+func NewTree() *Tree {
+	return &Tree{files: make(map[string]*File)}
+}
+
+// Add inserts a file, normalising the path. Duplicate paths are replaced.
+func (t *Tree) Add(p string, size int64, executable bool) error {
+	cp, err := cleanPath(p)
+	if err != nil {
+		return err
+	}
+	if size < 0 {
+		return fmt.Errorf("image: negative size for %s", cp)
+	}
+	t.files[cp] = &File{Path: cp, SizeBytes: size, Executable: executable}
+	return nil
+}
+
+// MustAdd is Add, panicking on error; for building fixed images.
+func (t *Tree) MustAdd(p string, size int64, executable bool) {
+	if err := t.Add(p, size, executable); err != nil {
+		panic(err)
+	}
+}
+
+func cleanPath(p string) (string, error) {
+	if !strings.HasPrefix(p, "/") {
+		return "", fmt.Errorf("image: path %q is not absolute", p)
+	}
+	cp := path.Clean(p)
+	if cp == "/" {
+		return "", fmt.Errorf("image: path %q names the root", p)
+	}
+	return cp, nil
+}
+
+// Remove deletes a file, reporting whether it existed.
+func (t *Tree) Remove(p string) bool {
+	cp, err := cleanPath(p)
+	if err != nil {
+		return false
+	}
+	if _, ok := t.files[cp]; !ok {
+		return false
+	}
+	delete(t.files, cp)
+	return true
+}
+
+// RemovePrefix deletes every file under the directory prefix, returning
+// the number removed and the bytes reclaimed.
+func (t *Tree) RemovePrefix(dir string) (int, int64) {
+	cp, err := cleanPath(dir)
+	if err != nil {
+		return 0, 0
+	}
+	prefix := cp + "/"
+	var n int
+	var bytes int64
+	for p, f := range t.files {
+		if p == cp || strings.HasPrefix(p, prefix) {
+			n++
+			bytes += f.SizeBytes
+			delete(t.files, p)
+		}
+	}
+	return n, bytes
+}
+
+// Lookup returns the file at p, or nil.
+func (t *Tree) Lookup(p string) *File {
+	cp, err := cleanPath(p)
+	if err != nil {
+		return nil
+	}
+	return t.files[cp]
+}
+
+// Contains reports whether the tree holds a file at p.
+func (t *Tree) Contains(p string) bool { return t.Lookup(p) != nil }
+
+// Len returns the number of files.
+func (t *Tree) Len() int { return len(t.files) }
+
+// SizeBytes returns the total size of all files.
+func (t *Tree) SizeBytes() int64 {
+	var total int64
+	for _, f := range t.files {
+		total += f.SizeBytes
+	}
+	return total
+}
+
+// SizeMB returns the total size in whole MiB, rounding up.
+func (t *Tree) SizeMB() int {
+	const mb = 1 << 20
+	return int((t.SizeBytes() + mb - 1) / mb)
+}
+
+// List returns every file sorted by path.
+func (t *Tree) List() []*File {
+	out := make([]*File, 0, len(t.files))
+	for _, f := range t.files {
+		out = append(out, f)
+	}
+	sort.Slice(out, func(i, j int) bool { return out[i].Path < out[j].Path })
+	return out
+}
+
+// ListDir returns the files directly or transitively under dir, sorted.
+func (t *Tree) ListDir(dir string) []*File {
+	cp, err := cleanPath(dir)
+	if err != nil {
+		return nil
+	}
+	prefix := cp + "/"
+	var out []*File
+	for p, f := range t.files {
+		if strings.HasPrefix(p, prefix) {
+			out = append(out, f)
+		}
+	}
+	sort.Slice(out, func(i, j int) bool { return out[i].Path < out[j].Path })
+	return out
+}
+
+// Clone returns a deep copy — tailoring operates on a copy so the
+// downloaded master image can prime multiple virtual service nodes.
+func (t *Tree) Clone() *Tree {
+	c := NewTree()
+	for p, f := range t.files {
+		cp := *f
+		c.files[p] = &cp
+	}
+	return c
+}

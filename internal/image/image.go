@@ -1,0 +1,161 @@
+package image
+
+import (
+	"fmt"
+	"sort"
+)
+
+// Image is a packaged application service: a root file system containing
+// the service's executables and data files, organised with one root
+// (§3: "the image of service S, including the executables and data files,
+// properly organized in a file system").
+type Image struct {
+	// Name identifies the image in the repository ("webcontent-1.0").
+	Name string
+	// RootFS is the packaged file system.
+	RootFS *Tree
+	// SystemServices names the guest-OS (Linux) system services the
+	// application requires; the SODA Daemon's tailoring step retains only
+	// these and their dependency closure (§4.3).
+	SystemServices []string
+	// ServiceCommand is the init command that starts the application
+	// service after the guest OS boots ("/usr/sbin/httpd").
+	ServiceCommand string
+	// Port is the TCP port the service listens on.
+	Port int
+	// WorkerProcesses is how many server processes the service runs in
+	// its virtual service node (httpd pre-fork workers, etc.).
+	WorkerProcesses int
+}
+
+// Validate reports the first problem with the image, or nil.
+func (im *Image) Validate() error {
+	switch {
+	case im.Name == "":
+		return fmt.Errorf("image: unnamed image")
+	case im.RootFS == nil || im.RootFS.Len() == 0:
+		return fmt.Errorf("image %s: empty root file system", im.Name)
+	case im.ServiceCommand == "":
+		return fmt.Errorf("image %s: no service command", im.Name)
+	case !im.RootFS.Contains(im.ServiceCommand):
+		return fmt.Errorf("image %s: service command %s not in root file system", im.Name, im.ServiceCommand)
+	case im.Port <= 0 || im.Port > 65535:
+		return fmt.Errorf("image %s: bad port %d", im.Name, im.Port)
+	case im.WorkerProcesses <= 0:
+		return fmt.Errorf("image %s: need at least one worker process", im.Name)
+	}
+	return nil
+}
+
+// SizeMB returns the image's packaged size.
+func (im *Image) SizeMB() int { return im.RootFS.SizeMB() }
+
+// SizeBytes returns the image's packaged size in bytes.
+func (im *Image) SizeBytes() int64 { return im.RootFS.SizeBytes() }
+
+// Clone returns a deep copy of the image, for per-node tailoring.
+func (im *Image) Clone() *Image {
+	c := *im
+	c.RootFS = im.RootFS.Clone()
+	c.SystemServices = append([]string(nil), im.SystemServices...)
+	return &c
+}
+
+// Builder assembles images with synthetic content so tests and the
+// benchmark harness can produce file systems of any target size without
+// shipping real binaries.
+type Builder struct {
+	img  *Image
+	errs []error
+}
+
+// NewBuilder starts an image named name.
+func NewBuilder(name string) *Builder {
+	return &Builder{img: &Image{Name: name, RootFS: NewTree(), Port: 8080, WorkerProcesses: 1}}
+}
+
+// WithService sets the service start command (added to the tree as an
+// executable) and listen port.
+func (b *Builder) WithService(command string, sizeBytes int64, port int) *Builder {
+	if err := b.img.RootFS.Add(command, sizeBytes, true); err != nil {
+		b.errs = append(b.errs, err)
+		return b
+	}
+	b.img.ServiceCommand = command
+	b.img.Port = port
+	return b
+}
+
+// WithWorkers sets the number of service worker processes.
+func (b *Builder) WithWorkers(n int) *Builder {
+	b.img.WorkerProcesses = n
+	return b
+}
+
+// WithSystemServices declares the guest-OS services the application needs.
+// Matching init scripts are added under /etc/init.d/.
+func (b *Builder) WithSystemServices(names ...string) *Builder {
+	b.img.SystemServices = append(b.img.SystemServices, names...)
+	for _, n := range names {
+		if err := b.img.RootFS.Add("/etc/init.d/"+n, 4096, true); err != nil {
+			b.errs = append(b.errs, err)
+		}
+	}
+	return b
+}
+
+// WithFile adds an arbitrary file.
+func (b *Builder) WithFile(path string, sizeBytes int64) *Builder {
+	if err := b.img.RootFS.Add(path, sizeBytes, false); err != nil {
+		b.errs = append(b.errs, err)
+	}
+	return b
+}
+
+// WithDataset adds n data files of the given size under /var/www/data/,
+// the static dataset served by the paper's web content service.
+func (b *Builder) WithDataset(n int, fileBytes int64) *Builder {
+	for i := 0; i < n; i++ {
+		b.WithFile(fmt.Sprintf("/var/www/data/file-%04d.bin", i), fileBytes)
+	}
+	return b
+}
+
+// PadToMB adds filler under /usr/lib/ until the image's total size
+// reaches the target, reproducing the paper's image sizes (29.3 MB,
+// 15 MB, 400 MB, 253 MB) without enumerating every real file.
+func (b *Builder) PadToMB(targetMB int) *Builder {
+	const chunk = 4 << 20
+	want := int64(targetMB) << 20
+	i := 0
+	for b.img.RootFS.SizeBytes() < want {
+		n := want - b.img.RootFS.SizeBytes()
+		if n > chunk {
+			n = chunk
+		}
+		b.WithFile(fmt.Sprintf("/usr/lib/pad/blob-%04d", i), n)
+		i++
+	}
+	return b
+}
+
+// Build finalises and validates the image.
+func (b *Builder) Build() (*Image, error) {
+	if len(b.errs) > 0 {
+		return nil, b.errs[0]
+	}
+	sort.Strings(b.img.SystemServices)
+	if err := b.img.Validate(); err != nil {
+		return nil, err
+	}
+	return b.img, nil
+}
+
+// MustBuild is Build, panicking on error.
+func (b *Builder) MustBuild() *Image {
+	im, err := b.Build()
+	if err != nil {
+		panic(err)
+	}
+	return im
+}

@@ -1,0 +1,135 @@
+package metrics
+
+import (
+	"fmt"
+	"sort"
+	"strings"
+	"time"
+)
+
+// Point is one sample of a time series: a value observed at a virtual
+// timestamp (stored as an offset from the experiment epoch).
+type Point struct {
+	T time.Duration
+	V float64
+}
+
+// TimeSeries records (timestamp, value) samples, e.g. a virtual service
+// node's CPU share sampled every second for Figure 5.
+type TimeSeries struct {
+	// Name labels the series in rendered output ("web", "comp", "log").
+	Name   string
+	points []Point
+}
+
+// NewTimeSeries returns an empty named series.
+func NewTimeSeries(name string) *TimeSeries {
+	return &TimeSeries{Name: name}
+}
+
+// Record appends a sample. Timestamps are expected to be non-decreasing;
+// out-of-order samples panic because they indicate a simulation bug.
+func (ts *TimeSeries) Record(t time.Duration, v float64) {
+	if n := len(ts.points); n > 0 && t < ts.points[n-1].T {
+		panic(fmt.Sprintf("metrics: series %q sample at %v before %v", ts.Name, t, ts.points[n-1].T))
+	}
+	ts.points = append(ts.points, Point{T: t, V: v})
+}
+
+// Len returns the number of samples.
+func (ts *TimeSeries) Len() int { return len(ts.points) }
+
+// Points returns a copy of the samples.
+func (ts *TimeSeries) Points() []Point {
+	out := make([]Point, len(ts.points))
+	copy(out, ts.points)
+	return out
+}
+
+// At returns the value of the latest sample at or before t, or 0 if t
+// precedes the first sample.
+func (ts *TimeSeries) At(t time.Duration) float64 {
+	i := sort.Search(len(ts.points), func(i int) bool { return ts.points[i].T > t })
+	if i == 0 {
+		return 0
+	}
+	return ts.points[i-1].V
+}
+
+// Summary returns the summary statistics of the sample values.
+func (ts *TimeSeries) Summary() *Summary {
+	var s Summary
+	for _, p := range ts.points {
+		s.Observe(p.V)
+	}
+	return &s
+}
+
+// Window returns summary statistics over samples with from ≤ T < to.
+func (ts *TimeSeries) Window(from, to time.Duration) *Summary {
+	var s Summary
+	for _, p := range ts.points {
+		if p.T >= from && p.T < to {
+			s.Observe(p.V)
+		}
+	}
+	return &s
+}
+
+// SeriesSet groups parallel time series (one per VSN) for rendering.
+type SeriesSet struct {
+	Series []*TimeSeries
+}
+
+// Add appends a series to the set and returns the series for chaining.
+func (ss *SeriesSet) Add(ts *TimeSeries) *TimeSeries {
+	ss.Series = append(ss.Series, ts)
+	return ts
+}
+
+// RenderASCII renders the set as a fixed-width chart: one column per
+// sample time, one row band per series, values scaled to maxValue. It is
+// used by cmd/sodabench to "draw" Figure 5 in a terminal.
+func (ss *SeriesSet) RenderASCII(width, height int, maxValue float64) string {
+	if len(ss.Series) == 0 || width <= 0 || height <= 0 {
+		return ""
+	}
+	glyphs := []byte{'*', '+', 'o', 'x', '#', '@'}
+	var maxT time.Duration
+	for _, s := range ss.Series {
+		if n := s.Len(); n > 0 && s.points[n-1].T > maxT {
+			maxT = s.points[n-1].T
+		}
+	}
+	if maxT == 0 {
+		return ""
+	}
+	grid := make([][]byte, height)
+	for i := range grid {
+		grid[i] = []byte(strings.Repeat(" ", width))
+	}
+	for si, s := range ss.Series {
+		g := glyphs[si%len(glyphs)]
+		for _, p := range s.points {
+			x := int(float64(p.T) / float64(maxT) * float64(width-1))
+			v := p.V
+			if v > maxValue {
+				v = maxValue
+			}
+			y := height - 1 - int(v/maxValue*float64(height-1))
+			grid[y][x] = g
+		}
+	}
+	var b strings.Builder
+	for i, row := range grid {
+		val := maxValue * float64(height-1-i) / float64(height-1)
+		fmt.Fprintf(&b, "%7.2f |%s|\n", val, string(row))
+	}
+	fmt.Fprintf(&b, "%7s +%s+\n", "", strings.Repeat("-", width))
+	var legend []string
+	for si, s := range ss.Series {
+		legend = append(legend, fmt.Sprintf("%c=%s", glyphs[si%len(glyphs)], s.Name))
+	}
+	fmt.Fprintf(&b, "%8s0 .. %v   %s\n", "", maxT, strings.Join(legend, "  "))
+	return b.String()
+}

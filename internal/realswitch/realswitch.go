@@ -1,0 +1,163 @@
+// Package realswitch is the live-network twin of internal/svcswitch: a
+// real HTTP reverse proxy that routes requests to backend servers over
+// TCP using the same service-configuration-file format (Table 3) and the
+// same replaceable Policy interface. It demonstrates that SODA's request
+// switching logic is not an artefact of the simulator — the same policy
+// drives genuine connections — and it backs cmd/sodactl and the
+// realproxy example.
+package realswitch
+
+import (
+	"fmt"
+	"io"
+	"net/http"
+	"net/http/httputil"
+	"net/url"
+	"sync"
+
+	"repro/internal/svcswitch"
+)
+
+// Proxy is a live HTTP service switch. It implements http.Handler; serve
+// it with net/http on the address clients should use.
+type Proxy struct {
+	mu      sync.Mutex
+	config  *svcswitch.ConfigFile
+	policy  svcswitch.Policy
+	cfgSeen int
+	stats   map[string]*svcswitch.Stats
+	proxies map[string]*httputil.ReverseProxy
+
+	// Routed and Dropped mirror the simulated switch's counters.
+	Routed, Dropped int
+}
+
+// New creates a proxy for the given service configuration with the
+// default weighted-round-robin policy.
+func New(config *svcswitch.ConfigFile) *Proxy {
+	return &Proxy{
+		config:  config,
+		policy:  svcswitch.NewWeightedRoundRobin(),
+		cfgSeen: config.Version,
+		stats:   make(map[string]*svcswitch.Stats),
+		proxies: make(map[string]*httputil.ReverseProxy),
+	}
+}
+
+// SetPolicy installs a service-specific policy (the ASP hook of §3.4).
+func (p *Proxy) SetPolicy(pol svcswitch.Policy) {
+	if pol == nil {
+		panic("realswitch: nil policy")
+	}
+	p.mu.Lock()
+	defer p.mu.Unlock()
+	p.policy = pol
+	pol.Reset()
+}
+
+// Config returns the proxy's service configuration file.
+func (p *Proxy) Config() *svcswitch.ConfigFile { return p.config }
+
+// StatsFor returns forwarding statistics for a backend.
+func (p *Proxy) StatsFor(e svcswitch.BackendEntry) svcswitch.Stats {
+	p.mu.Lock()
+	defer p.mu.Unlock()
+	if st := p.stats[e.Addr()]; st != nil {
+		return *st
+	}
+	return svcswitch.Stats{}
+}
+
+// pick chooses a backend under the lock, updating stats, and returns the
+// reverse proxy to use.
+func (p *Proxy) pick() (*httputil.ReverseProxy, *svcswitch.Stats, error) {
+	p.mu.Lock()
+	defer p.mu.Unlock()
+	if p.config.Version != p.cfgSeen {
+		p.policy.Reset()
+		p.cfgSeen = p.config.Version
+	}
+	entries := p.config.Entries()
+	if len(entries) == 0 {
+		return nil, nil, fmt.Errorf("realswitch: no backends configured")
+	}
+	stats := make([]svcswitch.Stats, len(entries))
+	for i, e := range entries {
+		if st := p.stats[e.Addr()]; st != nil {
+			stats[i] = *st
+		}
+	}
+	idx, err := p.policy.Pick(entries, stats)
+	if err != nil || idx < 0 || idx >= len(entries) {
+		return nil, nil, fmt.Errorf("realswitch: policy failed: %v", err)
+	}
+	entry := entries[idx]
+	rp := p.proxies[entry.Addr()]
+	if rp == nil {
+		target := &url.URL{Scheme: "http", Host: entry.Addr()}
+		rp = httputil.NewSingleHostReverseProxy(target)
+		p.proxies[entry.Addr()] = rp
+	}
+	st := p.stats[entry.Addr()]
+	if st == nil {
+		st = &svcswitch.Stats{}
+		p.stats[entry.Addr()] = st
+	}
+	st.Active++
+	st.Forwarded++
+	p.Routed++
+	return rp, st, nil
+}
+
+// ServeHTTP implements http.Handler: policy pick, then a genuine
+// reverse-proxied request to the chosen backend.
+func (p *Proxy) ServeHTTP(w http.ResponseWriter, r *http.Request) {
+	rp, st, err := p.pick()
+	if err != nil {
+		p.mu.Lock()
+		p.Dropped++
+		p.mu.Unlock()
+		http.Error(w, err.Error(), http.StatusBadGateway)
+		return
+	}
+	defer func() {
+		p.mu.Lock()
+		st.Active--
+		p.mu.Unlock()
+	}()
+	rp.ServeHTTP(w, r)
+}
+
+// Backend is a minimal live application service for demonstrations: it
+// serves a fixed payload and identifies itself, so tests can verify the
+// 2:1 weighted split over real TCP.
+type Backend struct {
+	// Name identifies the backend in the X-Soda-Node response header.
+	Name string
+	// Payload is the response body.
+	Payload []byte
+
+	mu     sync.Mutex
+	served int
+}
+
+// Served returns how many requests this backend handled.
+func (b *Backend) Served() int {
+	b.mu.Lock()
+	defer b.mu.Unlock()
+	return b.served
+}
+
+// ServeHTTP implements http.Handler.
+func (b *Backend) ServeHTTP(w http.ResponseWriter, r *http.Request) {
+	b.mu.Lock()
+	b.served++
+	b.mu.Unlock()
+	w.Header().Set("X-Soda-Node", b.Name)
+	w.WriteHeader(http.StatusOK)
+	if len(b.Payload) > 0 {
+		w.Write(b.Payload)
+	} else {
+		io.WriteString(w, "ok from "+b.Name)
+	}
+}

@@ -1,0 +1,211 @@
+package realswitch
+
+import (
+	"io"
+	"net/http"
+	"net/http/httptest"
+	"strings"
+	"sync"
+	"testing"
+
+	"repro/internal/simnet"
+	"repro/internal/svcswitch"
+)
+
+// liveFixture starts two real backend HTTP servers (capacity 2 and 1)
+// plus the proxy in front of them, all on loopback TCP.
+func liveFixture(t *testing.T) (*Proxy, *httptest.Server, []*Backend, []*httptest.Server) {
+	t.Helper()
+	backends := []*Backend{{Name: "seattle-node"}, {Name: "tacoma-node"}}
+	var servers []*httptest.Server
+	var entries []svcswitch.BackendEntry
+	caps := []int{2, 1}
+	for i, b := range backends {
+		srv := httptest.NewServer(b)
+		t.Cleanup(srv.Close)
+		servers = append(servers, srv)
+		host := strings.TrimPrefix(srv.URL, "http://")
+		ipPort := strings.Split(host, ":")
+		entries = append(entries, svcswitch.BackendEntry{
+			IP:       simnet.IP(ipPort[0]),
+			Port:     atoiOrFail(t, ipPort[1]),
+			Capacity: caps[i],
+		})
+	}
+	cfg := svcswitch.NewConfigFile("webcontent")
+	if err := cfg.SetEntries(entries); err != nil {
+		t.Fatal(err)
+	}
+	p := New(cfg)
+	front := httptest.NewServer(p)
+	t.Cleanup(front.Close)
+	return p, front, backends, servers
+}
+
+func atoiOrFail(t *testing.T, s string) int {
+	t.Helper()
+	n := 0
+	for _, c := range s {
+		if c < '0' || c > '9' {
+			t.Fatalf("bad port %q", s)
+		}
+		n = n*10 + int(c-'0')
+	}
+	return n
+}
+
+func get(t *testing.T, url string) *http.Response {
+	t.Helper()
+	resp, err := http.Get(url)
+	if err != nil {
+		t.Fatal(err)
+	}
+	t.Cleanup(func() { resp.Body.Close() })
+	return resp
+}
+
+func TestProxyBalancesTwoToOneOverRealTCP(t *testing.T) {
+	p, front, backends, _ := liveFixture(t)
+	for i := 0; i < 30; i++ {
+		resp := get(t, front.URL)
+		if resp.StatusCode != http.StatusOK {
+			t.Fatalf("status = %d", resp.StatusCode)
+		}
+		io.Copy(io.Discard, resp.Body)
+	}
+	if backends[0].Served() != 20 || backends[1].Served() != 10 {
+		t.Fatalf("split = %d:%d, want 20:10", backends[0].Served(), backends[1].Served())
+	}
+	if p.Routed != 30 || p.Dropped != 0 {
+		t.Fatalf("routed=%d dropped=%d", p.Routed, p.Dropped)
+	}
+}
+
+func TestProxyIdentifiesBackendInHeader(t *testing.T) {
+	_, front, _, _ := liveFixture(t)
+	names := map[string]bool{}
+	for i := 0; i < 3; i++ {
+		resp := get(t, front.URL)
+		names[resp.Header.Get("X-Soda-Node")] = true
+		io.Copy(io.Discard, resp.Body)
+	}
+	if !names["seattle-node"] || !names["tacoma-node"] {
+		t.Fatalf("nodes seen = %v", names)
+	}
+}
+
+func TestProxyPolicySwapOverRealTCP(t *testing.T) {
+	_, front, backends, _ := liveFixture(t)
+	// Plain round-robin ignores capacity: the split becomes 1:1.
+	pNew := svcswitch.NewRoundRobin()
+	proxyOf(t, front).SetPolicy(pNew)
+	for i := 0; i < 20; i++ {
+		resp := get(t, front.URL)
+		io.Copy(io.Discard, resp.Body)
+	}
+	if backends[0].Served() != 10 || backends[1].Served() != 10 {
+		t.Fatalf("split = %d:%d, want 10:10 under round-robin", backends[0].Served(), backends[1].Served())
+	}
+}
+
+// proxyOf digs the Proxy back out of the test server for policy swaps.
+func proxyOf(t *testing.T, front *httptest.Server) *Proxy {
+	t.Helper()
+	if p, ok := front.Config.Handler.(*Proxy); ok {
+		return p
+	}
+	t.Fatal("front server does not wrap a Proxy")
+	return nil
+}
+
+func TestProxyResizeTakesEffectLive(t *testing.T) {
+	p, front, backends, _ := liveFixture(t)
+	// Drop the capacity-1 backend: all traffic must go to the survivor.
+	entries := p.Config().Entries()
+	if !p.Config().RemoveEntry(entries[1].IP, entries[1].Port) {
+		t.Fatal("remove failed")
+	}
+	before := backends[1].Served()
+	for i := 0; i < 10; i++ {
+		resp := get(t, front.URL)
+		io.Copy(io.Discard, resp.Body)
+	}
+	if backends[1].Served() != before {
+		t.Fatal("removed backend still receiving traffic")
+	}
+	if backends[0].Served() < 10 {
+		t.Fatal("survivor did not absorb the traffic")
+	}
+}
+
+func TestProxyNoBackendsReturns502(t *testing.T) {
+	cfg := svcswitch.NewConfigFile("empty")
+	front := httptest.NewServer(New(cfg))
+	defer front.Close()
+	resp := get(t, front.URL)
+	if resp.StatusCode != http.StatusBadGateway {
+		t.Fatalf("status = %d, want 502", resp.StatusCode)
+	}
+}
+
+func TestProxyIllBehavedPolicyFailsRequestsNotProxy(t *testing.T) {
+	p, front, _, _ := liveFixture(t)
+	p.SetPolicy(svcswitch.NewIllBehaved())
+	resp := get(t, front.URL)
+	if resp.StatusCode != http.StatusBadGateway {
+		t.Fatalf("status = %d", resp.StatusCode)
+	}
+	// Recover with the default policy: the proxy itself is unharmed.
+	p.SetPolicy(svcswitch.NewWeightedRoundRobin())
+	resp2 := get(t, front.URL)
+	if resp2.StatusCode != http.StatusOK {
+		t.Fatalf("status after recovery = %d", resp2.StatusCode)
+	}
+	io.Copy(io.Discard, resp2.Body)
+}
+
+func TestProxyConcurrentClients(t *testing.T) {
+	p, front, backends, _ := liveFixture(t)
+	var wg sync.WaitGroup
+	const clients = 8
+	const per = 15
+	for c := 0; c < clients; c++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for i := 0; i < per; i++ {
+				resp, err := http.Get(front.URL)
+				if err != nil {
+					t.Error(err)
+					return
+				}
+				io.Copy(io.Discard, resp.Body)
+				resp.Body.Close()
+			}
+		}()
+	}
+	wg.Wait()
+	total := backends[0].Served() + backends[1].Served()
+	if total != clients*per {
+		t.Fatalf("served %d of %d", total, clients*per)
+	}
+	if p.Routed != clients*per {
+		t.Fatalf("routed = %d", p.Routed)
+	}
+	// Weighted split holds within 10% even under concurrency.
+	ratio := float64(backends[0].Served()) / float64(backends[1].Served())
+	if ratio < 1.7 || ratio > 2.3 {
+		t.Fatalf("split ratio = %.2f, want ≈2", ratio)
+	}
+}
+
+func TestBackendDefaultBody(t *testing.T) {
+	b := &Backend{Name: "n1"}
+	srv := httptest.NewServer(b)
+	defer srv.Close()
+	resp := get(t, srv.URL)
+	body, _ := io.ReadAll(resp.Body)
+	if !strings.Contains(string(body), "n1") {
+		t.Fatalf("body = %q", body)
+	}
+}

@@ -1,0 +1,238 @@
+package sim
+
+import (
+	"math"
+	"testing"
+	"testing/quick"
+)
+
+func approxEq(a, b, tol float64) bool { return math.Abs(a-b) <= tol }
+
+func TestFluidSingleFlowFinishesAtWorkOverCapacity(t *testing.T) {
+	k := NewKernel()
+	s := NewFluidServer(k, "cpu", 100, EqualShare) // 100 units/sec
+	var done Time
+	s.Submit("job", 1, 250, nil, func() { done = k.Now() })
+	k.Run()
+	if done != Time(2500*Millisecond) {
+		t.Fatalf("completion at %v, want 2.5s", done)
+	}
+}
+
+func TestFluidEqualShareTwoIdenticalFlowsFinishTogether(t *testing.T) {
+	k := NewKernel()
+	s := NewFluidServer(k, "cpu", 100, EqualShare)
+	var d1, d2 Time
+	s.Submit("a", 1, 100, nil, func() { d1 = k.Now() })
+	s.Submit("b", 1, 100, nil, func() { d2 = k.Now() })
+	k.Run()
+	// Each gets 50/sec, so both finish at 2s.
+	if d1 != Time(2*Second) || d2 != Time(2*Second) {
+		t.Fatalf("completions %v, %v, want 2s each", d1, d2)
+	}
+}
+
+func TestFluidWeightedShareSplitsTwoToOne(t *testing.T) {
+	k := NewKernel()
+	s := NewFluidServer(k, "link", 90, WeightedShare)
+	var dHeavy, dLight Time
+	// Weight 2 gets 60/sec, weight 1 gets 30/sec.
+	s.Submit("heavy", 2, 120, nil, func() { dHeavy = k.Now() })
+	s.Submit("light", 1, 120, nil, func() { dLight = k.Now() })
+	k.Run()
+	if dHeavy != Time(2*Second) {
+		t.Fatalf("heavy done at %v, want 2s", dHeavy)
+	}
+	// After heavy leaves at 2s, light has 120-60=60 left at full 90/sec:
+	// 2s + 60/90 s = 2.6667s.
+	want := 2 + 60.0/90.0
+	if !approxEq(dLight.Seconds(), want, 1e-9) {
+		t.Fatalf("light done at %vs, want %vs", dLight.Seconds(), want)
+	}
+}
+
+func TestFluidLateArrivalSlowsExistingFlow(t *testing.T) {
+	k := NewKernel()
+	s := NewFluidServer(k, "cpu", 100, EqualShare)
+	var dA Time
+	s.Submit("a", 1, 100, nil, func() { dA = k.Now() })
+	// b arrives at 0.5s; a has 50 left, now served at 50/sec → +1s → 1.5s.
+	k.After(500*Millisecond, func() {
+		s.Submit("b", 1, 1000, nil, nil)
+	})
+	k.Run()
+	if !approxEq(dA.Seconds(), 1.5, 1e-9) {
+		t.Fatalf("a done at %v, want 1.5s", dA)
+	}
+}
+
+func TestFluidCancelRemovesFlowAndSpeedsOthers(t *testing.T) {
+	k := NewKernel()
+	s := NewFluidServer(k, "cpu", 100, EqualShare)
+	var dA Time
+	var fB *Flow
+	s.Submit("a", 1, 100, nil, func() { dA = k.Now() })
+	fB = s.Submit("b", 1, 1e9, nil, func() { t.Error("cancelled flow completed") })
+	k.After(time500(), func() {
+		if !s.Cancel(fB) {
+			t.Error("cancel returned false")
+		}
+		if s.Cancel(fB) {
+			t.Error("double cancel returned true")
+		}
+	})
+	k.Run()
+	// a: 0.5s at 50/sec = 25 done, then 75 left at 100/sec = 0.75s → 1.25s.
+	if !approxEq(dA.Seconds(), 1.25, 1e-9) {
+		t.Fatalf("a done at %v, want 1.25s", dA)
+	}
+	if fB.Active() {
+		t.Fatal("cancelled flow still active")
+	}
+}
+
+func time500() Duration { return 500 * Millisecond }
+
+func TestFluidZeroWorkCompletesImmediately(t *testing.T) {
+	k := NewKernel()
+	s := NewFluidServer(k, "cpu", 10, EqualShare)
+	fired := false
+	s.Submit("empty", 1, 0, nil, func() { fired = true })
+	k.Run()
+	if !fired {
+		t.Fatal("zero-work flow never completed")
+	}
+	if k.Now() != 0 {
+		t.Fatalf("clock advanced to %v for zero work", k.Now())
+	}
+}
+
+func TestFluidAddWorkExtendsCompletion(t *testing.T) {
+	k := NewKernel()
+	s := NewFluidServer(k, "cpu", 100, EqualShare)
+	var done Time
+	f := s.Submit("grow", 1, 100, nil, func() { done = k.Now() })
+	k.After(500*Millisecond, func() { f.AddWork(50) })
+	k.Run()
+	if !approxEq(done.Seconds(), 1.5, 1e-9) {
+		t.Fatalf("done at %v, want 1.5s", done)
+	}
+}
+
+func TestFluidSetCapacityMidFlight(t *testing.T) {
+	k := NewKernel()
+	s := NewFluidServer(k, "cpu", 100, EqualShare)
+	var done Time
+	s.Submit("j", 1, 100, nil, func() { done = k.Now() })
+	k.After(500*Millisecond, func() { s.SetCapacity(50) })
+	k.Run()
+	// 50 done in first 0.5s, remaining 50 at 50/sec = 1s → total 1.5s.
+	if !approxEq(done.Seconds(), 1.5, 1e-9) {
+		t.Fatalf("done at %v, want 1.5s", done)
+	}
+}
+
+func TestFluidPolicySwapMidFlight(t *testing.T) {
+	k := NewKernel()
+	s := NewFluidServer(k, "cpu", 100, EqualShare)
+	var dHeavy Time
+	s.Submit("heavy", 3, 100, nil, func() { dHeavy = k.Now() })
+	s.Submit("light", 1, 1e9, nil, nil)
+	k.After(Second, func() { s.SetPolicy(WeightedShare) })
+	k.Run()
+	// First 1s equal share: heavy serves 50. Then weighted 3:1: heavy at
+	// 75/sec, 50 left → 2/3 s. Total 1.6667s.
+	want := 1 + 50.0/75.0
+	if !approxEq(dHeavy.Seconds(), want, 1e-9) {
+		t.Fatalf("heavy done at %vs, want %vs", dHeavy.Seconds(), want)
+	}
+}
+
+func TestFluidServedAccounting(t *testing.T) {
+	k := NewKernel()
+	s := NewFluidServer(k, "cpu", 100, EqualShare)
+	f := s.Submit("j", 1, 100, nil, nil)
+	k.RunUntil(Time(500 * Millisecond))
+	if !approxEq(f.Served(), 50, 1e-9) {
+		t.Fatalf("served = %v, want 50", f.Served())
+	}
+	if !approxEq(f.Remaining(), 50, 1e-9) {
+		t.Fatalf("remaining = %v, want 50", f.Remaining())
+	}
+}
+
+func TestFluidUtilisation(t *testing.T) {
+	k := NewKernel()
+	s := NewFluidServer(k, "cpu", 100, EqualShare)
+	s.Submit("j", 1, 100, nil, nil) // busy for 1s
+	k.RunUntil(Time(2 * Second))
+	if !approxEq(s.Utilisation(), 0.5, 1e-9) {
+		t.Fatalf("utilisation = %v, want 0.5", s.Utilisation())
+	}
+}
+
+func TestFluidConservationProperty(t *testing.T) {
+	// Property: with any mix of flow sizes, total served work equals total
+	// submitted work once the server drains, and completion times are
+	// non-decreasing in submitted size for equal-weight simultaneous flows.
+	if err := quick.Check(func(seed uint64) bool {
+		r := NewRNG(seed)
+		k := NewKernel()
+		s := NewFluidServer(k, "cpu", 1000, EqualShare)
+		n := 2 + r.Intn(8)
+		var total float64
+		sizes := make([]float64, n)
+		dones := make([]Time, n)
+		for i := 0; i < n; i++ {
+			sizes[i] = 1 + r.Float64()*500
+			total += sizes[i]
+			i := i
+			s.Submit("f", 1, sizes[i], nil, func() { dones[i] = k.Now() })
+		}
+		end := k.Run()
+		if !approxEq(s.TotalServed, total, 1e-6*total) {
+			return false
+		}
+		// Makespan = total/capacity under work conservation (up to the
+		// fluid model's completion tolerance).
+		if !approxEq(end.Seconds(), total/1000, 1e-6*(1+total/1000)) {
+			return false
+		}
+		for i := 0; i < n; i++ {
+			for j := 0; j < n; j++ {
+				// Strictly smaller flows finish no later, modulo the
+				// ≥1 ns event clamp.
+				if sizes[i] < sizes[j] && dones[i] > dones[j]+Time(10) {
+					return false
+				}
+			}
+		}
+		return true
+	}, &quick.Config{MaxCount: 50}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestFluidStarvedFlowsResumeOnSetChange(t *testing.T) {
+	// A policy that gives all capacity to the max-weight flow starves the
+	// rest; when the favourite leaves, the rest must be rescheduled.
+	favourite := func(capacity float64, flows []*Flow) {
+		best := flows[0]
+		for _, f := range flows {
+			if f.Weight > best.Weight {
+				best = f
+			}
+			f.rate = 0
+		}
+		best.rate = capacity
+	}
+	k := NewKernel()
+	s := NewFluidServer(k, "cpu", 100, favourite)
+	var dLow Time
+	s.Submit("hi", 10, 100, nil, nil)
+	s.Submit("lo", 1, 100, nil, func() { dLow = k.Now() })
+	k.Run()
+	if !approxEq(dLow.Seconds(), 2.0, 1e-9) {
+		t.Fatalf("starved flow done at %v, want 2s", dLow)
+	}
+}

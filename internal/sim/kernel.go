@@ -1,0 +1,242 @@
+package sim
+
+import (
+	"container/heap"
+	"fmt"
+)
+
+// Kernel is a discrete-event simulation executive. Events are callbacks
+// scheduled at virtual timestamps; Run dispatches them in timestamp order
+// (ties broken by scheduling order, so the simulation is deterministic).
+//
+// Kernel is not safe for concurrent use: the entire simulation runs on the
+// caller's goroutine. That is deliberate — determinism is a design goal.
+type Kernel struct {
+	now     Time
+	queue   eventQueue
+	seq     uint64
+	running bool
+	stopped bool
+
+	// Dispatched counts events executed since construction; useful for
+	// progress assertions in tests.
+	dispatched uint64
+}
+
+// Timer is a handle to a scheduled event. Cancel prevents a pending event
+// from firing; cancelling an already-fired or already-cancelled timer is a
+// no-op.
+type Timer struct {
+	ev *event
+}
+
+// Cancel prevents the timer's event from firing. It reports whether the
+// event was still pending.
+func (t *Timer) Cancel() bool {
+	if t == nil || t.ev == nil || t.ev.cancelled || t.ev.fired {
+		return false
+	}
+	t.ev.cancelled = true
+	return true
+}
+
+// Pending reports whether the timer's event has neither fired nor been
+// cancelled.
+func (t *Timer) Pending() bool {
+	return t != nil && t.ev != nil && !t.ev.cancelled && !t.ev.fired
+}
+
+// When returns the virtual timestamp the timer is (or was) scheduled for.
+func (t *Timer) When() Time { return t.ev.at }
+
+type event struct {
+	at        Time
+	seq       uint64
+	fn        func()
+	index     int
+	cancelled bool
+	fired     bool
+}
+
+type eventQueue []*event
+
+func (q eventQueue) Len() int { return len(q) }
+
+func (q eventQueue) Less(i, j int) bool {
+	if q[i].at != q[j].at {
+		return q[i].at < q[j].at
+	}
+	return q[i].seq < q[j].seq
+}
+
+func (q eventQueue) Swap(i, j int) {
+	q[i], q[j] = q[j], q[i]
+	q[i].index = i
+	q[j].index = j
+}
+
+func (q *eventQueue) Push(x any) {
+	ev := x.(*event)
+	ev.index = len(*q)
+	*q = append(*q, ev)
+}
+
+func (q *eventQueue) Pop() any {
+	old := *q
+	n := len(old)
+	ev := old[n-1]
+	old[n-1] = nil
+	*q = old[:n-1]
+	return ev
+}
+
+// NewKernel returns a kernel with the clock at the epoch and an empty
+// event queue.
+func NewKernel() *Kernel {
+	return &Kernel{}
+}
+
+// Now returns the current virtual time.
+func (k *Kernel) Now() Time { return k.now }
+
+// Pending returns the number of events still queued (including cancelled
+// events that have not yet been popped).
+func (k *Kernel) Pending() int { return len(k.queue) }
+
+// Dispatched returns the number of events executed so far.
+func (k *Kernel) Dispatched() uint64 { return k.dispatched }
+
+// At schedules fn to run at absolute virtual time t. Scheduling in the past
+// panics: it would make the clock non-monotonic.
+func (k *Kernel) At(t Time, fn func()) *Timer {
+	if t < k.now {
+		panic(fmt.Sprintf("sim: scheduling event at %v before now %v", t, k.now))
+	}
+	if fn == nil {
+		panic("sim: nil event function")
+	}
+	ev := &event{at: t, seq: k.seq, fn: fn}
+	k.seq++
+	heap.Push(&k.queue, ev)
+	return &Timer{ev: ev}
+}
+
+// After schedules fn to run d after the current virtual time. Negative
+// delays panic.
+func (k *Kernel) After(d Duration, fn func()) *Timer {
+	if d < 0 {
+		panic(fmt.Sprintf("sim: negative delay %v", d))
+	}
+	return k.At(k.now.Add(d), fn)
+}
+
+// Immediately schedules fn at the current timestamp, after all events
+// already queued for this timestamp.
+func (k *Kernel) Immediately(fn func()) *Timer {
+	return k.At(k.now, fn)
+}
+
+// Stop makes the currently executing Run/RunUntil return after the current
+// event completes. Queued events are retained, so the simulation may be
+// resumed with another Run call.
+func (k *Kernel) Stop() { k.stopped = true }
+
+// step pops and executes the earliest event. It reports whether an event
+// was executed.
+func (k *Kernel) step(limit Time) bool {
+	for len(k.queue) > 0 {
+		ev := k.queue[0]
+		if ev.at > limit {
+			return false
+		}
+		heap.Pop(&k.queue)
+		if ev.cancelled {
+			continue
+		}
+		if ev.at < k.now {
+			panic("sim: event queue produced a past event")
+		}
+		k.now = ev.at
+		ev.fired = true
+		k.dispatched++
+		ev.fn()
+		return true
+	}
+	return false
+}
+
+// Run executes events until the queue is empty or Stop is called. It
+// returns the final virtual time.
+func (k *Kernel) Run() Time {
+	return k.RunUntil(MaxTime)
+}
+
+// RunUntil executes events with timestamps ≤ limit, then advances the clock
+// to limit (if the queue ran dry or only later events remain) and returns
+// the final virtual time. Calling RunUntil from inside an event callback
+// panics: the kernel is single-threaded by construction.
+func (k *Kernel) RunUntil(limit Time) Time {
+	if k.running {
+		panic("sim: RunUntil called re-entrantly from an event callback")
+	}
+	k.running = true
+	k.stopped = false
+	defer func() { k.running = false }()
+
+	for !k.stopped {
+		if !k.step(limit) {
+			break
+		}
+	}
+	if !k.stopped && limit != MaxTime && k.now < limit {
+		k.now = limit
+	}
+	return k.now
+}
+
+// RunFor executes events for d of virtual time past the current clock.
+func (k *Kernel) RunFor(d Duration) Time {
+	return k.RunUntil(k.now.Add(d))
+}
+
+// Every schedules fn to run repeatedly with the given period, starting one
+// period from now, until the returned Timer chain is cancelled via the
+// returned *Ticker.
+func (k *Kernel) Every(period Duration, fn func()) *Ticker {
+	if period <= 0 {
+		panic("sim: non-positive ticker period")
+	}
+	t := &Ticker{k: k, period: period, fn: fn}
+	t.arm()
+	return t
+}
+
+// Ticker repeatedly fires a callback at a fixed virtual period.
+type Ticker struct {
+	k       *Kernel
+	period  Duration
+	fn      func()
+	timer   *Timer
+	stopped bool
+}
+
+func (t *Ticker) arm() {
+	t.timer = t.k.After(t.period, func() {
+		if t.stopped {
+			return
+		}
+		t.fn()
+		if !t.stopped {
+			t.arm()
+		}
+	})
+}
+
+// Stop cancels future ticks. It is idempotent.
+func (t *Ticker) Stop() {
+	if t.stopped {
+		return
+	}
+	t.stopped = true
+	t.timer.Cancel()
+}

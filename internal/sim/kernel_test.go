@@ -1,0 +1,262 @@
+package sim
+
+import (
+	"testing"
+	"testing/quick"
+)
+
+func TestKernelRunsEventsInTimestampOrder(t *testing.T) {
+	k := NewKernel()
+	var got []int
+	k.After(30*Millisecond, func() { got = append(got, 3) })
+	k.After(10*Millisecond, func() { got = append(got, 1) })
+	k.After(20*Millisecond, func() { got = append(got, 2) })
+	k.Run()
+	want := []int{1, 2, 3}
+	for i := range want {
+		if got[i] != want[i] {
+			t.Fatalf("order = %v, want %v", got, want)
+		}
+	}
+	if k.Now() != Time(30*Millisecond) {
+		t.Fatalf("final clock = %v, want 30ms", k.Now())
+	}
+}
+
+func TestKernelTiesBreakInSchedulingOrder(t *testing.T) {
+	k := NewKernel()
+	var got []int
+	for i := 0; i < 10; i++ {
+		i := i
+		k.At(Time(Second), func() { got = append(got, i) })
+	}
+	k.Run()
+	for i := range got {
+		if got[i] != i {
+			t.Fatalf("tie order = %v, want ascending", got)
+		}
+	}
+}
+
+func TestKernelEventsScheduledFromCallbacks(t *testing.T) {
+	k := NewKernel()
+	var fired int
+	k.After(Second, func() {
+		k.After(Second, func() { fired++ })
+		k.Immediately(func() { fired++ })
+	})
+	end := k.Run()
+	if fired != 2 {
+		t.Fatalf("fired = %d, want 2", fired)
+	}
+	if end != Time(2*Second) {
+		t.Fatalf("end = %v, want 2s", end)
+	}
+}
+
+func TestKernelSchedulingInPastPanics(t *testing.T) {
+	k := NewKernel()
+	k.After(Second, func() {
+		defer func() {
+			if recover() == nil {
+				t.Error("scheduling in the past did not panic")
+			}
+		}()
+		k.At(0, func() {})
+	})
+	k.Run()
+}
+
+func TestKernelRunUntilAdvancesClockToLimit(t *testing.T) {
+	k := NewKernel()
+	fired := false
+	k.After(10*Second, func() { fired = true })
+	k.RunUntil(Time(3 * Second))
+	if fired {
+		t.Fatal("event past limit fired")
+	}
+	if k.Now() != Time(3*Second) {
+		t.Fatalf("clock = %v, want 3s", k.Now())
+	}
+	k.Run()
+	if !fired {
+		t.Fatal("event lost after resume")
+	}
+}
+
+func TestKernelStop(t *testing.T) {
+	k := NewKernel()
+	var count int
+	for i := 1; i <= 5; i++ {
+		k.At(Time(i)*Time(Second), func() {
+			count++
+			if count == 2 {
+				k.Stop()
+			}
+		})
+	}
+	k.Run()
+	if count != 2 {
+		t.Fatalf("count = %d, want 2 (stop ignored)", count)
+	}
+	k.Run()
+	if count != 5 {
+		t.Fatalf("count after resume = %d, want 5", count)
+	}
+}
+
+func TestTimerCancel(t *testing.T) {
+	k := NewKernel()
+	fired := false
+	tm := k.After(Second, func() { fired = true })
+	if !tm.Pending() {
+		t.Fatal("fresh timer not pending")
+	}
+	if !tm.Cancel() {
+		t.Fatal("first cancel returned false")
+	}
+	if tm.Cancel() {
+		t.Fatal("second cancel returned true")
+	}
+	k.Run()
+	if fired {
+		t.Fatal("cancelled timer fired")
+	}
+}
+
+func TestTickerFiresAtPeriodAndStops(t *testing.T) {
+	k := NewKernel()
+	var stamps []Time
+	var tk *Ticker
+	tk = k.Every(100*Millisecond, func() {
+		stamps = append(stamps, k.Now())
+		if len(stamps) == 3 {
+			tk.Stop()
+		}
+	})
+	k.Run()
+	if len(stamps) != 3 {
+		t.Fatalf("ticks = %d, want 3", len(stamps))
+	}
+	for i, s := range stamps {
+		want := Time((i + 1) * int(100*Millisecond))
+		if s != want {
+			t.Fatalf("tick %d at %v, want %v", i, s, want)
+		}
+	}
+}
+
+func TestTimeArithmetic(t *testing.T) {
+	a := Time(0).Add(1500 * Millisecond)
+	if a.Seconds() != 1.5 {
+		t.Fatalf("Seconds = %v, want 1.5", a.Seconds())
+	}
+	if a.Sub(Time(Second)) != 500*Millisecond {
+		t.Fatalf("Sub = %v", a.Sub(Time(Second)))
+	}
+	if !Time(1).Before(Time(2)) || !Time(2).After(Time(1)) {
+		t.Fatal("Before/After broken")
+	}
+	if a.String() != "t+1.5s" {
+		t.Fatalf("String = %q", a.String())
+	}
+}
+
+func TestRNGDeterministicAcrossInstances(t *testing.T) {
+	a, b := NewRNG(42), NewRNG(42)
+	for i := 0; i < 1000; i++ {
+		if a.Uint64() != b.Uint64() {
+			t.Fatalf("streams diverge at %d", i)
+		}
+	}
+}
+
+func TestRNGSplitIndependence(t *testing.T) {
+	r := NewRNG(7)
+	c1 := r.Split()
+	c2 := r.Split()
+	if c1.Uint64() == c2.Uint64() {
+		t.Fatal("split children produced identical first values")
+	}
+}
+
+func TestRNGFloat64Range(t *testing.T) {
+	if err := quick.Check(func(seed uint64) bool {
+		r := NewRNG(seed)
+		for i := 0; i < 100; i++ {
+			f := r.Float64()
+			if f < 0 || f >= 1 {
+				return false
+			}
+		}
+		return true
+	}, nil); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestRNGIntnRange(t *testing.T) {
+	r := NewRNG(1)
+	for n := 1; n < 50; n++ {
+		for i := 0; i < 20; i++ {
+			v := r.Intn(n)
+			if v < 0 || v >= n {
+				t.Fatalf("Intn(%d) = %d out of range", n, v)
+			}
+		}
+	}
+}
+
+func TestRNGExpFloat64Mean(t *testing.T) {
+	r := NewRNG(99)
+	var sum float64
+	const n = 200000
+	for i := 0; i < n; i++ {
+		sum += r.ExpFloat64()
+	}
+	mean := sum / n
+	if mean < 0.98 || mean > 1.02 {
+		t.Fatalf("exp mean = %v, want ≈1", mean)
+	}
+}
+
+func TestRNGNormFloat64Moments(t *testing.T) {
+	r := NewRNG(123)
+	var sum, sq float64
+	const n = 200000
+	for i := 0; i < n; i++ {
+		v := r.NormFloat64()
+		sum += v
+		sq += v * v
+	}
+	mean := sum / n
+	variance := sq/n - mean*mean
+	if mean < -0.02 || mean > 0.02 {
+		t.Fatalf("norm mean = %v, want ≈0", mean)
+	}
+	if variance < 0.95 || variance > 1.05 {
+		t.Fatalf("norm variance = %v, want ≈1", variance)
+	}
+}
+
+func TestRNGJitterBounds(t *testing.T) {
+	if err := quick.Check(func(seed uint64) bool {
+		r := NewRNG(seed)
+		v := r.Jitter(100, 0.1)
+		return v >= 90 && v <= 110
+	}, nil); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestRNGPermIsPermutation(t *testing.T) {
+	r := NewRNG(5)
+	p := r.Perm(64)
+	seen := make([]bool, 64)
+	for _, v := range p {
+		if v < 0 || v >= 64 || seen[v] {
+			t.Fatalf("not a permutation: %v", p)
+		}
+		seen[v] = true
+	}
+}

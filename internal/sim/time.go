@@ -1,0 +1,56 @@
+// Package sim provides a deterministic discrete-event simulation kernel.
+//
+// All SODA experiments are driven by virtual time: resource models
+// (CPU schedulers, network links, disks) schedule completion events on a
+// Kernel, and measured durations are differences of virtual timestamps.
+// This makes every experiment seed-reproducible and fast enough to run
+// as an ordinary `go test` benchmark.
+package sim
+
+import (
+	"fmt"
+	"time"
+)
+
+// Time is an absolute virtual timestamp in nanoseconds since the start of
+// the simulation. The zero Time is the simulation epoch.
+type Time int64
+
+// Duration is re-exported from the time package: virtual durations use the
+// same unit (nanoseconds) and literals (time.Millisecond etc.) as wall-clock
+// durations, but are only ever compared against the Kernel's virtual clock.
+type Duration = time.Duration
+
+// Common duration units, re-exported for brevity at call sites.
+const (
+	Nanosecond  = time.Nanosecond
+	Microsecond = time.Microsecond
+	Millisecond = time.Millisecond
+	Second      = time.Second
+	Minute      = time.Minute
+)
+
+// Add returns the timestamp d after t.
+func (t Time) Add(d Duration) Time { return t + Time(d) }
+
+// Sub returns the duration t-u.
+func (t Time) Sub(u Time) Duration { return Duration(t - u) }
+
+// Before reports whether t precedes u.
+func (t Time) Before(u Time) bool { return t < u }
+
+// After reports whether t follows u.
+func (t Time) After(u Time) bool { return t > u }
+
+// Seconds returns the timestamp as a floating-point number of seconds
+// since the simulation epoch.
+func (t Time) Seconds() float64 { return float64(t) / float64(Second) }
+
+// Duration returns the time since the epoch as a Duration.
+func (t Time) Duration() Duration { return Duration(t) }
+
+// String formats the timestamp as a duration since the epoch, e.g. "1.5s".
+func (t Time) String() string { return fmt.Sprintf("t+%s", Duration(t)) }
+
+// MaxTime is the largest representable virtual timestamp.
+const MaxTime = Time(1<<63 - 1)

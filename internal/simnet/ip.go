@@ -1,0 +1,105 @@
+// Package simnet models the HUP's local network: a switched 100 Mbps LAN,
+// per-host NICs with a transparent bridging module (so virtual service
+// nodes communicate under their own IP addresses, §3.3), disjoint per-host
+// IP address pools, and the outbound traffic shaper of §4.2.
+//
+// The transfer model is single-bottleneck: a flow is constrained by the
+// sender's outbound link plus a fixed propagation latency. On a switched
+// LAN whose ports all run at the same rate — the paper's testbed — the
+// sending port is the binding constraint, so this approximation preserves
+// every bandwidth effect the paper measures.
+package simnet
+
+import (
+	"fmt"
+	"sort"
+)
+
+// IP is an IPv4 address in dotted-quad text form. The simulation never
+// parses octets; addresses are opaque identities handed out by pools.
+type IP string
+
+// IPPool is a SODA Daemon's pool of addresses for the virtual service
+// nodes on its host. Pools on different hosts must be disjoint (§4.3).
+type IPPool struct {
+	prefix string
+	lo, hi int
+	next   int
+	freed  []IP
+	inUse  map[IP]bool
+}
+
+// NewIPPool returns a pool handing out prefix.lo … prefix.hi, e.g.
+// NewIPPool("128.10.9", 120, 129).
+func NewIPPool(prefix string, lo, hi int) (*IPPool, error) {
+	if prefix == "" {
+		return nil, fmt.Errorf("simnet: empty pool prefix")
+	}
+	if lo < 0 || hi > 255 || lo > hi {
+		return nil, fmt.Errorf("simnet: bad pool range %d–%d", lo, hi)
+	}
+	return &IPPool{prefix: prefix, lo: lo, hi: hi, next: lo, inUse: make(map[IP]bool)}, nil
+}
+
+// MustNewIPPool is NewIPPool, panicking on error; for fixed testbeds.
+func MustNewIPPool(prefix string, lo, hi int) *IPPool {
+	p, err := NewIPPool(prefix, lo, hi)
+	if err != nil {
+		panic(err)
+	}
+	return p
+}
+
+// Size returns the total number of addresses the pool manages.
+func (p *IPPool) Size() int { return p.hi - p.lo + 1 }
+
+// Free returns the number of addresses currently available.
+func (p *IPPool) Free() int { return (p.hi - p.next + 1) + len(p.freed) }
+
+// Allocate hands out an unused address, preferring previously released
+// ones (lowest first, for determinism).
+func (p *IPPool) Allocate() (IP, error) {
+	if len(p.freed) > 0 {
+		sort.Slice(p.freed, func(i, j int) bool { return p.freed[i] < p.freed[j] })
+		ip := p.freed[0]
+		p.freed = p.freed[1:]
+		p.inUse[ip] = true
+		return ip, nil
+	}
+	if p.next > p.hi {
+		return "", fmt.Errorf("simnet: pool %s.%d-%d exhausted", p.prefix, p.lo, p.hi)
+	}
+	ip := IP(fmt.Sprintf("%s.%d", p.prefix, p.next))
+	p.next++
+	p.inUse[ip] = true
+	return ip, nil
+}
+
+// Release returns an address to the pool. Releasing an address the pool
+// did not allocate panics — it indicates crossed pools, which §4.3
+// requires to be disjoint.
+func (p *IPPool) Release(ip IP) {
+	if !p.inUse[ip] {
+		panic(fmt.Sprintf("simnet: release of %s not allocated from pool %s.%d-%d", ip, p.prefix, p.lo, p.hi))
+	}
+	delete(p.inUse, ip)
+	p.freed = append(p.freed, ip)
+}
+
+// Contains reports whether ip belongs to this pool's range.
+func (p *IPPool) Contains(ip IP) bool {
+	for i := p.lo; i <= p.hi; i++ {
+		if ip == IP(fmt.Sprintf("%s.%d", p.prefix, i)) {
+			return true
+		}
+	}
+	return false
+}
+
+// DisjointFrom reports whether two pools share no addresses.
+func (p *IPPool) DisjointFrom(other *IPPool) bool {
+	if p.prefix != other.prefix {
+		return true
+	}
+	return p.hi < other.lo || other.hi < p.lo
+}

@@ -1,0 +1,320 @@
+package simnet
+
+import (
+	"fmt"
+
+	"repro/internal/sim"
+)
+
+// Mbps converts megabits/second into the byte/second units of the fluid
+// engine.
+func Mbps(m float64) float64 { return m * 1e6 / 8 }
+
+// flowMeta tags every transfer flow with its endpoints so the traffic
+// shaper can group by source IP.
+type flowMeta struct {
+	src, dst IP
+}
+
+// ShaperMode selects the outbound traffic shaper's semantics (§4.2: the
+// shaper "enforces the outbound bandwidth share allocated to each virtual
+// service node").
+type ShaperMode int
+
+// Shaper modes.
+const (
+	// ShareMode is work-conserving weighted fair queueing: each source
+	// IP's allocation is a weight, enforced only under contention. A lone
+	// sender gets the whole link. This is the default and matches the
+	// paper's "share" language.
+	ShareMode ShaperMode = iota
+	// CapMode is a strict token-bucket-style rate cap per source IP:
+	// allocations are hard ceilings even on an idle link. Kept for the
+	// shaping-semantics ablation benchmark.
+	CapMode
+)
+
+// String names the mode.
+func (m ShaperMode) String() string {
+	if m == CapMode {
+		return "cap"
+	}
+	return "share"
+}
+
+// NIC is one host's network attachment: an outbound fluid link (the
+// single bottleneck of the transfer model), the set of IP addresses the
+// host's bridging module answers for, and the per-IP outbound allocations
+// installed by the traffic shaper.
+type NIC struct {
+	// HostName is the owning host, for traces.
+	HostName string
+
+	net  *Network
+	out  *sim.FluidServer
+	ips  map[IP]bool
+	caps map[IP]float64 // bytes/sec allocation per source IP
+	mode ShaperMode
+}
+
+// Network is the LAN fabric connecting HUP hosts, ASP machines, and
+// clients.
+type Network struct {
+	k       *sim.Kernel
+	latency sim.Duration
+	nics    map[string]*NIC
+	owner   map[IP]*NIC
+
+	// Transferred counts total bytes delivered, for tests.
+	Transferred int64
+}
+
+// New returns a LAN with the given one-way propagation latency.
+func New(k *sim.Kernel, latency sim.Duration) *Network {
+	if latency < 0 {
+		panic("simnet: negative latency")
+	}
+	return &Network{
+		k:       k,
+		latency: latency,
+		nics:    make(map[string]*NIC),
+		owner:   make(map[IP]*NIC),
+	}
+}
+
+// Kernel returns the simulation kernel.
+func (n *Network) Kernel() *sim.Kernel { return n.k }
+
+// Latency returns the LAN's one-way propagation delay.
+func (n *Network) Latency() sim.Duration { return n.latency }
+
+// Attach adds a host to the LAN with the given NIC rate.
+func (n *Network) Attach(hostName string, mbps float64) (*NIC, error) {
+	if mbps <= 0 {
+		return nil, fmt.Errorf("simnet: NIC for %q with non-positive rate", hostName)
+	}
+	if _, dup := n.nics[hostName]; dup {
+		return nil, fmt.Errorf("simnet: host %q already attached", hostName)
+	}
+	nic := &NIC{
+		HostName: hostName,
+		net:      n,
+		ips:      make(map[IP]bool),
+		caps:     make(map[IP]float64),
+	}
+	nic.out = sim.NewFluidServer(n.k, hostName+"/out", Mbps(mbps), nic.shaperPolicy)
+	n.nics[hostName] = nic
+	return nic, nil
+}
+
+// MustAttach is Attach, panicking on error.
+func (n *Network) MustAttach(hostName string, mbps float64) *NIC {
+	nic, err := n.Attach(hostName, mbps)
+	if err != nil {
+		panic(err)
+	}
+	return nic
+}
+
+// NIC returns the attachment for hostName, or nil.
+func (n *Network) NIC(hostName string) *NIC { return n.nics[hostName] }
+
+// Lookup returns the NIC whose bridge answers for ip.
+func (n *Network) Lookup(ip IP) (*NIC, bool) {
+	nic, ok := n.owner[ip]
+	return nic, ok
+}
+
+// AddIP registers ip with this NIC's bridging module, so packets to/from
+// the address are forwarded through this host — the "UML-IP mapping"
+// notification of §4.3.
+func (nic *NIC) AddIP(ip IP) error {
+	if owner, taken := nic.net.owner[ip]; taken {
+		return fmt.Errorf("simnet: %s already bridged by %s", ip, owner.HostName)
+	}
+	nic.ips[ip] = true
+	nic.net.owner[ip] = nic
+	return nil
+}
+
+// RemoveIP deregisters ip from the bridge.
+func (nic *NIC) RemoveIP(ip IP) {
+	if !nic.ips[ip] {
+		return
+	}
+	delete(nic.ips, ip)
+	delete(nic.net.owner, ip)
+	delete(nic.caps, ip)
+}
+
+// IPs returns the number of addresses the bridge answers for.
+func (nic *NIC) IPs() int { return len(nic.ips) }
+
+// SetShaperMode switches the shaper semantics, re-dividing rates
+// immediately.
+func (nic *NIC) SetShaperMode(m ShaperMode) {
+	nic.mode = m
+	nic.out.SetPolicy(nic.shaperPolicy)
+}
+
+// ShaperMode returns the active semantics.
+func (nic *NIC) ShaperMode() ShaperMode { return nic.mode }
+
+// SetShaperCap installs an outbound bandwidth allocation (in Mbps) for
+// traffic sourced from ip — the host-OS traffic shaper of §4.2. An
+// allocation of 0 removes shaping for the address.
+func (nic *NIC) SetShaperCap(ip IP, mbps float64) {
+	if mbps < 0 {
+		panic("simnet: negative shaper allocation")
+	}
+	if mbps == 0 {
+		delete(nic.caps, ip)
+	} else {
+		nic.caps[ip] = Mbps(mbps)
+	}
+	// Re-divide rates under the new allocations immediately.
+	nic.out.SetPolicy(nic.shaperPolicy)
+}
+
+// defaultShareBps is the weight of traffic from addresses with no
+// explicit allocation (the host's own control traffic).
+const defaultShareBps = 10 * 1e6 / 8
+
+// shaperPolicy divides the outbound link among source-IP groups
+// according to the active mode; within a group, flows share equally.
+func (nic *NIC) shaperPolicy(capacity float64, flows []*sim.Flow) {
+	byIP := make(map[IP][]*sim.Flow)
+	var order []IP
+	for _, f := range flows {
+		m := f.Meta.(flowMeta)
+		if _, seen := byIP[m.src]; !seen {
+			order = append(order, m.src)
+		}
+		byIP[m.src] = append(byIP[m.src], f)
+	}
+	// Deterministic iteration.
+	for i := 1; i < len(order); i++ {
+		for j := i; j > 0 && order[j] < order[j-1]; j-- {
+			order[j], order[j-1] = order[j-1], order[j]
+		}
+	}
+	if nic.mode == ShareMode {
+		nic.assignShares(capacity, order, byIP)
+	} else {
+		nic.assignCaps(capacity, order, byIP)
+	}
+}
+
+// assignShares is work-conserving WFQ: active groups split the link in
+// proportion to their allocations.
+func (nic *NIC) assignShares(capacity float64, order []IP, byIP map[IP][]*sim.Flow) {
+	var totalW float64
+	weight := func(ip IP) float64 {
+		if w, ok := nic.caps[ip]; ok {
+			return w
+		}
+		return defaultShareBps
+	}
+	for _, ip := range order {
+		totalW += weight(ip)
+	}
+	for _, ip := range order {
+		rate := capacity * weight(ip) / totalW
+		perFlow := rate / float64(len(byIP[ip]))
+		for _, f := range byIP[ip] {
+			f.SetRate(perFlow)
+		}
+	}
+}
+
+// assignCaps enforces hard ceilings: capped groups get at most their
+// allocation (scaled down if the ceilings exceed the link); uncapped
+// groups share the residual equally.
+func (nic *NIC) assignCaps(capacity float64, order []IP, byIP map[IP][]*sim.Flow) {
+	var cappedTotal float64
+	var uncapped []IP
+	for _, ip := range order {
+		if cap, ok := nic.caps[ip]; ok {
+			cappedTotal += cap
+		} else {
+			uncapped = append(uncapped, ip)
+		}
+	}
+	scale := 1.0
+	if cappedTotal > capacity {
+		scale = capacity / cappedTotal
+	}
+	residual := capacity
+	for _, ip := range order {
+		cap, ok := nic.caps[ip]
+		if !ok {
+			continue
+		}
+		rate := cap * scale
+		residual -= rate
+		perFlow := rate / float64(len(byIP[ip]))
+		for _, f := range byIP[ip] {
+			f.SetRate(perFlow)
+		}
+	}
+	if len(uncapped) > 0 {
+		if residual < 0 {
+			residual = 0
+		}
+		var total int
+		for _, ip := range uncapped {
+			total += len(byIP[ip])
+		}
+		perFlow := residual / float64(total)
+		for _, ip := range uncapped {
+			for _, f := range byIP[ip] {
+				f.SetRate(perFlow)
+			}
+		}
+	}
+}
+
+// Transfer moves size bytes from src to dst: the flow drains through the
+// source NIC's shaped outbound link, then arrives after the LAN latency.
+// onDone fires at delivery. Zero-byte transfers model control messages
+// and cost only latency.
+func (n *Network) Transfer(src, dst IP, size int64, onDone func()) error {
+	srcNIC, ok := n.owner[src]
+	if !ok {
+		return fmt.Errorf("simnet: source %s not bridged by any host", src)
+	}
+	if _, ok := n.owner[dst]; !ok {
+		return fmt.Errorf("simnet: destination %s not bridged by any host", dst)
+	}
+	if size < 0 {
+		return fmt.Errorf("simnet: negative transfer size %d", size)
+	}
+	deliver := func() {
+		n.k.After(n.latency, func() {
+			n.Transferred += size
+			if onDone != nil {
+				onDone()
+			}
+		})
+	}
+	if size == 0 {
+		deliver()
+		return nil
+	}
+	srcNIC.out.Submit(fmt.Sprintf("%s->%s", src, dst), 1, float64(size), flowMeta{src: src, dst: dst}, deliver)
+	return nil
+}
+
+// RPC models a control-plane request/response pair: a small request to
+// dst, then a small response back. fn runs at the destination between the
+// two; onReply fires at the source when the response arrives.
+func (n *Network) RPC(src, dst IP, reqBytes, respBytes int64, fn func(), onReply func()) error {
+	return n.Transfer(src, dst, reqBytes, func() {
+		if fn != nil {
+			fn()
+		}
+		if err := n.Transfer(dst, src, respBytes, onReply); err != nil {
+			panic(err) // endpoints vanished mid-RPC: a wiring bug
+		}
+	})
+}

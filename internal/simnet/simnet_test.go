@@ -1,0 +1,353 @@
+package simnet
+
+import (
+	"math"
+	"testing"
+	"testing/quick"
+
+	"repro/internal/sim"
+)
+
+func lan(t *testing.T) (*sim.Kernel, *Network) {
+	t.Helper()
+	k := sim.NewKernel()
+	return k, New(k, 100*sim.Microsecond)
+}
+
+func TestIPPoolAllocateSequential(t *testing.T) {
+	p := MustNewIPPool("128.10.9", 120, 122)
+	for _, want := range []IP{"128.10.9.120", "128.10.9.121", "128.10.9.122"} {
+		ip, err := p.Allocate()
+		if err != nil {
+			t.Fatal(err)
+		}
+		if ip != want {
+			t.Fatalf("allocated %s, want %s", ip, want)
+		}
+	}
+	if _, err := p.Allocate(); err == nil {
+		t.Fatal("exhausted pool allocated")
+	}
+}
+
+func TestIPPoolReleaseAndReuse(t *testing.T) {
+	p := MustNewIPPool("10.0.0", 1, 2)
+	a, _ := p.Allocate()
+	b, _ := p.Allocate()
+	p.Release(b)
+	p.Release(a)
+	got, err := p.Allocate()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got != a { // lowest freed address first
+		t.Fatalf("reused %s, want %s", got, a)
+	}
+	if p.Free() != 1 {
+		t.Fatalf("free = %d, want 1", p.Free())
+	}
+}
+
+func TestIPPoolReleaseForeignPanics(t *testing.T) {
+	p := MustNewIPPool("10.0.0", 1, 5)
+	defer func() {
+		if recover() == nil {
+			t.Fatal("foreign release did not panic")
+		}
+	}()
+	p.Release("192.168.0.1")
+}
+
+func TestIPPoolDisjointness(t *testing.T) {
+	a := MustNewIPPool("128.10.9", 120, 129)
+	b := MustNewIPPool("128.10.9", 130, 139)
+	c := MustNewIPPool("128.10.9", 125, 134)
+	d := MustNewIPPool("128.10.10", 120, 129)
+	if !a.DisjointFrom(b) || !b.DisjointFrom(a) {
+		t.Fatal("disjoint ranges reported overlapping")
+	}
+	if a.DisjointFrom(c) {
+		t.Fatal("overlapping ranges reported disjoint")
+	}
+	if !a.DisjointFrom(d) {
+		t.Fatal("different prefixes reported overlapping")
+	}
+}
+
+func TestIPPoolContains(t *testing.T) {
+	p := MustNewIPPool("10.1.1", 5, 7)
+	if !p.Contains("10.1.1.6") || p.Contains("10.1.1.8") || p.Contains("10.2.1.6") {
+		t.Fatal("Contains wrong")
+	}
+}
+
+func TestIPPoolBadRanges(t *testing.T) {
+	for _, c := range []struct {
+		prefix string
+		lo, hi int
+	}{{"", 1, 2}, {"10.0.0", -1, 2}, {"10.0.0", 1, 256}, {"10.0.0", 5, 4}} {
+		if _, err := NewIPPool(c.prefix, c.lo, c.hi); err == nil {
+			t.Errorf("bad pool %+v accepted", c)
+		}
+	}
+}
+
+func TestTransferTimeMatchesBandwidth(t *testing.T) {
+	k, n := lan(t)
+	a := n.MustAttach("seattle", 100)
+	b := n.MustAttach("tacoma", 100)
+	if err := a.AddIP("10.0.0.1"); err != nil {
+		t.Fatal(err)
+	}
+	if err := b.AddIP("10.0.0.2"); err != nil {
+		t.Fatal(err)
+	}
+	var done sim.Time
+	size := int64(Mbps(100)) // exactly one second of wire time
+	if err := n.Transfer("10.0.0.1", "10.0.0.2", size, func() { done = k.Now() }); err != nil {
+		t.Fatal(err)
+	}
+	k.Run()
+	want := 1 + (100 * sim.Microsecond).Seconds()
+	if math.Abs(done.Seconds()-want) > 1e-9 {
+		t.Fatalf("delivery at %vs, want %vs", done.Seconds(), want)
+	}
+	if n.Transferred != size {
+		t.Fatalf("accounting = %d, want %d", n.Transferred, size)
+	}
+}
+
+func TestTransferLinearInSize(t *testing.T) {
+	// The paper's §4.3 observation: download time grows linearly with
+	// image size on the LAN.
+	var times []float64
+	sizes := []int64{10 << 20, 20 << 20, 40 << 20, 80 << 20}
+	for _, size := range sizes {
+		k, n := lan(t)
+		a := n.MustAttach("repo", 100)
+		b := n.MustAttach("hup", 100)
+		a.AddIP("1.1.1.1")
+		b.AddIP("2.2.2.2")
+		var done sim.Time
+		n.Transfer("1.1.1.1", "2.2.2.2", size, func() { done = k.Now() })
+		k.Run()
+		times = append(times, done.Seconds())
+	}
+	for i := 1; i < len(times); i++ {
+		ratio := times[i] / times[i-1]
+		if math.Abs(ratio-2.0) > 0.01 {
+			t.Fatalf("doubling size scaled time by %.3f, want ≈2 (linear)", ratio)
+		}
+	}
+}
+
+func TestZeroByteTransferCostsOnlyLatency(t *testing.T) {
+	k, n := lan(t)
+	a := n.MustAttach("a", 100)
+	b := n.MustAttach("b", 100)
+	a.AddIP("1.0.0.1")
+	b.AddIP("1.0.0.2")
+	var done sim.Time
+	n.Transfer("1.0.0.1", "1.0.0.2", 0, func() { done = k.Now() })
+	k.Run()
+	if done != sim.Time(100*sim.Microsecond) {
+		t.Fatalf("control message at %v, want latency only", done)
+	}
+}
+
+func TestTransferErrorsOnUnbridgedEndpoints(t *testing.T) {
+	_, n := lan(t)
+	a := n.MustAttach("a", 100)
+	a.AddIP("1.0.0.1")
+	if err := n.Transfer("9.9.9.9", "1.0.0.1", 1, nil); err == nil {
+		t.Fatal("unbridged source accepted")
+	}
+	if err := n.Transfer("1.0.0.1", "9.9.9.9", 1, nil); err == nil {
+		t.Fatal("unbridged destination accepted")
+	}
+	if err := n.Transfer("1.0.0.1", "1.0.0.1", -1, nil); err == nil {
+		t.Fatal("negative size accepted")
+	}
+}
+
+func TestBridgeRejectsDuplicateIP(t *testing.T) {
+	_, n := lan(t)
+	a := n.MustAttach("a", 100)
+	b := n.MustAttach("b", 100)
+	if err := a.AddIP("1.0.0.1"); err != nil {
+		t.Fatal(err)
+	}
+	if err := b.AddIP("1.0.0.1"); err == nil {
+		t.Fatal("duplicate bridge registration accepted")
+	}
+	a.RemoveIP("1.0.0.1")
+	if err := b.AddIP("1.0.0.1"); err != nil {
+		t.Fatalf("re-registration after removal failed: %v", err)
+	}
+}
+
+func TestAttachRejectsDuplicatesAndBadRates(t *testing.T) {
+	_, n := lan(t)
+	if _, err := n.Attach("a", 0); err == nil {
+		t.Fatal("zero-rate NIC accepted")
+	}
+	if _, err := n.Attach("a", 100); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := n.Attach("a", 100); err == nil {
+		t.Fatal("duplicate attach accepted")
+	}
+}
+
+func TestShaperShareModeWorkConserving(t *testing.T) {
+	// ShareMode: a lone sender gets the whole link regardless of its
+	// allocation; under contention the link splits by allocation ratio.
+	k, n := lan(t)
+	h := n.MustAttach("host", 100)
+	sink := n.MustAttach("sink", 100)
+	h.AddIP("10.0.0.1")
+	h.AddIP("10.0.0.2")
+	sink.AddIP("10.0.1.1")
+	h.SetShaperCap("10.0.0.1", 10)
+	h.SetShaperCap("10.0.0.2", 30)
+	// Lone transfer: full 100 Mbps despite the 10 Mbps allocation.
+	var lone sim.Time
+	n.Transfer("10.0.0.1", "10.0.1.1", int64(Mbps(100)), func() { lone = k.Now() })
+	k.Run()
+	if lone.Seconds() > 1.01 {
+		t.Fatalf("lone shaped transfer took %vs, want ≈1s (work conserving)", lone.Seconds())
+	}
+	// Contention: 10:30 split → node 2 finishes its equal-size transfer
+	// far earlier.
+	var d1, d2 sim.Time
+	base := k.Now()
+	size := int64(Mbps(30))
+	n.Transfer("10.0.0.1", "10.0.1.1", size, func() { d1 = k.Now() })
+	n.Transfer("10.0.0.2", "10.0.1.1", size, func() { d2 = k.Now() })
+	k.Run()
+	// Node 2 at 75 Mbps: 30Mb/75 = 0.4s. Then node 1 alone at 100.
+	if got := d2.Sub(base).Seconds(); got < 0.38 || got > 0.45 {
+		t.Fatalf("heavier-allocation node took %vs, want ≈0.4s", got)
+	}
+	if d1 <= d2 {
+		t.Fatal("lighter-allocation node finished first under contention")
+	}
+}
+
+func TestShaperModeString(t *testing.T) {
+	if ShareMode.String() != "share" || CapMode.String() != "cap" {
+		t.Fatal("mode names wrong")
+	}
+}
+
+func TestShaperCapsOutboundPerIP(t *testing.T) {
+	// CapMode: the shaper caps vsn1 at 10 Mbps while vsn2 is
+	// uncapped. Concurrent equal-size transfers: vsn1 must take ≈8×
+	// longer than it would at full rate.
+	k, n := lan(t)
+	h := n.MustAttach("host", 100)
+	h.SetShaperMode(CapMode)
+	sink := n.MustAttach("sink", 100)
+	h.AddIP("10.0.0.1")
+	h.AddIP("10.0.0.2")
+	sink.AddIP("10.0.1.1")
+	h.SetShaperCap("10.0.0.1", 10)
+	size := int64(Mbps(10)) // 1 second at 10 Mbps, 0.1s at 100
+	var d1, d2 sim.Time
+	n.Transfer("10.0.0.1", "10.0.1.1", size, func() { d1 = k.Now() })
+	n.Transfer("10.0.0.2", "10.0.1.1", size, func() { d2 = k.Now() })
+	k.Run()
+	if d1.Seconds() < 0.95 || d1.Seconds() > 1.1 {
+		t.Fatalf("capped VSN finished at %vs, want ≈1s", d1.Seconds())
+	}
+	// vsn2 gets the residual 90 Mbps: 10Mb/90Mbps ≈ 0.111s.
+	if d2.Seconds() < 0.1 || d2.Seconds() > 0.15 {
+		t.Fatalf("uncapped VSN finished at %vs, want ≈0.11s", d2.Seconds())
+	}
+}
+
+func TestShaperScalesWhenCapsExceedLink(t *testing.T) {
+	k, n := lan(t)
+	h := n.MustAttach("host", 100)
+	h.SetShaperMode(CapMode)
+	sink := n.MustAttach("sink", 100)
+	h.AddIP("10.0.0.1")
+	h.AddIP("10.0.0.2")
+	sink.AddIP("10.0.1.1")
+	h.SetShaperCap("10.0.0.1", 80)
+	h.SetShaperCap("10.0.0.2", 120) // 200 Mbps of caps on a 100 Mbps port
+	size := int64(Mbps(40))
+	var d1, d2 sim.Time
+	n.Transfer("10.0.0.1", "10.0.1.1", size, func() { d1 = k.Now() })
+	n.Transfer("10.0.0.2", "10.0.1.1", size, func() { d2 = k.Now() })
+	k.Run()
+	// Scaled rates: 40 and 60 Mbps → 1s and 0.667s (+ tail effects when
+	// one finishes; flow 2 finishes first, then flow 1 keeps its cap).
+	if d2 >= d1 {
+		t.Fatalf("higher-cap flow finished later: %v vs %v", d2, d1)
+	}
+	if d1.Seconds() > 1.01 {
+		t.Fatalf("capped flow 1 took %vs, should be ≤1s", d1.Seconds())
+	}
+}
+
+func TestShaperRemoval(t *testing.T) {
+	k, n := lan(t)
+	h := n.MustAttach("host", 100)
+	h.SetShaperMode(CapMode)
+	sink := n.MustAttach("sink", 100)
+	h.AddIP("10.0.0.1")
+	sink.AddIP("10.0.1.1")
+	h.SetShaperCap("10.0.0.1", 10)
+	h.SetShaperCap("10.0.0.1", 0) // remove
+	var done sim.Time
+	n.Transfer("10.0.0.1", "10.0.1.1", int64(Mbps(100)), func() { done = k.Now() })
+	k.Run()
+	if done.Seconds() > 1.01 {
+		t.Fatalf("transfer took %vs after cap removal, want ≈1s at full rate", done.Seconds())
+	}
+}
+
+func TestRPCRoundTrip(t *testing.T) {
+	k, n := lan(t)
+	a := n.MustAttach("master", 100)
+	b := n.MustAttach("daemon", 100)
+	a.AddIP("1.0.0.1")
+	b.AddIP("1.0.0.2")
+	var handled, replied sim.Time
+	err := n.RPC("1.0.0.1", "1.0.0.2", 512, 512,
+		func() { handled = k.Now() },
+		func() { replied = k.Now() })
+	if err != nil {
+		t.Fatal(err)
+	}
+	k.Run()
+	if handled == 0 || replied <= handled {
+		t.Fatalf("RPC ordering wrong: handled %v, replied %v", handled, replied)
+	}
+}
+
+func TestTransferConservesBytesProperty(t *testing.T) {
+	if err := quick.Check(func(seed uint64) bool {
+		r := sim.NewRNG(seed)
+		k := sim.NewKernel()
+		n := New(k, sim.Microsecond)
+		a := n.MustAttach("a", 100)
+		b := n.MustAttach("b", 100)
+		a.AddIP("1.0.0.1")
+		b.AddIP("1.0.0.2")
+		count := 1 + r.Intn(10)
+		var want int64
+		for i := 0; i < count; i++ {
+			size := int64(r.Intn(1 << 20))
+			want += size
+			if err := n.Transfer("1.0.0.1", "1.0.0.2", size, nil); err != nil {
+				return false
+			}
+		}
+		k.Run()
+		return n.Transferred == want
+	}, &quick.Config{MaxCount: 30}); err != nil {
+		t.Fatal(err)
+	}
+}

@@ -1,0 +1,195 @@
+package soda
+
+import (
+	"fmt"
+	"sort"
+
+	"repro/internal/sim"
+	"repro/internal/simnet"
+)
+
+// Agent is the middleware-level interface between ASPs and the HUP
+// (§3.1): it authenticates service creation/tear-down/resizing calls,
+// forwards them to the Master, returns node information to the ASP, and
+// performs "other administrative tasks such as billing" (§2.2).
+type Agent struct {
+	// IP is the Agent machine's address.
+	IP simnet.IP
+
+	k       *sim.Kernel
+	net     *simnet.Network
+	master  *Master
+	asps    map[string]string // credential → ASP name
+	billing map[string]*BillingAccount
+
+	// Authenticated and Denied count API calls by outcome.
+	Authenticated, Denied int
+}
+
+// BillingAccount accumulates an ASP's charges. The unit is the
+// machine-instance-second: one M of capacity held for one second of
+// virtual time.
+type BillingAccount struct {
+	// ASP names the account owner.
+	ASP string
+	// InstanceSeconds is accumulated usage.
+	InstanceSeconds float64
+	// open tracks running services: name → (capacity, since).
+	open map[string]usageSpan
+}
+
+type usageSpan struct {
+	capacity int
+	since    sim.Time
+}
+
+// NewAgent creates the HUP's front door.
+func NewAgent(net *simnet.Network, ip simnet.IP, master *Master) (*Agent, error) {
+	if _, ok := net.Lookup(ip); !ok {
+		return nil, fmt.Errorf("soda: agent address %s not bridged", ip)
+	}
+	if master == nil {
+		return nil, fmt.Errorf("soda: agent without a master")
+	}
+	return &Agent{
+		IP:      ip,
+		k:       net.Kernel(),
+		net:     net,
+		master:  master,
+		asps:    make(map[string]string),
+		billing: make(map[string]*BillingAccount),
+	}, nil
+}
+
+// RegisterASP enrolls an application service provider with a credential.
+func (a *Agent) RegisterASP(name, credential string) error {
+	if name == "" || credential == "" {
+		return fmt.Errorf("soda: ASP registration needs a name and credential")
+	}
+	if owner, taken := a.asps[credential]; taken && owner != name {
+		return fmt.Errorf("soda: credential already issued to %s", owner)
+	}
+	a.asps[credential] = name
+	if a.billing[name] == nil {
+		a.billing[name] = &BillingAccount{ASP: name, open: make(map[string]usageSpan)}
+	}
+	return nil
+}
+
+// authenticate resolves a credential to an ASP, counting the outcome.
+func (a *Agent) authenticate(credential string) (string, error) {
+	asp, ok := a.asps[credential]
+	if !ok {
+		a.Denied++
+		return "", fmt.Errorf("soda: authentication failed")
+	}
+	a.Authenticated++
+	return asp, nil
+}
+
+// Billing returns the account for an ASP, with usage settled to now.
+func (a *Agent) Billing(asp string) (*BillingAccount, bool) {
+	acct, ok := a.billing[asp]
+	if ok {
+		acct.settle(a.k.Now())
+	}
+	return acct, ok
+}
+
+func (b *BillingAccount) settle(now sim.Time) {
+	for name, span := range b.open {
+		b.InstanceSeconds += float64(span.capacity) * now.Sub(span.since).Seconds()
+		b.open[name] = usageSpan{capacity: span.capacity, since: now}
+	}
+}
+
+// OpenServices lists the account's running services, sorted.
+func (b *BillingAccount) OpenServices() []string {
+	out := make([]string, 0, len(b.open))
+	for n := range b.open {
+		out = append(out, n)
+	}
+	sort.Strings(out)
+	return out
+}
+
+// ServiceCreation is SODA_service_creation (§4.1): the ASP specifies the
+// service name, image location, and resource requirement. The agent
+// authenticates, passes the request to the Master, opens billing, and
+// replies with the created nodes' information.
+func (a *Agent) ServiceCreation(credential string, spec ServiceSpec, onDone func(*Service), onErr func(error)) {
+	asp, err := a.authenticate(credential)
+	if err != nil {
+		if onErr != nil {
+			onErr(err)
+		}
+		return
+	}
+	// The request crosses the LAN to the Master.
+	err = a.net.Transfer(a.IP, a.master.IP, 2048, func() {
+		a.master.CreateService(spec, func(svc *Service) {
+			acct := a.billing[asp]
+			acct.settle(a.k.Now())
+			acct.open[spec.Name] = usageSpan{capacity: svc.TotalCapacity(), since: a.k.Now()}
+			if onDone != nil {
+				onDone(svc)
+			}
+		}, onErr)
+	})
+	if err != nil && onErr != nil {
+		onErr(err)
+	}
+}
+
+// ServiceTeardown is SODA_service_teardown (§4.1).
+func (a *Agent) ServiceTeardown(credential, serviceName string, onDone func(), onErr func(error)) {
+	asp, err := a.authenticate(credential)
+	if err != nil {
+		if onErr != nil {
+			onErr(err)
+		}
+		return
+	}
+	err = a.net.Transfer(a.IP, a.master.IP, 512, func() {
+		if err := a.master.TeardownService(serviceName); err != nil {
+			if onErr != nil {
+				onErr(err)
+			}
+			return
+		}
+		acct := a.billing[asp]
+		acct.settle(a.k.Now())
+		delete(acct.open, serviceName)
+		if onDone != nil {
+			onDone()
+		}
+	})
+	if err != nil && onErr != nil {
+		onErr(err)
+	}
+}
+
+// ServiceResizing is SODA_service_resizing (§4.1): resize to a new
+// requirement <n_new, M>.
+func (a *Agent) ServiceResizing(credential, serviceName string, newN int, onDone func(*Service), onErr func(error)) {
+	asp, err := a.authenticate(credential)
+	if err != nil {
+		if onErr != nil {
+			onErr(err)
+		}
+		return
+	}
+	err = a.net.Transfer(a.IP, a.master.IP, 512, func() {
+		a.master.ResizeService(serviceName, newN, func(svc *Service) {
+			acct := a.billing[asp]
+			acct.settle(a.k.Now())
+			acct.open[serviceName] = usageSpan{capacity: svc.TotalCapacity(), since: a.k.Now()}
+			if onDone != nil {
+				onDone(svc)
+			}
+		}, onErr)
+	})
+	if err != nil && onErr != nil {
+		onErr(err)
+	}
+}

@@ -1,0 +1,208 @@
+package soda
+
+import (
+	"fmt"
+	"sort"
+
+	"repro/internal/hostos"
+)
+
+// HostAvail is one host's free resources as reported by its Daemon.
+type HostAvail struct {
+	// Index identifies the daemon in the Master's table.
+	Index int
+	// HostName is the host's code name, for error messages.
+	HostName string
+	// Avail is the host's unreserved capacity.
+	Avail hostos.SliceRequest
+}
+
+// Placement maps k machine instances of M onto one host — one virtual
+// service node of capacity k.
+type Placement struct {
+	// Index is the chosen daemon's index.
+	Index int
+	// Instances is the node's capacity (k machine instances M).
+	Instances int
+}
+
+// Strategy selects how the Master maps machine instances onto hosts.
+type Strategy int
+
+// Allocation strategies.
+const (
+	// Spread distributes instances across hosts in proportion to their
+	// free CPU. This reproduces the paper's placement — <3, M> on the
+	// seattle+tacoma testbed yields a capacity-2 node on seattle and a
+	// capacity-1 node on tacoma (Figure 2) — and keeps any single host
+	// failure from taking out the whole service.
+	Spread Strategy = iota
+	// Pack fills the largest host first, minimising the node count n'.
+	Pack
+)
+
+// String names the strategy.
+func (s Strategy) String() string {
+	switch s {
+	case Spread:
+		return "spread"
+	case Pack:
+		return "pack"
+	}
+	return fmt.Sprintf("strategy(%d)", int(s))
+}
+
+// AllocateWith maps the requirement <n, M> onto n' ≤ n virtual service
+// nodes (§3.2) under the given strategy: the minimum granularity of a
+// node is one machine instance M, multiple Ms may aggregate onto one node
+// (with no resource discount — the paper's conservative assumption), and
+// CPU/bandwidth are inflated by factor before fitting. Each host receives
+// at most one node per service.
+//
+// It fails with a descriptive error if the HUP cannot satisfy the
+// requirement — the §3.2 "request failure".
+func AllocateWith(strategy Strategy, avail []HostAvail, req Requirement, factor float64) ([]Placement, error) {
+	if err := req.Validate(); err != nil {
+		return nil, err
+	}
+	if factor < 1 {
+		return nil, fmt.Errorf("soda: inflation factor %v < 1", factor)
+	}
+	switch strategy {
+	case Spread:
+		return allocateSpread(avail, req, factor)
+	case Pack:
+		return allocatePack(avail, req, factor)
+	}
+	return nil, fmt.Errorf("soda: unknown allocation strategy %v", strategy)
+}
+
+// Allocate is AllocateWith(Pack, …): the minimal-n' mapping.
+func Allocate(avail []HostAvail, req Requirement, factor float64) ([]Placement, error) {
+	return AllocateWith(Pack, avail, req, factor)
+}
+
+// allocateSpread distributes n proportionally to free CPU with largest-
+// remainder rounding, capped by what each host can actually hold;
+// capped-off leftovers go to hosts with spare room, largest first.
+func allocateSpread(avail []HostAvail, req Requirement, factor float64) ([]Placement, error) {
+	type cand struct {
+		HostAvail
+		max   int
+		share float64
+		take  int
+	}
+	var cands []cand
+	var totalCPU float64
+	for _, h := range avail {
+		m := maxInstances(h.Avail, req.M, factor)
+		if m <= 0 {
+			continue
+		}
+		cands = append(cands, cand{HostAvail: h, max: m})
+		totalCPU += float64(h.Avail.CPUMHz)
+	}
+	if len(cands) == 0 || totalCPU == 0 {
+		return nil, fmt.Errorf("soda: no HUP host can hold even one instance of M (inflation %.2f)", factor)
+	}
+	placed := 0
+	for i := range cands {
+		cands[i].share = float64(req.N) * float64(cands[i].Avail.CPUMHz) / totalCPU
+		cands[i].take = int(cands[i].share)
+		if cands[i].take > cands[i].max {
+			cands[i].take = cands[i].max
+		}
+		placed += cands[i].take
+	}
+	// Largest fractional remainder first; ties by larger free CPU, then
+	// lower index for determinism.
+	sort.Slice(cands, func(i, j int) bool {
+		ri := cands[i].share - float64(cands[i].take)
+		rj := cands[j].share - float64(cands[j].take)
+		if ri != rj {
+			return ri > rj
+		}
+		if cands[i].Avail.CPUMHz != cands[j].Avail.CPUMHz {
+			return cands[i].Avail.CPUMHz > cands[j].Avail.CPUMHz
+		}
+		return cands[i].Index < cands[j].Index
+	})
+	for placed < req.N {
+		progress := false
+		for i := range cands {
+			if placed == req.N {
+				break
+			}
+			if cands[i].take < cands[i].max {
+				cands[i].take++
+				placed++
+				progress = true
+			}
+		}
+		if !progress {
+			return nil, fmt.Errorf("soda: insufficient HUP capacity: %d of %d machine instances unplaceable (inflation %.2f)",
+				req.N-placed, req.N, factor)
+		}
+	}
+	sort.Slice(cands, func(i, j int) bool { return cands[i].Index < cands[j].Index })
+	var out []Placement
+	for _, c := range cands {
+		if c.take > 0 {
+			out = append(out, Placement{Index: c.Index, Instances: c.take})
+		}
+	}
+	return out, nil
+}
+
+func allocatePack(avail []HostAvail, req Requirement, factor float64) ([]Placement, error) {
+	hosts := append([]HostAvail(nil), avail...)
+	sort.Slice(hosts, func(i, j int) bool {
+		if hosts[i].Avail.CPUMHz != hosts[j].Avail.CPUMHz {
+			return hosts[i].Avail.CPUMHz > hosts[j].Avail.CPUMHz
+		}
+		return hosts[i].Index < hosts[j].Index
+	})
+	remaining := req.N
+	var out []Placement
+	for _, h := range hosts {
+		if remaining == 0 {
+			break
+		}
+		k := maxInstances(h.Avail, req.M, factor)
+		if k <= 0 {
+			continue
+		}
+		if k > remaining {
+			k = remaining
+		}
+		out = append(out, Placement{Index: h.Index, Instances: k})
+		remaining -= k
+	}
+	if remaining > 0 {
+		return nil, fmt.Errorf("soda: insufficient HUP capacity: %d of %d machine instances unplaceable (inflation %.2f)",
+			remaining, req.N, factor)
+	}
+	return out, nil
+}
+
+// maxInstances returns the largest k such that k inflated instances of M
+// fit in avail.
+func maxInstances(avail hostos.SliceRequest, m MachineConfig, factor float64) int {
+	one := InflatedSlice(m, 1, factor)
+	k := avail.CPUMHz / one.CPUMHz
+	if q := avail.MemoryMB / one.MemoryMB; q < k {
+		k = q
+	}
+	if q := avail.DiskMB / one.DiskMB; q < k {
+		k = q
+	}
+	if one.BandwidthMbps > 0 {
+		if q := int(avail.BandwidthMbps / one.BandwidthMbps); q < k {
+			k = q
+		}
+	}
+	if k < 0 {
+		return 0
+	}
+	return k
+}

@@ -1,0 +1,207 @@
+package soda
+
+import (
+	"testing"
+	"testing/quick"
+
+	"repro/internal/cycles"
+	"repro/internal/hostos"
+)
+
+func availOf(cpuMHz int, name string, idx int) HostAvail {
+	return HostAvail{
+		Index:    idx,
+		HostName: name,
+		Avail: hostos.SliceRequest{
+			CPUMHz:        cpuMHz,
+			MemoryMB:      4096,
+			DiskMB:        100000,
+			BandwidthMbps: 100,
+		},
+	}
+}
+
+func paperAvail() []HostAvail {
+	return []HostAvail{availOf(2600, "seattle", 0), availOf(1800, "tacoma", 1)}
+}
+
+func TestInflatedSliceAppliesFactorToCPUAndBandwidthOnly(t *testing.T) {
+	s := InflatedSlice(DefaultM(), 2, 1.5)
+	if s.CPUMHz != 1536 { // 512*2*1.5
+		t.Fatalf("CPU = %d", s.CPUMHz)
+	}
+	if s.MemoryMB != 512 || s.DiskMB != 2048 {
+		t.Fatalf("memory/disk inflated: %+v", s)
+	}
+	if s.BandwidthMbps != 30 { // 10*2*1.5
+		t.Fatalf("bandwidth = %v", s.BandwidthMbps)
+	}
+}
+
+func TestSpreadReproducesPaperPlacement(t *testing.T) {
+	// <3, M> on seattle+tacoma must become 2M on seattle + 1M on tacoma
+	// (Figure 2).
+	pl, err := AllocateWith(Spread, paperAvail(), Requirement{N: 3, M: DefaultM()}, SlowdownFactor)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(pl) != 2 || pl[0].Index != 0 || pl[0].Instances != 2 || pl[1].Index != 1 || pl[1].Instances != 1 {
+		t.Fatalf("placements = %+v, want seattle:2 tacoma:1", pl)
+	}
+}
+
+func TestPackFillsLargestHostFirst(t *testing.T) {
+	pl, err := AllocateWith(Pack, paperAvail(), Requirement{N: 3, M: DefaultM()}, SlowdownFactor)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(pl) != 1 || pl[0].Index != 0 || pl[0].Instances != 3 {
+		t.Fatalf("placements = %+v, want all 3 on seattle", pl)
+	}
+}
+
+func TestAllocateSingleInstanceGoesToBiggestHost(t *testing.T) {
+	for _, s := range []Strategy{Spread, Pack} {
+		pl, err := AllocateWith(s, paperAvail(), Requirement{N: 1, M: DefaultM()}, SlowdownFactor)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if len(pl) != 1 || pl[0].Index != 0 {
+			t.Fatalf("%v: placements = %+v", s, pl)
+		}
+	}
+}
+
+func TestAllocateFailsWhenCapacityInsufficient(t *testing.T) {
+	for _, s := range []Strategy{Spread, Pack} {
+		if _, err := AllocateWith(s, paperAvail(), Requirement{N: 50, M: DefaultM()}, SlowdownFactor); err == nil {
+			t.Fatalf("%v: impossible requirement admitted", s)
+		}
+	}
+}
+
+func TestAllocateRespectsEveryResourceDimension(t *testing.T) {
+	// Plenty of CPU but almost no memory: nothing fits.
+	tight := []HostAvail{{
+		Index: 0, HostName: "h",
+		Avail: hostos.SliceRequest{CPUMHz: 10000, MemoryMB: 100, DiskMB: 100000, BandwidthMbps: 100},
+	}}
+	if _, err := AllocateWith(Spread, tight, Requirement{N: 1, M: DefaultM()}, 1.0); err == nil {
+		t.Fatal("memory-starved host accepted an instance")
+	}
+}
+
+func TestAllocateValidatesInput(t *testing.T) {
+	if _, err := AllocateWith(Spread, paperAvail(), Requirement{}, 1.5); err == nil {
+		t.Fatal("zero requirement accepted")
+	}
+	if _, err := AllocateWith(Spread, paperAvail(), Requirement{N: 1, M: DefaultM()}, 0.5); err == nil {
+		t.Fatal("deflation factor accepted")
+	}
+	if _, err := AllocateWith(Strategy(99), paperAvail(), Requirement{N: 1, M: DefaultM()}, 1.5); err == nil {
+		t.Fatal("unknown strategy accepted")
+	}
+}
+
+func TestAllocatePropertyPlacementsAreFeasibleAndComplete(t *testing.T) {
+	if err := quick.Check(func(seedN uint8, cpus [4]uint16) bool {
+		n := int(seedN%10) + 1
+		var avail []HostAvail
+		for i, c := range cpus {
+			avail = append(avail, availOf(int(c%5000)+100, "h", i))
+		}
+		for _, strat := range []Strategy{Spread, Pack} {
+			pl, err := AllocateWith(strat, avail, Requirement{N: n, M: DefaultM()}, SlowdownFactor)
+			if err != nil {
+				continue // infeasible is a legal outcome
+			}
+			total := 0
+			seen := map[int]bool{}
+			for _, p := range pl {
+				if p.Instances <= 0 || seen[p.Index] {
+					return false // at most one node per host, positive capacity
+				}
+				seen[p.Index] = true
+				total += p.Instances
+				// Placement must fit the host it targets.
+				slice := InflatedSlice(DefaultM(), p.Instances, SlowdownFactor)
+				a := avail[p.Index].Avail
+				if slice.CPUMHz > a.CPUMHz || slice.MemoryMB > a.MemoryMB ||
+					slice.DiskMB > a.DiskMB || slice.BandwidthMbps > a.BandwidthMbps {
+					return false
+				}
+			}
+			if total != n {
+				return false
+			}
+		}
+		return true
+	}, &quick.Config{MaxCount: 200}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestMachineConfigAndRequirementValidation(t *testing.T) {
+	bad := []MachineConfig{
+		{},
+		{CPUMHz: 1},
+		{CPUMHz: 1, MemoryMB: 1},
+		{CPUMHz: 1, MemoryMB: 1, DiskMB: 1},
+	}
+	for i, m := range bad {
+		if m.Validate() == nil {
+			t.Errorf("case %d accepted: %+v", i, m)
+		}
+	}
+	if DefaultM().Validate() != nil {
+		t.Fatal("DefaultM invalid")
+	}
+	if (Requirement{N: 0, M: DefaultM()}).Validate() == nil {
+		t.Fatal("n=0 accepted")
+	}
+}
+
+func TestDefaultMMatchesPaperTable1(t *testing.T) {
+	m := DefaultM()
+	if m.CPUMHz != 512 || m.MemoryMB != 256 || m.DiskMB != 1024 || m.BandwidthMbps != 10 {
+		t.Fatalf("DefaultM = %+v, want Table 1's 512MHz/256MB/1GB/10Mbps", m)
+	}
+}
+
+func TestStrategyString(t *testing.T) {
+	if Spread.String() != "spread" || Pack.String() != "pack" {
+		t.Fatal("strategy names wrong")
+	}
+}
+
+func TestServiceSpecValidation(t *testing.T) {
+	ok := ServiceSpec{Name: "s", ImageName: "i", Repository: "1.1.1.1",
+		Requirement: Requirement{N: 1, M: DefaultM()}}
+	if err := ok.Validate(); err != nil {
+		t.Fatal(err)
+	}
+	for i, bad := range []ServiceSpec{
+		{},
+		{Name: "s"},
+		{Name: "s", ImageName: "i"},
+		{Name: "s", ImageName: "i", Repository: "1.1.1.1"},
+	} {
+		if bad.Validate() == nil {
+			t.Errorf("case %d accepted", i)
+		}
+	}
+}
+
+func TestSlowdownFactorMatchesPaperFootnote(t *testing.T) {
+	if SlowdownFactor != 1.5 {
+		t.Fatalf("slow-down factor = %v, paper §3.2 footnote 2 says 1.5", SlowdownFactor)
+	}
+}
+
+func TestServiceStateStrings(t *testing.T) {
+	if Priming.String() != "priming" || Active.String() != "active" || TornDown.String() != "torn-down" {
+		t.Fatal("state names wrong")
+	}
+}
+
+var _ = cycles.MHz // keep cycles import if future cases need clock math

@@ -1,0 +1,383 @@
+package soda
+
+import (
+	"fmt"
+
+	"repro/internal/hostos"
+	"repro/internal/image"
+	"repro/internal/simnet"
+	"repro/internal/uml"
+)
+
+// AddressMode selects how a daemon gives virtual service nodes network
+// identities (§3.3 and its footnote 3).
+type AddressMode int
+
+// Address modes.
+const (
+	// Bridging assigns each node its own IP from the daemon's pool and
+	// registers it with the host's transparent bridge — the paper's
+	// primary design.
+	Bridging AddressMode = iota
+	// Proxying shares the host's IP among nodes, distinguishing them by
+	// port — the footnote-3 fallback "if the scarcity of IP addresses
+	// becomes a problem". Per-node outbound shaping is unavailable in
+	// this mode (the shaper keys on source IP).
+	Proxying
+)
+
+// String names the mode.
+func (m AddressMode) String() string {
+	if m == Proxying {
+		return "proxying"
+	}
+	return "bridging"
+}
+
+// Daemon is the system-level SODA entity running in each HUP host as a
+// host-OS process (§3.3). It reports resource availability to the Master,
+// reserves host slices, downloads service images, bootstraps virtual
+// service nodes (guest OS first, then the service), assigns IP addresses
+// from its pool, and notifies the bridging module.
+type Daemon struct {
+	// HostIP is the host's own address (where the daemon listens).
+	HostIP simnet.IP
+
+	host     *hostos.Host
+	nic      *simnet.NIC
+	net      *simnet.Network
+	pool     *simnet.IPPool
+	repos    map[simnet.IP]*image.Repository
+	nextUID  int
+	nodes    map[string]*nodeRuntime
+	mode     AddressMode
+	nextPort int
+
+	// cache holds downloaded master images (name → image + pinned disk),
+	// when caching is enabled. Cached images are cloned per node, so
+	// tailoring never disturbs the master copy.
+	cache map[string]*cachedImage
+
+	// Primed counts nodes successfully bootstrapped; TornDown counts
+	// nodes removed. CacheHits counts downloads avoided by the cache.
+	Primed, TornDown, CacheHits int
+}
+
+// cachedImage is one master image pinned on the host's disk.
+type cachedImage struct {
+	img    *image.Image
+	diskMB int
+}
+
+// nodeRuntime is the daemon's bookkeeping for one virtual service node.
+type nodeRuntime struct {
+	info        NodeInfo
+	reservation *hostos.Reservation
+	diskMB      int
+	proxied     bool
+}
+
+// DaemonConfig wires one daemon to its host and network.
+type DaemonConfig struct {
+	Host *hostos.Host
+	NIC  *simnet.NIC
+	Net  *simnet.Network
+	// HostIP is the host's bridged address (must already be on the NIC).
+	HostIP simnet.IP
+	// Pool is this daemon's IP address pool; pools of different daemons
+	// must be disjoint (§4.3).
+	Pool *simnet.IPPool
+	// UIDBase starts the userid range for this host's service nodes.
+	UIDBase int
+	// Mode selects bridging (default) or the footnote-3 proxying.
+	Mode AddressMode
+}
+
+// NewDaemon starts a SODA Daemon on a host.
+func NewDaemon(cfg DaemonConfig) (*Daemon, error) {
+	if cfg.Host == nil || cfg.NIC == nil || cfg.Net == nil || cfg.Pool == nil {
+		return nil, fmt.Errorf("soda: daemon config missing host/nic/net/pool")
+	}
+	if _, ok := cfg.Net.Lookup(cfg.HostIP); !ok {
+		return nil, fmt.Errorf("soda: daemon host IP %s not bridged", cfg.HostIP)
+	}
+	if cfg.UIDBase <= 0 {
+		cfg.UIDBase = 10000
+	}
+	return &Daemon{
+		HostIP:   cfg.HostIP,
+		host:     cfg.Host,
+		nic:      cfg.NIC,
+		net:      cfg.Net,
+		pool:     cfg.Pool,
+		repos:    make(map[simnet.IP]*image.Repository),
+		nextUID:  cfg.UIDBase,
+		nodes:    make(map[string]*nodeRuntime),
+		mode:     cfg.Mode,
+		nextPort: 9000,
+	}, nil
+}
+
+// Mode returns the daemon's address mode.
+func (d *Daemon) Mode() AddressMode { return d.mode }
+
+// EnableImageCache turns on master-image caching: the first prime of an
+// image downloads and pins it on disk; later primes clone the cached
+// copy, skipping the transfer entirely. An extension beyond §4.3's
+// always-download behaviour; disabled by default so the reproduction
+// matches the paper.
+func (d *Daemon) EnableImageCache() {
+	if d.cache == nil {
+		d.cache = make(map[string]*cachedImage)
+	}
+}
+
+// CachedImages returns how many master images are pinned.
+func (d *Daemon) CachedImages() int { return len(d.cache) }
+
+// DropImageCache releases every pinned master image.
+func (d *Daemon) DropImageCache() {
+	for name, c := range d.cache {
+		d.host.FreeDisk(c.diskMB)
+		delete(d.cache, name)
+	}
+}
+
+// fetchImage produces a private clone of the named image: from the cache
+// when enabled and warm, otherwise by HTTP download (populating the
+// cache if enabled).
+func (d *Daemon) fetchImage(repo *image.Repository, name string, onDone func(*image.Image), onErr func(error)) {
+	if d.cache != nil {
+		if c, hit := d.cache[name]; hit {
+			d.CacheHits++
+			// Cloning the cached master costs a local disk read, not a
+			// network transfer.
+			p := d.host.Spawn("sodad/cache-clone", 0)
+			p.ReadDiskSequential(c.img.SizeBytes(), func() {
+				d.host.Kill(p)
+				onDone(c.img.Clone())
+			})
+			return
+		}
+	}
+	repo.Download(name, d.HostIP, func(img *image.Image) {
+		if d.cache != nil {
+			sizeMB := img.SizeMB()
+			if err := d.host.UseDisk(sizeMB); err == nil {
+				d.cache[name] = &cachedImage{img: img.Clone(), diskMB: sizeMB}
+			}
+			// Cache-fill failure (disk full) is not a priming failure.
+		}
+		onDone(img)
+	}, onErr)
+}
+
+// Host returns the daemon's HUP host.
+func (d *Daemon) Host() *hostos.Host { return d.host }
+
+// RegisterRepository teaches the daemon how to reach an image repository
+// (the simulation's stand-in for HTTP name resolution).
+func (d *Daemon) RegisterRepository(r *image.Repository) {
+	d.repos[r.IP] = r
+}
+
+// Availability reports the host's unreserved resources — what the Master
+// collects before admission (§3.2).
+func (d *Daemon) Availability() hostos.SliceRequest {
+	return d.host.Available()
+}
+
+// Nodes returns the number of live nodes on this host.
+func (d *Daemon) Nodes() int { return len(d.nodes) }
+
+// PrimeRequest is the Master's command to create one virtual service
+// node.
+type PrimeRequest struct {
+	// ServiceName and NodeName label the node.
+	ServiceName, NodeName string
+	// ImageName and Repository locate the service image (§3.1).
+	ImageName  string
+	Repository simnet.IP
+	// M and Instances size the node: a slice of Instances machine
+	// configurations (capacity), inflated by Factor for CPU/bandwidth.
+	M         MachineConfig
+	Instances int
+	Factor    float64
+	// GuestProfile is the image's guest-OS configuration for tailoring.
+	GuestProfile []string
+	// Port is the service's listen port.
+	Port int
+}
+
+// Prime performs service priming (§3.3): reserve a slice, assign an IP
+// and notify the bridge, install the traffic-shaper cap, download the
+// image, and bootstrap the node (guest OS, then service). The daemon
+// then steps out of the way — it "will not interfere with the
+// interactions between the virtual service node and the host OS".
+func (d *Daemon) Prime(req PrimeRequest, onDone func(NodeInfo), onErr func(error)) {
+	fail := func(err error) {
+		if onErr != nil {
+			onErr(err)
+		}
+	}
+	if req.Instances <= 0 {
+		fail(fmt.Errorf("soda: prime with %d instances", req.Instances))
+		return
+	}
+	if req.Factor == 0 {
+		req.Factor = SlowdownFactor
+	}
+	repo := d.repos[req.Repository]
+	if repo == nil {
+		fail(fmt.Errorf("soda: %s: unknown image repository %s", d.host.Spec.Name, req.Repository))
+		return
+	}
+
+	// 1. Reserve the slice.
+	slice := InflatedSlice(req.M, req.Instances, req.Factor)
+	uid := d.nextUID
+	d.nextUID++
+	reservation, err := d.host.Reserve(uid, slice)
+	if err != nil {
+		fail(err)
+		return
+	}
+	// 2. Give the node a network identity. Bridging: a pool IP registered
+	// with the host bridge, plus a per-IP shaper share. Proxying
+	// (footnote 3): the host's own IP with a unique port; no per-node
+	// shaping is possible.
+	var ip simnet.IP
+	port := req.Port
+	proxied := d.mode == Proxying
+	if proxied {
+		ip = d.HostIP
+		port = d.nextPort
+		d.nextPort++
+	} else {
+		var err error
+		ip, err = d.pool.Allocate()
+		if err != nil {
+			reservation.Release()
+			fail(err)
+			return
+		}
+		if err := d.nic.AddIP(ip); err != nil {
+			d.pool.Release(ip)
+			reservation.Release()
+			fail(err)
+			return
+		}
+		// 3. Traffic shaper: enforce the node's outbound bandwidth share.
+		d.nic.SetShaperCap(ip, slice.BandwidthMbps)
+	}
+
+	abort := func(err error) {
+		if !proxied {
+			d.nic.SetShaperCap(ip, 0)
+			d.nic.RemoveIP(ip)
+			d.pool.Release(ip)
+		}
+		reservation.Release()
+		fail(err)
+	}
+
+	// 4. Obtain the service image: download from the ASP's repository
+	// (HTTP/1.1), or clone the cached master when caching is on.
+	k := d.net.Kernel()
+	downloadStart := k.Now()
+	d.fetchImage(repo, req.ImageName, func(img *image.Image) {
+		downloadTime := k.Now().Sub(downloadStart)
+		sizeMB := img.SizeMB()
+		if err := d.host.UseDisk(sizeMB); err != nil {
+			abort(err)
+			return
+		}
+		// 5. Bootstrap: tailor, mount, guest OS, then the service.
+		bootStart := k.Now()
+		uml.Boot(uml.BootRequest{
+			Host:     d.host,
+			UID:      uid,
+			IP:       ip,
+			NodeName: req.NodeName,
+			Image:    img,
+			Profile:  req.GuestProfile,
+		}, func(report *uml.BootReport) {
+			info := NodeInfo{
+				NodeName:       req.NodeName,
+				HostName:       d.host.Spec.Name,
+				IP:             ip,
+				Port:           port,
+				Capacity:       req.Instances,
+				Guest:          report.Guest,
+				DownloadTime:   downloadTime,
+				BootTime:       k.Now().Sub(bootStart),
+				RAMDisk:        report.RAMDisk,
+				PressureFactor: report.PressureFactor,
+			}
+			d.nodes[req.NodeName] = &nodeRuntime{info: info, reservation: reservation, diskMB: sizeMB, proxied: proxied}
+			d.Primed++
+			if onDone != nil {
+				onDone(info)
+			}
+		}, func(err error) {
+			d.host.FreeDisk(sizeMB)
+			abort(err)
+		})
+	}, abort)
+}
+
+// Teardown removes a node: crash-stop the guest, free the RAM disk and
+// image disk space, return the IP to the pool, drop the bridge mapping
+// and shaper cap, release the reservation.
+func (d *Daemon) Teardown(nodeName string) error {
+	rt, ok := d.nodes[nodeName]
+	if !ok {
+		return fmt.Errorf("soda: %s: no node %q", d.host.Spec.Name, nodeName)
+	}
+	delete(d.nodes, nodeName)
+	rt.info.Guest.Stop()
+	d.host.FreeDisk(rt.diskMB)
+	if !rt.proxied {
+		d.nic.SetShaperCap(rt.info.IP, 0)
+		d.nic.RemoveIP(rt.info.IP)
+		d.pool.Release(rt.info.IP)
+	}
+	rt.reservation.Release()
+	d.TornDown++
+	return nil
+}
+
+// ResizeNode grows or shrinks an existing node to newInstances machine
+// configurations, adjusting the reservation, the shaper cap, and the
+// scheduler share. The guest keeps running (§3.4: "adjust the resources
+// in the current virtual service nodes").
+func (d *Daemon) ResizeNode(nodeName string, m MachineConfig, newInstances int, factor float64) (NodeInfo, error) {
+	rt, ok := d.nodes[nodeName]
+	if !ok {
+		return NodeInfo{}, fmt.Errorf("soda: %s: no node %q", d.host.Spec.Name, nodeName)
+	}
+	if newInstances <= 0 {
+		return NodeInfo{}, fmt.Errorf("soda: resize of %q to %d instances", nodeName, newInstances)
+	}
+	if factor == 0 {
+		factor = SlowdownFactor
+	}
+	slice := InflatedSlice(m, newInstances, factor)
+	if err := rt.reservation.Resize(slice); err != nil {
+		return NodeInfo{}, err
+	}
+	if !rt.proxied {
+		d.nic.SetShaperCap(rt.info.IP, slice.BandwidthMbps)
+	}
+	rt.info.Capacity = newInstances
+	return rt.info, nil
+}
+
+// NodeInfoFor returns the daemon's record of a node.
+func (d *Daemon) NodeInfoFor(nodeName string) (NodeInfo, bool) {
+	rt, ok := d.nodes[nodeName]
+	if !ok {
+		return NodeInfo{}, false
+	}
+	return rt.info, true
+}

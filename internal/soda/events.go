@@ -1,0 +1,119 @@
+package soda
+
+import (
+	"fmt"
+
+	"repro/internal/sim"
+)
+
+// EventKind classifies control-plane lifecycle events.
+type EventKind int
+
+// Control-plane event kinds, in rough lifecycle order.
+const (
+	// EventAdmitted: a creation request passed admission control.
+	EventAdmitted EventKind = iota
+	// EventRejected: a creation request failed admission or priming.
+	EventRejected
+	// EventNodePrimed: a daemon finished priming one node.
+	EventNodePrimed
+	// EventServiceActive: the switch is up and the service is serving.
+	EventServiceActive
+	// EventResized: the service's capacity changed.
+	EventResized
+	// EventTornDown: the service was removed.
+	EventTornDown
+)
+
+// String names the kind.
+func (k EventKind) String() string {
+	switch k {
+	case EventAdmitted:
+		return "admitted"
+	case EventRejected:
+		return "rejected"
+	case EventNodePrimed:
+		return "node-primed"
+	case EventServiceActive:
+		return "active"
+	case EventResized:
+		return "resized"
+	case EventTornDown:
+		return "torn-down"
+	}
+	return fmt.Sprintf("event(%d)", int(k))
+}
+
+// Event is one control-plane occurrence.
+type Event struct {
+	// At is the virtual timestamp.
+	At sim.Time
+	// Kind classifies the event.
+	Kind EventKind
+	// Service names the service involved.
+	Service string
+	// Node names the node involved, when node-scoped.
+	Node string
+	// Detail carries human-readable context.
+	Detail string
+}
+
+// String renders one trace line.
+func (e Event) String() string {
+	if e.Node != "" {
+		return fmt.Sprintf("%v %-12s %s/%s %s", e.At, e.Kind, e.Service, e.Node, e.Detail)
+	}
+	return fmt.Sprintf("%v %-12s %s %s", e.At, e.Kind, e.Service, e.Detail)
+}
+
+// Observer receives control-plane events as they happen.
+type Observer func(Event)
+
+// Observe registers an observer on the Master. Multiple observers are
+// invoked in registration order.
+func (m *Master) Observe(obs Observer) {
+	if obs == nil {
+		panic("soda: nil observer")
+	}
+	m.observers = append(m.observers, obs)
+}
+
+// emit publishes an event to all observers.
+func (m *Master) emit(kind EventKind, service, node, detail string) {
+	if len(m.observers) == 0 {
+		return
+	}
+	e := Event{At: m.net.Kernel().Now(), Kind: kind, Service: service, Node: node, Detail: detail}
+	for _, obs := range m.observers {
+		obs(e)
+	}
+}
+
+// EventRecorder is a convenience observer that retains events for tests
+// and consoles.
+type EventRecorder struct {
+	Events []Event
+}
+
+// Record returns the observer function.
+func (r *EventRecorder) Record(e Event) { r.Events = append(r.Events, e) }
+
+// Kinds returns the recorded kinds in order.
+func (r *EventRecorder) Kinds() []EventKind {
+	out := make([]EventKind, len(r.Events))
+	for i, e := range r.Events {
+		out[i] = e.Kind
+	}
+	return out
+}
+
+// CountOf returns how many events of a kind were recorded.
+func (r *EventRecorder) CountOf(kind EventKind) int {
+	n := 0
+	for _, e := range r.Events {
+		if e.Kind == kind {
+			n++
+		}
+	}
+	return n
+}

@@ -1,0 +1,292 @@
+package soda
+
+import (
+	"fmt"
+	"sort"
+
+	"repro/internal/appsvc"
+	"repro/internal/simnet"
+	"repro/internal/svcswitch"
+)
+
+// Master is the middleware-level coordinator (§3.2): it admits or rejects
+// service creation requests against collected availability, maps <n, M>
+// onto virtual service nodes, drives the Daemons' priming, creates the
+// per-service switch, and performs resizing and tear-down.
+type Master struct {
+	// IP is the Master machine's address.
+	IP simnet.IP
+	// Factor is the conservative slow-down inflation (§3.2 footnote 2).
+	Factor float64
+	// Strategy selects how instances map onto hosts; the default Spread
+	// reproduces the paper's Figure 2 placement.
+	Strategy Strategy
+
+	net       *simnet.Network
+	daemons   []*Daemon
+	services  map[string]*Service
+	observers []Observer
+
+	// Admitted and Rejected count creation requests.
+	Admitted, Rejected int
+}
+
+// Service is the Master's record of one hosted application service: the
+// set of virtual service nodes plus the service switch (§3.4: "service S
+// is now created as the set of virtual service nodes and the service
+// switch").
+type Service struct {
+	Spec  ServiceSpec
+	State ServiceState
+	// Nodes are the created virtual service nodes, switch host first.
+	Nodes []NodeInfo
+	// Config is the service configuration file inside the switch,
+	// created and maintained by the Master.
+	Config *svcswitch.ConfigFile
+	// Switch routes client requests to the nodes.
+	Switch *svcswitch.Switch
+
+	nodeDaemon map[string]int // node name → daemon index
+	nextNodeID int
+}
+
+// TotalCapacity returns the service's current machine-instance count.
+func (s *Service) TotalCapacity() int { return s.Config.TotalCapacity() }
+
+// NodeByName returns the named node's info.
+func (s *Service) NodeByName(name string) (NodeInfo, bool) {
+	for _, n := range s.Nodes {
+		if n.NodeName == name {
+			return n, true
+		}
+	}
+	return NodeInfo{}, false
+}
+
+// NewMaster creates the HUP's coordinator. The Master's address must be
+// bridged so control traffic can be modelled.
+func NewMaster(net *simnet.Network, ip simnet.IP, daemons []*Daemon) (*Master, error) {
+	if _, ok := net.Lookup(ip); !ok {
+		return nil, fmt.Errorf("soda: master address %s not bridged", ip)
+	}
+	if len(daemons) == 0 {
+		return nil, fmt.Errorf("soda: master with no daemons")
+	}
+	return &Master{
+		IP:       ip,
+		Factor:   SlowdownFactor,
+		net:      net,
+		daemons:  daemons,
+		services: make(map[string]*Service),
+	}, nil
+}
+
+// Daemons returns the Master's daemon table.
+func (m *Master) Daemons() []*Daemon { return m.daemons }
+
+// Service returns the named hosted service.
+func (m *Master) Service(name string) (*Service, bool) {
+	s, ok := m.services[name]
+	return s, ok
+}
+
+// Services returns all hosted service names, sorted.
+func (m *Master) Services() []string {
+	out := make([]string, 0, len(m.services))
+	for n := range m.services {
+		out = append(out, n)
+	}
+	sort.Strings(out)
+	return out
+}
+
+// CollectAvailability gathers resource information from every daemon
+// (§3.2: "The SODA Master collects resource information from SODA Daemons
+// running in each HUP host").
+func (m *Master) CollectAvailability() []HostAvail {
+	out := make([]HostAvail, len(m.daemons))
+	for i, d := range m.daemons {
+		out[i] = HostAvail{Index: i, HostName: d.Host().Spec.Name, Avail: d.Availability()}
+	}
+	return out
+}
+
+// CreateService admits and creates a service: allocation, parallel
+// priming on the chosen hosts, then switch creation. onDone fires with
+// the active service once every node is up; onErr fires on admission
+// failure or if any priming step fails (already-primed nodes are rolled
+// back).
+func (m *Master) CreateService(spec ServiceSpec, onDone func(*Service), onErr func(error)) {
+	fail := func(err error) {
+		m.Rejected++
+		m.emit(EventRejected, spec.Name, "", err.Error())
+		if onErr != nil {
+			onErr(err)
+		}
+	}
+	if err := spec.Validate(); err != nil {
+		fail(err)
+		return
+	}
+	if _, dup := m.services[spec.Name]; dup {
+		fail(fmt.Errorf("soda: service %q already hosted", spec.Name))
+		return
+	}
+	placements, err := AllocateWith(m.Strategy, m.CollectAvailability(), spec.Requirement, m.Factor)
+	if err != nil {
+		fail(err)
+		return
+	}
+	m.Admitted++
+	m.emit(EventAdmitted, spec.Name, "",
+		fmt.Sprintf("<%d, M> over %d node(s), strategy %v", spec.Requirement.N, len(placements), m.Strategy))
+	svc := &Service{
+		Spec:       spec,
+		State:      Priming,
+		Config:     svcswitch.NewConfigFile(spec.Name),
+		nodeDaemon: make(map[string]int),
+	}
+	m.services[spec.Name] = svc
+
+	m.primePlacements(svc, placements, func(failed bool) {
+		if failed {
+			m.rollback(svc)
+			fail(fmt.Errorf("soda: priming failed for service %q", spec.Name))
+			return
+		}
+		if err := m.buildSwitch(svc); err != nil {
+			m.rollback(svc)
+			fail(err)
+			return
+		}
+		svc.State = Active
+		m.emit(EventServiceActive, spec.Name, "",
+			fmt.Sprintf("switch on %s, policy %s", svc.Nodes[0].NodeName, svc.Switch.Policy().Name()))
+		if onDone != nil {
+			onDone(svc)
+		}
+	})
+}
+
+// primePlacements fans the priming commands out to the chosen daemons,
+// fills svc.Nodes (sorted by node name), and reports whether any node
+// failed. It is shared by CreateService and CreatePartitionedService.
+func (m *Master) primePlacements(svc *Service, placements []Placement, onFinish func(failed bool)) {
+	spec := svc.Spec
+	remaining := len(placements)
+	failed := false
+	var nodes []NodeInfo
+	finishOne := func() {
+		remaining--
+		if remaining > 0 {
+			return
+		}
+		sort.Slice(nodes, func(i, j int) bool { return nodes[i].NodeName < nodes[j].NodeName })
+		svc.Nodes = append(svc.Nodes, nodes...)
+		onFinish(failed)
+	}
+
+	for _, pl := range placements {
+		pl := pl
+		d := m.daemons[pl.Index]
+		nodeName := fmt.Sprintf("%s-%d", spec.Name, svc.nextNodeID)
+		svc.nextNodeID++
+		svc.nodeDaemon[nodeName] = pl.Index
+		// The priming command crosses the LAN to the daemon (§3.2: the
+		// Master "will then contact the SODA Daemons running in the
+		// selected HUP hosts").
+		err := m.net.Transfer(m.IP, d.HostIP, 1024, func() {
+			d.Prime(PrimeRequest{
+				ServiceName:  spec.Name,
+				NodeName:     nodeName,
+				ImageName:    spec.ImageName,
+				Repository:   spec.Repository,
+				M:            spec.Requirement.M,
+				Instances:    pl.Instances,
+				Factor:       m.Factor,
+				GuestProfile: spec.GuestProfile,
+				Port:         servicePort(spec),
+			}, func(info NodeInfo) {
+				m.emit(EventNodePrimed, spec.Name, info.NodeName,
+					fmt.Sprintf("%s ip=%s cap=%d download=%.1fs boot=%.1fs",
+						info.HostName, info.IP, info.Capacity,
+						info.DownloadTime.Seconds(), info.BootTime.Seconds()))
+				nodes = append(nodes, info)
+				finishOne()
+			}, func(err error) {
+				failed = true
+				delete(svc.nodeDaemon, nodeName)
+				finishOne()
+			})
+		})
+		if err != nil {
+			failed = true
+			delete(svc.nodeDaemon, nodeName)
+			finishOne()
+		}
+	}
+}
+
+func servicePort(spec ServiceSpec) int {
+	if spec.Port > 0 {
+		return spec.Port
+	}
+	return 8080
+}
+
+// buildSwitch creates the service switch co-located in the first node
+// (§3.4) and populates the service configuration file.
+func (m *Master) buildSwitch(svc *Service) error {
+	if len(svc.Nodes) == 0 {
+		return fmt.Errorf("soda: service %q has no nodes for a switch", svc.Spec.Name)
+	}
+	entries := make([]svcswitch.BackendEntry, len(svc.Nodes))
+	for i, n := range svc.Nodes {
+		entries[i] = svcswitch.BackendEntry{IP: n.IP, Port: n.Port, Capacity: n.Capacity}
+	}
+	if err := svc.Config.SetEntries(entries); err != nil {
+		return err
+	}
+	home := &appsvc.GuestBackend{G: svc.Nodes[0].Guest}
+	svc.Switch = svcswitch.New(m.net, home, svc.Config)
+	if svc.Spec.SwitchPolicy != nil {
+		svc.Switch.SetPolicy(svc.Spec.SwitchPolicy)
+	}
+	if svc.Spec.Behavior != nil {
+		for i, n := range svc.Nodes {
+			if h := svc.Spec.Behavior(n.Guest); h != nil {
+				svc.Switch.Bind(entries[i], h)
+			}
+		}
+	}
+	return nil
+}
+
+// rollback tears down whatever priming already produced.
+func (m *Master) rollback(svc *Service) {
+	for nodeName, di := range svc.nodeDaemon {
+		// Nodes that never finished priming are cleaned up by the daemon
+		// itself; Teardown only finds the finished ones.
+		_ = m.daemons[di].Teardown(nodeName)
+	}
+	svc.State = TornDown
+	delete(m.services, svc.Spec.Name)
+}
+
+// TeardownService removes a hosted service entirely —
+// SODA_service_teardown (§4.1).
+func (m *Master) TeardownService(name string) error {
+	svc, ok := m.services[name]
+	if !ok {
+		return fmt.Errorf("soda: no service %q", name)
+	}
+	for _, n := range svc.Nodes {
+		if err := m.daemons[svc.nodeDaemon[n.NodeName]].Teardown(n.NodeName); err != nil {
+			return err
+		}
+	}
+	svc.State = TornDown
+	delete(m.services, name)
+	m.emit(EventTornDown, name, "", "")
+	return nil
+}

@@ -1,0 +1,105 @@
+package soda_test
+
+import (
+	"strings"
+	"testing"
+
+	"repro/internal/hup"
+	"repro/internal/sim"
+	"repro/internal/workload"
+)
+
+func TestServiceStatusReflectsLiveState(t *testing.T) {
+	tb := newTestbed(t)
+	spec, _ := webSpec(tb, t, "web", 3)
+	svc, err := tb.CreateService("genome-key", spec)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Drive some traffic so counters move.
+	gen := workload.NewGenerator(tb.K, hup.SwitchTarget{Switch: svc.Switch}, tb.AddClient(), sim.NewRNG(1))
+	done := false
+	gen.IssueN(30, func() { done = true })
+	tb.K.Run()
+	if !done {
+		t.Fatal("load did not finish")
+	}
+
+	st, err := tb.Agent.ServiceStatus("genome-key", "web")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !st.Healthy() {
+		t.Fatalf("healthy service reported unhealthy:\n%s", st.Render())
+	}
+	if st.Capacity != 3 || len(st.Nodes) != 2 || st.Routed != 30 {
+		t.Fatalf("status = %+v", st)
+	}
+	var totalFwd int
+	for _, n := range st.Nodes {
+		if n.GuestState != "running" || n.Workers == 0 {
+			t.Fatalf("node %s state wrong: %+v", n.NodeName, n)
+		}
+		if n.CPUCycles <= 0 {
+			t.Fatalf("node %s shows no CPU use after serving", n.NodeName)
+		}
+		if len(n.ProcessTable) == 0 {
+			t.Fatalf("node %s missing process table", n.NodeName)
+		}
+		totalFwd += n.Forwarded
+	}
+	if totalFwd != 30 {
+		t.Fatalf("per-node forwarded sums to %d", totalFwd)
+	}
+	if !strings.Contains(st.Render(), "web") {
+		t.Fatal("render missing service name")
+	}
+}
+
+func TestServiceStatusDetectsCrashedNode(t *testing.T) {
+	tb := newTestbed(t)
+	spec, _ := webSpec(tb, t, "web", 3)
+	svc, err := tb.CreateService("genome-key", spec)
+	if err != nil {
+		t.Fatal(err)
+	}
+	svc.Nodes[1].Guest.Crash("fault")
+	st, err := tb.Agent.ServiceStatus("genome-key", "web")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if st.Healthy() {
+		t.Fatal("crashed node not detected")
+	}
+	crashed := 0
+	for _, n := range st.Nodes {
+		if n.GuestState == "crashed" {
+			crashed++
+		}
+	}
+	if crashed != 1 {
+		t.Fatalf("crashed nodes = %d", crashed)
+	}
+}
+
+func TestServiceStatusEnforcesOwnership(t *testing.T) {
+	tb := newTestbed(t)
+	spec, _ := webSpec(tb, t, "web", 1)
+	if _, err := tb.CreateService("genome-key", spec); err != nil {
+		t.Fatal(err)
+	}
+	// A second ASP cannot inspect the first's service — administration
+	// isolation (§2.1).
+	if err := tb.Agent.RegisterASP("rival", "rival-key"); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := tb.Agent.ServiceStatus("rival-key", "web"); err == nil {
+		t.Fatal("foreign ASP inspected another's service")
+	}
+	if _, err := tb.Agent.ServiceStatus("bad-key", "web"); err == nil {
+		t.Fatal("unauthenticated status accepted")
+	}
+	if _, err := tb.Agent.ServiceStatus("genome-key", "ghost"); err == nil {
+		t.Fatal("status of unknown service accepted")
+	}
+}

@@ -1,0 +1,214 @@
+package soda_test
+
+import (
+	"strings"
+	"testing"
+
+	"repro/internal/appsvc"
+	"repro/internal/hup"
+	"repro/internal/sim"
+	"repro/internal/soda"
+	"repro/internal/svcswitch"
+	"repro/internal/workload"
+)
+
+func createPartitioned(t *testing.T, tb *hup.Testbed) (*soda.PartitionedService, *hup.WebDeployment, *hup.WebDeployment) {
+	t.Helper()
+	catalogImg := hup.WebContentImage("catalog-img", 4)
+	checkoutImg := hup.WebContentImage("checkout-img", 2)
+	if err := tb.Publish(catalogImg); err != nil {
+		t.Fatal(err)
+	}
+	if err := tb.Publish(checkoutImg); err != nil {
+		t.Fatal(err)
+	}
+	catalogWD := hup.NewWebDeployment(tb, appsvc.DefaultWebParams(64))
+	checkoutWD := hup.NewWebDeployment(tb, appsvc.DefaultWebParams(32))
+	m := soda.DefaultM()
+	m.DiskMB = 2048
+
+	var ps *soda.PartitionedService
+	var perr error
+	done := false
+	tb.Master.CreatePartitionedService("storefront", []soda.ComponentSpec{
+		{
+			Component: "catalog", ImageName: catalogImg.Name, Repository: hup.RepoIP,
+			Requirement:  soda.Requirement{N: 2, M: m},
+			GuestProfile: catalogImg.SystemServices, Behavior: catalogWD.Behavior(),
+		},
+		{
+			Component: "checkout", ImageName: checkoutImg.Name, Repository: hup.RepoIP,
+			Requirement:  soda.Requirement{N: 1, M: m},
+			GuestProfile: checkoutImg.SystemServices, Behavior: checkoutWD.Behavior(),
+		},
+	}, func(p *soda.PartitionedService) { ps, done = p, true },
+		func(err error) { perr, done = err, true })
+	for !done && tb.K.Pending() > 0 {
+		tb.K.RunFor(sim.Second)
+	}
+	if perr != nil {
+		t.Fatal(perr)
+	}
+	if ps == nil {
+		t.Fatal("partitioned creation never settled")
+	}
+	return ps, catalogWD, checkoutWD
+}
+
+func TestPartitionedServiceCreation(t *testing.T) {
+	tb := newTestbed(t)
+	ps, _, _ := createPartitioned(t, tb)
+	if got := ps.ComponentNames(); len(got) != 2 || got[0] != "catalog" || got[1] != "checkout" {
+		t.Fatalf("components = %v", got)
+	}
+	if ps.TotalCapacity() != 3 {
+		t.Fatalf("capacity = %d", ps.TotalCapacity())
+	}
+	// Components occupy disjoint nodes.
+	seen := map[string]string{}
+	for comp, svc := range ps.Components {
+		for _, n := range svc.Nodes {
+			if owner, dup := seen[string(n.IP)]; dup {
+				t.Fatalf("node %s shared by %s and %s", n.IP, owner, comp)
+			}
+			seen[string(n.IP)] = comp
+		}
+	}
+	// The config file is component-tagged and round-trips.
+	rendered := ps.Config.Render()
+	if !strings.Contains(rendered, "catalog") || !strings.Contains(rendered, "checkout") {
+		t.Fatalf("config:\n%s", rendered)
+	}
+	parsed, err := svcswitch.ParseConfig(rendered)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if comps := parsed.Components(); len(comps) != 2 {
+		t.Fatalf("parsed components = %v", comps)
+	}
+}
+
+func TestPartitionedSwitchRoutesByComponent(t *testing.T) {
+	tb := newTestbed(t)
+	ps, catalogWD, checkoutWD := createPartitioned(t, tb)
+	client := tb.AddClient()
+
+	route := func(comp string, n int) {
+		for i := 0; i < n; i++ {
+			err := ps.Switch.Route(svcswitch.Request{
+				ClientIP: client, Bytes: workload.RequestBytes, Component: comp,
+			})
+			if err != nil {
+				t.Fatal(err)
+			}
+		}
+	}
+	route("catalog", 30)
+	route("checkout", 10)
+	tb.K.RunFor(10 * sim.Second)
+
+	var catalogServed, checkoutServed int
+	for _, node := range catalogWD.Nodes() {
+		catalogServed += catalogWD.Service(node).Served
+	}
+	for _, node := range checkoutWD.Nodes() {
+		checkoutServed += checkoutWD.Service(node).Served
+	}
+	if catalogServed != 30 || checkoutServed != 10 {
+		t.Fatalf("served catalog=%d checkout=%d, want 30/10", catalogServed, checkoutServed)
+	}
+	if ps.Switch.Routed != 40 || ps.Switch.Dropped != 0 {
+		t.Fatalf("routed=%d dropped=%d", ps.Switch.Routed, ps.Switch.Dropped)
+	}
+}
+
+func TestPartitionedUnknownComponentDropped(t *testing.T) {
+	tb := newTestbed(t)
+	ps, _, _ := createPartitioned(t, tb)
+	client := tb.AddClient()
+	if err := ps.Switch.Route(svcswitch.Request{
+		ClientIP: client, Bytes: 64, Component: "no-such-component",
+	}); err != nil {
+		t.Fatal(err)
+	}
+	tb.K.RunFor(sim.Second)
+	if ps.Switch.Dropped != 1 {
+		t.Fatalf("dropped = %d", ps.Switch.Dropped)
+	}
+}
+
+func TestPartitionedValidation(t *testing.T) {
+	tb := newTestbed(t)
+	check := func(name string, comps []soda.ComponentSpec) {
+		t.Helper()
+		var gotErr error
+		done := false
+		tb.Master.CreatePartitionedService(name, comps,
+			func(*soda.PartitionedService) { done = true },
+			func(err error) { gotErr, done = err, true })
+		for !done && tb.K.Pending() > 0 {
+			tb.K.RunFor(sim.Second)
+		}
+		if gotErr == nil {
+			t.Fatalf("invalid partitioned request %q accepted", name)
+		}
+	}
+	check("", nil)
+	check("x", nil)
+	check("x", []soda.ComponentSpec{{}})
+	m := soda.DefaultM()
+	check("x", []soda.ComponentSpec{
+		{Component: "a", ImageName: "i", Repository: hup.RepoIP, Requirement: soda.Requirement{N: 1, M: m}},
+		{Component: "a", ImageName: "i", Repository: hup.RepoIP, Requirement: soda.Requirement{N: 1, M: m}},
+	})
+}
+
+func TestPartitionedAdmissionFailureRollsBackEarlierComponents(t *testing.T) {
+	tb := newTestbed(t)
+	img := hup.WebContentImage("c-img", 2)
+	if err := tb.Publish(img); err != nil {
+		t.Fatal(err)
+	}
+	m := soda.DefaultM()
+	m.DiskMB = 2048
+	var gotErr error
+	done := false
+	tb.Master.CreatePartitionedService("monster", []soda.ComponentSpec{
+		{Component: "small", ImageName: img.Name, Repository: hup.RepoIP,
+			Requirement: soda.Requirement{N: 1, M: m}, GuestProfile: img.SystemServices},
+		{Component: "huge", ImageName: img.Name, Repository: hup.RepoIP,
+			Requirement: soda.Requirement{N: 50, M: m}, GuestProfile: img.SystemServices},
+	}, func(*soda.PartitionedService) { done = true },
+		func(err error) { gotErr, done = err, true })
+	for !done && tb.K.Pending() > 0 {
+		tb.K.RunFor(sim.Second)
+	}
+	if gotErr == nil {
+		t.Fatal("oversized component admitted")
+	}
+	// The small component's resources must have been rolled back.
+	for i, d := range tb.Master.Daemons() {
+		if d.Nodes() != 0 {
+			t.Fatalf("daemon %d leaked nodes after rollback", i)
+		}
+	}
+	if len(tb.Master.Services()) != 0 {
+		t.Fatalf("services leaked: %v", tb.Master.Services())
+	}
+}
+
+func TestPartitionedTeardown(t *testing.T) {
+	tb := newTestbed(t)
+	ps, _, _ := createPartitioned(t, tb)
+	if err := tb.Master.TeardownPartitionedService(ps); err != nil {
+		t.Fatal(err)
+	}
+	for i, d := range tb.Master.Daemons() {
+		if d.Nodes() != 0 {
+			t.Fatalf("daemon %d still has nodes", i)
+		}
+	}
+	if len(tb.Master.Services()) != 0 {
+		t.Fatalf("services remain: %v", tb.Master.Services())
+	}
+}

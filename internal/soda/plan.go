@@ -1,0 +1,112 @@
+package soda
+
+import (
+	"fmt"
+	"sort"
+	"strings"
+)
+
+// Capacity planning: the Master can answer "would this request be
+// admitted, and where would it land?" without creating anything. ASPs
+// use it to size requirements before committing; HUP operators use it
+// to see remaining headroom.
+
+// PlannedNode is one node of a hypothetical placement.
+type PlannedNode struct {
+	// HostName is where the node would land.
+	HostName string
+	// Instances is the node's capacity (machine instances M).
+	Instances int
+	// Slice is what the daemon would reserve (inflated).
+	Slice string
+}
+
+// Plan is the answer to a what-if admission query.
+type Plan struct {
+	// Admissible reports whether the request would be admitted now.
+	Admissible bool
+	// Reason explains a rejection.
+	Reason string
+	// Nodes is the hypothetical placement (empty when inadmissible).
+	Nodes []PlannedNode
+	// EstimatedPrimingSec estimates the longest node's priming time
+	// (download at wire speed + calibrated boot), i.e. time-to-active.
+	EstimatedPrimingSec float64
+}
+
+// Render prints the plan as an operator console would.
+func (p *Plan) Render() string {
+	var b strings.Builder
+	if !p.Admissible {
+		fmt.Fprintf(&b, "NOT admissible: %s\n", p.Reason)
+		return b.String()
+	}
+	fmt.Fprintf(&b, "admissible over %d node(s), est. time-to-active %.1fs\n",
+		len(p.Nodes), p.EstimatedPrimingSec)
+	for _, n := range p.Nodes {
+		fmt.Fprintf(&b, "  %-10s x%d  reserve %s\n", n.HostName, n.Instances, n.Slice)
+	}
+	return b.String()
+}
+
+// PlanService evaluates a creation request against current availability
+// without reserving anything. imageMB and bootEstimateSec let the caller
+// fold in image-transfer and bootstrap estimates; pass zero to skip.
+func (m *Master) PlanService(req Requirement, imageMB int, bootEstimateSec float64) *Plan {
+	if err := req.Validate(); err != nil {
+		return &Plan{Reason: err.Error()}
+	}
+	placements, err := AllocateWith(m.Strategy, m.CollectAvailability(), req, m.Factor)
+	if err != nil {
+		return &Plan{Reason: err.Error()}
+	}
+	plan := &Plan{Admissible: true}
+	sort.Slice(placements, func(i, j int) bool { return placements[i].Index < placements[j].Index })
+	var worstHostMbps float64 = 100
+	for _, pl := range placements {
+		d := m.daemons[pl.Index]
+		slice := InflatedSlice(req.M, pl.Instances, m.Factor)
+		plan.Nodes = append(plan.Nodes, PlannedNode{
+			HostName:  d.Host().Spec.Name,
+			Instances: pl.Instances,
+			Slice: fmt.Sprintf("%dMHz/%dMB/%dMB/%.0fMbps",
+				slice.CPUMHz, slice.MemoryMB, slice.DiskMB, slice.BandwidthMbps),
+		})
+		if d.Host().Spec.NICMbps < worstHostMbps {
+			worstHostMbps = d.Host().Spec.NICMbps
+		}
+	}
+	if imageMB > 0 {
+		// Wire time at the slowest selected host's rate plus the caller's
+		// boot estimate.
+		plan.EstimatedPrimingSec = float64(imageMB)*8*1.05/worstHostMbps + bootEstimateSec
+	} else {
+		plan.EstimatedPrimingSec = bootEstimateSec
+	}
+	return plan
+}
+
+// Headroom reports how many more instances of M the HUP could admit
+// right now (binary search over PlanService).
+func (m *Master) Headroom(mcfg MachineConfig) int {
+	if mcfg.Validate() != nil {
+		return 0
+	}
+	lo, hi := 0, 1
+	for m.PlanService(Requirement{N: hi, M: mcfg}, 0, 0).Admissible {
+		lo = hi
+		hi *= 2
+		if hi > 1<<20 {
+			break
+		}
+	}
+	for lo+1 < hi {
+		mid := (lo + hi) / 2
+		if m.PlanService(Requirement{N: mid, M: mcfg}, 0, 0).Admissible {
+			lo = mid
+		} else {
+			hi = mid
+		}
+	}
+	return lo
+}

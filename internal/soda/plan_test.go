@@ -1,0 +1,82 @@
+package soda_test
+
+import (
+	"strings"
+	"testing"
+
+	"repro/internal/soda"
+)
+
+func TestPlanServiceMatchesActualAdmission(t *testing.T) {
+	tb := newTestbed(t)
+	m := soda.DefaultM()
+	m.DiskMB = 2048
+	plan := tb.Master.PlanService(soda.Requirement{N: 3, M: m}, 33, 3.0)
+	if !plan.Admissible {
+		t.Fatalf("plan rejected: %s", plan.Reason)
+	}
+	if len(plan.Nodes) != 2 || plan.Nodes[0].HostName != "seattle" || plan.Nodes[0].Instances != 2 {
+		t.Fatalf("plan = %+v", plan.Nodes)
+	}
+	if plan.EstimatedPrimingSec < 3 {
+		t.Fatalf("estimate = %v", plan.EstimatedPrimingSec)
+	}
+	if !strings.Contains(plan.Render(), "admissible over 2 node(s)") {
+		t.Fatalf("render:\n%s", plan.Render())
+	}
+	// Planning reserves nothing.
+	if got := tb.Master.CollectAvailability()[0].Avail.CPUMHz; got != 2600 {
+		t.Fatalf("plan consumed resources: %d", got)
+	}
+	// The real creation lands exactly where the plan said.
+	spec, _ := webSpec(tb, t, "web", 3)
+	svc, err := tb.CreateService("genome-key", spec)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if svc.Nodes[0].HostName != plan.Nodes[0].HostName || svc.Nodes[0].Capacity != plan.Nodes[0].Instances {
+		t.Fatalf("placement diverged from plan: %+v vs %+v", svc.Nodes[0], plan.Nodes[0])
+	}
+}
+
+func TestPlanServiceRejectsImpossible(t *testing.T) {
+	tb := newTestbed(t)
+	plan := tb.Master.PlanService(soda.Requirement{N: 99, M: soda.DefaultM()}, 0, 0)
+	if plan.Admissible {
+		t.Fatal("impossible plan admissible")
+	}
+	if plan.Reason == "" || !strings.Contains(plan.Render(), "NOT admissible") {
+		t.Fatalf("plan = %+v", plan)
+	}
+	if tb.Master.PlanService(soda.Requirement{}, 0, 0).Admissible {
+		t.Fatal("invalid requirement admissible")
+	}
+}
+
+func TestHeadroomBinarySearch(t *testing.T) {
+	tb := newTestbed(t)
+	m := soda.DefaultM()
+	m.DiskMB = 512
+	head := tb.Master.Headroom(m)
+	// seattle: min(2600/768, 2048/256, ...) = 3; tacoma: min(1800/768=2, 768/256=3) = 2.
+	if head != 5 {
+		t.Fatalf("headroom = %d, want 5 (3 on seattle + 2 on tacoma)", head)
+	}
+	if !tb.Master.PlanService(soda.Requirement{N: head, M: m}, 0, 0).Admissible {
+		t.Fatal("headroom not admissible")
+	}
+	if tb.Master.PlanService(soda.Requirement{N: head + 1, M: m}, 0, 0).Admissible {
+		t.Fatal("headroom+1 admissible")
+	}
+	// Consuming capacity reduces headroom.
+	spec, _ := webSpec(tb, t, "web", 2)
+	if _, err := tb.CreateService("genome-key", spec); err != nil {
+		t.Fatal(err)
+	}
+	if after := tb.Master.Headroom(m); after >= head {
+		t.Fatalf("headroom %d not reduced from %d", after, head)
+	}
+	if tb.Master.Headroom(soda.MachineConfig{}) != 0 {
+		t.Fatal("invalid M has headroom")
+	}
+}

@@ -1,0 +1,100 @@
+package soda_test
+
+import (
+	"testing"
+
+	"repro/internal/hup"
+	"repro/internal/sim"
+	"repro/internal/simnet"
+	"repro/internal/soda"
+	"repro/internal/workload"
+)
+
+// Tests for the §3.3-footnote-3 proxying address mode: virtual service
+// nodes share the host's IP, distinguished by port, when IP addresses
+// are scarce.
+
+func proxyTestbed(t *testing.T) *hup.Testbed {
+	t.Helper()
+	tb, err := hup.New(hup.Config{Seed: 61, AddressMode: soda.Proxying})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := tb.Agent.RegisterASP("asp", "k"); err != nil {
+		t.Fatal(err)
+	}
+	return tb
+}
+
+func TestProxyingNodesShareHostIPWithDistinctPorts(t *testing.T) {
+	tb := proxyTestbed(t)
+	spec, _ := webSpec(tb, t, "web", 3)
+	svc, err := tb.CreateService("k", spec)
+	if err != nil {
+		t.Fatal(err)
+	}
+	hostIPs := map[string]bool{"128.10.9.10": true, "128.10.9.11": true}
+	addrs := map[string]bool{}
+	for _, n := range svc.Nodes {
+		if !hostIPs[string(n.IP)] {
+			t.Fatalf("node %s has non-host IP %s in proxying mode", n.NodeName, n.IP)
+		}
+		key := string(n.IP) + ":" + itoa(n.Port)
+		if addrs[key] {
+			t.Fatalf("duplicate proxied address %s", key)
+		}
+		addrs[key] = true
+		if n.Port < 9000 {
+			t.Fatalf("proxied port %d outside daemon range", n.Port)
+		}
+	}
+}
+
+func itoa(n int) string {
+	if n == 0 {
+		return "0"
+	}
+	var b []byte
+	for n > 0 {
+		b = append([]byte{byte('0' + n%10)}, b...)
+		n /= 10
+	}
+	return string(b)
+}
+
+func TestProxyingServiceServesRequests(t *testing.T) {
+	tb := proxyTestbed(t)
+	spec, _ := webSpec(tb, t, "web", 2)
+	svc, err := tb.CreateService("k", spec)
+	if err != nil {
+		t.Fatal(err)
+	}
+	gen := workload.NewGenerator(tb.K, hup.SwitchTarget{Switch: svc.Switch}, tb.AddClient(), sim.NewRNG(5))
+	done := false
+	gen.IssueN(40, func() { done = true })
+	tb.K.Run()
+	if !done || gen.Completed != 40 {
+		t.Fatalf("completed %d of 40 via proxied addressing", gen.Completed)
+	}
+}
+
+func TestProxyingTeardownKeepsHostIPBridged(t *testing.T) {
+	tb := proxyTestbed(t)
+	spec, _ := webSpec(tb, t, "web", 2)
+	if _, err := tb.CreateService("k", spec); err != nil {
+		t.Fatal(err)
+	}
+	if err := tb.Teardown("k", "web"); err != nil {
+		t.Fatal(err)
+	}
+	// The shared host IPs must survive node teardown — they belong to
+	// the hosts, not the nodes.
+	for _, ip := range []string{"128.10.9.10", "128.10.9.11"} {
+		if _, ok := tb.Net.Lookup(simnet.IP(ip)); !ok {
+			t.Fatalf("host IP %s unbridged by teardown", ip)
+		}
+	}
+	if tb.Daemons[0].Mode() != soda.Proxying {
+		t.Fatal("daemon mode wrong")
+	}
+}

@@ -1,0 +1,230 @@
+package soda
+
+import (
+	"fmt"
+	"sort"
+
+	"repro/internal/svcswitch"
+)
+
+// ResizeService changes a service's capacity to a new requirement
+// <n_new, M> — SODA_service_resizing (§4.1). Per §3.4, the Master "will
+// either adjust the resources in the current virtual service nodes, or
+// add/remove virtual service node(s)": growth first tries in-place
+// reservation growth on the nodes' own hosts, then primes new nodes on
+// hosts the service does not yet occupy; shrinkage reduces node
+// capacities and tears down emptied nodes (never the switch's home
+// node). The service configuration file is updated to reflect every
+// change, so the switch re-weights immediately.
+func (m *Master) ResizeService(name string, newN int, onDone func(*Service), onErr func(error)) {
+	fail := func(err error) {
+		if onErr != nil {
+			onErr(err)
+		}
+	}
+	svc, ok := m.services[name]
+	if !ok {
+		fail(fmt.Errorf("soda: no service %q", name))
+		return
+	}
+	if svc.State != Active {
+		fail(fmt.Errorf("soda: service %q is %v, not active", name, svc.State))
+		return
+	}
+	if newN <= 0 {
+		fail(fmt.Errorf("soda: resize of %q to n=%d (use teardown to remove)", name, newN))
+		return
+	}
+	current := svc.TotalCapacity()
+	emitted := func(s *Service) {
+		m.emit(EventResized, s.Spec.Name, "",
+			fmt.Sprintf("capacity %d -> %d over %d node(s)", current, s.TotalCapacity(), len(s.Nodes)))
+		if onDone != nil {
+			onDone(s)
+		}
+	}
+	switch {
+	case newN == current:
+		if onDone != nil {
+			onDone(svc)
+		}
+	case newN < current:
+		if err := m.shrink(svc, current-newN); err != nil {
+			fail(err)
+			return
+		}
+		emitted(svc)
+	default:
+		m.grow(svc, newN-current, emitted, onErr)
+	}
+}
+
+// shrink removes delta machine instances: trim capacities from the last
+// node backwards, tearing down nodes that reach zero — except the
+// switch's home node (index 0), which is trimmed to one instance at most.
+func (m *Master) shrink(svc *Service, delta int) error {
+	for i := len(svc.Nodes) - 1; i >= 0 && delta > 0; i-- {
+		n := &svc.Nodes[i]
+		floor := 0
+		if i == 0 {
+			floor = 1 // the switch lives here
+		}
+		trim := n.Capacity - floor
+		if trim > delta {
+			trim = delta
+		}
+		if trim <= 0 {
+			continue
+		}
+		newCap := n.Capacity - trim
+		d := m.daemons[svc.nodeDaemon[n.NodeName]]
+		entry := svcswitch.BackendEntry{IP: n.IP, Port: n.Port, Capacity: n.Capacity}
+		if newCap == 0 {
+			svc.Switch.Unbind(entry)
+			if err := d.Teardown(n.NodeName); err != nil {
+				return err
+			}
+			delete(svc.nodeDaemon, n.NodeName)
+			svc.Nodes = append(svc.Nodes[:i], svc.Nodes[i+1:]...)
+			svc.Config.RemoveEntry(entry.IP, entry.Port)
+		} else {
+			info, err := d.ResizeNode(n.NodeName, svc.Spec.Requirement.M, newCap, m.Factor)
+			if err != nil {
+				return err
+			}
+			n.Capacity = info.Capacity
+			m.refreshConfig(svc)
+		}
+		delta -= trim
+	}
+	if delta > 0 {
+		return fmt.Errorf("soda: could not shrink %q by %d more instances", svc.Spec.Name, delta)
+	}
+	return nil
+}
+
+// grow adds delta machine instances: in-place first, then new nodes.
+func (m *Master) grow(svc *Service, delta int, onDone func(*Service), onErr func(error)) {
+	// Phase 1: in-place growth, one instance at a time round-robin over
+	// existing nodes so load stays balanced.
+	progress := true
+	for delta > 0 && progress {
+		progress = false
+		for i := range svc.Nodes {
+			if delta == 0 {
+				break
+			}
+			n := &svc.Nodes[i]
+			d := m.daemons[svc.nodeDaemon[n.NodeName]]
+			info, err := d.ResizeNode(n.NodeName, svc.Spec.Requirement.M, n.Capacity+1, m.Factor)
+			if err != nil {
+				continue
+			}
+			n.Capacity = info.Capacity
+			delta--
+			progress = true
+		}
+	}
+	m.refreshConfig(svc)
+	if delta == 0 {
+		if onDone != nil {
+			onDone(svc)
+		}
+		return
+	}
+
+	// Phase 2: prime additional nodes on hosts without one.
+	occupied := make(map[int]bool)
+	for _, di := range svc.nodeDaemon {
+		occupied[di] = true
+	}
+	var avail []HostAvail
+	for _, ha := range m.CollectAvailability() {
+		if !occupied[ha.Index] {
+			avail = append(avail, ha)
+		}
+	}
+	placements, err := AllocateWith(m.Strategy, avail, Requirement{N: delta, M: svc.Spec.Requirement.M}, m.Factor)
+	if err != nil {
+		if onErr != nil {
+			onErr(fmt.Errorf("soda: resize of %q: %w", svc.Spec.Name, err))
+		}
+		return
+	}
+	remaining := len(placements)
+	var failErr error
+	finishOne := func() {
+		remaining--
+		if remaining > 0 {
+			return
+		}
+		m.refreshConfig(svc)
+		if failErr != nil {
+			if onErr != nil {
+				onErr(failErr)
+			}
+			return
+		}
+		if onDone != nil {
+			onDone(svc)
+		}
+	}
+	for _, pl := range placements {
+		pl := pl
+		d := m.daemons[pl.Index]
+		nodeName := fmt.Sprintf("%s-%d", svc.Spec.Name, svc.nextNodeID)
+		svc.nextNodeID++
+		svc.nodeDaemon[nodeName] = pl.Index
+		err := m.net.Transfer(m.IP, d.HostIP, 1024, func() {
+			d.Prime(PrimeRequest{
+				ServiceName:  svc.Spec.Name,
+				NodeName:     nodeName,
+				ImageName:    svc.Spec.ImageName,
+				Repository:   svc.Spec.Repository,
+				M:            svc.Spec.Requirement.M,
+				Instances:    pl.Instances,
+				Factor:       m.Factor,
+				GuestProfile: svc.Spec.GuestProfile,
+				Port:         servicePort(svc.Spec),
+			}, func(info NodeInfo) {
+				svc.Nodes = append(svc.Nodes, info)
+				entry := svcswitch.BackendEntry{IP: info.IP, Port: info.Port, Capacity: info.Capacity}
+				if svc.Spec.Behavior != nil {
+					if h := svc.Spec.Behavior(info.Guest); h != nil {
+						svc.Switch.Bind(entry, h)
+					}
+				}
+				finishOne()
+			}, func(err error) {
+				failErr = err
+				delete(svc.nodeDaemon, nodeName)
+				finishOne()
+			})
+		})
+		if err != nil {
+			failErr = err
+			delete(svc.nodeDaemon, nodeName)
+			finishOne()
+		}
+	}
+}
+
+// refreshConfig rewrites the service configuration file from the node
+// list (stable order: switch home first, then by name).
+func (m *Master) refreshConfig(svc *Service) {
+	nodes := append([]NodeInfo(nil), svc.Nodes...)
+	if len(nodes) > 1 {
+		head := nodes[0]
+		rest := nodes[1:]
+		sort.Slice(rest, func(i, j int) bool { return rest[i].NodeName < rest[j].NodeName })
+		nodes = append([]NodeInfo{head}, rest...)
+	}
+	entries := make([]svcswitch.BackendEntry, len(nodes))
+	for i, n := range nodes {
+		entries[i] = svcswitch.BackendEntry{IP: n.IP, Port: n.Port, Capacity: n.Capacity}
+	}
+	if err := svc.Config.SetEntries(entries); err != nil {
+		panic(fmt.Sprintf("soda: invalid refreshed config for %q: %v", svc.Spec.Name, err))
+	}
+	svc.Nodes = nodes
+}

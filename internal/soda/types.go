@@ -1,0 +1,179 @@
+// Package soda implements the paper's contribution: the Service-On-Demand
+// Architecture. Its entities are the SODA Agent (ASP-facing API front-end,
+// §3.1), the SODA Master (admission control, slice allocation, priming
+// coordination, resizing, §3.2), and the SODA Daemon (per-host reservation,
+// image download, bootstrap, IP assignment, §3.3). The per-service request
+// switch lives in internal/svcswitch.
+package soda
+
+import (
+	"fmt"
+
+	"repro/internal/hostos"
+	"repro/internal/sim"
+	"repro/internal/simnet"
+	"repro/internal/svcswitch"
+	"repro/internal/uml"
+)
+
+// MachineConfig is the paper's machine configuration M: "a tuple
+// indicating the types and amounts of resources" (Table 1).
+type MachineConfig struct {
+	// CPUMHz is required CPU.
+	CPUMHz int
+	// MemoryMB is required RAM.
+	MemoryMB int
+	// DiskMB is required disk space.
+	DiskMB int
+	// BandwidthMbps is required network bandwidth.
+	BandwidthMbps float64
+}
+
+// DefaultM returns Table 1's example configuration: 512 MHz CPU, 256 MB
+// memory, 1 GB disk, 10 Mbps bandwidth.
+func DefaultM() MachineConfig {
+	return MachineConfig{CPUMHz: 512, MemoryMB: 256, DiskMB: 1024, BandwidthMbps: 10}
+}
+
+// Validate reports the first problem with the configuration, or nil.
+func (m MachineConfig) Validate() error {
+	switch {
+	case m.CPUMHz <= 0:
+		return fmt.Errorf("soda: M with non-positive CPU")
+	case m.MemoryMB <= 0:
+		return fmt.Errorf("soda: M with non-positive memory")
+	case m.DiskMB <= 0:
+		return fmt.Errorf("soda: M with non-positive disk")
+	case m.BandwidthMbps <= 0:
+		return fmt.Errorf("soda: M with non-positive bandwidth")
+	}
+	return nil
+}
+
+// Requirement is the paper's <n, M>: "the hosting of service S requires
+// n machines of configuration M" (§3).
+type Requirement struct {
+	N int
+	M MachineConfig
+}
+
+// Validate reports the first problem with the requirement, or nil.
+func (r Requirement) Validate() error {
+	if r.N <= 0 {
+		return fmt.Errorf("soda: requirement with n=%d", r.N)
+	}
+	return r.M.Validate()
+}
+
+// The paper's §3.2 footnote 2: "we set the slow-down factor to be 1.5 and
+// we assume no resource aggregation". The Master inflates CPU and
+// bandwidth by SlowdownFactor when reserving host slices (§3.5: "the CPU
+// and network bandwidth requirement has to be 'inflated' during resource
+// allocation"); memory and disk are unaffected.
+const SlowdownFactor = 1.5
+
+// InflatedSlice converts k machine instances of M into the host slice the
+// Daemon must reserve, applying the slow-down inflation.
+func InflatedSlice(m MachineConfig, k int, factor float64) hostos.SliceRequest {
+	return hostos.SliceRequest{
+		CPUMHz:        int(float64(m.CPUMHz*k) * factor),
+		MemoryMB:      m.MemoryMB * k,
+		DiskMB:        m.DiskMB * k,
+		BandwidthMbps: m.BandwidthMbps * float64(k) * factor,
+	}
+}
+
+// Behavior instantiates the application service inside a freshly booted
+// guest and returns the request handler the switch will bind for that
+// node. In the real system this is the code inside the ASP's image; in
+// the reproduction the HUP assembly supplies it (a web content service, a
+// honeypot, …). A nil handler is legal for services that are not
+// request/response (comp, log).
+type Behavior func(g *uml.Guest) svcswitch.Handler
+
+// ServiceSpec is everything the ASP supplies with a creation request:
+// service name, the image's location (repository machine + image name,
+// §3.1), the resource requirement, and — reproduction-specific — the
+// service behaviour and the image's guest-OS profile.
+type ServiceSpec struct {
+	Name        string
+	ImageName   string
+	Repository  simnet.IP
+	Requirement Requirement
+	// GuestProfile is the Linux configuration packaged in the image (the
+	// Table 2 column); the Daemon's tailoring prunes it to what the image
+	// requires.
+	GuestProfile []string
+	// Behavior wires the service's request handling after boot.
+	Behavior Behavior
+	// SwitchPolicy optionally replaces the default weighted round-robin
+	// (§3.4); nil keeps the default.
+	SwitchPolicy svcswitch.Policy
+	// Port is the service's listen port; 0 means the conventional 8080.
+	Port int
+}
+
+// Validate reports the first problem with the spec, or nil.
+func (s ServiceSpec) Validate() error {
+	switch {
+	case s.Name == "":
+		return fmt.Errorf("soda: service without a name")
+	case s.ImageName == "":
+		return fmt.Errorf("soda: service %s without an image", s.Name)
+	case s.Repository == "":
+		return fmt.Errorf("soda: service %s without an image repository", s.Name)
+	}
+	return s.Requirement.Validate()
+}
+
+// NodeInfo describes one created virtual service node, as returned to the
+// Master after priming (§3.3) and recorded in the service configuration
+// file.
+type NodeInfo struct {
+	// NodeName labels the node ("web-1").
+	NodeName string
+	// HostName is the HUP host the node lives on.
+	HostName string
+	// IP is the node's bridged address.
+	IP simnet.IP
+	// Port is the service's listen port.
+	Port int
+	// Capacity is the number of machine instances M mapped to the node.
+	Capacity int
+	// Guest is the running guest OS.
+	Guest *uml.Guest
+	// DownloadTime is how long the image transfer took (§4.3's in-text
+	// measurement); BootTime is the bootstrapping time Table 2 reports
+	// (tailoring + mount + guest OS + services).
+	DownloadTime, BootTime sim.Duration
+	// RAMDisk reports whether the root file system was mounted in RAM.
+	RAMDisk bool
+	// PressureFactor is the paging slow-down the boot experienced.
+	PressureFactor float64
+}
+
+// ServiceState is a hosted service's lifecycle state.
+type ServiceState int
+
+// Service lifecycle states.
+const (
+	// Priming means nodes are being created.
+	Priming ServiceState = iota
+	// Active means the service is up and its switch is routing.
+	Active
+	// TornDown means the service was removed.
+	TornDown
+)
+
+// String names the state.
+func (s ServiceState) String() string {
+	switch s {
+	case Priming:
+		return "priming"
+	case Active:
+		return "active"
+	case TornDown:
+		return "torn-down"
+	}
+	return fmt.Sprintf("state(%d)", int(s))
+}

@@ -1,0 +1,222 @@
+// Package svcswitch implements the per-service request switch of §3.4:
+// an application-level entity, co-located in one of the service's virtual
+// service nodes, that accepts client requests and directs each to a
+// backend node according to a replaceable switching policy. The switch's
+// state is a service configuration file created and maintained by the
+// SODA Master (Table 3).
+package svcswitch
+
+import (
+	"fmt"
+	"sort"
+	"strconv"
+	"strings"
+
+	"repro/internal/simnet"
+)
+
+// BackendEntry is one row of the service configuration file: a virtual
+// service node's address, port, and relative capacity (the number of
+// machine instances M mapped to the node, §4.3). Component is the
+// partitionable-services extension (§3.5 lists it as future work): when
+// non-empty, the node serves only requests for that service component,
+// and the switch routes by component.
+type BackendEntry struct {
+	IP        simnet.IP
+	Port      int
+	Capacity  int
+	Component string
+}
+
+// Validate reports the first problem with the entry, or nil.
+func (e BackendEntry) Validate() error {
+	switch {
+	case e.IP == "":
+		return fmt.Errorf("svcswitch: entry without IP")
+	case e.Port <= 0 || e.Port > 65535:
+		return fmt.Errorf("svcswitch: entry %s with bad port %d", e.IP, e.Port)
+	case e.Capacity <= 0:
+		return fmt.Errorf("svcswitch: entry %s with non-positive capacity %d", e.IP, e.Capacity)
+	}
+	return nil
+}
+
+// Addr renders "ip:port".
+func (e BackendEntry) Addr() string { return fmt.Sprintf("%s:%d", e.IP, e.Port) }
+
+// ConfigFile is the service configuration file. Every mutation bumps
+// Version so the switch can notice resizing (§3.4: "the service
+// configuration file will be updated by the SODA Master to reflect the
+// changes").
+type ConfigFile struct {
+	// ServiceName identifies the service the file belongs to.
+	ServiceName string
+	// Version counts updates.
+	Version int
+
+	entries []BackendEntry
+}
+
+// NewConfigFile returns an empty configuration for a service.
+func NewConfigFile(serviceName string) *ConfigFile {
+	return &ConfigFile{ServiceName: serviceName}
+}
+
+// Entries returns a copy of the backend rows.
+func (c *ConfigFile) Entries() []BackendEntry {
+	return append([]BackendEntry(nil), c.entries...)
+}
+
+// TotalCapacity sums the capacities — the n of the service's <n, M>.
+func (c *ConfigFile) TotalCapacity() int {
+	var total int
+	for _, e := range c.entries {
+		total += e.Capacity
+	}
+	return total
+}
+
+// SetEntries replaces the backend rows atomically, validating each.
+func (c *ConfigFile) SetEntries(entries []BackendEntry) error {
+	seen := make(map[string]bool, len(entries))
+	for _, e := range entries {
+		if err := e.Validate(); err != nil {
+			return err
+		}
+		if seen[e.Addr()] {
+			return fmt.Errorf("svcswitch: duplicate backend %s", e.Addr())
+		}
+		seen[e.Addr()] = true
+	}
+	c.entries = append([]BackendEntry(nil), entries...)
+	c.Version++
+	return nil
+}
+
+// AddEntry appends one backend row (resizing up).
+func (c *ConfigFile) AddEntry(e BackendEntry) error {
+	return c.SetEntries(append(c.Entries(), e))
+}
+
+// RemoveEntry deletes the row with the given address (resizing down),
+// reporting whether it existed.
+func (c *ConfigFile) RemoveEntry(ip simnet.IP, port int) bool {
+	kept := c.entries[:0]
+	found := false
+	for _, e := range c.entries {
+		if e.IP == ip && e.Port == port {
+			found = true
+			continue
+		}
+		kept = append(kept, e)
+	}
+	if found {
+		c.entries = kept
+		c.Version++
+	}
+	return found
+}
+
+// Render produces the on-disk format of Table 3:
+//
+//	Directive  IP address    Port number  Capacity
+//	BackEnd    128.10.9.125  8080         2
+//	BackEnd    128.10.9.126  8080         1
+//
+// Component-tagged rows (the partitionable extension) carry a fifth
+// field: "BackEnd 128.10.9.125 8080 2 checkout".
+func (c *ConfigFile) Render() string {
+	var b strings.Builder
+	fmt.Fprintf(&b, "# service %s (version %d)\n", c.ServiceName, c.Version)
+	for _, e := range c.entries {
+		if e.Component != "" {
+			fmt.Fprintf(&b, "BackEnd %s %d %d %s\n", e.IP, e.Port, e.Capacity, e.Component)
+		} else {
+			fmt.Fprintf(&b, "BackEnd %s %d %d\n", e.IP, e.Port, e.Capacity)
+		}
+	}
+	return b.String()
+}
+
+// Components returns the distinct component names in the file, sorted,
+// with "" first when untagged rows exist.
+func (c *ConfigFile) Components() []string {
+	seen := make(map[string]bool)
+	for _, e := range c.entries {
+		seen[e.Component] = true
+	}
+	out := make([]string, 0, len(seen))
+	for comp := range seen {
+		out = append(out, comp)
+	}
+	sort.Strings(out)
+	return out
+}
+
+// EntriesFor returns the rows serving one component.
+func (c *ConfigFile) EntriesFor(component string) []BackendEntry {
+	var out []BackendEntry
+	for _, e := range c.entries {
+		if e.Component == component {
+			out = append(out, e)
+		}
+	}
+	return out
+}
+
+// ParseConfig reads the Render format back. Lines starting with '#' are
+// comments; the only directive is BackEnd.
+func ParseConfig(s string) (*ConfigFile, error) {
+	c := NewConfigFile("")
+	var entries []BackendEntry
+	for lineNo, line := range strings.Split(s, "\n") {
+		line = strings.TrimSpace(line)
+		if line == "" {
+			continue
+		}
+		if strings.HasPrefix(line, "#") {
+			if name, ok := parseHeader(line); ok {
+				c.ServiceName = name
+			}
+			continue
+		}
+		fields := strings.Fields(line)
+		if (len(fields) != 4 && len(fields) != 5) || fields[0] != "BackEnd" {
+			return nil, fmt.Errorf("svcswitch: line %d: bad directive %q", lineNo+1, line)
+		}
+		port, err := strconv.Atoi(fields[2])
+		if err != nil {
+			return nil, fmt.Errorf("svcswitch: line %d: bad port %q", lineNo+1, fields[2])
+		}
+		capacity, err := strconv.Atoi(fields[3])
+		if err != nil {
+			return nil, fmt.Errorf("svcswitch: line %d: bad capacity %q", lineNo+1, fields[3])
+		}
+		entry := BackendEntry{IP: simnet.IP(fields[1]), Port: port, Capacity: capacity}
+		if len(fields) == 5 {
+			entry.Component = fields[4]
+		}
+		entries = append(entries, entry)
+	}
+	if err := c.SetEntries(entries); err != nil {
+		return nil, err
+	}
+	c.Version = 1
+	return c, nil
+}
+
+func parseHeader(line string) (string, bool) {
+	fields := strings.Fields(strings.TrimPrefix(line, "#"))
+	if len(fields) >= 2 && fields[0] == "service" {
+		return fields[1], true
+	}
+	return "", false
+}
+
+// Sorted returns the entries ordered by address, for deterministic
+// rendering in reports.
+func (c *ConfigFile) Sorted() []BackendEntry {
+	out := c.Entries()
+	sort.Slice(out, func(i, j int) bool { return out[i].Addr() < out[j].Addr() })
+	return out
+}

@@ -1,0 +1,164 @@
+package svcswitch
+
+import (
+	"fmt"
+
+	"repro/internal/sim"
+)
+
+// Stats is the per-backend view a policy may consult: requests forwarded
+// so far and requests currently in flight.
+type Stats struct {
+	Forwarded int
+	Active    int
+}
+
+// Policy chooses a backend for each request. The paper's switch "enforces
+// a default request switching policy, which can be replaced with a
+// service-specific policy by the ASP" (§3.4) — Policy is that extension
+// point. Pick returns an index into entries; out-of-range or erroneous
+// picks fail only the service's own request (isolation holds even for
+// ill-behaved policies, §5).
+type Policy interface {
+	// Name identifies the policy in reports.
+	Name() string
+	// Pick selects entries[i] for the next request. stats[i] corresponds
+	// to entries[i]. Entries is never empty.
+	Pick(entries []BackendEntry, stats []Stats) (int, error)
+	// Reset is called when the configuration file changes (resizing), so
+	// stateful policies restart cleanly.
+	Reset()
+}
+
+// WeightedRoundRobin is the default policy: smooth weighted round-robin
+// with weights equal to backend capacities, so a capacity-2 node receives
+// twice the requests of a capacity-1 node — the Figure 4 behaviour.
+type WeightedRoundRobin struct {
+	current []int
+}
+
+// NewWeightedRoundRobin returns the default policy.
+func NewWeightedRoundRobin() *WeightedRoundRobin { return &WeightedRoundRobin{} }
+
+// Name implements Policy.
+func (*WeightedRoundRobin) Name() string { return "weighted-round-robin" }
+
+// Reset implements Policy.
+func (p *WeightedRoundRobin) Reset() { p.current = nil }
+
+// Pick implements Policy (the smooth WRR of nginx: add each weight to a
+// running score, pick the max, subtract the total).
+func (p *WeightedRoundRobin) Pick(entries []BackendEntry, _ []Stats) (int, error) {
+	if len(p.current) != len(entries) {
+		p.current = make([]int, len(entries))
+	}
+	total := 0
+	best := 0
+	for i, e := range entries {
+		p.current[i] += e.Capacity
+		total += e.Capacity
+		if p.current[i] > p.current[best] {
+			best = i
+		}
+	}
+	p.current[best] -= total
+	return best, nil
+}
+
+// RoundRobin ignores capacities and cycles through backends.
+type RoundRobin struct {
+	next int
+}
+
+// NewRoundRobin returns a plain round-robin policy.
+func NewRoundRobin() *RoundRobin { return &RoundRobin{} }
+
+// Name implements Policy.
+func (*RoundRobin) Name() string { return "round-robin" }
+
+// Reset implements Policy.
+func (p *RoundRobin) Reset() { p.next = 0 }
+
+// Pick implements Policy.
+func (p *RoundRobin) Pick(entries []BackendEntry, _ []Stats) (int, error) {
+	i := p.next % len(entries)
+	p.next++
+	return i, nil
+}
+
+// Random picks uniformly, seeded deterministically.
+type Random struct {
+	rng *sim.RNG
+}
+
+// NewRandom returns a random policy with its own deterministic stream.
+func NewRandom(rng *sim.RNG) *Random { return &Random{rng: rng} }
+
+// Name implements Policy.
+func (*Random) Name() string { return "random" }
+
+// Reset implements Policy.
+func (*Random) Reset() {}
+
+// Pick implements Policy.
+func (p *Random) Pick(entries []BackendEntry, _ []Stats) (int, error) {
+	return p.rng.Intn(len(entries)), nil
+}
+
+// LeastActive sends each request to the backend with the fewest requests
+// in flight, weighted by capacity (active/capacity), breaking ties by
+// index. A service-specific policy an ASP might install for services with
+// highly variable request costs.
+type LeastActive struct{}
+
+// NewLeastActive returns the least-active policy.
+func NewLeastActive() *LeastActive { return &LeastActive{} }
+
+// Name implements Policy.
+func (*LeastActive) Name() string { return "least-active" }
+
+// Reset implements Policy.
+func (*LeastActive) Reset() {}
+
+// Pick implements Policy.
+func (*LeastActive) Pick(entries []BackendEntry, stats []Stats) (int, error) {
+	best := 0
+	bestLoad := loadOf(stats[0], entries[0])
+	for i := 1; i < len(entries); i++ {
+		if l := loadOf(stats[i], entries[i]); l < bestLoad {
+			best, bestLoad = i, l
+		}
+	}
+	return best, nil
+}
+
+func loadOf(s Stats, e BackendEntry) float64 {
+	return float64(s.Active) / float64(e.Capacity)
+}
+
+// IllBehaved is a deliberately broken "service-specific" policy used to
+// demonstrate the paper's isolation claim: "even if the service-specific
+// policy is ill-behaving, it will not affect other services hosted in the
+// HUP" (§5). It returns out-of-range indexes and occasional errors.
+type IllBehaved struct {
+	calls int
+}
+
+// NewIllBehaved returns the broken policy.
+func NewIllBehaved() *IllBehaved { return &IllBehaved{} }
+
+// Name implements Policy.
+func (*IllBehaved) Name() string { return "ill-behaved" }
+
+// Reset implements Policy.
+func (*IllBehaved) Reset() {}
+
+// Pick implements Policy: alternates between an impossible index and an
+// outright error.
+func (p *IllBehaved) Pick(entries []BackendEntry, _ []Stats) (int, error) {
+	p.calls++
+	if p.calls%2 == 0 {
+		return 0, fmt.Errorf("ill-behaved policy failure #%d", p.calls)
+	}
+	return len(entries) + 17, nil
+}

@@ -1,0 +1,274 @@
+package svcswitch
+
+import (
+	"fmt"
+
+	"repro/internal/cycles"
+	"repro/internal/sim"
+	"repro/internal/simnet"
+)
+
+// Trace is one request's timeline through the switch, for latency
+// breakdown analysis. Stages are virtual timestamps:
+//
+//	Accepted   → the client handed the request to Route
+//	Arrived    → the request reached the switch node (client→switch hop)
+//	Picked     → switch CPU done, a backend chosen
+//	Delivered  → the request reached the backend (switch→backend hop)
+//	Completed  → the response was fully delivered to the client
+type Trace struct {
+	Accepted, Arrived, Picked, Delivered, Completed sim.Time
+	// Backend is the chosen node's address; empty when dropped.
+	Backend string
+	// Retries counts backends tried before one accepted.
+	Retries int
+	// Dropped marks requests that never reached a live backend.
+	Dropped bool
+}
+
+// SwitchHop returns the client→switch plus routing time.
+func (t Trace) SwitchHop() sim.Duration { return t.Delivered.Sub(t.Accepted) }
+
+// ServiceTime returns the backend handling + response time.
+func (t Trace) ServiceTime() sim.Duration { return t.Completed.Sub(t.Delivered) }
+
+// Total returns the end-to-end response time.
+func (t Trace) Total() sim.Duration { return t.Completed.Sub(t.Accepted) }
+
+// Node is where the switch itself executes — it is "co-located in one of
+// the virtual service nodes" (§3.4), so its processing pays that node's
+// prices. appsvc's backends satisfy this interface.
+type Node interface {
+	IP() simnet.IP
+	ExecCPU(c cycles.Cycles, onDone func()) bool
+	SyscallCost(s cycles.Syscall) cycles.Cycles
+	Alive() bool
+}
+
+// Handler is the service-side entry point for one backend: it serves a
+// request from clientIP and fires onDone when the response has been
+// delivered. A false return means the backend is down.
+type Handler func(clientIP simnet.IP, onDone func()) bool
+
+// Request is one client request arriving at the switch.
+type Request struct {
+	// ClientIP receives the response.
+	ClientIP simnet.IP
+	// Bytes is the request message size.
+	Bytes int64
+	// Component names the target service component for partitionable
+	// services; empty for the paper's fully replicated services.
+	Component string
+	// OnDone fires when the response is fully delivered.
+	OnDone func()
+}
+
+// Switch accepts client requests and directs each to a backend virtual
+// service node. Routing costs are real: the request crosses the LAN to
+// the switch's node, the switch spends CPU parsing and forwarding (at its
+// node's syscall prices), and the request crosses the LAN again to the
+// chosen backend. Responses return directly from the backend to the
+// client (direct server return), which keeps switch overhead modest — the
+// behaviour Figure 6's scenario comparison shows.
+type Switch struct {
+	// Config is the service configuration file the Master maintains.
+	Config *ConfigFile
+
+	node     Node
+	net      *simnet.Network
+	policy   Policy
+	handlers map[string]Handler
+	stats    map[string]*Stats
+	cfgSeen  int
+	onTrace  func(Trace)
+
+	// Routed counts requests forwarded; Dropped counts requests that
+	// could not be served (no live backend, ill-behaved policy, dead
+	// switch node).
+	Routed, Dropped int
+}
+
+// requestHandlingSyscalls is the switch's per-request work: accept, read,
+// parse, connect, forward, close.
+var requestHandlingSyscalls = []cycles.Syscall{
+	cycles.Socket, cycles.Recv, cycles.Getpid, cycles.Socket, cycles.Send, cycles.Close,
+}
+
+// New creates a switch for the given service configuration, running on
+// node, with the default weighted-round-robin policy.
+func New(net *simnet.Network, node Node, config *ConfigFile) *Switch {
+	return &Switch{
+		Config:   config,
+		node:     node,
+		net:      net,
+		policy:   NewWeightedRoundRobin(),
+		handlers: make(map[string]Handler),
+		stats:    make(map[string]*Stats),
+		cfgSeen:  config.Version,
+	}
+}
+
+// IP returns the address clients send requests to.
+func (s *Switch) IP() simnet.IP { return s.node.IP() }
+
+// Policy returns the active switching policy.
+func (s *Switch) Policy() Policy { return s.policy }
+
+// SetPolicy installs a service-specific policy (the ASP's replacement
+// hook, §3.4).
+func (s *Switch) SetPolicy(p Policy) {
+	if p == nil {
+		panic("svcswitch: nil policy")
+	}
+	s.policy = p
+	p.Reset()
+}
+
+// OnTrace installs a per-request trace hook, called once per request at
+// completion or drop. Nil removes the hook.
+func (s *Switch) OnTrace(fn func(Trace)) { s.onTrace = fn }
+
+func (s *Switch) emitTrace(t *Trace) {
+	if s.onTrace != nil {
+		s.onTrace(*t)
+	}
+}
+
+// Bind registers the handler for a backend address. The HUP assembly
+// binds each virtual service node's service instance after priming.
+func (s *Switch) Bind(e BackendEntry, h Handler) {
+	s.handlers[e.Addr()] = h
+}
+
+// Unbind removes a backend's handler (tear-down, resizing).
+func (s *Switch) Unbind(e BackendEntry) {
+	delete(s.handlers, e.Addr())
+	delete(s.stats, e.Addr())
+}
+
+// StatsFor returns the forwarding statistics for a backend address.
+func (s *Switch) StatsFor(e BackendEntry) Stats {
+	if st := s.stats[e.Addr()]; st != nil {
+		return *st
+	}
+	return Stats{}
+}
+
+func (s *Switch) statRef(e BackendEntry) *Stats {
+	st := s.stats[e.Addr()]
+	if st == nil {
+		st = &Stats{}
+		s.stats[e.Addr()] = st
+	}
+	return st
+}
+
+// Route accepts one request: LAN hop to the switch, switch CPU, policy
+// pick, LAN hop to the backend, service handling. Dead backends are
+// skipped (the policy is re-consulted against the remaining set); if no
+// live backend remains, the request is dropped.
+func (s *Switch) Route(req Request) error {
+	tr := &Trace{Accepted: s.net.Kernel().Now()}
+	if !s.node.Alive() {
+		s.drop(tr)
+		return fmt.Errorf("svcswitch: switch node %s is down", s.node.IP())
+	}
+	if s.Config.Version != s.cfgSeen {
+		s.policy.Reset()
+		s.cfgSeen = s.Config.Version
+	}
+	// Client → switch.
+	err := s.net.Transfer(req.ClientIP, s.node.IP(), req.Bytes, func() {
+		tr.Arrived = s.net.Kernel().Now()
+		s.dispatch(req, tr)
+	})
+	if err != nil {
+		s.drop(tr)
+		return err
+	}
+	return nil
+}
+
+// drop records a failed request.
+func (s *Switch) drop(tr *Trace) {
+	s.Dropped++
+	tr.Dropped = true
+	tr.Completed = s.net.Kernel().Now()
+	s.emitTrace(tr)
+}
+
+// dispatch runs at the switch node after the request arrives.
+func (s *Switch) dispatch(req Request, tr *Trace) {
+	var cost cycles.Cycles
+	for _, sc := range requestHandlingSyscalls {
+		cost += s.node.SyscallCost(sc)
+	}
+	ok := s.node.ExecCPU(cost, func() {
+		tr.Picked = s.net.Kernel().Now()
+		s.forward(req, tr, s.Config.EntriesFor(req.Component))
+	})
+	if !ok {
+		s.drop(tr)
+	}
+}
+
+// forward picks a backend from candidates and hands the request over,
+// retrying with the remaining candidates if the pick is dead, unbound,
+// or dies while the forward is in flight.
+func (s *Switch) forward(req Request, tr *Trace, candidates []BackendEntry) {
+	for len(candidates) > 0 {
+		stats := make([]Stats, len(candidates))
+		for i, e := range candidates {
+			stats[i] = s.StatsFor(e)
+		}
+		idx, err := s.policy.Pick(candidates, stats)
+		if err != nil || idx < 0 || idx >= len(candidates) {
+			// Ill-behaved service-specific policy: this request fails;
+			// nothing outside this service is touched (§5).
+			s.drop(tr)
+			return
+		}
+		entry := candidates[idx]
+		remaining := make([]BackendEntry, 0, len(candidates)-1)
+		remaining = append(remaining, candidates[:idx]...)
+		remaining = append(remaining, candidates[idx+1:]...)
+		handler := s.handlers[entry.Addr()]
+		if handler == nil {
+			tr.Retries++
+			candidates = remaining
+			continue
+		}
+		st := s.statRef(entry)
+		st.Active++
+		// Switch → backend, then service handling.
+		err = s.net.Transfer(s.node.IP(), entry.IP, req.Bytes, func() {
+			tr.Delivered = s.net.Kernel().Now()
+			tr.Backend = entry.Addr()
+			ok := handler(req.ClientIP, func() {
+				st.Active--
+				tr.Completed = s.net.Kernel().Now()
+				s.emitTrace(tr)
+				if req.OnDone != nil {
+					req.OnDone()
+				}
+			})
+			if ok {
+				st.Forwarded++
+				s.Routed++
+				return
+			}
+			// Backend died after the forward: retry the survivors.
+			st.Active--
+			tr.Retries++
+			s.forward(req, tr, remaining)
+		})
+		if err != nil {
+			st.Active--
+			tr.Retries++
+			candidates = remaining
+			continue
+		}
+		return
+	}
+	s.drop(tr)
+}

@@ -1,0 +1,160 @@
+package uml
+
+import (
+	"fmt"
+
+	"repro/internal/cycles"
+	"repro/internal/hostos"
+	"repro/internal/image"
+	"repro/internal/simnet"
+)
+
+// BootParams holds the calibrated constants of the bootstrapping model.
+// The defaults reproduce the paper's Table 2 on the paper's two hosts;
+// see EXPERIMENTS.md for the derivation.
+type BootParams struct {
+	// HostOSOverheadMB is RAM the host OS itself occupies and the RAM
+	// disk can never use.
+	HostOSOverheadMB int
+	// RAMThresholdFrac: if free memory after a RAM-disk mount drops below
+	// this fraction of installed RAM, boot suffers paging pressure.
+	RAMThresholdFrac float64
+	// RAMMountCyclesPerMB is the CPU cost of populating a RAM disk.
+	RAMMountCyclesPerMB cycles.Cycles
+	// SwapPenalty scales the boot slow-down under paging pressure:
+	// factor = 1 + SwapPenalty·(1 − free/threshold).
+	SwapPenalty float64
+	// UMLStartCycles is the fixed cost of exec-ing the UML binary itself.
+	UMLStartCycles cycles.Cycles
+}
+
+// DefaultBootParams returns the calibrated model constants.
+func DefaultBootParams() BootParams {
+	return BootParams{
+		HostOSOverheadMB:    128,
+		RAMThresholdFrac:    0.25,
+		RAMMountCyclesPerMB: 10e6,
+		SwapPenalty:         1.1,
+		UMLStartCycles:      1e8,
+	}
+}
+
+// BootRequest describes one virtual service node to bootstrap.
+type BootRequest struct {
+	// Host is the HUP host that will run the guest.
+	Host *hostos.Host
+	// UID is the host userid all the guest's processes run under.
+	UID int
+	// IP is the node's bridged address.
+	IP simnet.IP
+	// NodeName labels the node ("web-1").
+	NodeName string
+	// Image is the (already downloaded, privately cloned) service image;
+	// it is tailored in place.
+	Image *image.Image
+	// Profile is the guest-OS configuration shipped in the image — the
+	// full set of system services present before tailoring.
+	Profile []string
+	// Params are the boot model constants; zero value means defaults.
+	Params BootParams
+}
+
+// BootReport describes a completed bootstrap, the quantity Table 2
+// measures.
+type BootReport struct {
+	Guest *Guest
+	// Tailor is the customization pass's outcome.
+	Tailor *TailorResult
+	// RAMDisk reports whether the root file system fit in RAM.
+	RAMDisk bool
+	// PressureFactor is the paging slow-down applied to service starts
+	// (1 = none).
+	PressureFactor float64
+	// ServicesStarted is the number of system services the guest booted.
+	ServicesStarted int
+}
+
+// Boot asynchronously bootstraps a virtual service node: tailor the root
+// file system, mount it (RAM disk when it fits, disk otherwise), start
+// the UML, start the retained system services in dependency order, then
+// exec the application service (§4.3 "first the guest OS, then the
+// service"). All work is executed on the host's modelled CPU/disk under
+// the node's userid, so co-located load slows boot exactly as it would on
+// the real testbed.
+//
+// onDone receives the report; onErr receives tailoring/packaging errors.
+func Boot(req BootRequest, onDone func(*BootReport), onErr func(error)) {
+	fail := func(err error) {
+		if onErr != nil {
+			onErr(err)
+		}
+	}
+	if req.Host == nil || req.Image == nil {
+		fail(fmt.Errorf("uml: boot request missing host or image"))
+		return
+	}
+	p := req.Params
+	if p == (BootParams{}) {
+		p = DefaultBootParams()
+	}
+	catalog := StandardCatalog()
+	tailor, err := Tailor(catalog, req.Image.RootFS, req.Profile, req.Image.SystemServices)
+	if err != nil {
+		fail(err)
+		return
+	}
+
+	h := req.Host
+	booter := h.Spawn(req.NodeName+"/boot", req.UID)
+	report := &BootReport{Tailor: tailor, PressureFactor: 1}
+
+	sizeMB := req.Image.SizeMB()
+	free := h.MemoryFreeMB() - p.HostOSOverheadMB
+	useRAM := sizeMB <= free
+	if useRAM {
+		if err := h.UseMemory(sizeMB); err != nil {
+			useRAM = false // raced with another boot; fall back to disk
+		}
+	}
+	report.RAMDisk = useRAM
+	if useRAM {
+		freeAfter := free - sizeMB
+		threshold := int(p.RAMThresholdFrac * float64(h.Spec.MemoryMB))
+		if freeAfter < threshold {
+			report.PressureFactor = 1 + p.SwapPenalty*(1-float64(freeAfter)/float64(threshold))
+		}
+	}
+
+	// Phase 4+5: start system services sequentially, then the app.
+	startServices := func() {
+		services := tailor.Retained
+		var startNext func(i int)
+		startNext = func(i int) {
+			if i >= len(services) {
+				report.ServicesStarted = len(services)
+				guest := newGuest(req, useRAM, sizeMB)
+				report.Guest = guest
+				h.Kill(booter)
+				if onDone != nil {
+					onDone(report)
+				}
+				return
+			}
+			cost := cycles.Cycles(float64(services[i].StartCycles) * report.PressureFactor)
+			booter.Exec(cost, func() { startNext(i + 1) })
+		}
+		booter.Exec(p.UMLStartCycles, func() { startNext(0) })
+	}
+
+	// Phase 2+3: mount the root file system, then boot.
+	mount := func() {
+		if useRAM {
+			booter.Exec(cycles.Cycles(sizeMB)*p.RAMMountCyclesPerMB, startServices)
+		} else {
+			booter.ReadDiskSequential(req.Image.SizeBytes(), startServices)
+		}
+	}
+
+	// Phase 1: tailoring.
+	booter.Exec(tailor.CPUCost, mount)
+}

@@ -1,0 +1,87 @@
+package workload
+
+import (
+	"repro/internal/sim"
+	"repro/internal/simnet"
+)
+
+// Victim is the attack surface the honeypot exposes.
+type Victim interface {
+	// HandleAttack delivers one exploit; onCrashed fires when the victim
+	// goes down. False means the victim is already dead.
+	HandleAttack(onCrashed func()) bool
+	// Alive reports whether the victim can still be attacked.
+	Alive() bool
+}
+
+// Attacker repeatedly exploits a honeypot victim — the §5 experiment
+// where "the honeypot service is constantly attacked and crashed". Each
+// attack is a malicious request crossing the LAN, then the exploit runs
+// and crashes the victim's guest OS.
+type Attacker struct {
+	// AttacksSent counts exploit attempts; CrashesCaused counts
+	// successful take-downs observed.
+	AttacksSent, CrashesCaused int
+
+	k        *sim.Kernel
+	net      *simnet.Network
+	srcIP    simnet.IP
+	victimIP simnet.IP
+	victim   Victim
+	interval sim.Duration
+	stopped  bool
+}
+
+// NewAttacker aims repeated exploits from srcIP at the victim behind
+// victimIP, one attempt per interval.
+func NewAttacker(net *simnet.Network, srcIP, victimIP simnet.IP, victim Victim, interval sim.Duration) *Attacker {
+	if interval <= 0 {
+		panic("workload: non-positive attack interval")
+	}
+	return &Attacker{
+		k:        net.Kernel(),
+		net:      net,
+		srcIP:    srcIP,
+		victimIP: victimIP,
+		victim:   victim,
+		interval: interval,
+	}
+}
+
+// Start launches the attack loop.
+func (a *Attacker) Start() {
+	a.schedule()
+}
+
+// Stop ends the loop.
+func (a *Attacker) Stop() { a.stopped = true }
+
+func (a *Attacker) schedule() {
+	if a.stopped {
+		return
+	}
+	a.k.After(a.interval, func() {
+		if a.stopped {
+			return
+		}
+		a.fire()
+		a.schedule()
+	})
+}
+
+func (a *Attacker) fire() {
+	// The exploit packet: "a malicious packet is sent as an HTTP request,
+	// causing buffer overflow" (§2.1).
+	err := a.net.Transfer(a.srcIP, a.victimIP, RequestBytes, func() {
+		if !a.victim.Alive() {
+			return
+		}
+		a.AttacksSent++
+		a.victim.HandleAttack(func() {
+			a.CrashesCaused++
+		})
+	})
+	if err != nil {
+		return // victim address gone; keep trying, the operator respawns it
+	}
+}

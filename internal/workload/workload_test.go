@@ -1,0 +1,244 @@
+package workload
+
+import (
+	"math"
+	"testing"
+
+	"repro/internal/sim"
+	"repro/internal/simnet"
+)
+
+// echoTarget completes every request after a fixed service time.
+type echoTarget struct {
+	k                            *sim.Kernel
+	service                      sim.Duration
+	inFlight, maxInFlight, total int
+}
+
+func (e *echoTarget) Route(clientIP simnet.IP, bytes int64, onDone func()) error {
+	e.total++
+	e.inFlight++
+	if e.inFlight > e.maxInFlight {
+		e.maxInFlight = e.inFlight
+	}
+	e.k.After(e.service, func() {
+		e.inFlight--
+		onDone()
+	})
+	return nil
+}
+
+func fixture(t *testing.T) (*sim.Kernel, *echoTarget, *Generator) {
+	t.Helper()
+	k := sim.NewKernel()
+	tgt := &echoTarget{k: k, service: 10 * sim.Millisecond}
+	gen := NewGenerator(k, tgt, "10.0.0.1", sim.NewRNG(1))
+	return k, tgt, gen
+}
+
+func TestIssueNCompletesSequentially(t *testing.T) {
+	k, tgt, gen := fixture(t)
+	done := false
+	gen.IssueN(20, func() { done = true })
+	k.Run()
+	if !done || gen.Completed != 20 || tgt.total != 20 {
+		t.Fatalf("completed=%d total=%d done=%v", gen.Completed, tgt.total, done)
+	}
+	if tgt.maxInFlight != 1 {
+		t.Fatalf("IssueN overlapped requests: max in flight %d", tgt.maxInFlight)
+	}
+	// 20 requests × 10 ms service.
+	if got := k.Now().Seconds(); math.Abs(got-0.2) > 0.01 {
+		t.Fatalf("elapsed = %vs", got)
+	}
+	if gen.Latency.MeanDuration() != 10*sim.Millisecond {
+		t.Fatalf("mean latency = %v", gen.Latency.MeanDuration())
+	}
+}
+
+func TestIssueNZeroFiresImmediately(t *testing.T) {
+	_, _, gen := fixture(t)
+	done := false
+	gen.IssueN(0, func() { done = true })
+	if !done {
+		t.Fatal("IssueN(0) did not complete")
+	}
+}
+
+func TestOpenLoopRateIsApproximatelyPoisson(t *testing.T) {
+	k, tgt, gen := fixture(t)
+	gen.RunOpenLoop(200)
+	k.RunUntil(sim.Time(20 * sim.Second))
+	gen.Stop()
+	k.Run()
+	rate := float64(tgt.total) / 20
+	if math.Abs(rate-200) > 20 {
+		t.Fatalf("observed rate = %v/s, want ≈200", rate)
+	}
+	if gen.Completed < tgt.total-10 {
+		t.Fatalf("completed=%d issued=%d", gen.Completed, tgt.total)
+	}
+}
+
+func TestOpenLoopStops(t *testing.T) {
+	k, tgt, gen := fixture(t)
+	gen.RunOpenLoop(100)
+	k.RunUntil(sim.Time(sim.Second))
+	gen.Stop()
+	k.Run()
+	before := tgt.total
+	k.RunFor(5 * sim.Second)
+	if tgt.total != before {
+		t.Fatal("requests issued after Stop")
+	}
+}
+
+func TestClosedLoopMaintainsConcurrency(t *testing.T) {
+	k, tgt, gen := fixture(t)
+	gen.RunClosedLoop(7, 0)
+	k.RunUntil(sim.Time(5 * sim.Second))
+	gen.Stop()
+	k.Run()
+	if tgt.maxInFlight != 7 {
+		t.Fatalf("max in flight = %d, want 7", tgt.maxInFlight)
+	}
+	// Throughput = concurrency / service time = 700/s.
+	rate := float64(gen.Completed) / 5
+	if math.Abs(rate-700) > 35 {
+		t.Fatalf("closed-loop rate = %v/s, want ≈700", rate)
+	}
+}
+
+func TestClosedLoopThinkTimeReducesRate(t *testing.T) {
+	k, tgt, gen := fixture(t)
+	gen.RunClosedLoop(5, 40*sim.Millisecond)
+	k.RunUntil(sim.Time(5 * sim.Second))
+	gen.Stop()
+	k.Run()
+	// Each client: ~10ms service + ~40ms think → ~20/s each → ~100/s.
+	rate := float64(gen.Completed) / 5
+	if rate < 70 || rate > 130 {
+		t.Fatalf("rate = %v/s, want ≈100", rate)
+	}
+	_ = tgt
+}
+
+func TestGeneratorRecordsErrors(t *testing.T) {
+	k := sim.NewKernel()
+	tgt := TargetFunc(func(simnet.IP, int64, func()) error {
+		return errTest
+	})
+	gen := NewGenerator(k, tgt, "10.0.0.1", sim.NewRNG(1))
+	done := false
+	gen.IssueN(3, func() { done = true })
+	k.Run()
+	if gen.Errors != 3 || !done {
+		t.Fatalf("errors=%d done=%v", gen.Errors, done)
+	}
+}
+
+var errTest = &testError{}
+
+type testError struct{}
+
+func (*testError) Error() string { return "test error" }
+
+func TestGeneratorPanicsOnBadArgs(t *testing.T) {
+	k, _, gen := fixture(t)
+	for name, fn := range map[string]func(){
+		"nil target": func() { NewGenerator(k, nil, "1.1.1.1", sim.NewRNG(1)) },
+		"zero rate":  func() { gen.RunOpenLoop(0) },
+		"no clients": func() { gen.RunClosedLoop(0, 0) },
+	} {
+		func() {
+			defer func() {
+				if recover() == nil {
+					t.Errorf("%s: no panic", name)
+				}
+			}()
+			fn()
+		}()
+	}
+}
+
+func TestLatencyQuantilesAvailable(t *testing.T) {
+	k, _, gen := fixture(t)
+	gen.IssueN(50, nil)
+	k.Run()
+	if gen.LatencyQ.Count() != 50 {
+		t.Fatalf("quantiler count = %d", gen.LatencyQ.Count())
+	}
+	if med := gen.LatencyQ.Median(); math.Abs(med-0.01) > 1e-6 {
+		t.Fatalf("median = %v, want 10ms", med)
+	}
+}
+
+// crashableVictim implements Victim for attacker tests.
+type crashableVictim struct {
+	alive   bool
+	crashes int
+}
+
+func (v *crashableVictim) Alive() bool { return v.alive }
+func (v *crashableVictim) HandleAttack(onCrashed func()) bool {
+	if !v.alive {
+		return false
+	}
+	v.alive = false
+	v.crashes++
+	onCrashed()
+	return true
+}
+
+func TestAttackerCrashesVictimOnce(t *testing.T) {
+	k := sim.NewKernel()
+	net := simnet.New(k, 10*sim.Microsecond)
+	a := net.MustAttach("attacker", 100)
+	h := net.MustAttach("host", 100)
+	a.AddIP("6.6.6.6")
+	h.AddIP("10.0.0.5")
+	v := &crashableVictim{alive: true}
+	atk := NewAttacker(net, "6.6.6.6", "10.0.0.5", v, 100*sim.Millisecond)
+	atk.Start()
+	k.RunUntil(sim.Time(2 * sim.Second))
+	atk.Stop()
+	k.Run()
+	if v.crashes != 1 {
+		t.Fatalf("crashes = %d, want 1 (victim stays down)", v.crashes)
+	}
+	if atk.CrashesCaused != 1 {
+		t.Fatalf("attacker observed %d crashes", atk.CrashesCaused)
+	}
+	// Attacks against a dead victim are not counted as deliveries.
+	if atk.AttacksSent != 1 {
+		t.Fatalf("attacks sent = %d, want 1", atk.AttacksSent)
+	}
+}
+
+func TestAttackerStopEndsLoop(t *testing.T) {
+	k := sim.NewKernel()
+	net := simnet.New(k, 0)
+	a := net.MustAttach("attacker", 100)
+	h := net.MustAttach("host", 100)
+	a.AddIP("6.6.6.6")
+	h.AddIP("10.0.0.5")
+	v := &crashableVictim{alive: true}
+	atk := NewAttacker(net, "6.6.6.6", "10.0.0.5", v, 50*sim.Millisecond)
+	atk.Start()
+	atk.Stop()
+	k.Run()
+	if atk.AttacksSent != 0 {
+		t.Fatalf("attacks after immediate stop: %d", atk.AttacksSent)
+	}
+}
+
+func TestAttackerBadIntervalPanics(t *testing.T) {
+	k := sim.NewKernel()
+	net := simnet.New(k, 0)
+	defer func() {
+		if recover() == nil {
+			t.Fatal("no panic")
+		}
+	}()
+	NewAttacker(net, "1.1.1.1", "2.2.2.2", &crashableVictim{}, 0)
+}
