@@ -13,6 +13,7 @@
 //	sodactl -server http://localhost:7083 status   -name web
 //	sodactl -server http://localhost:7083 teardown -name web
 //	sodactl -server http://localhost:7083 hup
+//	sodactl -server http://localhost:7083 top
 package main
 
 import (
@@ -23,8 +24,11 @@ import (
 	"io"
 	"net/http"
 	"os"
+	"sort"
 
 	"repro/internal/api"
+	"repro/internal/metrics"
+	"repro/internal/telemetry"
 )
 
 func main() {
@@ -38,7 +42,7 @@ func main() {
 	flag.Parse()
 
 	if flag.NArg() < 1 {
-		fmt.Fprintln(os.Stderr, "usage: sodactl [flags] publish|create|list|get|resize|status|probe|teardown|hup [flags]")
+		fmt.Fprintln(os.Stderr, "usage: sodactl [flags] publish|create|list|get|resize|status|probe|teardown|hup|top [flags]")
 		os.Exit(2)
 	}
 	cmd := flag.Arg(0)
@@ -76,6 +80,8 @@ func main() {
 		err = do(http.MethodDelete, *server+"/v1/services/"+*name+"?credential="+*credential, nil)
 	case "hup":
 		err = do(http.MethodGet, *server+"/v1/hup", nil)
+	case "top":
+		err = top(*server)
 	default:
 		fmt.Fprintf(os.Stderr, "sodactl: unknown command %q\n", cmd)
 		os.Exit(2)
@@ -84,6 +90,93 @@ func main() {
 		fmt.Fprintf(os.Stderr, "sodactl: %v\n", err)
 		os.Exit(1)
 	}
+}
+
+// top fetches /metrics and /v1/hup and renders a live utilization
+// console: host availability, daemon activity, and per-service switch
+// traffic, in the style of the paper's tables.
+func top(server string) error {
+	var hosts []api.HostView
+	if err := fetchJSON(server+"/v1/hup", &hosts); err != nil {
+		return err
+	}
+	var snap telemetry.Snapshot
+	if err := fetchJSON(server+"/metrics?format=json", &snap); err != nil {
+		return err
+	}
+
+	ht := metrics.NewTable("HUP hosts", "host", "nodes", "primed", "torndown", "cache-hits",
+		"cpu-free(MHz)", "mem-free(MB)", "disk-free(MB)", "bw-free(Mbps)")
+	for _, h := range hosts {
+		host := telemetry.L("host", h.Name)
+		ht.AddRowf(h.Name,
+			int(snap.Gauge("soda_daemon_nodes", host)),
+			snap.Counter("soda_daemon_primed_total", host),
+			snap.Counter("soda_daemon_torndown_total", host),
+			snap.Counter("soda_daemon_cache_hits_total", host),
+			h.CPUMHz, h.MemoryMB, h.DiskMB, h.BandwidthMbps)
+	}
+	fmt.Println(ht.String())
+
+	st := metrics.NewTable("Service switches", "service", "routed", "dropped", "retries",
+		"requests", "mean-lat(ms)", "max-lat(ms)")
+	var services []string
+	for _, c := range snap.Counters {
+		if c.Name == "soda_switch_routed_total" && c.Labels["service"] != "" {
+			services = append(services, c.Labels["service"])
+		}
+	}
+	sort.Strings(services)
+	for _, svc := range services {
+		l := telemetry.L("service", svc)
+		var count int64
+		var mean, max float64
+		for _, h := range snap.Histograms {
+			if h.Name == "soda_switch_latency_seconds" && h.Labels["service"] == svc {
+				count, mean, max = h.Count, h.Mean(), h.Max
+			}
+		}
+		st.AddRowf(svc,
+			snap.Counter("soda_switch_routed_total", l),
+			snap.Counter("soda_switch_dropped_total", l),
+			snap.Counter("soda_switch_retries_total", l),
+			count, mean*1000, max*1000)
+	}
+	fmt.Println(st.String())
+
+	pt := metrics.NewTable("Priming stages", "host", "downloads", "mean-dl(s)", "boots", "mean-boot(s)")
+	for _, h := range hosts {
+		var dlCount, bootCount int64
+		var dlMean, bootMean float64
+		for _, hs := range snap.Histograms {
+			if hs.Labels["host"] != h.Name {
+				continue
+			}
+			switch hs.Name {
+			case "soda_prime_download_seconds":
+				dlCount, dlMean = hs.Count, hs.Mean()
+			case "soda_prime_boot_seconds":
+				bootCount, bootMean = hs.Count, hs.Mean()
+			}
+		}
+		pt.AddRowf(h.Name, dlCount, dlMean, bootCount, bootMean)
+	}
+	fmt.Print(pt.String())
+	return nil
+}
+
+// fetchJSON GETs url and decodes the JSON response into v.
+func fetchJSON(url string, v any) error {
+	resp, err := http.Get(url)
+	if err != nil {
+		return err
+	}
+	defer resp.Body.Close()
+	if resp.StatusCode >= 400 {
+		raw, _ := io.ReadAll(resp.Body)
+		return fmt.Errorf("server returned %s: %s", resp.Status, bytes.TrimSpace(raw))
+	}
+	return json.NewDecoder(resp.Body).Decode(v)
 }
 
 // do sends one API call and pretty-prints the JSON response.

@@ -16,6 +16,7 @@ import (
 	"fmt"
 	"log"
 	"net/http"
+	"net/http/pprof"
 	"os"
 
 	"repro/internal/api"
@@ -74,15 +75,27 @@ func main() {
 	if err := tb.Agent.RegisterASP(*asp, *credential); err != nil {
 		log.Fatalf("sodad: enrolling ASP: %v", err)
 	}
+	// Metrics registry + virtual-clock tracer over the whole control
+	// plane; /metrics and /trace serve them.
+	tb.EnableTelemetry()
 	// Stream the control-plane event trace to the log.
 	tb.Master.Observe(func(e soda.Event) {
 		log.Printf("sodad: %v", e)
 	})
 
 	srv := api.NewServer(tb)
+	mux := http.NewServeMux()
+	mux.Handle("/", srv.Handler())
+	// Profiling endpoints for the daemon process itself.
+	mux.HandleFunc("/debug/pprof/", pprof.Index)
+	mux.HandleFunc("/debug/pprof/cmdline", pprof.Cmdline)
+	mux.HandleFunc("/debug/pprof/profile", pprof.Profile)
+	mux.HandleFunc("/debug/pprof/symbol", pprof.Symbol)
+	mux.HandleFunc("/debug/pprof/trace", pprof.Trace)
 	log.Printf("sodad: HUP with %d host(s) up; SODA API on %s (ASP %q)", len(tb.Hosts), *listen, *asp)
 	log.Printf("sodad: try: curl -s -X POST localhost%s/v1/images -d '{\"name\":\"web\",\"size_mb\":30}'", *listen)
-	if err := http.ListenAndServe(*listen, srv.Handler()); err != nil {
+	log.Printf("sodad: metrics on %s/metrics, span trees on %s/trace, pprof on %s/debug/pprof/", *listen, *listen, *listen)
+	if err := http.ListenAndServe(*listen, mux); err != nil {
 		log.Fatalf("sodad: %v", err)
 	}
 }

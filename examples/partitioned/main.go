@@ -90,7 +90,7 @@ func main() {
 			fmt.Printf("  %-9s %-14s capacity=%d served=%d\n", comp, e.IP, e.Capacity, st.Forwarded)
 		}
 	}
-	fmt.Printf("switch: routed=%d dropped=%d\n", ps.Switch.Routed, ps.Switch.Dropped)
+	fmt.Printf("switch: routed=%d dropped=%d\n", ps.Switch.Routed(), ps.Switch.Dropped())
 
 	if err := tb.Master.TeardownPartitionedService(ps); err != nil {
 		log.Fatal(err)

@@ -110,7 +110,45 @@ func (s *Server) Handler() http.Handler {
 	mux.HandleFunc("GET /v1/services/{name}/status", s.handleStatus)
 	mux.HandleFunc("POST /v1/services/{name}/probe", s.handleProbe)
 	mux.HandleFunc("GET /v1/hup", s.handleHUP)
+	mux.HandleFunc("GET /metrics", s.handleMetrics)
+	mux.HandleFunc("GET /trace", s.handleTrace)
 	return mux
+}
+
+// handleMetrics exposes the testbed's metrics registry: plain text by
+// default (one `name{labels} value` line per instrument), JSON with
+// ?format=json. 404 until telemetry is enabled.
+func (s *Server) handleMetrics(w http.ResponseWriter, r *http.Request) {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	if s.tb.Registry == nil {
+		writeErr(w, http.StatusNotFound, fmt.Errorf("api: telemetry not enabled"))
+		return
+	}
+	snap := s.tb.Registry.Snapshot()
+	if r.URL.Query().Get("format") == "json" {
+		writeJSON(w, http.StatusOK, snap)
+		return
+	}
+	w.Header().Set("Content-Type", "text/plain; charset=utf-8")
+	fmt.Fprint(w, snap.RenderText())
+}
+
+// handleTrace exposes the control-plane span trees: JSON by default,
+// an indented text rendering with ?format=text.
+func (s *Server) handleTrace(w http.ResponseWriter, r *http.Request) {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	if s.tb.Tracer == nil {
+		writeErr(w, http.StatusNotFound, fmt.Errorf("api: telemetry not enabled"))
+		return
+	}
+	if r.URL.Query().Get("format") == "text" {
+		w.Header().Set("Content-Type", "text/plain; charset=utf-8")
+		fmt.Fprint(w, s.tb.Tracer.RenderText())
+		return
+	}
+	writeJSON(w, http.StatusOK, s.tb.Tracer.Roots())
 }
 
 func writeJSON(w http.ResponseWriter, status int, v any) {

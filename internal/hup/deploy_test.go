@@ -150,7 +150,7 @@ func TestHoneypotDeploymentVictims(t *testing.T) {
 	client := tb.AddClient()
 	SwitchTarget{Switch: svc.Switch}.Route(client, 64, nil)
 	tb.K.Run()
-	if svc.Switch.Routed != 0 {
+	if svc.Switch.Routed() != 0 {
 		t.Fatal("honeypot served a routed request")
 	}
 }

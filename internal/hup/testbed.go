@@ -16,6 +16,7 @@ import (
 	"repro/internal/sim"
 	"repro/internal/simnet"
 	"repro/internal/soda"
+	"repro/internal/telemetry"
 )
 
 // Config parameterises a testbed.
@@ -51,6 +52,10 @@ type Testbed struct {
 	Agent   *soda.Agent
 	Repo    *image.Repository
 	RNG     *sim.RNG
+
+	// Registry and Tracer are nil until EnableTelemetry.
+	Registry *telemetry.Registry
+	Tracer   *telemetry.Tracer
 
 	clients int
 }
@@ -137,6 +142,27 @@ func New(cfg Config) (*Testbed, error) {
 		d.RegisterRepository(repo)
 	}
 	return tb, nil
+}
+
+// EnableTelemetry builds a metrics registry and a tracer on the
+// kernel's virtual clock and wires them through the whole control
+// plane: the Master (admission counters, priming span trees, switch
+// instrumentation for every service created afterwards) and each
+// Daemon (stage histograms, node gauges). Returns the registry and
+// tracer, which are also kept on the Testbed for exposition.
+func (tb *Testbed) EnableTelemetry() (*telemetry.Registry, *telemetry.Tracer) {
+	if tb.Registry != nil {
+		return tb.Registry, tb.Tracer
+	}
+	reg := telemetry.NewRegistry()
+	k := tb.K
+	tracer := telemetry.NewTracer(func() sim.Duration { return k.Now().Duration() })
+	tb.Master.Instrument(reg, tracer)
+	for _, d := range tb.Daemons {
+		d.Instrument(reg)
+	}
+	tb.Registry, tb.Tracer = reg, tracer
+	return reg, tracer
 }
 
 // MustNew is New, panicking on error; for benchmarks and examples.

@@ -1,0 +1,143 @@
+package metrics
+
+import (
+	"strings"
+	"testing"
+	"time"
+)
+
+// Edge cases for the statistics helpers: zero observations, single
+// samples, and ragged table rows must all behave, not panic or NaN.
+
+func TestEmptySummary(t *testing.T) {
+	var s Summary
+	if s.Count() != 0 || s.Sum() != 0 || s.Mean() != 0 {
+		t.Fatalf("empty summary = %v", s.String())
+	}
+	if s.Variance() != 0 || s.Stddev() != 0 || s.RelStddev() != 0 {
+		t.Fatalf("empty summary spread: var=%g stddev=%g rel=%g",
+			s.Variance(), s.Stddev(), s.RelStddev())
+	}
+	if s.Min() != 0 || s.Max() != 0 {
+		t.Fatalf("empty summary bounds: [%g, %g]", s.Min(), s.Max())
+	}
+	if out := s.String(); !strings.Contains(out, "n=0") {
+		t.Fatalf("render = %q", out)
+	}
+}
+
+func TestSingleObservationSummary(t *testing.T) {
+	var s Summary
+	s.Observe(-3.5)
+	if s.Mean() != -3.5 || s.Min() != -3.5 || s.Max() != -3.5 {
+		t.Fatalf("single-sample summary = %v", s.String())
+	}
+	// Sample variance is undefined with n=1; it must report 0, not NaN.
+	if s.Variance() != 0 || s.Stddev() != 0 {
+		t.Fatalf("single-sample spread: var=%g stddev=%g", s.Variance(), s.Stddev())
+	}
+}
+
+func TestEmptyQuantiler(t *testing.T) {
+	var q Quantiler
+	if q.Count() != 0 {
+		t.Fatalf("count = %d", q.Count())
+	}
+	for _, p := range []float64{0, 0.5, 0.95, 1} {
+		if v := q.Quantile(p); v != 0 {
+			t.Fatalf("empty quantiler p%g = %g", p*100, v)
+		}
+	}
+	if q.Median() != 0 {
+		t.Fatalf("empty median = %g", q.Median())
+	}
+}
+
+func TestSingleSampleQuantiler(t *testing.T) {
+	var q Quantiler
+	q.Observe(7)
+	for _, p := range []float64{0, 0.5, 0.99, 1} {
+		if v := q.Quantile(p); v != 7 {
+			t.Fatalf("single-sample p%g = %g, want 7", p*100, v)
+		}
+	}
+}
+
+func TestSingleSampleTimeSeries(t *testing.T) {
+	ts := NewTimeSeries("cpu")
+	ts.Record(2*time.Second, 0.75)
+	if ts.Len() != 1 {
+		t.Fatalf("len = %d", ts.Len())
+	}
+	// Before the sample: zero; at and after it: the sample.
+	if v := ts.At(time.Second); v != 0 {
+		t.Fatalf("At(1s) = %g", v)
+	}
+	if v := ts.At(2 * time.Second); v != 0.75 {
+		t.Fatalf("At(2s) = %g", v)
+	}
+	if v := ts.At(time.Hour); v != 0.75 {
+		t.Fatalf("At(1h) = %g", v)
+	}
+	s := ts.Summary()
+	if s.Count() != 1 || s.Mean() != 0.75 || s.Stddev() != 0 {
+		t.Fatalf("summary = %v", s.String())
+	}
+	// A window that excludes the sample is empty, not erroneous.
+	if w := ts.Window(0, time.Second); w.Count() != 0 {
+		t.Fatalf("window count = %d", w.Count())
+	}
+}
+
+func TestEmptyTimeSeriesSummary(t *testing.T) {
+	ts := NewTimeSeries("idle")
+	s := ts.Summary()
+	if s.Count() != 0 || s.Mean() != 0 || s.Stddev() != 0 {
+		t.Fatalf("empty series summary = %v", s.String())
+	}
+	if v := ts.At(time.Second); v != 0 {
+		t.Fatalf("At on empty = %g", v)
+	}
+}
+
+func TestTableRaggedRows(t *testing.T) {
+	tbl := NewTable("ragged", "a", "b", "c")
+	tbl.AddRow("1")           // short: padded
+	tbl.AddRow("1", "2", "3") // full
+	tbl.AddRow()              // empty: all padding
+	if tbl.NumRows() != 3 {
+		t.Fatalf("rows = %d", tbl.NumRows())
+	}
+	rows := tbl.Rows()
+	for i, r := range rows {
+		if len(r) != 3 {
+			t.Fatalf("row %d has %d cells", i, len(r))
+		}
+	}
+	if rows[0][1] != "" || rows[2][0] != "" {
+		t.Fatalf("padding cells = %q, %q", rows[0][1], rows[2][0])
+	}
+	// Rendering stays rectangular: every line equally wide.
+	lines := strings.Split(strings.TrimRight(tbl.String(), "\n"), "\n")
+	if len(lines) != 6 { // title + header + rule + 3 rows
+		t.Fatalf("rendered %d lines: %q", len(lines), lines)
+	}
+	width := len(lines[1])
+	for _, l := range lines[2:] {
+		if len(strings.TrimRight(l, " ")) > width {
+			t.Fatalf("line wider than header: %q", l)
+		}
+	}
+	// CSV keeps the padded cells as empty fields.
+	csv := tbl.CSV()
+	if !strings.Contains(csv, "1,,") {
+		t.Fatalf("csv = %q", csv)
+	}
+	// Overlong rows are rejected loudly.
+	defer func() {
+		if recover() == nil {
+			t.Fatal("overlong row accepted")
+		}
+	}()
+	tbl.AddRow("1", "2", "3", "4")
+}

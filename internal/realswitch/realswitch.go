@@ -14,8 +14,10 @@ import (
 	"net/http/httputil"
 	"net/url"
 	"sync"
+	"time"
 
 	"repro/internal/svcswitch"
+	"repro/internal/telemetry"
 )
 
 // Proxy is a live HTTP service switch. It implements http.Handler; serve
@@ -28,20 +30,75 @@ type Proxy struct {
 	stats   map[string]*svcswitch.Stats
 	proxies map[string]*httputil.ReverseProxy
 
-	// Routed and Dropped mirror the simulated switch's counters.
-	Routed, Dropped int
+	// Wall-clock twins of the simulated switch's instruments. The
+	// counters always work (they back Routed/Dropped); latency histograms
+	// collect only once Instrument connects a registry.
+	reg        *telemetry.Registry
+	routed     *telemetry.Counter
+	dropped    *telemetry.Counter
+	latency    *telemetry.Histogram
+	backendLat map[string]*telemetry.Histogram
 }
 
 // New creates a proxy for the given service configuration with the
 // default weighted-round-robin policy.
 func New(config *svcswitch.ConfigFile) *Proxy {
-	return &Proxy{
+	p := &Proxy{
 		config:  config,
 		policy:  svcswitch.NewWeightedRoundRobin(),
 		cfgSeen: config.Version,
 		stats:   make(map[string]*svcswitch.Stats),
 		proxies: make(map[string]*httputil.ReverseProxy),
 	}
+	p.Instrument(nil)
+	return p
+}
+
+// Instrument connects the proxy's counters and wall-clock latency
+// histograms to a registry — the same instrument names as the simulated
+// switch, labeled by service, so dashboards read identically over
+// simulated and live traffic.
+func (p *Proxy) Instrument(reg *telemetry.Registry) {
+	p.mu.Lock()
+	defer p.mu.Unlock()
+	svc := telemetry.L("service", p.config.ServiceName)
+	routed := reg.Counter("soda_switch_routed_total", svc)
+	dropped := reg.Counter("soda_switch_dropped_total", svc)
+	routed.Add(p.routed.Value())
+	dropped.Add(p.dropped.Value())
+	p.reg = reg
+	p.routed, p.dropped = routed, dropped
+	p.latency = reg.Histogram("soda_switch_latency_seconds", nil, svc)
+	p.backendLat = make(map[string]*telemetry.Histogram)
+}
+
+// Routed returns how many requests were forwarded to a backend.
+func (p *Proxy) Routed() int {
+	p.mu.Lock()
+	defer p.mu.Unlock()
+	return int(p.routed.Value())
+}
+
+// Dropped returns how many requests could not be served.
+func (p *Proxy) Dropped() int {
+	p.mu.Lock()
+	defer p.mu.Unlock()
+	return int(p.dropped.Value())
+}
+
+// backendHist returns the per-backend latency histogram under p.mu, or
+// nil when uninstrumented.
+func (p *Proxy) backendHist(addr string) *telemetry.Histogram {
+	if p.reg == nil {
+		return nil
+	}
+	h, ok := p.backendLat[addr]
+	if !ok {
+		h = p.reg.Histogram("soda_switch_backend_latency_seconds",
+			nil, telemetry.L("service", p.config.ServiceName), telemetry.L("backend", addr))
+		p.backendLat[addr] = h
+	}
+	return h
 }
 
 // SetPolicy installs a service-specific policy (the ASP hook of §3.4).
@@ -69,8 +126,8 @@ func (p *Proxy) StatsFor(e svcswitch.BackendEntry) svcswitch.Stats {
 }
 
 // pick chooses a backend under the lock, updating stats, and returns the
-// reverse proxy to use.
-func (p *Proxy) pick() (*httputil.ReverseProxy, *svcswitch.Stats, error) {
+// reverse proxy to use plus the backend's latency histogram.
+func (p *Proxy) pick() (*httputil.ReverseProxy, *svcswitch.Stats, *telemetry.Histogram, error) {
 	p.mu.Lock()
 	defer p.mu.Unlock()
 	if p.config.Version != p.cfgSeen {
@@ -79,7 +136,7 @@ func (p *Proxy) pick() (*httputil.ReverseProxy, *svcswitch.Stats, error) {
 	}
 	entries := p.config.Entries()
 	if len(entries) == 0 {
-		return nil, nil, fmt.Errorf("realswitch: no backends configured")
+		return nil, nil, nil, fmt.Errorf("realswitch: no backends configured")
 	}
 	stats := make([]svcswitch.Stats, len(entries))
 	for i, e := range entries {
@@ -89,7 +146,7 @@ func (p *Proxy) pick() (*httputil.ReverseProxy, *svcswitch.Stats, error) {
 	}
 	idx, err := p.policy.Pick(entries, stats)
 	if err != nil || idx < 0 || idx >= len(entries) {
-		return nil, nil, fmt.Errorf("realswitch: policy failed: %v", err)
+		return nil, nil, nil, fmt.Errorf("realswitch: policy failed: %v", err)
 	}
 	entry := entries[idx]
 	rp := p.proxies[entry.Addr()]
@@ -105,17 +162,19 @@ func (p *Proxy) pick() (*httputil.ReverseProxy, *svcswitch.Stats, error) {
 	}
 	st.Active++
 	st.Forwarded++
-	p.Routed++
-	return rp, st, nil
+	p.routed.Inc()
+	return rp, st, p.backendHist(entry.Addr()), nil
 }
 
 // ServeHTTP implements http.Handler: policy pick, then a genuine
-// reverse-proxied request to the chosen backend.
+// reverse-proxied request to the chosen backend, timed on the wall
+// clock.
 func (p *Proxy) ServeHTTP(w http.ResponseWriter, r *http.Request) {
-	rp, st, err := p.pick()
+	start := time.Now()
+	rp, st, hist, err := p.pick()
 	if err != nil {
 		p.mu.Lock()
-		p.Dropped++
+		p.dropped.Inc()
 		p.mu.Unlock()
 		http.Error(w, err.Error(), http.StatusBadGateway)
 		return
@@ -123,7 +182,11 @@ func (p *Proxy) ServeHTTP(w http.ResponseWriter, r *http.Request) {
 	defer func() {
 		p.mu.Lock()
 		st.Active--
+		lat := p.latency
 		p.mu.Unlock()
+		elapsed := time.Since(start).Seconds()
+		lat.Observe(elapsed)
+		hist.Observe(elapsed)
 	}()
 	rp.ServeHTTP(w, r)
 }

@@ -76,8 +76,8 @@ func TestProxyBalancesTwoToOneOverRealTCP(t *testing.T) {
 	if backends[0].Served() != 20 || backends[1].Served() != 10 {
 		t.Fatalf("split = %d:%d, want 20:10", backends[0].Served(), backends[1].Served())
 	}
-	if p.Routed != 30 || p.Dropped != 0 {
-		t.Fatalf("routed=%d dropped=%d", p.Routed, p.Dropped)
+	if p.Routed() != 30 || p.Dropped() != 0 {
+		t.Fatalf("routed=%d dropped=%d", p.Routed(), p.Dropped())
 	}
 }
 
@@ -189,8 +189,8 @@ func TestProxyConcurrentClients(t *testing.T) {
 	if total != clients*per {
 		t.Fatalf("served %d of %d", total, clients*per)
 	}
-	if p.Routed != clients*per {
-		t.Fatalf("routed = %d", p.Routed)
+	if p.Routed() != clients*per {
+		t.Fatalf("routed = %d", p.Routed())
 	}
 	// Weighted split holds within 10% even under concurrency.
 	ratio := float64(backends[0].Served()) / float64(backends[1].Served())

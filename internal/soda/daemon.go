@@ -6,6 +6,7 @@ import (
 	"repro/internal/hostos"
 	"repro/internal/image"
 	"repro/internal/simnet"
+	"repro/internal/telemetry"
 	"repro/internal/uml"
 )
 
@@ -61,6 +62,17 @@ type Daemon struct {
 	// Primed counts nodes successfully bootstrapped; TornDown counts
 	// nodes removed. CacheHits counts downloads avoided by the cache.
 	Primed, TornDown, CacheHits int
+
+	// Telemetry instruments, labeled by host. The counters mirror the
+	// exported fields above; the stage histograms collect only once
+	// Instrument connects a registry.
+	reg          *telemetry.Registry
+	primedCtr    *telemetry.Counter
+	tornDownCtr  *telemetry.Counter
+	cacheHitCtr  *telemetry.Counter
+	liveNodes    *telemetry.Gauge
+	downloadHist *telemetry.Histogram
+	bootHist     *telemetry.Histogram
 }
 
 // cachedImage is one master image pinned on the host's disk.
@@ -104,7 +116,7 @@ func NewDaemon(cfg DaemonConfig) (*Daemon, error) {
 	if cfg.UIDBase <= 0 {
 		cfg.UIDBase = 10000
 	}
-	return &Daemon{
+	d := &Daemon{
 		HostIP:   cfg.HostIP,
 		host:     cfg.Host,
 		nic:      cfg.NIC,
@@ -115,7 +127,29 @@ func NewDaemon(cfg DaemonConfig) (*Daemon, error) {
 		nodes:    make(map[string]*nodeRuntime),
 		mode:     cfg.Mode,
 		nextPort: 9000,
-	}, nil
+	}
+	d.Instrument(nil)
+	return d, nil
+}
+
+// Instrument connects the daemon's counters, node gauge, and priming
+// stage histograms to a registry, labeled by host name. A nil registry
+// (the default) keeps the counters working but disables histogram
+// collection.
+func (d *Daemon) Instrument(reg *telemetry.Registry) {
+	host := telemetry.L("host", d.host.Spec.Name)
+	primed := reg.Counter("soda_daemon_primed_total", host)
+	torn := reg.Counter("soda_daemon_torndown_total", host)
+	hits := reg.Counter("soda_daemon_cache_hits_total", host)
+	primed.Add(int64(d.Primed))
+	torn.Add(int64(d.TornDown))
+	hits.Add(int64(d.CacheHits))
+	d.reg = reg
+	d.primedCtr, d.tornDownCtr, d.cacheHitCtr = primed, torn, hits
+	d.liveNodes = reg.Gauge("soda_daemon_nodes", host)
+	d.liveNodes.Set(float64(len(d.nodes)))
+	d.downloadHist = reg.Histogram("soda_prime_download_seconds", nil, host)
+	d.bootHist = reg.Histogram("soda_prime_boot_seconds", nil, host)
 }
 
 // Mode returns the daemon's address mode.
@@ -150,6 +184,7 @@ func (d *Daemon) fetchImage(repo *image.Repository, name string, onDone func(*im
 	if d.cache != nil {
 		if c, hit := d.cache[name]; hit {
 			d.CacheHits++
+			d.cacheHitCtr.Inc()
 			// Cloning the cached master costs a local disk read, not a
 			// network transfer.
 			p := d.host.Spawn("sodad/cache-clone", 0)
@@ -207,6 +242,10 @@ type PrimeRequest struct {
 	GuestProfile []string
 	// Port is the service's listen port.
 	Port int
+	// Span, when non-nil, is the priming trace span the Master opened for
+	// this node; the daemon and guest boot attach stage child spans to it
+	// (image.download, guest.boot, service.bootstrap).
+	Span *telemetry.Span
 }
 
 // Prime performs service priming (§3.3): reserve a slice, assign an IP
@@ -234,11 +273,14 @@ func (d *Daemon) Prime(req PrimeRequest, onDone func(NodeInfo), onErr func(error
 	}
 
 	// 1. Reserve the slice.
+	alloc := req.Span.StartChild("slice.alloc",
+		telemetry.L("instances", fmt.Sprintf("%d", req.Instances)))
 	slice := InflatedSlice(req.M, req.Instances, req.Factor)
 	uid := d.nextUID
 	d.nextUID++
 	reservation, err := d.host.Reserve(uid, slice)
 	if err != nil {
+		alloc.Fail(err)
 		fail(err)
 		return
 	}
@@ -258,18 +300,22 @@ func (d *Daemon) Prime(req PrimeRequest, onDone func(NodeInfo), onErr func(error
 		ip, err = d.pool.Allocate()
 		if err != nil {
 			reservation.Release()
+			alloc.Fail(err)
 			fail(err)
 			return
 		}
 		if err := d.nic.AddIP(ip); err != nil {
 			d.pool.Release(ip)
 			reservation.Release()
+			alloc.Fail(err)
 			fail(err)
 			return
 		}
 		// 3. Traffic shaper: enforce the node's outbound bandwidth share.
 		d.nic.SetShaperCap(ip, slice.BandwidthMbps)
 	}
+	alloc.Annotate("ip", string(ip))
+	alloc.EndSpan()
 
 	abort := func(err error) {
 		if !proxied {
@@ -285,8 +331,11 @@ func (d *Daemon) Prime(req PrimeRequest, onDone func(NodeInfo), onErr func(error
 	// (HTTP/1.1), or clone the cached master when caching is on.
 	k := d.net.Kernel()
 	downloadStart := k.Now()
+	download := req.Span.StartChild("image.download", telemetry.L("image", req.ImageName))
 	d.fetchImage(repo, req.ImageName, func(img *image.Image) {
+		download.EndSpan()
 		downloadTime := k.Now().Sub(downloadStart)
+		d.downloadHist.Observe(downloadTime.Seconds())
 		sizeMB := img.SizeMB()
 		if err := d.host.UseDisk(sizeMB); err != nil {
 			abort(err)
@@ -301,7 +350,10 @@ func (d *Daemon) Prime(req PrimeRequest, onDone func(NodeInfo), onErr func(error
 			NodeName: req.NodeName,
 			Image:    img,
 			Profile:  req.GuestProfile,
+			Span:     req.Span,
 		}, func(report *uml.BootReport) {
+			bootTime := k.Now().Sub(bootStart)
+			d.bootHist.Observe(bootTime.Seconds())
 			info := NodeInfo{
 				NodeName:       req.NodeName,
 				HostName:       d.host.Spec.Name,
@@ -310,12 +362,14 @@ func (d *Daemon) Prime(req PrimeRequest, onDone func(NodeInfo), onErr func(error
 				Capacity:       req.Instances,
 				Guest:          report.Guest,
 				DownloadTime:   downloadTime,
-				BootTime:       k.Now().Sub(bootStart),
+				BootTime:       bootTime,
 				RAMDisk:        report.RAMDisk,
 				PressureFactor: report.PressureFactor,
 			}
 			d.nodes[req.NodeName] = &nodeRuntime{info: info, reservation: reservation, diskMB: sizeMB, proxied: proxied}
 			d.Primed++
+			d.primedCtr.Inc()
+			d.liveNodes.Set(float64(len(d.nodes)))
 			if onDone != nil {
 				onDone(info)
 			}
@@ -323,7 +377,10 @@ func (d *Daemon) Prime(req PrimeRequest, onDone func(NodeInfo), onErr func(error
 			d.host.FreeDisk(sizeMB)
 			abort(err)
 		})
-	}, abort)
+	}, func(err error) {
+		download.Fail(err)
+		abort(err)
+	})
 }
 
 // Teardown removes a node: crash-stop the guest, free the RAM disk and
@@ -344,6 +401,8 @@ func (d *Daemon) Teardown(nodeName string) error {
 	}
 	rt.reservation.Release()
 	d.TornDown++
+	d.tornDownCtr.Inc()
+	d.liveNodes.Set(float64(len(d.nodes)))
 	return nil
 }
 

@@ -2,6 +2,7 @@ package soda
 
 import (
 	"fmt"
+	"sync"
 
 	"repro/internal/sim"
 )
@@ -23,6 +24,10 @@ const (
 	EventResized
 	// EventTornDown: the service was removed.
 	EventTornDown
+	// EventSpanEnded: a control-plane trace span closed. Emitted only on
+	// instrumented Masters — the tracer's OnEnd hook feeds the observer
+	// mechanism, so event consumers see the span stream too.
+	EventSpanEnded
 )
 
 // String names the kind.
@@ -40,6 +45,8 @@ func (k EventKind) String() string {
 		return "resized"
 	case EventTornDown:
 		return "torn-down"
+	case EventSpanEnded:
+		return "span"
 	}
 	return fmt.Sprintf("event(%d)", int(k))
 }
@@ -90,18 +97,40 @@ func (m *Master) emit(kind EventKind, service, node, detail string) {
 }
 
 // EventRecorder is a convenience observer that retains events for tests
-// and consoles.
+// and consoles. It is safe for concurrent use: the simulation emits on
+// one goroutine, but HTTP servers and tests may read while it records.
 type EventRecorder struct {
-	Events []Event
+	mu     sync.Mutex
+	events []Event
 }
 
-// Record returns the observer function.
-func (r *EventRecorder) Record(e Event) { r.Events = append(r.Events, e) }
+// Record is the observer function.
+func (r *EventRecorder) Record(e Event) {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	r.events = append(r.events, e)
+}
+
+// Events returns a copy of the recorded events in order.
+func (r *EventRecorder) Events() []Event {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	return append([]Event(nil), r.events...)
+}
+
+// Len returns how many events were recorded.
+func (r *EventRecorder) Len() int {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	return len(r.events)
+}
 
 // Kinds returns the recorded kinds in order.
 func (r *EventRecorder) Kinds() []EventKind {
-	out := make([]EventKind, len(r.Events))
-	for i, e := range r.Events {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	out := make([]EventKind, len(r.events))
+	for i, e := range r.events {
 		out[i] = e.Kind
 	}
 	return out
@@ -109,8 +138,10 @@ func (r *EventRecorder) Kinds() []EventKind {
 
 // CountOf returns how many events of a kind were recorded.
 func (r *EventRecorder) CountOf(kind EventKind) int {
+	r.mu.Lock()
+	defer r.mu.Unlock()
 	n := 0
-	for _, e := range r.Events {
+	for _, e := range r.events {
 		if e.Kind == kind {
 			n++
 		}

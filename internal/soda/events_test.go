@@ -42,20 +42,21 @@ func TestEventLifecycleSequence(t *testing.T) {
 		}
 	}
 	// Timestamps are non-decreasing and details informative.
-	for i := 1; i < len(rec.Events); i++ {
-		if rec.Events[i].At < rec.Events[i-1].At {
+	events := rec.Events()
+	for i := 1; i < len(events); i++ {
+		if events[i].At < events[i-1].At {
 			t.Fatal("event timestamps regressed")
 		}
 	}
-	if !strings.Contains(rec.Events[0].Detail, "<3, M>") {
-		t.Fatalf("admission detail = %q", rec.Events[0].Detail)
+	if !strings.Contains(events[0].Detail, "<3, M>") {
+		t.Fatalf("admission detail = %q", events[0].Detail)
 	}
-	primed := rec.Events[1]
+	primed := events[1]
 	if primed.Node == "" || !strings.Contains(primed.Detail, "boot=") {
 		t.Fatalf("primed event = %+v", primed)
 	}
-	if !strings.Contains(rec.Events[4].Detail, "3 -> 4") {
-		t.Fatalf("resize detail = %q", rec.Events[4].Detail)
+	if !strings.Contains(events[4].Detail, "3 -> 4") {
+		t.Fatalf("resize detail = %q", events[4].Detail)
 	}
 }
 

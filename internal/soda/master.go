@@ -7,6 +7,7 @@ import (
 	"repro/internal/appsvc"
 	"repro/internal/simnet"
 	"repro/internal/svcswitch"
+	"repro/internal/telemetry"
 )
 
 // Master is the middleware-level coordinator (§3.2): it admits or rejects
@@ -29,6 +30,15 @@ type Master struct {
 
 	// Admitted and Rejected count creation requests.
 	Admitted, Rejected int
+
+	// Telemetry. All fields are nil-safe: an uninstrumented Master pays
+	// only no-op calls.
+	reg            *telemetry.Registry
+	tracer         *telemetry.Tracer
+	admittedCtr    *telemetry.Counter
+	rejectedCtr    *telemetry.Counter
+	tornDownCtr    *telemetry.Counter
+	activeServices *telemetry.Gauge
 }
 
 // Service is the Master's record of one hosted application service: the
@@ -81,6 +91,38 @@ func NewMaster(net *simnet.Network, ip simnet.IP, daemons []*Daemon) (*Master, e
 	}, nil
 }
 
+// Instrument connects the Master — and every switch it subsequently
+// creates — to a metrics registry and span tracer. Both may be nil
+// (no-op). Daemons are instrumented separately (hup.Testbed wires the
+// whole control plane in one call).
+func (m *Master) Instrument(reg *telemetry.Registry, tracer *telemetry.Tracer) {
+	m.reg = reg
+	m.tracer = tracer
+	if tracer != nil {
+		// The event mechanism consumes the span stream: every closed span
+		// becomes an EventSpanEnded for the registered observers.
+		tracer.OnEnd(func(sp *telemetry.Span) {
+			svcName, _ := sp.Attr("service")
+			node, _ := sp.Attr("node")
+			m.emit(EventSpanEnded, svcName, node, fmt.Sprintf("%s took %v", sp.Name, sp.Duration()))
+		})
+	}
+	m.admittedCtr = reg.Counter("soda_master_admitted_total")
+	m.rejectedCtr = reg.Counter("soda_master_rejected_total")
+	m.tornDownCtr = reg.Counter("soda_master_torndown_total")
+	m.activeServices = reg.Gauge("soda_master_services")
+	m.admittedCtr.Add(int64(m.Admitted))
+	m.rejectedCtr.Add(int64(m.Rejected))
+	m.activeServices.Set(float64(len(m.services)))
+}
+
+// Tracer returns the Master's span tracer (nil when uninstrumented).
+func (m *Master) Tracer() *telemetry.Tracer { return m.tracer }
+
+// Registry returns the Master's metrics registry (nil when
+// uninstrumented).
+func (m *Master) Registry() *telemetry.Registry { return m.reg }
+
 // Daemons returns the Master's daemon table.
 func (m *Master) Daemons() []*Daemon { return m.daemons }
 
@@ -117,27 +159,38 @@ func (m *Master) CollectAvailability() []HostAvail {
 // failure or if any priming step fails (already-primed nodes are rolled
 // back).
 func (m *Master) CreateService(spec ServiceSpec, onDone func(*Service), onErr func(error)) {
+	root := m.tracer.StartRoot("service.create", telemetry.L("service", spec.Name))
 	fail := func(err error) {
 		m.Rejected++
+		m.rejectedCtr.Inc()
 		m.emit(EventRejected, spec.Name, "", err.Error())
+		root.Fail(err)
 		if onErr != nil {
 			onErr(err)
 		}
 	}
+	admission := root.StartChild("admission")
 	if err := spec.Validate(); err != nil {
+		admission.Fail(err)
 		fail(err)
 		return
 	}
 	if _, dup := m.services[spec.Name]; dup {
-		fail(fmt.Errorf("soda: service %q already hosted", spec.Name))
+		err := fmt.Errorf("soda: service %q already hosted", spec.Name)
+		admission.Fail(err)
+		fail(err)
 		return
 	}
 	placements, err := AllocateWith(m.Strategy, m.CollectAvailability(), spec.Requirement, m.Factor)
 	if err != nil {
+		admission.Fail(err)
 		fail(err)
 		return
 	}
+	admission.Annotate("placements", fmt.Sprintf("%d", len(placements)))
+	admission.EndSpan()
 	m.Admitted++
+	m.admittedCtr.Inc()
 	m.emit(EventAdmitted, spec.Name, "",
 		fmt.Sprintf("<%d, M> over %d node(s), strategy %v", spec.Requirement.N, len(placements), m.Strategy))
 	svc := &Service{
@@ -147,19 +200,24 @@ func (m *Master) CreateService(spec ServiceSpec, onDone func(*Service), onErr fu
 		nodeDaemon: make(map[string]int),
 	}
 	m.services[spec.Name] = svc
+	m.activeServices.Set(float64(len(m.services)))
 
-	m.primePlacements(svc, placements, func(failed bool) {
+	m.primePlacements(svc, placements, root, func(failed bool) {
 		if failed {
 			m.rollback(svc)
 			fail(fmt.Errorf("soda: priming failed for service %q", spec.Name))
 			return
 		}
+		build := root.StartChild("switch.build")
 		if err := m.buildSwitch(svc); err != nil {
+			build.Fail(err)
 			m.rollback(svc)
 			fail(err)
 			return
 		}
+		build.EndSpan()
 		svc.State = Active
+		root.EndSpan()
 		m.emit(EventServiceActive, spec.Name, "",
 			fmt.Sprintf("switch on %s, policy %s", svc.Nodes[0].NodeName, svc.Switch.Policy().Name()))
 		if onDone != nil {
@@ -171,7 +229,10 @@ func (m *Master) CreateService(spec ServiceSpec, onDone func(*Service), onErr fu
 // primePlacements fans the priming commands out to the chosen daemons,
 // fills svc.Nodes (sorted by node name), and reports whether any node
 // failed. It is shared by CreateService and CreatePartitionedService.
-func (m *Master) primePlacements(svc *Service, placements []Placement, onFinish func(failed bool)) {
+// Each placement becomes a "prime" child span of parent (nil parent =
+// untraced), whose grandchildren — image.download, guest.boot,
+// service.bootstrap — are filled in by the daemon and uml.Boot.
+func (m *Master) primePlacements(svc *Service, placements []Placement, parent *telemetry.Span, onFinish func(failed bool)) {
 	spec := svc.Spec
 	remaining := len(placements)
 	failed := false
@@ -192,6 +253,8 @@ func (m *Master) primePlacements(svc *Service, placements []Placement, onFinish 
 		nodeName := fmt.Sprintf("%s-%d", spec.Name, svc.nextNodeID)
 		svc.nextNodeID++
 		svc.nodeDaemon[nodeName] = pl.Index
+		prime := parent.StartChild("prime",
+			telemetry.L("node", nodeName), telemetry.L("host", d.Host().Spec.Name))
 		// The priming command crosses the LAN to the daemon (§3.2: the
 		// Master "will then contact the SODA Daemons running in the
 		// selected HUP hosts").
@@ -206,7 +269,9 @@ func (m *Master) primePlacements(svc *Service, placements []Placement, onFinish 
 				Factor:       m.Factor,
 				GuestProfile: spec.GuestProfile,
 				Port:         servicePort(spec),
+				Span:         prime,
 			}, func(info NodeInfo) {
+				prime.EndSpan()
 				m.emit(EventNodePrimed, spec.Name, info.NodeName,
 					fmt.Sprintf("%s ip=%s cap=%d download=%.1fs boot=%.1fs",
 						info.HostName, info.IP, info.Capacity,
@@ -214,12 +279,14 @@ func (m *Master) primePlacements(svc *Service, placements []Placement, onFinish 
 				nodes = append(nodes, info)
 				finishOne()
 			}, func(err error) {
+				prime.Fail(err)
 				failed = true
 				delete(svc.nodeDaemon, nodeName)
 				finishOne()
 			})
 		})
 		if err != nil {
+			prime.Fail(err)
 			failed = true
 			delete(svc.nodeDaemon, nodeName)
 			finishOne()
@@ -249,6 +316,9 @@ func (m *Master) buildSwitch(svc *Service) error {
 	}
 	home := &appsvc.GuestBackend{G: svc.Nodes[0].Guest}
 	svc.Switch = svcswitch.New(m.net, home, svc.Config)
+	if m.reg != nil {
+		svc.Switch.Instrument(m.reg)
+	}
 	if svc.Spec.SwitchPolicy != nil {
 		svc.Switch.SetPolicy(svc.Spec.SwitchPolicy)
 	}
@@ -271,6 +341,7 @@ func (m *Master) rollback(svc *Service) {
 	}
 	svc.State = TornDown
 	delete(m.services, svc.Spec.Name)
+	m.activeServices.Set(float64(len(m.services)))
 }
 
 // TeardownService removes a hosted service entirely —
@@ -280,13 +351,18 @@ func (m *Master) TeardownService(name string) error {
 	if !ok {
 		return fmt.Errorf("soda: no service %q", name)
 	}
+	sp := m.tracer.StartRoot("service.teardown", telemetry.L("service", name))
 	for _, n := range svc.Nodes {
 		if err := m.daemons[svc.nodeDaemon[n.NodeName]].Teardown(n.NodeName); err != nil {
+			sp.Fail(err)
 			return err
 		}
 	}
 	svc.State = TornDown
 	delete(m.services, name)
+	m.activeServices.Set(float64(len(m.services)))
+	m.tornDownCtr.Inc()
 	m.emit(EventTornDown, name, "", "")
+	sp.EndSpan()
 	return nil
 }

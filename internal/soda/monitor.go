@@ -80,7 +80,7 @@ func (m *Master) Status(name string) (*ServiceStatus, error) {
 		ConfigVersion: svc.Config.Version,
 	}
 	if svc.Switch != nil {
-		st.Routed, st.Dropped = svc.Switch.Routed, svc.Switch.Dropped
+		st.Routed, st.Dropped = svc.Switch.Routed(), svc.Switch.Dropped()
 	}
 	for _, n := range svc.Nodes {
 		ns := NodeStatus{

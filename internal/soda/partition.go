@@ -7,6 +7,7 @@ import (
 	"repro/internal/appsvc"
 	"repro/internal/simnet"
 	"repro/internal/svcswitch"
+	"repro/internal/telemetry"
 )
 
 // The partitionable-services extension. §3.5 names it as future work:
@@ -89,8 +90,11 @@ func (p *PartitionedService) TotalCapacity() int {
 // created on the first component's first node with a component-tagged
 // configuration file.
 func (m *Master) CreatePartitionedService(name string, comps []ComponentSpec, onDone func(*PartitionedService), onErr func(error)) {
+	root := m.tracer.StartRoot("service.create-partitioned", telemetry.L("service", name))
 	fail := func(err error) {
 		m.Rejected++
+		m.rejectedCtr.Inc()
+		root.Fail(err)
 		if onErr != nil {
 			onErr(err)
 		}
@@ -120,6 +124,7 @@ func (m *Master) CreatePartitionedService(name string, comps []ComponentSpec, on
 		}
 	}
 	m.Admitted++
+	m.admittedCtr.Inc()
 
 	ps := &PartitionedService{
 		Name:       name,
@@ -132,11 +137,15 @@ func (m *Master) CreatePartitionedService(name string, comps []ComponentSpec, on
 	var createNext func(i int)
 	createNext = func(i int) {
 		if i == len(comps) {
+			build := root.StartChild("switch.build")
 			if err := m.buildPartitionedSwitch(ps, comps); err != nil {
+				build.Fail(err)
 				m.teardownPartitioned(ps)
 				fail(err)
 				return
 			}
+			build.EndSpan()
+			root.EndSpan()
 			if onDone != nil {
 				onDone(ps)
 			}
@@ -144,8 +153,10 @@ func (m *Master) CreatePartitionedService(name string, comps []ComponentSpec, on
 		}
 		c := comps[i]
 		subName := name + "/" + c.Component
+		comp := root.StartChild("component", telemetry.L("component", c.Component))
 		placements, err := AllocateWith(m.Strategy, m.CollectAvailability(), c.Requirement, m.Factor)
 		if err != nil {
+			comp.Fail(err)
 			m.teardownPartitioned(ps)
 			fail(fmt.Errorf("soda: component %q: %w", c.Component, err))
 			return
@@ -165,13 +176,15 @@ func (m *Master) CreatePartitionedService(name string, comps []ComponentSpec, on
 			nodeDaemon: make(map[string]int),
 		}
 		m.services[subName] = svc
-		m.primePlacements(svc, placements, func(failed bool) {
+		m.primePlacements(svc, placements, comp, func(failed bool) {
 			if failed {
+				comp.Fail(fmt.Errorf("priming failed"))
 				m.rollback(svc)
 				m.teardownPartitioned(ps)
 				fail(fmt.Errorf("soda: priming failed for component %q", c.Component))
 				return
 			}
+			comp.EndSpan()
 			svc.State = Active
 			ps.Components[c.Component] = svc
 			createNext(i + 1)
@@ -200,6 +213,9 @@ func (m *Master) buildPartitionedSwitch(ps *PartitionedService, comps []Componen
 	}
 	home := &appsvc.GuestBackend{G: first.Nodes[0].Guest}
 	ps.Switch = svcswitch.New(m.net, home, ps.Config)
+	if m.reg != nil {
+		ps.Switch.Instrument(m.reg)
+	}
 	for _, c := range comps {
 		if c.Behavior == nil {
 			continue

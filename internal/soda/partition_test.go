@@ -117,8 +117,8 @@ func TestPartitionedSwitchRoutesByComponent(t *testing.T) {
 	if catalogServed != 30 || checkoutServed != 10 {
 		t.Fatalf("served catalog=%d checkout=%d, want 30/10", catalogServed, checkoutServed)
 	}
-	if ps.Switch.Routed != 40 || ps.Switch.Dropped != 0 {
-		t.Fatalf("routed=%d dropped=%d", ps.Switch.Routed, ps.Switch.Dropped)
+	if ps.Switch.Routed() != 40 || ps.Switch.Dropped() != 0 {
+		t.Fatalf("routed=%d dropped=%d", ps.Switch.Routed(), ps.Switch.Dropped())
 	}
 }
 
@@ -132,8 +132,8 @@ func TestPartitionedUnknownComponentDropped(t *testing.T) {
 		t.Fatal(err)
 	}
 	tb.K.RunFor(sim.Second)
-	if ps.Switch.Dropped != 1 {
-		t.Fatalf("dropped = %d", ps.Switch.Dropped)
+	if ps.Switch.Dropped() != 1 {
+		t.Fatalf("dropped = %d", ps.Switch.Dropped())
 	}
 }
 

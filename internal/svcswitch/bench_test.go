@@ -1,0 +1,121 @@
+package svcswitch
+
+import (
+	"testing"
+
+	"repro/internal/sim"
+	"repro/internal/simnet"
+	"repro/internal/telemetry"
+)
+
+// benchSwitch builds a 3-backend switch outside the testing.T fixture.
+func benchSwitch(b *testing.B) (*sim.Kernel, *Switch, []BackendEntry) {
+	b.Helper()
+	k := sim.NewKernel()
+	net := simnet.New(k, 10*sim.Microsecond)
+	host := net.MustAttach("host", 1000)
+	client := net.MustAttach("client", 1000)
+	if err := client.AddIP("10.0.1.1"); err != nil {
+		b.Fatal(err)
+	}
+	if err := host.AddIP("10.0.0.0"); err != nil {
+		b.Fatal(err)
+	}
+	ents := entries(2, 1, 1)
+	for _, e := range ents {
+		if err := host.AddIP(e.IP); err != nil {
+			b.Fatal(err)
+		}
+	}
+	cfg := NewConfigFile("svc")
+	if err := cfg.SetEntries(ents); err != nil {
+		b.Fatal(err)
+	}
+	sw := New(net, &fakeNode{ip: "10.0.0.0", k: k, alive: true}, cfg)
+	for _, e := range ents {
+		sw.Bind(e, func(client simnet.IP, onDone func()) bool {
+			k.Immediately(onDone)
+			return true
+		})
+	}
+	return k, sw, ents
+}
+
+// runRouting drives n requests to completion, chained back-to-back so
+// the simulated network sees one flow at a time (concurrent flows make
+// the bandwidth-sharing model the bottleneck, not the switch), so the
+// two benchmark variants do identical work.
+func runRouting(b *testing.B, k *sim.Kernel, sw *Switch, n int) {
+	b.Helper()
+	completed := 0
+	var issue func()
+	issue = func() {
+		completed++
+		if completed >= n {
+			return
+		}
+		if err := sw.Route(Request{ClientIP: "10.0.1.1", Bytes: 512, OnDone: issue}); err != nil {
+			b.Fatal(err)
+		}
+	}
+	if err := sw.Route(Request{ClientIP: "10.0.1.1", Bytes: 512, OnDone: issue}); err != nil {
+		b.Fatal(err)
+	}
+	k.Run()
+	if completed != n {
+		b.Fatalf("completed %d/%d", completed, n)
+	}
+}
+
+// BenchmarkRouting compares the switch's routing hot path with telemetry
+// off (nil registry: counters only) and on (registry-backed counters
+// plus service and per-backend latency histograms). The acceptance bar
+// for the telemetry layer is < 5% overhead.
+func BenchmarkRouting(b *testing.B) {
+	for _, instrumented := range []bool{false, true} {
+		name := "nil-registry"
+		if instrumented {
+			name = "telemetry"
+		}
+		b.Run(name, func(b *testing.B) {
+			k, sw, _ := benchSwitch(b)
+			if instrumented {
+				sw.Instrument(telemetry.NewRegistry())
+			}
+			b.ReportAllocs()
+			b.ResetTimer()
+			runRouting(b, k, sw, b.N)
+			b.StopTimer()
+			if sw.Routed() < b.N {
+				b.Fatalf("routed %d < N %d", sw.Routed(), b.N)
+			}
+		})
+	}
+}
+
+// BenchmarkRegistryCounter measures the raw counter increment, the
+// instrument the hot path always pays for.
+func BenchmarkRegistryCounter(b *testing.B) {
+	for _, registered := range []bool{false, true} {
+		name := "unregistered"
+		if registered {
+			name = "registered"
+		}
+		b.Run(name, func(b *testing.B) {
+			var c *telemetry.Counter
+			if registered {
+				c = telemetry.NewRegistry().Counter("bench_total", telemetry.L("service", "web"))
+			} else {
+				var reg *telemetry.Registry
+				c = reg.Counter("bench_total")
+			}
+			b.ResetTimer()
+			for i := 0; i < b.N; i++ {
+				c.Inc()
+			}
+			if c.Value() != int64(b.N) {
+				b.Fatal("count mismatch")
+			}
+		})
+	}
+}

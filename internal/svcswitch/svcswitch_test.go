@@ -278,8 +278,8 @@ func TestSwitchRoutesAndCounts(t *testing.T) {
 		}
 	}
 	k.Run()
-	if completed != 30 || sw.Routed != 30 || sw.Dropped != 0 {
-		t.Fatalf("completed=%d routed=%d dropped=%d", completed, sw.Routed, sw.Dropped)
+	if completed != 30 || sw.Routed() != 30 || sw.Dropped() != 0 {
+		t.Fatalf("completed=%d routed=%d dropped=%d", completed, sw.Routed(), sw.Dropped())
 	}
 	if served[ents[0].Addr()] != 20 || served[ents[1].Addr()] != 10 {
 		t.Fatalf("split = %v, want 2:1", served)
@@ -305,8 +305,8 @@ func TestSwitchSkipsDeadBackend(t *testing.T) {
 	if alive != 10 {
 		t.Fatalf("live backend served %d of 10", alive)
 	}
-	if sw.Dropped != 0 {
-		t.Fatalf("dropped = %d", sw.Dropped)
+	if sw.Dropped() != 0 {
+		t.Fatalf("dropped = %d", sw.Dropped())
 	}
 }
 
@@ -317,8 +317,8 @@ func TestSwitchDropsWhenAllBackendsDead(t *testing.T) {
 	}
 	sw.Route(Request{ClientIP: "10.0.1.1", Bytes: 128})
 	k.Run()
-	if sw.Dropped != 1 || sw.Routed != 0 {
-		t.Fatalf("dropped=%d routed=%d", sw.Dropped, sw.Routed)
+	if sw.Dropped() != 1 || sw.Routed() != 0 {
+		t.Fatalf("dropped=%d routed=%d", sw.Dropped(), sw.Routed())
 	}
 }
 
@@ -350,8 +350,8 @@ func TestSwitchIllBehavedPolicyOnlyDropsOwnRequests(t *testing.T) {
 		sw.Route(Request{ClientIP: "10.0.1.1", Bytes: 128})
 	}
 	k.Run()
-	if sw.Dropped != 6 {
-		t.Fatalf("dropped = %d, want all 6 (bad picks and errors)", sw.Dropped)
+	if sw.Dropped() != 6 {
+		t.Fatalf("dropped = %d, want all 6 (bad picks and errors)", sw.Dropped())
 	}
 	// The switch itself survives: restore a sane policy and serve.
 	sw.SetPolicy(NewWeightedRoundRobin())
@@ -374,8 +374,8 @@ func TestSwitchDeadNodeDropsRequests(t *testing.T) {
 	if err := sw.Route(Request{ClientIP: "10.0.1.1", Bytes: 128}); err == nil {
 		t.Fatal("dead switch accepted a request")
 	}
-	if sw.Dropped != 1 {
-		t.Fatalf("dropped = %d", sw.Dropped)
+	if sw.Dropped() != 1 {
+		t.Fatalf("dropped = %d", sw.Dropped())
 	}
 }
 
@@ -396,8 +396,8 @@ func TestSwitchPolicyResetOnConfigChange(t *testing.T) {
 	}
 	sw.Route(Request{ClientIP: "10.0.1.1", Bytes: 128})
 	k.Run()
-	if sw.Routed != 2 {
-		t.Fatalf("routed = %d", sw.Routed)
+	if sw.Routed() != 2 {
+		t.Fatalf("routed = %d", sw.Routed())
 	}
 }
 

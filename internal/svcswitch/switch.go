@@ -6,6 +6,7 @@ import (
 	"repro/internal/cycles"
 	"repro/internal/sim"
 	"repro/internal/simnet"
+	"repro/internal/telemetry"
 )
 
 // Trace is one request's timeline through the switch, for latency
@@ -82,10 +83,15 @@ type Switch struct {
 	cfgSeen  int
 	onTrace  func(Trace)
 
-	// Routed counts requests forwarded; Dropped counts requests that
-	// could not be served (no live backend, ill-behaved policy, dead
-	// switch node).
-	Routed, Dropped int
+	// Telemetry instruments. The counters always work (they back the
+	// Routed/Dropped/Retried accessors); the histograms are live only
+	// after Instrument connects the switch to a registry.
+	reg        *telemetry.Registry
+	routed     *telemetry.Counter
+	dropped    *telemetry.Counter
+	retried    *telemetry.Counter
+	latency    *telemetry.Histogram
+	backendLat map[string]*telemetry.Histogram
 }
 
 // requestHandlingSyscalls is the switch's per-request work: accept, read,
@@ -97,7 +103,7 @@ var requestHandlingSyscalls = []cycles.Syscall{
 // New creates a switch for the given service configuration, running on
 // node, with the default weighted-round-robin policy.
 func New(net *simnet.Network, node Node, config *ConfigFile) *Switch {
-	return &Switch{
+	s := &Switch{
 		Config:   config,
 		node:     node,
 		net:      net,
@@ -106,6 +112,54 @@ func New(net *simnet.Network, node Node, config *ConfigFile) *Switch {
 		stats:    make(map[string]*Stats),
 		cfgSeen:  config.Version,
 	}
+	s.Instrument(nil)
+	return s
+}
+
+// Instrument connects the switch's counters and latency histograms to a
+// registry, labeled by service name. A nil registry (the default) keeps
+// the counters working — they back Routed/Dropped/Retried — but disables
+// histogram collection, so the routing hot path stays cheap.
+func (s *Switch) Instrument(reg *telemetry.Registry) {
+	svc := telemetry.L("service", s.Config.ServiceName)
+	routed := reg.Counter("soda_switch_routed_total", svc)
+	dropped := reg.Counter("soda_switch_dropped_total", svc)
+	retried := reg.Counter("soda_switch_retries_total", svc)
+	// Carry forward counts accumulated before instrumentation, so the
+	// accessors never regress.
+	routed.Add(s.routed.Value())
+	dropped.Add(s.dropped.Value())
+	retried.Add(s.retried.Value())
+	s.reg = reg
+	s.routed, s.dropped, s.retried = routed, dropped, retried
+	s.latency = reg.Histogram("soda_switch_latency_seconds", nil, svc)
+	s.backendLat = make(map[string]*telemetry.Histogram)
+}
+
+// Routed returns how many requests were forwarded to a backend.
+func (s *Switch) Routed() int { return int(s.routed.Value()) }
+
+// Dropped returns how many requests could not be served (no live
+// backend, ill-behaved policy, dead switch node).
+func (s *Switch) Dropped() int { return int(s.dropped.Value()) }
+
+// Retried returns how many backend picks were abandoned for another
+// (dead, unbound, or mid-flight-failed backends).
+func (s *Switch) Retried() int { return int(s.retried.Value()) }
+
+// backendHist returns the per-backend latency histogram, or nil when the
+// switch is uninstrumented.
+func (s *Switch) backendHist(addr string) *telemetry.Histogram {
+	if s.reg == nil {
+		return nil
+	}
+	h, ok := s.backendLat[addr]
+	if !ok {
+		h = s.reg.Histogram("soda_switch_backend_latency_seconds",
+			nil, telemetry.L("service", s.Config.ServiceName), telemetry.L("backend", addr))
+		s.backendLat[addr] = h
+	}
+	return h
 }
 
 // IP returns the address clients send requests to.
@@ -191,7 +245,10 @@ func (s *Switch) Route(req Request) error {
 
 // drop records a failed request.
 func (s *Switch) drop(tr *Trace) {
-	s.Dropped++
+	s.dropped.Inc()
+	if tr.Retries > 0 {
+		s.retried.Add(int64(tr.Retries))
+	}
 	tr.Dropped = true
 	tr.Completed = s.net.Kernel().Now()
 	s.emitTrace(tr)
@@ -247,6 +304,11 @@ func (s *Switch) forward(req Request, tr *Trace, candidates []BackendEntry) {
 			ok := handler(req.ClientIP, func() {
 				st.Active--
 				tr.Completed = s.net.Kernel().Now()
+				s.latency.Observe(tr.Total().Seconds())
+				s.backendHist(entry.Addr()).Observe(tr.ServiceTime().Seconds())
+				if tr.Retries > 0 {
+					s.retried.Add(int64(tr.Retries))
+				}
 				s.emitTrace(tr)
 				if req.OnDone != nil {
 					req.OnDone()
@@ -254,7 +316,7 @@ func (s *Switch) forward(req Request, tr *Trace, candidates []BackendEntry) {
 			})
 			if ok {
 				st.Forwarded++
-				s.Routed++
+				s.routed.Inc()
 				return
 			}
 			// Backend died after the forward: retry the survivors.

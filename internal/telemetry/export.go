@@ -1,0 +1,179 @@
+package telemetry
+
+import (
+	"fmt"
+	"sort"
+	"strings"
+)
+
+// CounterSnapshot is one counter's collected state.
+type CounterSnapshot struct {
+	Name   string            `json:"name"`
+	Labels map[string]string `json:"labels,omitempty"`
+	Value  int64             `json:"value"`
+}
+
+// GaugeSnapshot is one gauge's collected state.
+type GaugeSnapshot struct {
+	Name   string            `json:"name"`
+	Labels map[string]string `json:"labels,omitempty"`
+	Value  float64           `json:"value"`
+}
+
+// HistogramSnapshot is one histogram's collected state. Buckets[i] counts
+// observations ≤ Bounds[i]; the final bucket counts the overflow.
+type HistogramSnapshot struct {
+	Name    string            `json:"name,omitempty"`
+	Labels  map[string]string `json:"labels,omitempty"`
+	Count   int64             `json:"count"`
+	Sum     float64           `json:"sum"`
+	Min     float64           `json:"min"`
+	Max     float64           `json:"max"`
+	Bounds  []float64         `json:"bounds"`
+	Buckets []int64           `json:"buckets"`
+}
+
+// Mean returns sum/count, or 0 with no observations.
+func (h HistogramSnapshot) Mean() float64 {
+	if h.Count == 0 {
+		return 0
+	}
+	return h.Sum / float64(h.Count)
+}
+
+// Snapshot is a point-in-time copy of every registered instrument,
+// deterministically ordered by instrument key.
+type Snapshot struct {
+	Counters   []CounterSnapshot   `json:"counters"`
+	Gauges     []GaugeSnapshot     `json:"gauges"`
+	Histograms []HistogramSnapshot `json:"histograms"`
+}
+
+// Counter returns the snapshot value of the named counter with exactly
+// the given labels, or 0 when absent.
+func (s Snapshot) Counter(name string, labels ...Label) int64 {
+	want := labelMap(labels)
+	for _, c := range s.Counters {
+		if c.Name == name && mapsEqual(c.Labels, want) {
+			return c.Value
+		}
+	}
+	return 0
+}
+
+// Gauge returns the snapshot value of the named gauge with exactly the
+// given labels, or 0 when absent.
+func (s Snapshot) Gauge(name string, labels ...Label) float64 {
+	want := labelMap(labels)
+	for _, g := range s.Gauges {
+		if g.Name == name && mapsEqual(g.Labels, want) {
+			return g.Value
+		}
+	}
+	return 0
+}
+
+func labelMap(labels []Label) map[string]string {
+	if len(labels) == 0 {
+		return nil
+	}
+	m := make(map[string]string, len(labels))
+	for _, l := range labels {
+		m[l.Key] = l.Value
+	}
+	return m
+}
+
+func mapsEqual(a, b map[string]string) bool {
+	if len(a) != len(b) {
+		return false
+	}
+	for k, v := range a {
+		if b[k] != v {
+			return false
+		}
+	}
+	return true
+}
+
+// Snapshot collects every instrument. Nil-safe (empty snapshot).
+func (r *Registry) Snapshot() Snapshot {
+	if r == nil {
+		return Snapshot{}
+	}
+	r.mu.Lock()
+	counterKeys := sortedKeys(r.counters)
+	gaugeKeys := sortedKeys(r.gauges)
+	histKeys := sortedKeys(r.histograms)
+	var snap Snapshot
+	for _, k := range counterKeys {
+		e := r.counters[k]
+		snap.Counters = append(snap.Counters, CounterSnapshot{
+			Name: e.name, Labels: labelMap(e.labels), Value: e.c.Value(),
+		})
+	}
+	for _, k := range gaugeKeys {
+		e := r.gauges[k]
+		snap.Gauges = append(snap.Gauges, GaugeSnapshot{
+			Name: e.name, Labels: labelMap(e.labels), Value: e.g.Value(),
+		})
+	}
+	hists := make([]*histogramEntry, len(histKeys))
+	for i, k := range histKeys {
+		hists[i] = r.histograms[k]
+	}
+	r.mu.Unlock()
+	// Histogram copies take each histogram's own lock; do that outside the
+	// registry lock to keep lock ordering trivial.
+	for _, e := range hists {
+		h := e.h.snapshot()
+		h.Name, h.Labels = e.name, labelMap(e.labels)
+		snap.Histograms = append(snap.Histograms, h)
+	}
+	return snap
+}
+
+func sortedKeys[E any](m map[string]E) []string {
+	out := make([]string, 0, len(m))
+	for k := range m {
+		out = append(out, k)
+	}
+	sort.Strings(out)
+	return out
+}
+
+// RenderText renders the snapshot in a plain-text exposition format, one
+// instrument per line:
+//
+//	soda_switch_routed_total{service="web"} 30
+//	soda_prime_download_seconds{host="seattle"} count=4 sum=102.1 mean=25.52 p50=24.9 p95=31.2
+func (s Snapshot) RenderText() string {
+	var b strings.Builder
+	for _, c := range s.Counters {
+		fmt.Fprintf(&b, "%s %d\n", renderKey(c.Name, c.Labels), c.Value)
+	}
+	for _, g := range s.Gauges {
+		fmt.Fprintf(&b, "%s %g\n", renderKey(g.Name, g.Labels), g.Value)
+	}
+	for _, h := range s.Histograms {
+		fmt.Fprintf(&b, "%s count=%d sum=%.6g mean=%.6g min=%.6g max=%.6g\n",
+			renderKey(h.Name, h.Labels), h.Count, h.Sum, h.Mean(), h.Min, h.Max)
+	}
+	return b.String()
+}
+
+func renderKey(name string, labels map[string]string) string {
+	if len(labels) == 0 {
+		return name
+	}
+	keys := make([]string, 0, len(labels))
+	for k := range labels {
+		keys = append(keys, k)
+	}
+	sort.Strings(keys)
+	parts := make([]string, len(keys))
+	for i, k := range keys {
+		parts[i] = fmt.Sprintf("%s=%q", k, labels[k])
+	}
+	return name + "{" + strings.Join(parts, ",") + "}"
+}

@@ -1,0 +1,362 @@
+// Package telemetry is the unified observability layer of the SODA
+// reproduction: a concurrency-safe metrics registry (counters, gauges,
+// histograms) plus span-based tracing for the control plane. The paper's
+// headline results are measurements — Table 2's priming breakdown,
+// Figure 4's download/boot/bootstrap split, Figure 6's switch overhead —
+// and this package makes those quantities fall out of first-class
+// instruments instead of bespoke experiment code.
+//
+// Instruments are cheap and optional: every constructor and method is
+// nil-receiver safe, so wiring code can instrument unconditionally and a
+// nil *Registry (or nil *Tracer) degrades to a no-op without perturbing
+// the simulation hot path. Counters obtained from a nil registry still
+// count (they back accessor methods like svcswitch.Switch.Routed); only
+// collection and exposition are disabled.
+package telemetry
+
+import (
+	"fmt"
+	"math"
+	"sort"
+	"strings"
+	"sync"
+	"sync/atomic"
+)
+
+// Label is one key=value dimension of an instrument.
+type Label struct {
+	Key, Value string
+}
+
+// L is shorthand for constructing a Label.
+func L(key, value string) Label { return Label{Key: key, Value: value} }
+
+// instrumentKey renders the canonical identity "name{k1=v1,k2=v2}" with
+// labels sorted by key, so the same (name, labels) always resolves to the
+// same instrument.
+func instrumentKey(name string, labels []Label) string {
+	if len(labels) == 0 {
+		return name
+	}
+	ls := append([]Label(nil), labels...)
+	sort.Slice(ls, func(i, j int) bool { return ls[i].Key < ls[j].Key })
+	var b strings.Builder
+	b.WriteString(name)
+	b.WriteByte('{')
+	for i, l := range ls {
+		if i > 0 {
+			b.WriteByte(',')
+		}
+		fmt.Fprintf(&b, "%s=%q", l.Key, l.Value)
+	}
+	b.WriteByte('}')
+	return b.String()
+}
+
+// Counter is a monotonically increasing count. Increments are atomic, so
+// a counter may be shared between the simulated (single-goroutine) switch
+// and the real-TCP realswitch path.
+type Counter struct {
+	v atomic.Int64
+}
+
+// Inc adds one. Nil-safe no-op.
+func (c *Counter) Inc() {
+	if c != nil {
+		c.v.Add(1)
+	}
+}
+
+// Add adds delta, which must be non-negative. Nil-safe no-op.
+func (c *Counter) Add(delta int64) {
+	if delta < 0 {
+		panic("telemetry: negative counter delta")
+	}
+	if c != nil {
+		c.v.Add(delta)
+	}
+}
+
+// Value returns the current count; 0 on a nil counter.
+func (c *Counter) Value() int64 {
+	if c == nil {
+		return 0
+	}
+	return c.v.Load()
+}
+
+// Gauge is a value that can go up and down (free memory, live nodes).
+type Gauge struct {
+	bits atomic.Uint64
+}
+
+// Set stores v. Nil-safe no-op.
+func (g *Gauge) Set(v float64) {
+	if g != nil {
+		g.bits.Store(math.Float64bits(v))
+	}
+}
+
+// Add adjusts the gauge by delta. Nil-safe no-op.
+func (g *Gauge) Add(delta float64) {
+	if g == nil {
+		return
+	}
+	for {
+		old := g.bits.Load()
+		next := math.Float64bits(math.Float64frombits(old) + delta)
+		if g.bits.CompareAndSwap(old, next) {
+			return
+		}
+	}
+}
+
+// Inc adds one. Nil-safe no-op.
+func (g *Gauge) Inc() { g.Add(1) }
+
+// Dec subtracts one. Nil-safe no-op.
+func (g *Gauge) Dec() { g.Add(-1) }
+
+// Value returns the current value; 0 on a nil gauge.
+func (g *Gauge) Value() float64 {
+	if g == nil {
+		return 0
+	}
+	return math.Float64frombits(g.bits.Load())
+}
+
+// Histogram accumulates observations into configurable buckets plus
+// running sum/min/max, under a mutex (observation volume in this repo is
+// far below contention concern; correctness under -race matters more).
+type Histogram struct {
+	mu     sync.Mutex
+	bounds []float64 // ascending upper bounds; implicit +Inf last
+	counts []int64   // len(bounds)+1
+	count  int64
+	sum    float64
+	min    float64
+	max    float64
+}
+
+// DefBuckets are the default latency-style buckets, in seconds, spanning
+// sub-millisecond switch hops up to multi-minute priming runs.
+var DefBuckets = []float64{
+	.0001, .00025, .0005, .001, .0025, .005, .01, .025, .05, .1,
+	.25, .5, 1, 2.5, 5, 10, 25, 50, 100, 250,
+}
+
+func newHistogram(buckets []float64) *Histogram {
+	if len(buckets) == 0 {
+		buckets = DefBuckets
+	}
+	bounds := append([]float64(nil), buckets...)
+	sort.Float64s(bounds)
+	return &Histogram{bounds: bounds, counts: make([]int64, len(bounds)+1)}
+}
+
+// Observe records one value. Nil-safe no-op.
+func (h *Histogram) Observe(v float64) {
+	if h == nil {
+		return
+	}
+	h.mu.Lock()
+	i := sort.SearchFloat64s(h.bounds, v)
+	h.counts[i]++
+	h.count++
+	h.sum += v
+	if h.count == 1 || v < h.min {
+		h.min = v
+	}
+	if h.count == 1 || v > h.max {
+		h.max = v
+	}
+	h.mu.Unlock()
+}
+
+// Count returns the number of observations; 0 on a nil histogram.
+func (h *Histogram) Count() int64 {
+	if h == nil {
+		return 0
+	}
+	h.mu.Lock()
+	defer h.mu.Unlock()
+	return h.count
+}
+
+// Sum returns the sum of observations; 0 on a nil histogram.
+func (h *Histogram) Sum() float64 {
+	if h == nil {
+		return 0
+	}
+	h.mu.Lock()
+	defer h.mu.Unlock()
+	return h.sum
+}
+
+// Mean returns the arithmetic mean, or 0 with no observations.
+func (h *Histogram) Mean() float64 {
+	if h == nil {
+		return 0
+	}
+	h.mu.Lock()
+	defer h.mu.Unlock()
+	if h.count == 0 {
+		return 0
+	}
+	return h.sum / float64(h.count)
+}
+
+// Quantile estimates the p-quantile (0 ≤ p ≤ 1) by linear interpolation
+// within the containing bucket, the standard histogram_quantile estimate.
+// It returns 0 with no observations.
+func (h *Histogram) Quantile(p float64) float64 {
+	if h == nil {
+		return 0
+	}
+	h.mu.Lock()
+	defer h.mu.Unlock()
+	if h.count == 0 {
+		return 0
+	}
+	if p < 0 {
+		p = 0
+	}
+	if p > 1 {
+		p = 1
+	}
+	rank := p * float64(h.count)
+	var cum int64
+	for i, c := range h.counts {
+		if float64(cum+c) < rank {
+			cum += c
+			continue
+		}
+		// The rank falls in bucket i.
+		lo := h.min
+		if i > 0 {
+			lo = h.bounds[i-1]
+		}
+		hi := h.max
+		if i < len(h.bounds) && h.bounds[i] < hi {
+			hi = h.bounds[i]
+		}
+		if lo > hi {
+			lo = hi
+		}
+		if c == 0 {
+			return hi
+		}
+		frac := (rank - float64(cum)) / float64(c)
+		return lo + (hi-lo)*frac
+	}
+	return h.max
+}
+
+// snapshot copies the histogram state under the lock.
+func (h *Histogram) snapshot() HistogramSnapshot {
+	h.mu.Lock()
+	defer h.mu.Unlock()
+	snap := HistogramSnapshot{
+		Count:   h.count,
+		Sum:     h.sum,
+		Min:     h.min,
+		Max:     h.max,
+		Bounds:  append([]float64(nil), h.bounds...),
+		Buckets: append([]int64(nil), h.counts...),
+	}
+	return snap
+}
+
+// Registry is a named collection of instruments. Get-or-create lookups
+// are keyed by (name, sorted labels); the same key always returns the
+// same instrument. All methods are safe for concurrent use and nil-safe:
+// a nil registry hands out working (but uncollected) counters and gauges,
+// and nil histograms whose Observe is a no-op — keeping the hot path
+// unperturbed when telemetry is off.
+type Registry struct {
+	mu         sync.Mutex
+	counters   map[string]*counterEntry
+	gauges     map[string]*gaugeEntry
+	histograms map[string]*histogramEntry
+}
+
+type counterEntry struct {
+	name   string
+	labels []Label
+	c      *Counter
+}
+
+type gaugeEntry struct {
+	name   string
+	labels []Label
+	g      *Gauge
+}
+
+type histogramEntry struct {
+	name   string
+	labels []Label
+	h      *Histogram
+}
+
+// NewRegistry returns an empty registry.
+func NewRegistry() *Registry {
+	return &Registry{
+		counters:   make(map[string]*counterEntry),
+		gauges:     make(map[string]*gaugeEntry),
+		histograms: make(map[string]*histogramEntry),
+	}
+}
+
+// Counter returns the named counter, creating it on first use. On a nil
+// registry it returns a fresh working counter that is simply never
+// collected — accessor methods built on it still read correct values.
+func (r *Registry) Counter(name string, labels ...Label) *Counter {
+	if r == nil {
+		return &Counter{}
+	}
+	key := instrumentKey(name, labels)
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	e, ok := r.counters[key]
+	if !ok {
+		e = &counterEntry{name: name, labels: append([]Label(nil), labels...), c: &Counter{}}
+		r.counters[key] = e
+	}
+	return e.c
+}
+
+// Gauge returns the named gauge, creating it on first use. Nil-registry
+// behaviour matches Counter.
+func (r *Registry) Gauge(name string, labels ...Label) *Gauge {
+	if r == nil {
+		return &Gauge{}
+	}
+	key := instrumentKey(name, labels)
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	e, ok := r.gauges[key]
+	if !ok {
+		e = &gaugeEntry{name: name, labels: append([]Label(nil), labels...), g: &Gauge{}}
+		r.gauges[key] = e
+	}
+	return e.g
+}
+
+// Histogram returns the named histogram with the given bucket upper
+// bounds (nil buckets = DefBuckets), creating it on first use. On a nil
+// registry it returns nil, whose Observe is a no-op — histograms are the
+// costly instrument, so they vanish entirely when telemetry is off.
+func (r *Registry) Histogram(name string, buckets []float64, labels ...Label) *Histogram {
+	if r == nil {
+		return nil
+	}
+	key := instrumentKey(name, labels)
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	e, ok := r.histograms[key]
+	if !ok {
+		e = &histogramEntry{name: name, labels: append([]Label(nil), labels...), h: newHistogram(buckets)}
+		r.histograms[key] = e
+	}
+	return e.h
+}

@@ -1,0 +1,210 @@
+package telemetry
+
+import (
+	"strings"
+	"sync"
+	"testing"
+)
+
+func TestCounterGaugeBasics(t *testing.T) {
+	r := NewRegistry()
+	c := r.Counter("soda_requests_total", L("service", "web"))
+	c.Inc()
+	c.Add(4)
+	if c.Value() != 5 {
+		t.Fatalf("counter = %d", c.Value())
+	}
+	// Same (name, labels) in any order resolves to the same instrument.
+	again := r.Counter("soda_requests_total", L("service", "web"))
+	if again != c {
+		t.Fatal("counter identity lost")
+	}
+	other := r.Counter("soda_requests_total", L("service", "comp"))
+	if other == c {
+		t.Fatal("distinct labels collided")
+	}
+
+	g := r.Gauge("soda_nodes")
+	g.Set(3)
+	g.Inc()
+	g.Dec()
+	g.Add(0.5)
+	if g.Value() != 3.5 {
+		t.Fatalf("gauge = %g", g.Value())
+	}
+}
+
+func TestCounterNegativeDeltaPanics(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Fatal("negative delta accepted")
+		}
+	}()
+	NewRegistry().Counter("c").Add(-1)
+}
+
+func TestLabelOrderCanonical(t *testing.T) {
+	r := NewRegistry()
+	a := r.Counter("x", L("a", "1"), L("b", "2"))
+	b := r.Counter("x", L("b", "2"), L("a", "1"))
+	if a != b {
+		t.Fatal("label order changed instrument identity")
+	}
+}
+
+func TestHistogramObserveAndQuantile(t *testing.T) {
+	r := NewRegistry()
+	h := r.Histogram("lat_seconds", []float64{0.1, 1, 10})
+	for _, v := range []float64{0.05, 0.05, 0.5, 0.5, 0.5, 5, 50} {
+		h.Observe(v)
+	}
+	if h.Count() != 7 {
+		t.Fatalf("count = %d", h.Count())
+	}
+	if got := h.Sum(); got < 56.59 || got > 56.61 {
+		t.Fatalf("sum = %g", got)
+	}
+	med := h.Quantile(0.5)
+	if med < 0.1 || med > 1 {
+		t.Fatalf("median = %g, want inside (0.1, 1]", med)
+	}
+	if q := h.Quantile(1); q != 50 {
+		t.Fatalf("q1 = %g, want max", q)
+	}
+	if q := h.Quantile(0); q > 0.1 {
+		t.Fatalf("q0 = %g", q)
+	}
+}
+
+func TestHistogramEmpty(t *testing.T) {
+	r := NewRegistry()
+	h := r.Histogram("empty", nil)
+	if h.Count() != 0 || h.Mean() != 0 || h.Quantile(0.5) != 0 {
+		t.Fatal("empty histogram not all-zero")
+	}
+	snap := h.snapshot()
+	if snap.Count != 0 || len(snap.Buckets) != len(snap.Bounds)+1 {
+		t.Fatalf("snapshot = %+v", snap)
+	}
+}
+
+func TestNilRegistryIsUsable(t *testing.T) {
+	var r *Registry
+	c := r.Counter("x")
+	c.Inc()
+	if c.Value() != 1 {
+		t.Fatal("nil-registry counter does not count")
+	}
+	g := r.Gauge("y")
+	g.Set(2)
+	if g.Value() != 2 {
+		t.Fatal("nil-registry gauge does not hold values")
+	}
+	h := r.Histogram("z", nil)
+	if h != nil {
+		t.Fatal("nil registry returned a live histogram")
+	}
+	h.Observe(1) // must not panic
+	if h.Count() != 0 || h.Quantile(0.9) != 0 {
+		t.Fatal("nil histogram not a no-op")
+	}
+	snap := r.Snapshot()
+	if len(snap.Counters)+len(snap.Gauges)+len(snap.Histograms) != 0 {
+		t.Fatal("nil registry snapshot not empty")
+	}
+}
+
+func TestNilInstrumentMethods(t *testing.T) {
+	var c *Counter
+	c.Inc()
+	c.Add(3)
+	if c.Value() != 0 {
+		t.Fatal("nil counter value")
+	}
+	var g *Gauge
+	g.Set(1)
+	g.Add(1)
+	g.Inc()
+	g.Dec()
+	if g.Value() != 0 {
+		t.Fatal("nil gauge value")
+	}
+}
+
+func TestSnapshotDeterministicAndComplete(t *testing.T) {
+	r := NewRegistry()
+	r.Counter("b_total").Add(2)
+	r.Counter("a_total", L("svc", "web")).Inc()
+	r.Gauge("g").Set(1.5)
+	r.Histogram("h_seconds", []float64{1}).Observe(0.5)
+
+	s1 := r.Snapshot()
+	s2 := r.Snapshot()
+	if len(s1.Counters) != 2 || s1.Counters[0].Name != "a_total" || s1.Counters[1].Name != "b_total" {
+		t.Fatalf("counters = %+v", s1.Counters)
+	}
+	if s1.Counters[0].Labels["svc"] != "web" {
+		t.Fatalf("labels = %+v", s1.Counters[0].Labels)
+	}
+	for i := range s1.Counters {
+		if s1.Counters[i].Name != s2.Counters[i].Name {
+			t.Fatal("snapshot order unstable")
+		}
+	}
+	if got := s1.Counter("a_total", L("svc", "web")); got != 1 {
+		t.Fatalf("lookup = %d", got)
+	}
+	if got := s1.Counter("a_total"); got != 0 {
+		t.Fatalf("label-less lookup matched labeled counter: %d", got)
+	}
+	if got := s1.Gauge("g"); got != 1.5 {
+		t.Fatalf("gauge lookup = %g", got)
+	}
+	if len(s1.Histograms) != 1 || s1.Histograms[0].Count != 1 {
+		t.Fatalf("histograms = %+v", s1.Histograms)
+	}
+}
+
+func TestRenderText(t *testing.T) {
+	r := NewRegistry()
+	r.Counter("soda_routed_total", L("service", "web")).Add(30)
+	r.Gauge("soda_nodes").Set(2)
+	r.Histogram("soda_lat_seconds", []float64{1}).Observe(0.25)
+	out := r.Snapshot().RenderText()
+	for _, want := range []string{
+		`soda_routed_total{service="web"} 30`,
+		"soda_nodes 2",
+		"soda_lat_seconds count=1",
+	} {
+		if !strings.Contains(out, want) {
+			t.Fatalf("render missing %q:\n%s", want, out)
+		}
+	}
+}
+
+func TestRegistryConcurrency(t *testing.T) {
+	r := NewRegistry()
+	var wg sync.WaitGroup
+	for i := 0; i < 8; i++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for j := 0; j < 500; j++ {
+				r.Counter("c", L("k", "v")).Inc()
+				r.Gauge("g").Add(1)
+				r.Histogram("h", nil).Observe(float64(j))
+				_ = r.Snapshot()
+			}
+		}()
+	}
+	wg.Wait()
+	if got := r.Counter("c", L("k", "v")).Value(); got != 4000 {
+		t.Fatalf("counter = %d", got)
+	}
+	if got := r.Gauge("g").Value(); got != 4000 {
+		t.Fatalf("gauge = %g", got)
+	}
+	if got := r.Histogram("h", nil).Count(); got != 4000 {
+		t.Fatalf("histogram count = %d", got)
+	}
+}

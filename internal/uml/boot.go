@@ -7,6 +7,7 @@ import (
 	"repro/internal/hostos"
 	"repro/internal/image"
 	"repro/internal/simnet"
+	"repro/internal/telemetry"
 )
 
 // BootParams holds the calibrated constants of the bootstrapping model.
@@ -57,6 +58,10 @@ type BootRequest struct {
 	Profile []string
 	// Params are the boot model constants; zero value means defaults.
 	Params BootParams
+	// Span, when non-nil, is the parent priming span; Boot attaches
+	// rootfs.tailor, guest.boot, and service.bootstrap child spans so the
+	// Table 2 stage breakdown falls out of the span tree.
+	Span *telemetry.Span
 }
 
 // BootReport describes a completed bootstrap, the quantity Table 2
@@ -125,7 +130,10 @@ func Boot(req BootRequest, onDone func(*BootReport), onErr func(error)) {
 		}
 	}
 
-	// Phase 4+5: start system services sequentially, then the app.
+	// Phase 4+5: start system services sequentially, then the app. The
+	// guest.boot span closes when the UML exec completes; everything after
+	// that — system services plus the application — is service.bootstrap.
+	var bootSpan, bootstrapSpan *telemetry.Span
 	startServices := func() {
 		services := tailor.Retained
 		var startNext func(i int)
@@ -135,6 +143,8 @@ func Boot(req BootRequest, onDone func(*BootReport), onErr func(error)) {
 				guest := newGuest(req, useRAM, sizeMB)
 				report.Guest = guest
 				h.Kill(booter)
+				bootstrapSpan.Annotate("services", fmt.Sprintf("%d", len(services)))
+				bootstrapSpan.EndSpan()
 				if onDone != nil {
 					onDone(report)
 				}
@@ -143,11 +153,17 @@ func Boot(req BootRequest, onDone func(*BootReport), onErr func(error)) {
 			cost := cycles.Cycles(float64(services[i].StartCycles) * report.PressureFactor)
 			booter.Exec(cost, func() { startNext(i + 1) })
 		}
-		booter.Exec(p.UMLStartCycles, func() { startNext(0) })
+		booter.Exec(p.UMLStartCycles, func() {
+			bootSpan.EndSpan()
+			bootstrapSpan = req.Span.StartChild("service.bootstrap")
+			startNext(0)
+		})
 	}
 
 	// Phase 2+3: mount the root file system, then boot.
 	mount := func() {
+		bootSpan = req.Span.StartChild("guest.boot",
+			telemetry.L("ramdisk", fmt.Sprintf("%v", useRAM)))
 		if useRAM {
 			booter.Exec(cycles.Cycles(sizeMB)*p.RAMMountCyclesPerMB, startServices)
 		} else {
@@ -156,5 +172,11 @@ func Boot(req BootRequest, onDone func(*BootReport), onErr func(error)) {
 	}
 
 	// Phase 1: tailoring.
-	booter.Exec(tailor.CPUCost, mount)
+	tailorSpan := req.Span.StartChild("rootfs.tailor",
+		telemetry.L("retained", fmt.Sprintf("%d", len(tailor.Retained))),
+		telemetry.L("dropped", fmt.Sprintf("%d", len(tailor.Dropped))))
+	booter.Exec(tailor.CPUCost, func() {
+		tailorSpan.EndSpan()
+		mount()
+	})
 }
