@@ -10,6 +10,12 @@
 //
 // Experiment ids: table1 table2 table3 table4 fig3 fig4 fig5 fig6
 // download.
+//
+// Beyond the simulated experiments, -throughput runs a live contended
+// benchmark of the realswitch data plane: real loopback HTTP backends, a
+// real reverse proxy, concurrent keep-alive clients:
+//
+//	sodabench -throughput -backends 4 -conc 16 -duration 5s -out BENCH_pr2.json
 package main
 
 import (
@@ -51,7 +57,23 @@ func experiments() []experiment {
 func main() {
 	expFlag := flag.String("exp", "all", "experiment id to run, or 'all'")
 	list := flag.Bool("list", false, "list experiment ids and exit")
+	throughput := flag.Bool("throughput", false, "run the live proxy throughput benchmark instead of simulated experiments")
+	backends := flag.Int("backends", 4, "throughput: number of live backends")
+	conc := flag.Int("conc", 16, "throughput: concurrent clients")
+	duration := flag.Duration("duration", 5*time.Second, "throughput: measurement window")
+	idlePerHost := flag.Int("idle-per-host", 0, "throughput: proxy transport MaxIdleConnsPerHost (0 = tuned default)")
+	out := flag.String("out", "", "throughput: write the JSON report to this file")
 	flag.Parse()
+
+	if *throughput {
+		os.Exit(runThroughputCmd(throughputConfig{
+			backends:    *backends,
+			conc:        *conc,
+			duration:    *duration,
+			idlePerHost: *idlePerHost,
+			out:         *out,
+		}))
+	}
 
 	if *list {
 		for _, e := range experiments() {

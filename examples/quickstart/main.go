@@ -73,7 +73,7 @@ func main() {
 		log.Fatal(err)
 	}
 	fmt.Printf("\nafter resizing to <5, M>: capacity=%d, config version=%d\n",
-		resized.TotalCapacity(), resized.Config.Version)
+		resized.TotalCapacity(), resized.Config.Version())
 
 	// 8. Billing so far, then SODA_service_teardown.
 	tb.K.RunFor(60e9) // one virtual minute of hosting

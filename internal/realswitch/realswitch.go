@@ -5,50 +5,167 @@
 // switching logic is not an artefact of the simulator — the same policy
 // drives genuine connections — and it backs cmd/sodactl and the
 // realproxy example.
+//
+// The data plane is lock-free on the request path: all routing state
+// (backend entries, prebuilt reverse proxies, per-backend stat cells,
+// latency histograms, and the weighted-round-robin schedule) lives in an
+// immutable route table swapped through an atomic pointer, RCU-style.
+// Requests load the table, pick a backend with a single atomic counter
+// increment, and bump per-backend atomic stat cells; the proxy's mutex is
+// taken only to rebuild the table after a config resize, SetPolicy, or
+// Instrument — and, for custom policies outside the built-in fast path,
+// around the policy's Pick call.
 package realswitch
 
 import (
 	"fmt"
 	"io"
+	"net"
 	"net/http"
 	"net/http/httputil"
 	"net/url"
 	"sync"
+	"sync/atomic"
 	"time"
 
 	"repro/internal/svcswitch"
 	"repro/internal/telemetry"
 )
 
+// TransportConfig tunes the shared http.Transport all backend proxies
+// use. The zero value is usable but keeps net/http defaults (notably two
+// idle connections per host, which forces a TCP redial on almost every
+// concurrent request); DefaultTransportConfig is the tuned starting
+// point.
+type TransportConfig struct {
+	// MaxIdleConnsPerHost bounds the kept-alive connection pool per
+	// backend. This is the dominant throughput knob under concurrency.
+	MaxIdleConnsPerHost int
+	// MaxIdleConns bounds the pool across all backends.
+	MaxIdleConns int
+	// DialTimeout bounds TCP connection establishment.
+	DialTimeout time.Duration
+	// ResponseHeaderTimeout bounds the wait for a backend's response
+	// headers; 0 means no limit.
+	ResponseHeaderTimeout time.Duration
+	// IdleConnTimeout closes kept-alive connections idle this long.
+	IdleConnTimeout time.Duration
+}
+
+// DefaultTransportConfig returns the tuned transport settings the proxy
+// uses unless told otherwise.
+func DefaultTransportConfig() TransportConfig {
+	return TransportConfig{
+		MaxIdleConnsPerHost:   64,
+		MaxIdleConns:          512,
+		DialTimeout:           5 * time.Second,
+		ResponseHeaderTimeout: 30 * time.Second,
+		IdleConnTimeout:       90 * time.Second,
+	}
+}
+
+// transport materialises the config into a shared http.Transport.
+func (c TransportConfig) transport() *http.Transport {
+	d := &net.Dialer{Timeout: c.DialTimeout, KeepAlive: 30 * time.Second}
+	return &http.Transport{
+		Proxy:                 http.ProxyFromEnvironment,
+		DialContext:           d.DialContext,
+		MaxIdleConns:          c.MaxIdleConns,
+		MaxIdleConnsPerHost:   c.MaxIdleConnsPerHost,
+		IdleConnTimeout:       c.IdleConnTimeout,
+		ResponseHeaderTimeout: c.ResponseHeaderTimeout,
+	}
+}
+
+// statCell is one backend's forwarding statistics as atomics, so the
+// request path updates them without a lock and without contending with
+// other backends' cells.
+type statCell struct {
+	active    atomic.Int64
+	forwarded atomic.Int64
+}
+
+func (c *statCell) snapshot() svcswitch.Stats {
+	return svcswitch.Stats{
+		Forwarded: int(c.forwarded.Load()),
+		Active:    int(c.active.Load()),
+	}
+}
+
+// routeTable is an immutable snapshot of everything the request path
+// needs, swapped atomically on config/policy/instrument changes. Only
+// cursor (and the stat cells / histograms it points at) mutate after
+// publication.
+type routeTable struct {
+	version int
+	entries []svcswitch.BackendEntry
+	addrs   []string
+	proxies []*httputil.ReverseProxy
+	cells   []*statCell
+	hists   []*telemetry.Histogram
+	latency *telemetry.Histogram
+
+	// fast marks the lock-free pick path: schedule is a precomputed
+	// weighted-round-robin cycle, indexed by the atomic cursor. When a
+	// custom policy is installed (or the schedule would be impractically
+	// long), fast is false and picks go through the mutex-guarded policy.
+	fast     bool
+	schedule []int32
+	cursor   atomic.Uint64
+}
+
+// maxScheduleSlots caps the precomputed WRR cycle length; configurations
+// whose reduced capacities sum past this fall back to the slow path.
+const maxScheduleSlots = 4096
+
+// maxMaskedBackends is the retry bitmask width: beyond 64 backends the
+// proxy still routes, but gives up after the first failed attempt.
+const maxMaskedBackends = 64
+
 // Proxy is a live HTTP service switch. It implements http.Handler; serve
 // it with net/http on the address clients should use.
 type Proxy struct {
-	mu      sync.Mutex
-	config  *svcswitch.ConfigFile
-	policy  svcswitch.Policy
-	cfgSeen int
-	stats   map[string]*svcswitch.Stats
-	proxies map[string]*httputil.ReverseProxy
+	config *svcswitch.ConfigFile
+	table  atomic.Pointer[routeTable]
+
+	// mu guards rebuilds and the control-plane state below; the request
+	// path takes it only for custom-policy picks.
+	mu        sync.Mutex
+	policy    svcswitch.Policy
+	cfgSeen   int
+	cells     map[string]*statCell // persistent across rebuilds
+	proxies   map[string]*httputil.ReverseProxy
+	transport *http.Transport
+	tcfg      TransportConfig
+	pickStats []svcswitch.Stats // slow-path scratch, guarded by mu
 
 	// Wall-clock twins of the simulated switch's instruments. The
-	// counters always work (they back Routed/Dropped); latency histograms
-	// collect only once Instrument connects a registry.
+	// counters always work (they back Routed/Dropped/Retried); latency
+	// histograms collect only once Instrument connects a registry.
 	reg        *telemetry.Registry
 	routed     *telemetry.Counter
 	dropped    *telemetry.Counter
+	retried    *telemetry.Counter
 	latency    *telemetry.Histogram
 	backendLat map[string]*telemetry.Histogram
 }
 
 // New creates a proxy for the given service configuration with the
-// default weighted-round-robin policy.
+// default weighted-round-robin policy and tuned transport settings.
 func New(config *svcswitch.ConfigFile) *Proxy {
+	return NewWithTransport(config, DefaultTransportConfig())
+}
+
+// NewWithTransport is New with explicit transport settings.
+func NewWithTransport(config *svcswitch.ConfigFile, tc TransportConfig) *Proxy {
 	p := &Proxy{
-		config:  config,
-		policy:  svcswitch.NewWeightedRoundRobin(),
-		cfgSeen: config.Version,
-		stats:   make(map[string]*svcswitch.Stats),
-		proxies: make(map[string]*httputil.ReverseProxy),
+		config:    config,
+		policy:    svcswitch.NewWeightedRoundRobin(),
+		cfgSeen:   -1,
+		cells:     make(map[string]*statCell),
+		proxies:   make(map[string]*httputil.ReverseProxy),
+		tcfg:      tc,
+		transport: tc.transport(),
 	}
 	p.Instrument(nil)
 	return p
@@ -64,27 +181,31 @@ func (p *Proxy) Instrument(reg *telemetry.Registry) {
 	svc := telemetry.L("service", p.config.ServiceName)
 	routed := reg.Counter("soda_switch_routed_total", svc)
 	dropped := reg.Counter("soda_switch_dropped_total", svc)
+	retried := reg.Counter("soda_switch_retries_total", svc)
 	routed.Add(p.routed.Value())
 	dropped.Add(p.dropped.Value())
+	retried.Add(p.retried.Value())
 	p.reg = reg
-	p.routed, p.dropped = routed, dropped
+	p.routed, p.dropped, p.retried = routed, dropped, retried
 	p.latency = reg.Histogram("soda_switch_latency_seconds", nil, svc)
 	p.backendLat = make(map[string]*telemetry.Histogram)
+	p.rebuildLocked()
 }
 
-// Routed returns how many requests were forwarded to a backend.
-func (p *Proxy) Routed() int {
-	p.mu.Lock()
-	defer p.mu.Unlock()
-	return int(p.routed.Value())
-}
+// Routed returns how many requests were forwarded to a backend. It is
+// lock-free: the counter is atomic.
+func (p *Proxy) Routed() int { return int(p.routed.Value()) }
 
 // Dropped returns how many requests could not be served.
-func (p *Proxy) Dropped() int {
-	p.mu.Lock()
-	defer p.mu.Unlock()
-	return int(p.dropped.Value())
-}
+func (p *Proxy) Dropped() int { return int(p.dropped.Value()) }
+
+// Retried returns how many backend attempts were abandoned for another
+// backend (connection refused or reset before any response bytes).
+func (p *Proxy) Retried() int { return int(p.retried.Value()) }
+
+// Transport returns the shared transport backing every backend proxy,
+// for connection-pool introspection in tests and benchmarks.
+func (p *Proxy) Transport() *http.Transport { return p.transport }
 
 // backendHist returns the per-backend latency histogram under p.mu, or
 // nil when uninstrumented.
@@ -110,6 +231,7 @@ func (p *Proxy) SetPolicy(pol svcswitch.Policy) {
 	defer p.mu.Unlock()
 	p.policy = pol
 	pol.Reset()
+	p.rebuildLocked()
 }
 
 // Config returns the proxy's service configuration file.
@@ -119,76 +241,299 @@ func (p *Proxy) Config() *svcswitch.ConfigFile { return p.config }
 func (p *Proxy) StatsFor(e svcswitch.BackendEntry) svcswitch.Stats {
 	p.mu.Lock()
 	defer p.mu.Unlock()
-	if st := p.stats[e.Addr()]; st != nil {
-		return *st
+	if c := p.cells[e.Addr()]; c != nil {
+		return c.snapshot()
 	}
 	return svcswitch.Stats{}
 }
 
-// pick chooses a backend under the lock, updating stats, and returns the
-// reverse proxy to use plus the backend's latency histogram.
-func (p *Proxy) pick() (*httputil.ReverseProxy, *svcswitch.Stats, *telemetry.Histogram, error) {
-	p.mu.Lock()
-	defer p.mu.Unlock()
-	if p.config.Version != p.cfgSeen {
-		p.policy.Reset()
-		p.cfgSeen = p.config.Version
+// table returns the current route table, rebuilding it first if the
+// configuration version moved. The common case is two atomic loads.
+func (p *Proxy) loadTable() *routeTable {
+	t := p.table.Load()
+	if t == nil || t.version != p.config.Version() {
+		return p.rebuild()
 	}
-	entries := p.config.Entries()
-	if len(entries) == 0 {
-		return nil, nil, nil, fmt.Errorf("realswitch: no backends configured")
-	}
-	stats := make([]svcswitch.Stats, len(entries))
-	for i, e := range entries {
-		if st := p.stats[e.Addr()]; st != nil {
-			stats[i] = *st
-		}
-	}
-	idx, err := p.policy.Pick(entries, stats)
-	if err != nil || idx < 0 || idx >= len(entries) {
-		return nil, nil, nil, fmt.Errorf("realswitch: policy failed: %v", err)
-	}
-	entry := entries[idx]
-	rp := p.proxies[entry.Addr()]
-	if rp == nil {
-		target := &url.URL{Scheme: "http", Host: entry.Addr()}
-		rp = httputil.NewSingleHostReverseProxy(target)
-		p.proxies[entry.Addr()] = rp
-	}
-	st := p.stats[entry.Addr()]
-	if st == nil {
-		st = &svcswitch.Stats{}
-		p.stats[entry.Addr()] = st
-	}
-	st.Active++
-	st.Forwarded++
-	p.routed.Inc()
-	return rp, st, p.backendHist(entry.Addr()), nil
+	return t
 }
 
-// ServeHTTP implements http.Handler: policy pick, then a genuine
-// reverse-proxied request to the chosen backend, timed on the wall
-// clock.
-func (p *Proxy) ServeHTTP(w http.ResponseWriter, r *http.Request) {
-	start := time.Now()
-	rp, st, hist, err := p.pick()
-	if err != nil {
-		p.mu.Lock()
-		p.dropped.Inc()
-		p.mu.Unlock()
-		http.Error(w, err.Error(), http.StatusBadGateway)
+// rebuild rebuilds the route table under the mutex, double-checking the
+// version so concurrent noticers rebuild once.
+func (p *Proxy) rebuild() *routeTable {
+	p.mu.Lock()
+	defer p.mu.Unlock()
+	if t := p.table.Load(); t != nil && t.version == p.config.Version() {
+		return t
+	}
+	return p.rebuildLocked()
+}
+
+// rebuildLocked constructs and publishes a fresh route table from the
+// current config snapshot. Caller holds p.mu.
+func (p *Proxy) rebuildLocked() *routeTable {
+	version, entries := p.config.Snapshot()
+	if version != p.cfgSeen {
+		p.policy.Reset()
+		p.cfgSeen = version
+	}
+	t := &routeTable{
+		version: version,
+		entries: entries,
+		addrs:   make([]string, len(entries)),
+		proxies: make([]*httputil.ReverseProxy, len(entries)),
+		cells:   make([]*statCell, len(entries)),
+		hists:   make([]*telemetry.Histogram, len(entries)),
+		latency: p.latency,
+	}
+	for i, e := range entries {
+		addr := e.Addr()
+		t.addrs[i] = addr
+		rp := p.proxies[addr]
+		if rp == nil {
+			rp = httputil.NewSingleHostReverseProxy(&url.URL{Scheme: "http", Host: addr})
+			rp.Transport = p.transport
+			rp.ErrorHandler = captureError
+			p.proxies[addr] = rp
+		}
+		t.proxies[i] = rp
+		cell := p.cells[addr]
+		if cell == nil {
+			cell = &statCell{}
+			p.cells[addr] = cell
+		}
+		t.cells[i] = cell
+		t.hists[i] = p.backendHist(addr)
+	}
+	switch p.policy.(type) {
+	case *svcswitch.WeightedRoundRobin:
+		t.schedule = wrrSchedule(entries)
+	case *svcswitch.RoundRobin:
+		if n := len(entries); n > 0 && n <= maxMaskedBackends {
+			t.schedule = make([]int32, n)
+			for i := range t.schedule {
+				t.schedule[i] = int32(i)
+			}
+		}
+	}
+	t.fast = len(t.schedule) > 0
+	p.table.Store(t)
+	return t
+}
+
+// wrrSchedule precomputes one smooth-weighted-round-robin cycle over the
+// entries' capacities (GCD-reduced), or nil when the configuration does
+// not admit a bounded schedule.
+func wrrSchedule(entries []svcswitch.BackendEntry) []int32 {
+	n := len(entries)
+	if n == 0 || n > maxMaskedBackends {
+		return nil
+	}
+	g := 0
+	for _, e := range entries {
+		if e.Capacity <= 0 {
+			return nil
+		}
+		g = gcd(g, e.Capacity)
+	}
+	total := 0
+	for _, e := range entries {
+		total += e.Capacity / g
+	}
+	if total > maxScheduleSlots {
+		return nil
+	}
+	current := make([]int, n)
+	sched := make([]int32, 0, total)
+	for s := 0; s < total; s++ {
+		best := -1
+		for i, e := range entries {
+			current[i] += e.Capacity / g
+			if best < 0 || current[i] > current[best] {
+				best = i
+			}
+		}
+		current[best] -= total
+		sched = append(sched, int32(best))
+	}
+	return sched
+}
+
+func gcd(a, b int) int {
+	for b != 0 {
+		a, b = b, a%b
+	}
+	return a
+}
+
+// pick chooses a backend index from the table, skipping already-tried
+// backends. Fast path: one atomic increment into the precomputed
+// schedule. Slow path (custom policy): mutex-guarded Pick with stats
+// snapshotted from the atomic cells. Returns -1 when no pick is
+// possible.
+func (p *Proxy) pick(t *routeTable, tried uint64) int {
+	if t.fast {
+		n := uint64(len(t.schedule))
+		for i := uint64(0); i < n; i++ {
+			idx := int(t.schedule[(t.cursor.Add(1)-1)%n])
+			if tried&(1<<uint(idx)) == 0 {
+				return idx
+			}
+		}
+		return -1
+	}
+	return p.slowPick(t, tried)
+}
+
+func (p *Proxy) slowPick(t *routeTable, tried uint64) int {
+	p.mu.Lock()
+	defer p.mu.Unlock()
+	n := len(t.entries)
+	if tried == 0 {
+		if cap(p.pickStats) < n {
+			p.pickStats = make([]svcswitch.Stats, n)
+		}
+		stats := p.pickStats[:n]
+		for i, c := range t.cells {
+			stats[i] = c.snapshot()
+		}
+		idx, err := p.policy.Pick(t.entries, stats)
+		if err != nil || idx < 0 || idx >= n {
+			return -1
+		}
+		return idx
+	}
+	// Retry: re-consult the policy against the untried subset (cold
+	// path; allocation is fine here).
+	sub := make([]svcswitch.BackendEntry, 0, n)
+	stats := make([]svcswitch.Stats, 0, n)
+	back := make([]int, 0, n)
+	for i := range t.entries {
+		if tried&(1<<uint(i)) != 0 {
+			continue
+		}
+		sub = append(sub, t.entries[i])
+		stats = append(stats, t.cells[i].snapshot())
+		back = append(back, i)
+	}
+	if len(sub) == 0 {
+		return -1
+	}
+	idx, err := p.policy.Pick(sub, stats)
+	if err != nil || idx < 0 || idx >= len(sub) {
+		return -1
+	}
+	return back[idx]
+}
+
+// captureWriter wraps the client's ResponseWriter so the proxy can tell
+// whether a backend attempt failed before any response bytes were
+// committed — the condition for safely retrying another backend.
+type captureWriter struct {
+	http.ResponseWriter
+	wroteHeader bool
+	failed      bool
+	err         error
+}
+
+func (c *captureWriter) WriteHeader(code int) {
+	c.wroteHeader = true
+	c.ResponseWriter.WriteHeader(code)
+}
+
+func (c *captureWriter) Write(b []byte) (int, error) {
+	c.wroteHeader = true
+	return c.ResponseWriter.Write(b)
+}
+
+func (c *captureWriter) Flush() {
+	if f, ok := c.ResponseWriter.(http.Flusher); ok {
+		f.Flush()
+	}
+}
+
+// captureError is the shared ReverseProxy ErrorHandler: it records the
+// failure on the captureWriter without writing a response, leaving the
+// retry decision to ServeHTTP. httputil only invokes it for errors that
+// occur before the response header is forwarded, so a failed-and-clean
+// writer is always safe to retry.
+func captureError(w http.ResponseWriter, r *http.Request, err error) {
+	if cw, ok := w.(*captureWriter); ok {
+		cw.failed = true
+		cw.err = err
 		return
 	}
-	defer func() {
-		p.mu.Lock()
-		st.Active--
-		lat := p.latency
-		p.mu.Unlock()
-		elapsed := time.Since(start).Seconds()
-		lat.Observe(elapsed)
-		hist.Observe(elapsed)
-	}()
-	rp.ServeHTTP(w, r)
+	http.Error(w, "realswitch: backend error: "+err.Error(), http.StatusBadGateway)
+}
+
+// replayable reports whether the request body can be re-sent to another
+// backend.
+func replayable(r *http.Request) bool {
+	return r.Body == nil || r.Body == http.NoBody || r.GetBody != nil
+}
+
+// ServeHTTP implements http.Handler: load the route table, pick a
+// backend lock-free, and reverse-proxy the request over the shared
+// transport, timed on the wall clock. Backends that fail before any
+// response bytes are committed are retried through the remaining
+// backends (counted in soda_switch_retries_total); when none are left,
+// the request is dropped with 502.
+func (p *Proxy) ServeHTTP(w http.ResponseWriter, r *http.Request) {
+	start := time.Now()
+	t := p.loadTable()
+	n := len(t.entries)
+	if n == 0 {
+		p.dropped.Inc()
+		http.Error(w, "realswitch: no backends configured", http.StatusBadGateway)
+		return
+	}
+	canRetry := n <= maxMaskedBackends && replayable(r)
+	var tried uint64
+	var lastErr error
+	for attempt := 0; attempt < n; attempt++ {
+		idx := p.pick(t, tried)
+		if idx < 0 {
+			break
+		}
+		tried |= 1 << uint(idx)
+		if attempt > 0 {
+			p.retried.Inc()
+			if r.GetBody != nil {
+				body, err := r.GetBody()
+				if err != nil {
+					break
+				}
+				r.Body = body
+			}
+		}
+		cell := t.cells[idx]
+		cell.active.Add(1)
+		cw := captureWriter{ResponseWriter: w}
+		t.proxies[idx].ServeHTTP(&cw, r)
+		cell.active.Add(-1)
+		if !cw.failed {
+			cell.forwarded.Add(1)
+			p.routed.Inc()
+			elapsed := time.Since(start).Seconds()
+			t.latency.Observe(elapsed)
+			t.hists[idx].Observe(elapsed)
+			return
+		}
+		lastErr = cw.err
+		if cw.wroteHeader {
+			// Bytes already reached the client; nothing to retry.
+			p.dropped.Inc()
+			return
+		}
+		if !canRetry {
+			break
+		}
+	}
+	p.dropped.Inc()
+	msg := "realswitch: no live backend"
+	if lastErr != nil {
+		msg = fmt.Sprintf("%s: %v", msg, lastErr)
+	}
+	http.Error(w, msg, http.StatusBadGateway)
 }
 
 // Backend is a minimal live application service for demonstrations: it

@@ -1,0 +1,170 @@
+package realswitch
+
+import (
+	"fmt"
+	"io"
+	"net/http"
+	"net/http/httptest"
+	"strconv"
+	"strings"
+	"sync"
+	"sync/atomic"
+	"testing"
+
+	"repro/internal/svcswitch"
+)
+
+// liveBackend starts one httptest backend and returns its config entry.
+func liveBackend(t *testing.T, name string, capacity int) (svcswitch.BackendEntry, *Backend) {
+	t.Helper()
+	be := &Backend{Name: name}
+	srv := httptest.NewServer(be)
+	t.Cleanup(srv.Close)
+	host := strings.TrimPrefix(srv.URL, "http://")
+	ipPort := strings.Split(host, ":")
+	port, err := strconv.Atoi(ipPort[1])
+	if err != nil {
+		t.Fatal(err)
+	}
+	return svcswitch.BackendEntry{IP: "127.0.0.1", Port: port, Capacity: capacity}, be
+}
+
+// TestConcurrentResize hammers the proxy from 16 goroutines while the
+// configuration is resized underneath it — backend added, removed, added
+// again, bumping the version each time. All backends stay alive, so with
+// the route-table snapshot plane every single request must succeed: a
+// request routes against whichever table version it loaded, and in-flight
+// requests to a just-removed backend still complete. Run with -race.
+func TestConcurrentResize(t *testing.T) {
+	e1, _ := liveBackend(t, "n1", 2)
+	e2, _ := liveBackend(t, "n2", 1)
+	e3, _ := liveBackend(t, "n3", 1)
+
+	cfg := svcswitch.NewConfigFile("race")
+	if err := cfg.SetEntries([]svcswitch.BackendEntry{e1, e2}); err != nil {
+		t.Fatal(err)
+	}
+	p := New(cfg)
+	front := httptest.NewServer(p)
+	defer front.Close()
+
+	const workers = 16
+	const perWorker = 150
+	var bad atomic.Int64
+	var workerWG, resizerWG sync.WaitGroup
+
+	stop := make(chan struct{})
+	var resizes atomic.Int64
+	resizerWG.Add(1)
+	go func() { // the SODA Master resizing the service under load
+		defer resizerWG.Done()
+		for {
+			select {
+			case <-stop:
+				return
+			default:
+			}
+			if err := cfg.AddEntry(e3); err != nil {
+				t.Error(err)
+				return
+			}
+			cfg.RemoveEntry(e3.IP, e3.Port)
+			resizes.Add(2)
+		}
+	}()
+
+	workerWG.Add(workers)
+	for w := 0; w < workers; w++ {
+		go func() {
+			defer workerWG.Done()
+			client := &http.Client{Transport: &http.Transport{MaxIdleConnsPerHost: 4}}
+			defer client.CloseIdleConnections()
+			for i := 0; i < perWorker; i++ {
+				resp, err := client.Get(front.URL)
+				if err != nil {
+					bad.Add(1)
+					continue
+				}
+				if resp.StatusCode != http.StatusOK {
+					bad.Add(1)
+				}
+				io.Copy(io.Discard, resp.Body)
+				resp.Body.Close()
+			}
+		}()
+	}
+
+	workerWG.Wait()
+	close(stop)
+	resizerWG.Wait()
+
+	total := workers * perWorker
+	if got := bad.Load(); got != 0 {
+		t.Errorf("%d of %d requests failed during resize", got, total)
+	}
+	if p.Routed() != total {
+		t.Errorf("routed %d, want %d (dropped %d)", p.Routed(), total, p.Dropped())
+	}
+	if cfg.Version() < 3 {
+		t.Errorf("config version %d: resizer never ran", cfg.Version())
+	}
+	t.Logf("resizes=%d routed=%d retried=%d", resizes.Load(), p.Routed(), p.Retried())
+}
+
+// TestRetryDeadBackend puts a dead backend in the rotation and verifies
+// the proxy transparently retries a live one: every request succeeds,
+// the retry counter advances, and the dead backend forwards nothing.
+func TestRetryDeadBackend(t *testing.T) {
+	live, be := liveBackend(t, "alive", 1)
+
+	// A backend that is configured but not listening.
+	deadSrv := httptest.NewServer(http.NotFoundHandler())
+	host := strings.TrimPrefix(deadSrv.URL, "http://")
+	ipPort := strings.Split(host, ":")
+	deadPort, _ := strconv.Atoi(ipPort[1])
+	deadSrv.Close()
+	dead := svcswitch.BackendEntry{IP: "127.0.0.1", Port: deadPort, Capacity: 1}
+
+	cfg := svcswitch.NewConfigFile("retry")
+	if err := cfg.SetEntries([]svcswitch.BackendEntry{dead, live}); err != nil {
+		t.Fatal(err)
+	}
+	p := New(cfg)
+	front := httptest.NewServer(p)
+	defer front.Close()
+
+	client := front.Client()
+	const n = 10
+	for i := 0; i < n; i++ {
+		resp, err := client.Get(front.URL)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if resp.StatusCode != http.StatusOK {
+			t.Fatalf("request %d: status %d, want 200", i, resp.StatusCode)
+		}
+		if node := resp.Header.Get("X-Soda-Node"); node != "alive" {
+			t.Fatalf("request %d served by %q", i, node)
+		}
+		io.Copy(io.Discard, resp.Body)
+		resp.Body.Close()
+	}
+	if p.Routed() != n {
+		t.Errorf("routed %d, want %d", p.Routed(), n)
+	}
+	if p.Retried() == 0 {
+		t.Error("retries counter never advanced despite dead backend in rotation")
+	}
+	if p.Dropped() != 0 {
+		t.Errorf("dropped %d, want 0", p.Dropped())
+	}
+	if got := p.StatsFor(dead).Forwarded; got != 0 {
+		t.Errorf("dead backend forwarded %d", got)
+	}
+	if got := p.StatsFor(live).Forwarded; got != n {
+		t.Errorf("live backend forwarded %d, want %d", got, n)
+	}
+	if fmt.Sprint(be.Served()) != fmt.Sprint(n) {
+		t.Errorf("backend served %d, want %d", be.Served(), n)
+	}
+}

@@ -20,7 +20,8 @@ type Flow struct {
 	served    float64
 	onDone    func()
 	server    *FluidServer
-	index     int // position in server.flows, -1 when inactive
+	index     int  // position in server.flows, -1 when inactive
+	pooled    bool // recycled into the server's free list on completion
 }
 
 // Remaining returns the work left in the flow, after accounting for any
@@ -119,7 +120,9 @@ type FluidServer struct {
 	policy   RatePolicy
 	flows    []*Flow
 	settled  Time
-	next     *Timer
+	next     Timer
+	onNext   func()  // pre-bound next-completion callback (no per-reschedule alloc)
+	free     []*Flow // recycled pooled flows
 
 	// TotalServed accumulates all work ever completed, for utilisation
 	// accounting.
@@ -135,7 +138,13 @@ func NewFluidServer(k *Kernel, name string, capacity float64, policy RatePolicy)
 	if policy == nil {
 		policy = EqualShare
 	}
-	return &FluidServer{Name: name, k: k, capacity: capacity, policy: policy, settled: k.Now()}
+	s := &FluidServer{Name: name, k: k, capacity: capacity, policy: policy, settled: k.Now()}
+	s.onNext = func() {
+		s.next = Timer{}
+		s.settle()
+		s.reschedule()
+	}
+	return s
 }
 
 // Capacity returns the server's total service rate.
@@ -178,18 +187,51 @@ func (s *FluidServer) Flows() []*Flow {
 // completes immediately.
 func (s *FluidServer) Submit(label string, weight, work float64, meta any, onDone func()) *Flow {
 	f := &Flow{Label: label, Weight: weight, Meta: meta, remaining: work, onDone: onDone, index: -1}
+	s.start(f, work, onDone)
+	return f
+}
+
+// SubmitPooled is Submit for callers that discard the returned handle: the
+// flow struct is drawn from (and, on completion or cancellation, returned
+// to) the server's free list, so steady-state traffic does not allocate.
+// The caller must not retain the flow past its completion callback.
+func (s *FluidServer) SubmitPooled(label string, weight, work float64, meta any, onDone func()) *Flow {
+	var f *Flow
+	if n := len(s.free); n > 0 {
+		f = s.free[n-1]
+		s.free[n-1] = nil
+		s.free = s.free[:n-1]
+	} else {
+		f = &Flow{}
+	}
+	*f = Flow{Label: label, Weight: weight, Meta: meta, remaining: work, onDone: onDone, index: -1, pooled: true}
+	s.start(f, work, onDone)
+	return f
+}
+
+// start attaches a prepared flow, or completes it immediately when it
+// carries no work.
+func (s *FluidServer) start(f *Flow, work float64, onDone func()) {
 	if work <= 0 {
 		if onDone != nil {
 			s.k.Immediately(onDone)
 		}
-		return f
+		if f.pooled {
+			s.recycleFlow(f)
+		}
+		return
 	}
 	s.settle()
 	f.server = s
 	f.index = len(s.flows)
 	s.flows = append(s.flows, f)
 	s.reschedule()
-	return f
+}
+
+// recycleFlow returns a detached pooled flow to the free list.
+func (s *FluidServer) recycleFlow(f *Flow) {
+	*f = Flow{index: -1}
+	s.free = append(s.free, f)
 }
 
 // Cancel removes a flow without completing it. It reports whether the flow
@@ -200,6 +242,9 @@ func (s *FluidServer) Cancel(f *Flow) bool {
 	}
 	s.settle()
 	s.detach(f)
+	if f.pooled {
+		s.recycleFlow(f)
+	}
 	s.reschedule()
 	return true
 }
@@ -245,10 +290,8 @@ func (s *FluidServer) settle() {
 // reschedule recomputes rates and (re)arms the next-completion event.
 // Callers must settle() first.
 func (s *FluidServer) reschedule() {
-	if s.next != nil {
-		s.next.Cancel()
-		s.next = nil
-	}
+	s.next.Cancel()
+	s.next = Timer{}
 	// Complete any flows that drained (to within fluid-model tolerance)
 	// at this instant. The tolerance is relative to the flow's total work
 	// so byte-sized and gigacycle-sized flows both terminate cleanly.
@@ -291,11 +334,7 @@ func (s *FluidServer) reschedule() {
 	if earliest == MaxTime {
 		return // all flows starved; a future set change will reschedule
 	}
-	s.next = s.k.At(earliest, func() {
-		s.next = nil
-		s.settle()
-		s.reschedule()
-	})
+	s.next = s.k.At(earliest, s.onNext)
 }
 
 func (s *FluidServer) completeNow(f *Flow) {
@@ -304,6 +343,9 @@ func (s *FluidServer) completeNow(f *Flow) {
 	f.remaining = 0
 	done := f.onDone
 	s.detach(f)
+	if f.pooled {
+		s.recycleFlow(f)
+	}
 	if done != nil {
 		s.k.Immediately(done)
 	}

@@ -11,12 +11,17 @@ import (
 //
 // Kernel is not safe for concurrent use: the entire simulation runs on the
 // caller's goroutine. That is deliberate — determinism is a design goal.
+//
+// Fired and cancelled events are recycled through a free list, so a
+// steady-state simulation schedules events without allocating; Timer
+// handles carry a generation number to stay safe across recycling.
 type Kernel struct {
 	now     Time
 	queue   eventQueue
 	seq     uint64
 	running bool
 	stopped bool
+	free    []*event
 
 	// Dispatched counts events executed since construction; useful for
 	// progress assertions in tests.
@@ -25,15 +30,23 @@ type Kernel struct {
 
 // Timer is a handle to a scheduled event. Cancel prevents a pending event
 // from firing; cancelling an already-fired or already-cancelled timer is a
-// no-op.
+// no-op. The zero Timer is valid and behaves as already-fired.
 type Timer struct {
-	ev *event
+	ev  *event
+	gen uint64
+	at  Time
+}
+
+// live reports whether the handle still refers to its original event (the
+// event has not fired, been cancelled-and-collected, or been recycled).
+func (t Timer) live() bool {
+	return t.ev != nil && t.ev.gen == t.gen && !t.ev.cancelled
 }
 
 // Cancel prevents the timer's event from firing. It reports whether the
 // event was still pending.
-func (t *Timer) Cancel() bool {
-	if t == nil || t.ev == nil || t.ev.cancelled || t.ev.fired {
+func (t Timer) Cancel() bool {
+	if !t.live() {
 		return false
 	}
 	t.ev.cancelled = true
@@ -42,20 +55,18 @@ func (t *Timer) Cancel() bool {
 
 // Pending reports whether the timer's event has neither fired nor been
 // cancelled.
-func (t *Timer) Pending() bool {
-	return t != nil && t.ev != nil && !t.ev.cancelled && !t.ev.fired
-}
+func (t Timer) Pending() bool { return t.live() }
 
 // When returns the virtual timestamp the timer is (or was) scheduled for.
-func (t *Timer) When() Time { return t.ev.at }
+func (t Timer) When() Time { return t.at }
 
 type event struct {
 	at        Time
 	seq       uint64
+	gen       uint64
 	fn        func()
 	index     int
 	cancelled bool
-	fired     bool
 }
 
 type eventQueue []*event
@@ -108,22 +119,30 @@ func (k *Kernel) Dispatched() uint64 { return k.dispatched }
 
 // At schedules fn to run at absolute virtual time t. Scheduling in the past
 // panics: it would make the clock non-monotonic.
-func (k *Kernel) At(t Time, fn func()) *Timer {
+func (k *Kernel) At(t Time, fn func()) Timer {
 	if t < k.now {
 		panic(fmt.Sprintf("sim: scheduling event at %v before now %v", t, k.now))
 	}
 	if fn == nil {
 		panic("sim: nil event function")
 	}
-	ev := &event{at: t, seq: k.seq, fn: fn}
+	var ev *event
+	if n := len(k.free); n > 0 {
+		ev = k.free[n-1]
+		k.free[n-1] = nil
+		k.free = k.free[:n-1]
+	} else {
+		ev = &event{}
+	}
+	ev.at, ev.seq, ev.fn = t, k.seq, fn
 	k.seq++
 	heap.Push(&k.queue, ev)
-	return &Timer{ev: ev}
+	return Timer{ev: ev, gen: ev.gen, at: t}
 }
 
 // After schedules fn to run d after the current virtual time. Negative
 // delays panic.
-func (k *Kernel) After(d Duration, fn func()) *Timer {
+func (k *Kernel) After(d Duration, fn func()) Timer {
 	if d < 0 {
 		panic(fmt.Sprintf("sim: negative delay %v", d))
 	}
@@ -132,7 +151,7 @@ func (k *Kernel) After(d Duration, fn func()) *Timer {
 
 // Immediately schedules fn at the current timestamp, after all events
 // already queued for this timestamp.
-func (k *Kernel) Immediately(fn func()) *Timer {
+func (k *Kernel) Immediately(fn func()) Timer {
 	return k.At(k.now, fn)
 }
 
@@ -140,6 +159,15 @@ func (k *Kernel) Immediately(fn func()) *Timer {
 // event completes. Queued events are retained, so the simulation may be
 // resumed with another Run call.
 func (k *Kernel) Stop() { k.stopped = true }
+
+// recycle returns a popped event to the free list, invalidating any
+// outstanding Timer handles via the generation bump.
+func (k *Kernel) recycle(ev *event) {
+	ev.gen++
+	ev.fn = nil
+	ev.cancelled = false
+	k.free = append(k.free, ev)
+}
 
 // step pops and executes the earliest event. It reports whether an event
 // was executed.
@@ -150,16 +178,17 @@ func (k *Kernel) step(limit Time) bool {
 			return false
 		}
 		heap.Pop(&k.queue)
-		if ev.cancelled {
+		at, fn, cancelled := ev.at, ev.fn, ev.cancelled
+		k.recycle(ev)
+		if cancelled {
 			continue
 		}
-		if ev.at < k.now {
+		if at < k.now {
 			panic("sim: event queue produced a past event")
 		}
-		k.now = ev.at
-		ev.fired = true
+		k.now = at
 		k.dispatched++
-		ev.fn()
+		fn()
 		return true
 	}
 	return false
@@ -207,6 +236,15 @@ func (k *Kernel) Every(period Duration, fn func()) *Ticker {
 		panic("sim: non-positive ticker period")
 	}
 	t := &Ticker{k: k, period: period, fn: fn}
+	t.tick = func() {
+		if t.stopped {
+			return
+		}
+		t.fn()
+		if !t.stopped {
+			t.arm()
+		}
+	}
 	t.arm()
 	return t
 }
@@ -216,21 +254,12 @@ type Ticker struct {
 	k       *Kernel
 	period  Duration
 	fn      func()
-	timer   *Timer
+	tick    func()
+	timer   Timer
 	stopped bool
 }
 
-func (t *Ticker) arm() {
-	t.timer = t.k.After(t.period, func() {
-		if t.stopped {
-			return
-		}
-		t.fn()
-		if !t.stopped {
-			t.arm()
-		}
-	})
-}
+func (t *Ticker) arm() { t.timer = t.k.After(t.period, t.tick) }
 
 // Stop cancels future ticks. It is idempotent.
 func (t *Ticker) Stop() {

@@ -50,11 +50,20 @@ type NIC struct {
 	// HostName is the owning host, for traces.
 	HostName string
 
-	net  *Network
-	out  *sim.FluidServer
-	ips  map[IP]bool
-	caps map[IP]float64 // bytes/sec allocation per source IP
-	mode ShaperMode
+	net    *Network
+	out    *sim.FluidServer
+	ips    map[IP]bool
+	caps   map[IP]float64 // bytes/sec allocation per source IP
+	mode   ShaperMode
+	groups []ipGroup // shaper scratch, reused across reschedules
+}
+
+// ipGroup collects one source IP's active flows for the shaper. The
+// slice headers are reused between policy invocations so the rate
+// division on the hot path does not allocate.
+type ipGroup struct {
+	ip    IP
+	flows []*sim.Flow
 }
 
 // Network is the LAN fabric connecting HUP hosts, ASP machines, and
@@ -64,9 +73,51 @@ type Network struct {
 	latency sim.Duration
 	nics    map[string]*NIC
 	owner   map[IP]*NIC
+	opFree  []*transferOp // recycled transfer operations
 
 	// Transferred counts total bytes delivered, for tests.
 	Transferred int64
+}
+
+// transferOp is the per-transfer state of Network.Transfer. Ops are
+// pooled on the Network and their two stage callbacks (link drained →
+// latency leg; latency elapsed → delivery) are bound once per struct
+// lifetime, so steady-state traffic schedules no new closures.
+type transferOp struct {
+	n      *Network
+	size   int64
+	onDone func()
+	meta   flowMeta
+	drain  func() // stage 1: flow drained through the source link
+	arrive func() // stage 2: propagation delay elapsed, deliver
+}
+
+// getOp draws a transfer op from the pool.
+func (n *Network) getOp() *transferOp {
+	if l := len(n.opFree); l > 0 {
+		op := n.opFree[l-1]
+		n.opFree[l-1] = nil
+		n.opFree = n.opFree[:l-1]
+		return op
+	}
+	op := &transferOp{n: n}
+	op.drain = func() { op.n.k.After(op.n.latency, op.arrive) }
+	op.arrive = func() {
+		op.n.Transferred += op.size
+		fn := op.onDone
+		op.n.putOp(op)
+		if fn != nil {
+			fn()
+		}
+	}
+	return op
+}
+
+// putOp returns an op to the pool. The op is reusable immediately, so
+// callbacks must copy what they need before releasing.
+func (n *Network) putOp(op *transferOp) {
+	op.size, op.onDone, op.meta = 0, nil, flowMeta{}
+	n.opFree = append(n.opFree, op)
 }
 
 // New returns a LAN with the given one-way propagation latency.
@@ -182,32 +233,48 @@ const defaultShareBps = 10 * 1e6 / 8
 
 // shaperPolicy divides the outbound link among source-IP groups
 // according to the active mode; within a group, flows share equally.
+// Grouping runs over reused scratch buffers — the policy is re-invoked
+// on every flow arrival/departure, so it must not allocate.
 func (nic *NIC) shaperPolicy(capacity float64, flows []*sim.Flow) {
-	byIP := make(map[IP][]*sim.Flow)
-	var order []IP
+	gs := nic.groups[:0]
 	for _, f := range flows {
-		m := f.Meta.(flowMeta)
-		if _, seen := byIP[m.src]; !seen {
-			order = append(order, m.src)
+		m := f.Meta.(*flowMeta)
+		idx := -1
+		for i := range gs {
+			if gs[i].ip == m.src {
+				idx = i
+				break
+			}
 		}
-		byIP[m.src] = append(byIP[m.src], f)
+		if idx < 0 {
+			if cap(gs) > len(gs) {
+				gs = gs[:len(gs)+1]
+				gs[len(gs)-1].ip = m.src
+				gs[len(gs)-1].flows = gs[len(gs)-1].flows[:0]
+			} else {
+				gs = append(gs, ipGroup{ip: m.src})
+			}
+			idx = len(gs) - 1
+		}
+		gs[idx].flows = append(gs[idx].flows, f)
 	}
 	// Deterministic iteration.
-	for i := 1; i < len(order); i++ {
-		for j := i; j > 0 && order[j] < order[j-1]; j-- {
-			order[j], order[j-1] = order[j-1], order[j]
+	for i := 1; i < len(gs); i++ {
+		for j := i; j > 0 && gs[j].ip < gs[j-1].ip; j-- {
+			gs[j], gs[j-1] = gs[j-1], gs[j]
 		}
 	}
+	nic.groups = gs
 	if nic.mode == ShareMode {
-		nic.assignShares(capacity, order, byIP)
+		nic.assignShares(capacity, gs)
 	} else {
-		nic.assignCaps(capacity, order, byIP)
+		nic.assignCaps(capacity, gs)
 	}
 }
 
 // assignShares is work-conserving WFQ: active groups split the link in
 // proportion to their allocations.
-func (nic *NIC) assignShares(capacity float64, order []IP, byIP map[IP][]*sim.Flow) {
+func (nic *NIC) assignShares(capacity float64, groups []ipGroup) {
 	var totalW float64
 	weight := func(ip IP) float64 {
 		if w, ok := nic.caps[ip]; ok {
@@ -215,13 +282,13 @@ func (nic *NIC) assignShares(capacity float64, order []IP, byIP map[IP][]*sim.Fl
 		}
 		return defaultShareBps
 	}
-	for _, ip := range order {
-		totalW += weight(ip)
+	for i := range groups {
+		totalW += weight(groups[i].ip)
 	}
-	for _, ip := range order {
-		rate := capacity * weight(ip) / totalW
-		perFlow := rate / float64(len(byIP[ip]))
-		for _, f := range byIP[ip] {
+	for i := range groups {
+		rate := capacity * weight(groups[i].ip) / totalW
+		perFlow := rate / float64(len(groups[i].flows))
+		for _, f := range groups[i].flows {
 			f.SetRate(perFlow)
 		}
 	}
@@ -230,14 +297,14 @@ func (nic *NIC) assignShares(capacity float64, order []IP, byIP map[IP][]*sim.Fl
 // assignCaps enforces hard ceilings: capped groups get at most their
 // allocation (scaled down if the ceilings exceed the link); uncapped
 // groups share the residual equally.
-func (nic *NIC) assignCaps(capacity float64, order []IP, byIP map[IP][]*sim.Flow) {
+func (nic *NIC) assignCaps(capacity float64, groups []ipGroup) {
 	var cappedTotal float64
-	var uncapped []IP
-	for _, ip := range order {
-		if cap, ok := nic.caps[ip]; ok {
+	var uncappedFlows int
+	for i := range groups {
+		if cap, ok := nic.caps[groups[i].ip]; ok {
 			cappedTotal += cap
 		} else {
-			uncapped = append(uncapped, ip)
+			uncappedFlows += len(groups[i].flows)
 		}
 	}
 	scale := 1.0
@@ -245,29 +312,28 @@ func (nic *NIC) assignCaps(capacity float64, order []IP, byIP map[IP][]*sim.Flow
 		scale = capacity / cappedTotal
 	}
 	residual := capacity
-	for _, ip := range order {
-		cap, ok := nic.caps[ip]
+	for i := range groups {
+		cap, ok := nic.caps[groups[i].ip]
 		if !ok {
 			continue
 		}
 		rate := cap * scale
 		residual -= rate
-		perFlow := rate / float64(len(byIP[ip]))
-		for _, f := range byIP[ip] {
+		perFlow := rate / float64(len(groups[i].flows))
+		for _, f := range groups[i].flows {
 			f.SetRate(perFlow)
 		}
 	}
-	if len(uncapped) > 0 {
+	if uncappedFlows > 0 {
 		if residual < 0 {
 			residual = 0
 		}
-		var total int
-		for _, ip := range uncapped {
-			total += len(byIP[ip])
-		}
-		perFlow := residual / float64(total)
-		for _, ip := range uncapped {
-			for _, f := range byIP[ip] {
+		perFlow := residual / float64(uncappedFlows)
+		for i := range groups {
+			if _, ok := nic.caps[groups[i].ip]; ok {
+				continue
+			}
+			for _, f := range groups[i].flows {
 				f.SetRate(perFlow)
 			}
 		}
@@ -289,19 +355,14 @@ func (n *Network) Transfer(src, dst IP, size int64, onDone func()) error {
 	if size < 0 {
 		return fmt.Errorf("simnet: negative transfer size %d", size)
 	}
-	deliver := func() {
-		n.k.After(n.latency, func() {
-			n.Transferred += size
-			if onDone != nil {
-				onDone()
-			}
-		})
-	}
+	op := n.getOp()
+	op.size, op.onDone = size, onDone
+	op.meta = flowMeta{src: src, dst: dst}
 	if size == 0 {
-		deliver()
+		op.drain()
 		return nil
 	}
-	srcNIC.out.Submit(fmt.Sprintf("%s->%s", src, dst), 1, float64(size), flowMeta{src: src, dst: dst}, deliver)
+	srcNIC.out.SubmitPooled("transfer", 1, float64(size), &op.meta, op.drain)
 	return nil
 }
 

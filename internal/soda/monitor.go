@@ -77,7 +77,7 @@ func (m *Master) Status(name string) (*ServiceStatus, error) {
 		Name:          svc.Spec.Name,
 		State:         svc.State,
 		Capacity:      svc.TotalCapacity(),
-		ConfigVersion: svc.Config.Version,
+		ConfigVersion: svc.Config.Version(),
 	}
 	if svc.Switch != nil {
 		st.Routed, st.Dropped = svc.Switch.Routed(), svc.Switch.Dropped()

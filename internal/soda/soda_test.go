@@ -248,7 +248,7 @@ func TestResizeGrowInPlace(t *testing.T) {
 	if len(resized.Nodes) != before {
 		t.Fatalf("in-place growth changed node count %d -> %d", before, len(resized.Nodes))
 	}
-	if resized.Config.Version < 2 {
+	if resized.Config.Version() < 2 {
 		t.Fatal("config file not updated")
 	}
 	// Billing follows the new capacity.

@@ -11,6 +11,8 @@ import (
 	"sort"
 	"strconv"
 	"strings"
+	"sync"
+	"sync/atomic"
 
 	"repro/internal/simnet"
 )
@@ -44,17 +46,25 @@ func (e BackendEntry) Validate() error {
 // Addr renders "ip:port".
 func (e BackendEntry) Addr() string { return fmt.Sprintf("%s:%d", e.IP, e.Port) }
 
-// ConfigFile is the service configuration file. Every mutation bumps
-// Version so the switch can notice resizing (§3.4: "the service
+// ConfigFile is the service configuration file. Every mutation bumps the
+// version so the switch can notice resizing (§3.4: "the service
 // configuration file will be updated by the SODA Master to reflect the
 // changes").
+//
+// A ConfigFile is safe for concurrent use: the SODA Master resizes it
+// while the live realswitch.Proxy serves requests off it from many
+// goroutines. The entry slice is copy-on-write — mutators install a
+// fresh slice under the lock and readers of Snapshot share the immutable
+// current one — and the version is readable lock-free, so the switch
+// data plane's per-request freshness check is a single atomic load.
 type ConfigFile struct {
-	// ServiceName identifies the service the file belongs to.
+	// ServiceName identifies the service the file belongs to. It is set
+	// at construction and never mutated afterwards.
 	ServiceName string
-	// Version counts updates.
-	Version int
 
-	entries []BackendEntry
+	mu      sync.RWMutex
+	version atomic.Int64
+	entries []BackendEntry // immutable once installed; replaced wholesale
 }
 
 // NewConfigFile returns an empty configuration for a service.
@@ -62,13 +72,31 @@ func NewConfigFile(serviceName string) *ConfigFile {
 	return &ConfigFile{ServiceName: serviceName}
 }
 
+// Version returns the update count. It is a lock-free atomic read — the
+// data plane calls it per request to detect resizing.
+func (c *ConfigFile) Version() int { return int(c.version.Load()) }
+
+// Snapshot returns the version and the current backend rows as one
+// consistent view. The returned slice is shared and immutable: callers
+// must not modify it. This is the zero-copy read the switch data planes
+// build their route tables from.
+func (c *ConfigFile) Snapshot() (int, []BackendEntry) {
+	c.mu.RLock()
+	defer c.mu.RUnlock()
+	return int(c.version.Load()), c.entries
+}
+
 // Entries returns a copy of the backend rows.
 func (c *ConfigFile) Entries() []BackendEntry {
+	c.mu.RLock()
+	defer c.mu.RUnlock()
 	return append([]BackendEntry(nil), c.entries...)
 }
 
 // TotalCapacity sums the capacities — the n of the service's <n, M>.
 func (c *ConfigFile) TotalCapacity() int {
+	c.mu.RLock()
+	defer c.mu.RUnlock()
 	var total int
 	for _, e := range c.entries {
 		total += e.Capacity
@@ -88,8 +116,11 @@ func (c *ConfigFile) SetEntries(entries []BackendEntry) error {
 		}
 		seen[e.Addr()] = true
 	}
-	c.entries = append([]BackendEntry(nil), entries...)
-	c.Version++
+	fresh := append([]BackendEntry(nil), entries...)
+	c.mu.Lock()
+	c.entries = fresh
+	c.version.Add(1)
+	c.mu.Unlock()
 	return nil
 }
 
@@ -101,7 +132,9 @@ func (c *ConfigFile) AddEntry(e BackendEntry) error {
 // RemoveEntry deletes the row with the given address (resizing down),
 // reporting whether it existed.
 func (c *ConfigFile) RemoveEntry(ip simnet.IP, port int) bool {
-	kept := c.entries[:0]
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	kept := make([]BackendEntry, 0, len(c.entries))
 	found := false
 	for _, e := range c.entries {
 		if e.IP == ip && e.Port == port {
@@ -112,7 +145,7 @@ func (c *ConfigFile) RemoveEntry(ip simnet.IP, port int) bool {
 	}
 	if found {
 		c.entries = kept
-		c.Version++
+		c.version.Add(1)
 	}
 	return found
 }
@@ -126,9 +159,10 @@ func (c *ConfigFile) RemoveEntry(ip simnet.IP, port int) bool {
 // Component-tagged rows (the partitionable extension) carry a fifth
 // field: "BackEnd 128.10.9.125 8080 2 checkout".
 func (c *ConfigFile) Render() string {
+	version, entries := c.Snapshot()
 	var b strings.Builder
-	fmt.Fprintf(&b, "# service %s (version %d)\n", c.ServiceName, c.Version)
-	for _, e := range c.entries {
+	fmt.Fprintf(&b, "# service %s (version %d)\n", c.ServiceName, version)
+	for _, e := range entries {
 		if e.Component != "" {
 			fmt.Fprintf(&b, "BackEnd %s %d %d %s\n", e.IP, e.Port, e.Capacity, e.Component)
 		} else {
@@ -141,8 +175,9 @@ func (c *ConfigFile) Render() string {
 // Components returns the distinct component names in the file, sorted,
 // with "" first when untagged rows exist.
 func (c *ConfigFile) Components() []string {
+	_, entries := c.Snapshot()
 	seen := make(map[string]bool)
-	for _, e := range c.entries {
+	for _, e := range entries {
 		seen[e.Component] = true
 	}
 	out := make([]string, 0, len(seen))
@@ -155,8 +190,9 @@ func (c *ConfigFile) Components() []string {
 
 // EntriesFor returns the rows serving one component.
 func (c *ConfigFile) EntriesFor(component string) []BackendEntry {
+	_, entries := c.Snapshot()
 	var out []BackendEntry
-	for _, e := range c.entries {
+	for _, e := range entries {
 		if e.Component == component {
 			out = append(out, e)
 		}
@@ -201,7 +237,7 @@ func ParseConfig(s string) (*ConfigFile, error) {
 	if err := c.SetEntries(entries); err != nil {
 		return nil, err
 	}
-	c.Version = 1
+	c.version.Store(1)
 	return c, nil
 }
 

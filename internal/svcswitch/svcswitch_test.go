@@ -40,20 +40,20 @@ func TestConfigFileSetAddRemove(t *testing.T) {
 	if err := c.SetEntries(entries(2, 1)); err != nil {
 		t.Fatal(err)
 	}
-	if c.TotalCapacity() != 3 || c.Version != 1 {
-		t.Fatalf("capacity=%d version=%d", c.TotalCapacity(), c.Version)
+	if c.TotalCapacity() != 3 || c.Version() != 1 {
+		t.Fatalf("capacity=%d version=%d", c.TotalCapacity(), c.Version())
 	}
 	if err := c.AddEntry(BackendEntry{IP: "10.0.0.9", Port: 8080, Capacity: 1}); err != nil {
 		t.Fatal(err)
 	}
-	if c.TotalCapacity() != 4 || c.Version != 2 {
-		t.Fatalf("after add: capacity=%d version=%d", c.TotalCapacity(), c.Version)
+	if c.TotalCapacity() != 4 || c.Version() != 2 {
+		t.Fatalf("after add: capacity=%d version=%d", c.TotalCapacity(), c.Version())
 	}
 	if !c.RemoveEntry("10.0.0.9", 8080) || c.RemoveEntry("10.0.0.9", 8080) {
 		t.Fatal("remove semantics wrong")
 	}
-	if c.Version != 3 {
-		t.Fatalf("version = %d", c.Version)
+	if c.Version() != 3 {
+		t.Fatalf("version = %d", c.Version())
 	}
 }
 

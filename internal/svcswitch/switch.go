@@ -64,6 +64,80 @@ type Request struct {
 	OnDone func()
 }
 
+// routeView is one component's slice of the cached route table: parallel
+// arrays of everything the forwarding hot path needs, precomputed so a
+// routed request touches no maps, formats no addresses, and allocates
+// nothing. Views handed out by the cache are shared and immutable; the
+// retry path copies before shrinking the candidate set.
+type routeView struct {
+	entries  []BackendEntry
+	addrs    []string
+	handlers []Handler
+	stats    []*Stats
+	hists    []*telemetry.Histogram
+}
+
+// remove deletes candidate i in place (owned views only).
+func (v *routeView) remove(i int) {
+	n := len(v.entries) - 1
+	copy(v.entries[i:], v.entries[i+1:])
+	copy(v.addrs[i:], v.addrs[i+1:])
+	copy(v.handlers[i:], v.handlers[i+1:])
+	copy(v.stats[i:], v.stats[i+1:])
+	copy(v.hists[i:], v.hists[i+1:])
+	v.entries, v.addrs = v.entries[:n], v.addrs[:n]
+	v.handlers, v.stats, v.hists = v.handlers[:n], v.stats[:n], v.hists[:n]
+}
+
+// clone deep-copies the view so it can be mutated.
+func (v routeView) clone() routeView {
+	return routeView{
+		entries:  append([]BackendEntry(nil), v.entries...),
+		addrs:    append([]string(nil), v.addrs...),
+		handlers: append([]Handler(nil), v.handlers...),
+		stats:    append([]*Stats(nil), v.stats...),
+		hists:    append([]*telemetry.Histogram(nil), v.hists...),
+	}
+}
+
+// inflight is the per-request state machine. Requests draw these from a
+// free list on the switch; the four stage callbacks are bound once per
+// struct lifetime, so the no-retry routing path performs zero heap
+// allocations per request.
+type inflight struct {
+	s    *Switch
+	req  Request
+	tr   Trace
+	view routeView // current candidate set
+	// owned marks the view as a private copy (retry path) that may be
+	// mutated; unowned views alias the shared route cache.
+	owned bool
+
+	// Chosen backend, set at pick time.
+	pick int
+	st   *Stats
+	hist *telemetry.Histogram
+	addr string
+
+	statScratch []Stats // policy input buffer, reused
+
+	onArrive  func() // client→switch hop delivered
+	onExec    func() // switch CPU burst done, pick next
+	onDeliver func() // switch→backend hop delivered
+	onServe   func() // backend finished serving
+}
+
+// dropCandidate removes candidate i from the view, copying it first if
+// it still aliases the shared cache. Only the retry path lands here, so
+// the copy's allocation never taxes healthy traffic.
+func (op *inflight) dropCandidate(i int) {
+	if !op.owned {
+		op.view = op.view.clone()
+		op.owned = true
+	}
+	op.view.remove(i)
+}
+
 // Switch accepts client requests and directs each to a backend virtual
 // service node. Routing costs are real: the request crosses the LAN to
 // the switch's node, the switch spends CPU parsing and forwarding (at its
@@ -82,6 +156,16 @@ type Switch struct {
 	stats    map[string]*Stats
 	cfgSeen  int
 	onTrace  func(Trace)
+
+	// Route cache: per-component views rebuilt only when the config
+	// version or the bind set changes, so the hot path reads parallel
+	// slices instead of filtering entries and formatting map keys.
+	routes       map[string]*routeView
+	cacheVersion int
+	cacheBinds   int
+	bindSeq      int
+
+	opFree []*inflight
 
 	// Telemetry instruments. The counters always work (they back the
 	// Routed/Dropped/Retried accessors); the histograms are live only
@@ -110,7 +194,7 @@ func New(net *simnet.Network, node Node, config *ConfigFile) *Switch {
 		policy:   NewWeightedRoundRobin(),
 		handlers: make(map[string]Handler),
 		stats:    make(map[string]*Stats),
-		cfgSeen:  config.Version,
+		cfgSeen:  config.Version(),
 	}
 	s.Instrument(nil)
 	return s
@@ -134,6 +218,7 @@ func (s *Switch) Instrument(reg *telemetry.Registry) {
 	s.routed, s.dropped, s.retried = routed, dropped, retried
 	s.latency = reg.Histogram("soda_switch_latency_seconds", nil, svc)
 	s.backendLat = make(map[string]*telemetry.Histogram)
+	s.bindSeq++ // cached views hold stale histograms
 }
 
 // Routed returns how many requests were forwarded to a backend.
@@ -192,12 +277,18 @@ func (s *Switch) emitTrace(t *Trace) {
 // binds each virtual service node's service instance after priming.
 func (s *Switch) Bind(e BackendEntry, h Handler) {
 	s.handlers[e.Addr()] = h
+	s.bindSeq++
 }
 
-// Unbind removes a backend's handler (tear-down, resizing).
+// Unbind removes a backend's handler (tear-down, resizing), along with
+// its forwarding statistics and per-backend latency histogram — without
+// the eviction, repeated resizing would grow the maps without bound.
 func (s *Switch) Unbind(e BackendEntry) {
-	delete(s.handlers, e.Addr())
-	delete(s.stats, e.Addr())
+	addr := e.Addr()
+	delete(s.handlers, addr)
+	delete(s.stats, addr)
+	delete(s.backendLat, addr)
+	s.bindSeq++
 }
 
 // StatsFor returns the forwarding statistics for a backend address.
@@ -208,13 +299,81 @@ func (s *Switch) StatsFor(e BackendEntry) Stats {
 	return Stats{}
 }
 
-func (s *Switch) statRef(e BackendEntry) *Stats {
-	st := s.stats[e.Addr()]
+func (s *Switch) statRefAddr(addr string) *Stats {
+	st := s.stats[addr]
 	if st == nil {
 		st = &Stats{}
-		s.stats[e.Addr()] = st
+		s.stats[addr] = st
 	}
 	return st
+}
+
+// routesFor returns the cached route view for a component, rebuilding
+// the cache when the config version or bind set changed. A nil return
+// means no backends serve the component.
+func (s *Switch) routesFor(component string) *routeView {
+	version := s.Config.Version()
+	if s.routes == nil || version != s.cacheVersion || s.bindSeq != s.cacheBinds {
+		s.rebuildRoutes(version)
+	}
+	return s.routes[component]
+}
+
+// rebuildRoutes recomputes every component's parallel-array view. Runs
+// only on config/bind/instrument changes, never per request.
+func (s *Switch) rebuildRoutes(version int) {
+	s.routes = make(map[string]*routeView)
+	_, entries := s.Config.Snapshot()
+	for _, e := range entries {
+		v := s.routes[e.Component]
+		if v == nil {
+			v = &routeView{}
+			s.routes[e.Component] = v
+		}
+		addr := e.Addr()
+		v.entries = append(v.entries, e)
+		v.addrs = append(v.addrs, addr)
+		v.handlers = append(v.handlers, s.handlers[addr])
+		v.stats = append(v.stats, s.statRefAddr(addr))
+		v.hists = append(v.hists, s.backendHist(addr))
+	}
+	s.cacheVersion = version
+	s.cacheBinds = s.bindSeq
+}
+
+// getOp draws an inflight op from the free list, binding its stage
+// callbacks on first construction only.
+func (s *Switch) getOp() *inflight {
+	if n := len(s.opFree); n > 0 {
+		op := s.opFree[n-1]
+		s.opFree[n-1] = nil
+		s.opFree = s.opFree[:n-1]
+		return op
+	}
+	op := &inflight{s: s}
+	op.onArrive = func() {
+		op.tr.Arrived = op.s.net.Kernel().Now()
+		op.s.dispatch(op)
+	}
+	op.onExec = func() {
+		op.tr.Picked = op.s.net.Kernel().Now()
+		if v := op.s.routesFor(op.req.Component); v != nil {
+			op.view = *v
+		}
+		op.s.forward(op)
+	}
+	op.onDeliver = func() { op.s.deliver(op) }
+	op.onServe = func() { op.s.serve(op) }
+	return op
+}
+
+// putOp returns an op to the free list. Callbacks copy what they need
+// before releasing: the op is reusable immediately afterwards.
+func (s *Switch) putOp(op *inflight) {
+	op.req, op.tr, op.view = Request{}, Trace{}, routeView{}
+	op.owned = false
+	op.pick, op.st, op.hist, op.addr = 0, nil, nil, ""
+	s.opFree = append(s.opFree, op)
 }
 
 // Route accepts one request: LAN hop to the switch, switch CPU, policy
@@ -222,115 +381,120 @@ func (s *Switch) statRef(e BackendEntry) *Stats {
 // skipped (the policy is re-consulted against the remaining set); if no
 // live backend remains, the request is dropped.
 func (s *Switch) Route(req Request) error {
-	tr := &Trace{Accepted: s.net.Kernel().Now()}
+	op := s.getOp()
+	op.req = req
+	op.tr.Accepted = s.net.Kernel().Now()
 	if !s.node.Alive() {
-		s.drop(tr)
+		s.drop(op)
 		return fmt.Errorf("svcswitch: switch node %s is down", s.node.IP())
 	}
-	if s.Config.Version != s.cfgSeen {
+	if version := s.Config.Version(); version != s.cfgSeen {
 		s.policy.Reset()
-		s.cfgSeen = s.Config.Version
+		s.cfgSeen = version
 	}
 	// Client → switch.
-	err := s.net.Transfer(req.ClientIP, s.node.IP(), req.Bytes, func() {
-		tr.Arrived = s.net.Kernel().Now()
-		s.dispatch(req, tr)
-	})
-	if err != nil {
-		s.drop(tr)
+	if err := s.net.Transfer(req.ClientIP, s.node.IP(), req.Bytes, op.onArrive); err != nil {
+		s.drop(op)
 		return err
 	}
 	return nil
 }
 
-// drop records a failed request.
-func (s *Switch) drop(tr *Trace) {
+// drop records a failed request and retires its op.
+func (s *Switch) drop(op *inflight) {
 	s.dropped.Inc()
-	if tr.Retries > 0 {
-		s.retried.Add(int64(tr.Retries))
+	if op.tr.Retries > 0 {
+		s.retried.Add(int64(op.tr.Retries))
 	}
-	tr.Dropped = true
-	tr.Completed = s.net.Kernel().Now()
-	s.emitTrace(tr)
+	op.tr.Dropped = true
+	op.tr.Completed = s.net.Kernel().Now()
+	s.emitTrace(&op.tr)
+	s.putOp(op)
 }
 
 // dispatch runs at the switch node after the request arrives.
-func (s *Switch) dispatch(req Request, tr *Trace) {
+func (s *Switch) dispatch(op *inflight) {
 	var cost cycles.Cycles
 	for _, sc := range requestHandlingSyscalls {
 		cost += s.node.SyscallCost(sc)
 	}
-	ok := s.node.ExecCPU(cost, func() {
-		tr.Picked = s.net.Kernel().Now()
-		s.forward(req, tr, s.Config.EntriesFor(req.Component))
-	})
-	if !ok {
-		s.drop(tr)
+	if !s.node.ExecCPU(cost, op.onExec) {
+		s.drop(op)
 	}
 }
 
-// forward picks a backend from candidates and hands the request over,
-// retrying with the remaining candidates if the pick is dead, unbound,
-// or dies while the forward is in flight.
-func (s *Switch) forward(req Request, tr *Trace, candidates []BackendEntry) {
-	for len(candidates) > 0 {
-		stats := make([]Stats, len(candidates))
-		for i, e := range candidates {
-			stats[i] = s.StatsFor(e)
+// forward picks a backend from the op's candidate view and hands the
+// request over, retrying with the remaining candidates if the pick is
+// dead, unbound, or dies while the forward is in flight.
+func (s *Switch) forward(op *inflight) {
+	for n := len(op.view.entries); n > 0; n = len(op.view.entries) {
+		if cap(op.statScratch) < n {
+			op.statScratch = make([]Stats, n)
 		}
-		idx, err := s.policy.Pick(candidates, stats)
-		if err != nil || idx < 0 || idx >= len(candidates) {
+		stats := op.statScratch[:n]
+		for i, st := range op.view.stats {
+			stats[i] = *st
+		}
+		idx, err := s.policy.Pick(op.view.entries, stats)
+		if err != nil || idx < 0 || idx >= n {
 			// Ill-behaved service-specific policy: this request fails;
 			// nothing outside this service is touched (§5).
-			s.drop(tr)
+			s.drop(op)
 			return
 		}
-		entry := candidates[idx]
-		remaining := make([]BackendEntry, 0, len(candidates)-1)
-		remaining = append(remaining, candidates[:idx]...)
-		remaining = append(remaining, candidates[idx+1:]...)
-		handler := s.handlers[entry.Addr()]
-		if handler == nil {
-			tr.Retries++
-			candidates = remaining
+		if op.view.handlers[idx] == nil {
+			op.tr.Retries++
+			op.dropCandidate(idx)
 			continue
 		}
-		st := s.statRef(entry)
-		st.Active++
+		op.pick = idx
+		op.st = op.view.stats[idx]
+		op.hist = op.view.hists[idx]
+		op.addr = op.view.addrs[idx]
+		op.st.Active++
 		// Switch → backend, then service handling.
-		err = s.net.Transfer(s.node.IP(), entry.IP, req.Bytes, func() {
-			tr.Delivered = s.net.Kernel().Now()
-			tr.Backend = entry.Addr()
-			ok := handler(req.ClientIP, func() {
-				st.Active--
-				tr.Completed = s.net.Kernel().Now()
-				s.latency.Observe(tr.Total().Seconds())
-				s.backendHist(entry.Addr()).Observe(tr.ServiceTime().Seconds())
-				if tr.Retries > 0 {
-					s.retried.Add(int64(tr.Retries))
-				}
-				s.emitTrace(tr)
-				if req.OnDone != nil {
-					req.OnDone()
-				}
-			})
-			if ok {
-				st.Forwarded++
-				s.routed.Inc()
-				return
-			}
-			// Backend died after the forward: retry the survivors.
-			st.Active--
-			tr.Retries++
-			s.forward(req, tr, remaining)
-		})
-		if err != nil {
-			st.Active--
-			tr.Retries++
-			candidates = remaining
+		if err := s.net.Transfer(s.node.IP(), op.view.entries[idx].IP, op.req.Bytes, op.onDeliver); err != nil {
+			op.st.Active--
+			op.tr.Retries++
+			op.dropCandidate(idx)
 			continue
 		}
 		return
 	}
-	s.drop(tr)
+	s.drop(op)
+}
+
+// deliver runs when the request reaches the chosen backend: hand it to
+// the service handler, or retry the survivors if the backend died while
+// the forward was in flight.
+func (s *Switch) deliver(op *inflight) {
+	op.tr.Delivered = s.net.Kernel().Now()
+	op.tr.Backend = op.addr
+	if op.view.handlers[op.pick](op.req.ClientIP, op.onServe) {
+		op.st.Forwarded++
+		s.routed.Inc()
+		return
+	}
+	// Backend died after the forward: retry the survivors.
+	op.st.Active--
+	op.tr.Retries++
+	op.dropCandidate(op.pick)
+	s.forward(op)
+}
+
+// serve runs when the backend has delivered the response to the client.
+func (s *Switch) serve(op *inflight) {
+	op.st.Active--
+	op.tr.Completed = s.net.Kernel().Now()
+	s.latency.Observe(op.tr.Total().Seconds())
+	op.hist.Observe(op.tr.ServiceTime().Seconds())
+	if op.tr.Retries > 0 {
+		s.retried.Add(int64(op.tr.Retries))
+	}
+	s.emitTrace(&op.tr)
+	onDone := op.req.OnDone
+	s.putOp(op)
+	if onDone != nil {
+		onDone()
+	}
 }
