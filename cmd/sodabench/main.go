@@ -49,6 +49,7 @@ func experiments() []experiment {
 		{"abl-strategy", "ablation: Spread vs Pack under host failures", func() (exp.Result, error) { return exp.RunAblationStrategy() }},
 		{"abl-shaper", "ablation: shaper share vs cap semantics", func() (exp.Result, error) { return exp.RunAblationShaper() }},
 		{"abl-ddos", "ablation: §3.5 DDoS inundation limitation", func() (exp.Result, error) { return exp.RunAblationDDoS() }},
+		{"acct", "accounting: metered CPU shares vs scheduler proportions", func() (exp.Result, error) { return exp.RunAccounting() }},
 		{"breakdown", "supplementary: per-stage response-time breakdown", func() (exp.Result, error) { return exp.RunBreakdown() }},
 		{"sweep-inflation", "sweep: inflation factor 1.0..2.0", func() (exp.Result, error) { return exp.RunInflationSweep() }},
 	}
@@ -63,15 +64,19 @@ func main() {
 	duration := flag.Duration("duration", 5*time.Second, "throughput: measurement window")
 	idlePerHost := flag.Int("idle-per-host", 0, "throughput: proxy transport MaxIdleConnsPerHost (0 = tuned default)")
 	out := flag.String("out", "", "throughput: write the JSON report to this file")
+	sloP99Ms := flag.Float64("slo-p99-ms", 0, "throughput: fail unless p99 latency is at or under this target (ms)")
+	sloAvail := flag.Float64("slo-availability", 0, "throughput: fail unless routed fraction meets this target (e.g. 0.999)")
 	flag.Parse()
 
 	if *throughput {
 		os.Exit(runThroughputCmd(throughputConfig{
-			backends:    *backends,
-			conc:        *conc,
-			duration:    *duration,
-			idlePerHost: *idlePerHost,
-			out:         *out,
+			backends:        *backends,
+			conc:            *conc,
+			duration:        *duration,
+			idlePerHost:     *idlePerHost,
+			out:             *out,
+			sloP99Ms:        *sloP99Ms,
+			sloAvailability: *sloAvail,
 		}))
 	}
 

@@ -27,6 +27,20 @@ type throughputConfig struct {
 	duration    time.Duration
 	idlePerHost int
 	out         string
+	// sloP99Ms and sloAvailability, when set, turn the run into an SLO
+	// gate: the command exits non-zero if the measured p99 latency or
+	// the routed fraction misses the objective.
+	sloP99Ms        float64
+	sloAvailability float64
+}
+
+// sloReport is the SLO section of the throughput report.
+type sloReport struct {
+	P99TargetMs        float64 `json:"p99_target_ms,omitempty"`
+	AvailabilityTarget float64 `json:"availability_target,omitempty"`
+	Availability       float64 `json:"availability"`
+	Pass               bool    `json:"pass"`
+	Detail             string  `json:"detail,omitempty"`
 }
 
 // throughputReport is the JSON the benchmark emits (BENCH_pr2.json keeps
@@ -45,6 +59,36 @@ type throughputReport struct {
 	Retried    int     `json:"retried"`
 	IdlePerHos int     `json:"transport_max_idle_per_host"`
 	GoMaxProcs int     `json:"gomaxprocs"`
+	// SLO is present when the run was an SLO gate.
+	SLO *sloReport `json:"slo,omitempty"`
+}
+
+// evalSLO judges the report against the configured objectives.
+func evalSLO(cfg throughputConfig, rep *throughputReport) {
+	if cfg.sloP99Ms <= 0 && cfg.sloAvailability <= 0 {
+		return
+	}
+	s := &sloReport{
+		P99TargetMs:        cfg.sloP99Ms,
+		AvailabilityTarget: cfg.sloAvailability,
+		Availability:       1,
+		Pass:               true,
+	}
+	if total := rep.Routed + rep.Dropped; total > 0 {
+		s.Availability = float64(rep.Routed) / float64(total)
+	}
+	var misses []string
+	if cfg.sloP99Ms > 0 && rep.P99Ms > cfg.sloP99Ms {
+		misses = append(misses, fmt.Sprintf("p99 %.2fms > target %.2fms", rep.P99Ms, cfg.sloP99Ms))
+	}
+	if cfg.sloAvailability > 0 && s.Availability < cfg.sloAvailability {
+		misses = append(misses, fmt.Sprintf("availability %.4f < target %.4f", s.Availability, cfg.sloAvailability))
+	}
+	if len(misses) > 0 {
+		s.Pass = false
+		s.Detail = strings.Join(misses, "; ")
+	}
+	rep.SLO = s
 }
 
 // runThroughput stands up cfg.backends live loopback HTTP backends with
@@ -148,12 +192,15 @@ func runThroughput(cfg throughputConfig) (throughputReport, error) {
 }
 
 // runThroughputCmd executes the benchmark and renders/saves the report.
+// With an SLO configured, a miss fails the command after the report is
+// written, so CI keeps the artifact for the failing run.
 func runThroughputCmd(cfg throughputConfig) int {
 	rep, err := runThroughput(cfg)
 	if err != nil {
 		fmt.Fprintf(os.Stderr, "throughput: %v\n", err)
 		return 1
 	}
+	evalSLO(cfg, &rep)
 	fmt.Printf("throughput: %d backends, %d clients, %.1fs: %.0f req/s (p50 %.2fms p95 %.2fms p99 %.2fms, retries %d, dropped %d)\n",
 		rep.Backends, rep.Conc, rep.DurationS, rep.ReqPerSec, rep.P50Ms, rep.P95Ms, rep.P99Ms, rep.Retried, rep.Dropped)
 	if cfg.out != "" {
@@ -167,6 +214,14 @@ func runThroughputCmd(cfg throughputConfig) int {
 			return 1
 		}
 		fmt.Printf("wrote %s\n", cfg.out)
+	}
+	if rep.SLO != nil {
+		if !rep.SLO.Pass {
+			fmt.Fprintf(os.Stderr, "throughput: SLO VIOLATED: %s\n", rep.SLO.Detail)
+			return 1
+		}
+		fmt.Printf("slo: pass (p99 %.2fms <= %.2fms, availability %.4f)\n",
+			rep.P99Ms, rep.SLO.P99TargetMs, rep.SLO.Availability)
 	}
 	return 0
 }

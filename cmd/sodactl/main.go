@@ -11,6 +11,8 @@
 //	sodactl -server http://localhost:7083 get      -name web
 //	sodactl -server http://localhost:7083 resize   -name web -n 5
 //	sodactl -server http://localhost:7083 status   -name web
+//	sodactl -server http://localhost:7083 usage    -name web
+//	sodactl -server http://localhost:7083 slo
 //	sodactl -server http://localhost:7083 teardown -name web
 //	sodactl -server http://localhost:7083 hup
 //	sodactl -server http://localhost:7083 top
@@ -39,10 +41,13 @@ func main() {
 	n := flag.Int("n", 1, "machine instances (the n of <n, M>)")
 	size := flag.Int("size", 30, "image size in MB (publish)")
 	dataset := flag.Int("dataset", 8, "dataset size in MB")
+	sloP99Ms := flag.Float64("slo-p99-ms", 0, "SLO: p99 latency target in ms (create)")
+	sloAvail := flag.Float64("slo-availability", 0, "SLO: availability target, e.g. 0.99 (create)")
+	sloMinCPU := flag.Float64("slo-min-cpu-mhz", 0, "SLO: CPU delivery floor in MHz (create)")
 	flag.Parse()
 
 	if flag.NArg() < 1 {
-		fmt.Fprintln(os.Stderr, "usage: sodactl [flags] publish|create|list|get|resize|status|probe|teardown|hup|top [flags]")
+		fmt.Fprintln(os.Stderr, "usage: sodactl [flags] publish|create|list|get|resize|status|usage|slo|probe|teardown|hup|top [flags]")
 		os.Exit(2)
 	}
 	cmd := flag.Arg(0)
@@ -61,6 +66,7 @@ func main() {
 	case "create":
 		err = do(http.MethodPost, *server+"/v1/services", api.CreateRequest{
 			Credential: *credential, Name: *name, Image: *imageName, N: *n, DatasetMB: *dataset,
+			SLOLatencyP99Ms: *sloP99Ms, SLOAvailability: *sloAvail, SLOMinCPUMHz: *sloMinCPU,
 		})
 	case "list":
 		err = do(http.MethodGet, *server+"/v1/services", nil)
@@ -76,6 +82,10 @@ func main() {
 		err = do(http.MethodPost, *server+"/v1/services/"+*name+"/probe", api.ProbeRequest{
 			Credential: *credential, Requests: *n,
 		})
+	case "usage":
+		err = usage(*server, *name)
+	case "slo":
+		err = slo(*server)
 	case "teardown":
 		err = do(http.MethodDelete, *server+"/v1/services/"+*name+"?credential="+*credential, nil)
 	case "hup":
@@ -90,6 +100,87 @@ func main() {
 		fmt.Fprintf(os.Stderr, "sodactl: %v\n", err)
 		os.Exit(1)
 	}
+}
+
+// usage fetches /usage and renders per-service billing tables. With a
+// service name it narrows to that service and includes the recent
+// fine-grained usage buckets.
+func usage(server, name string) error {
+	url := server + "/usage"
+	if name != "" {
+		url += "?service=" + name
+	}
+	var view api.UsageView
+	if err := fetchJSON(url, &view); err != nil {
+		return err
+	}
+
+	ut := metrics.NewTable("Service usage", "service", "cpu(MHz·s)", "cpu-now(MHz)",
+		"mem(GB·h)", "disk(GB·h)", "net(GB)", "slo")
+	for _, u := range view.Services {
+		sloCol := "-"
+		if u.SLO != nil {
+			sloCol = fmt.Sprintf("burn %.1fx/%.1fx", u.SLO.FastBurn, u.SLO.SlowBurn)
+			if u.SLO.Violating {
+				sloCol += " VIOLATING"
+			}
+		}
+		ut.AddRowf(u.Service, u.CPUMHzSeconds, u.CPUMHz, u.MemoryGBHours, u.DiskGBHours, u.NetworkGB, sloCol)
+	}
+	fmt.Println(ut.String())
+
+	if name != "" && len(view.Services) == 1 {
+		ft := metrics.NewTable("Recent usage (1s buckets)", "t(s)", "cpu(MHz·s)", "net(bytes)")
+		fine := view.Services[0].Fine
+		if len(fine) > 10 {
+			fine = fine[len(fine)-10:]
+		}
+		for _, b := range fine {
+			ft.AddRowf(fmt.Sprintf("%.0f", b.StartSec), b.CPUMHzSeconds, b.NetBytes)
+		}
+		fmt.Println(ft.String())
+	}
+
+	if len(view.Accounts) > 0 {
+		at := metrics.NewTable("ASP accounts", "asp", "instance-sec", "cpu(MHz·s)",
+			"mem(GB·h)", "disk(GB·h)", "net(GB)", "open")
+		for _, a := range view.Accounts {
+			at.AddRowf(a.ASP, a.InstanceSeconds, a.CPUMHzSeconds,
+				a.MemoryGBHours, a.DiskGBHours, a.NetworkGB, len(a.OpenServices))
+		}
+		fmt.Print(at.String())
+	}
+	return nil
+}
+
+// slo fetches /usage and renders every evaluated service's SLO state.
+func slo(server string) error {
+	var view api.UsageView
+	if err := fetchJSON(server+"/usage", &view); err != nil {
+		return err
+	}
+	st := metrics.NewTable("SLOs", "service", "p99-target(ms)", "availability",
+		"cpu-floor(MHz)", "fast-burn", "slow-burn", "violations", "state")
+	evaluated := 0
+	for _, u := range view.Services {
+		s := u.SLO
+		if s == nil {
+			continue
+		}
+		evaluated++
+		state := "ok"
+		if s.Violating {
+			state = "VIOLATING"
+		}
+		st.AddRowf(u.Service, s.LatencyTargetMs, s.Availability, s.MinCPUMHz,
+			s.FastBurn, s.SlowBurn, s.Violations, state)
+	}
+	if evaluated == 0 {
+		fmt.Println("no services with an SLO")
+		return nil
+	}
+	fmt.Print(st.String())
+	return nil
 }
 
 // top fetches /metrics and /v1/hup and renders a live utilization

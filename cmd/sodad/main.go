@@ -19,6 +19,7 @@ import (
 	"net/http/pprof"
 	"os"
 
+	"repro/internal/accounting"
 	"repro/internal/api"
 	"repro/internal/hostos"
 	"repro/internal/hup"
@@ -78,6 +79,9 @@ func main() {
 	// Metrics registry + virtual-clock tracer over the whole control
 	// plane; /metrics and /trace serve them.
 	tb.EnableTelemetry()
+	// Per-service metering, billing, and SLO evaluation; /usage serves
+	// the reports and violations land in the event log below.
+	tb.EnableAccounting(accounting.Options{})
 	// Stream the control-plane event trace to the log.
 	tb.Master.Observe(func(e soda.Event) {
 		log.Printf("sodad: %v", e)
@@ -94,7 +98,7 @@ func main() {
 	mux.HandleFunc("/debug/pprof/trace", pprof.Trace)
 	log.Printf("sodad: HUP with %d host(s) up; SODA API on %s (ASP %q)", len(tb.Hosts), *listen, *asp)
 	log.Printf("sodad: try: curl -s -X POST localhost%s/v1/images -d '{\"name\":\"web\",\"size_mb\":30}'", *listen)
-	log.Printf("sodad: metrics on %s/metrics, span trees on %s/trace, pprof on %s/debug/pprof/", *listen, *listen, *listen)
+	log.Printf("sodad: metrics on %s/metrics, span trees on %s/trace, usage on %s/usage, pprof on %s/debug/pprof/", *listen, *listen, *listen, *listen)
 	if err := http.ListenAndServe(*listen, mux); err != nil {
 		log.Fatalf("sodad: %v", err)
 	}

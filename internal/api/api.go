@@ -15,10 +15,12 @@ import (
 	"sync"
 	"time"
 
+	"repro/internal/accounting"
 	"repro/internal/appsvc"
 	"repro/internal/hup"
 	"repro/internal/image"
 	"repro/internal/soda"
+	"repro/internal/svcswitch"
 	"repro/internal/workload"
 )
 
@@ -40,6 +42,23 @@ type CreateRequest struct {
 	// DatasetMB sizes the web content service's dataset (the default
 	// behaviour bound to API-created services).
 	DatasetMB int `json:"dataset_mb"`
+	// SLO objectives; all optional. A latency target is judged at p99.
+	SLOLatencyP99Ms float64 `json:"slo_latency_p99_ms"`
+	SLOAvailability float64 `json:"slo_availability"`
+	SLOMinCPUMHz    float64 `json:"slo_min_cpu_mhz"`
+}
+
+// SLO converts the request's objective fields to the switch's SLO form.
+func (r CreateRequest) SLO() svcswitch.SLO {
+	s := svcswitch.SLO{
+		Availability: r.SLOAvailability,
+		MinCPUMHz:    r.SLOMinCPUMHz,
+	}
+	if r.SLOLatencyP99Ms > 0 {
+		s.LatencyTarget = time.Duration(r.SLOLatencyP99Ms * float64(time.Millisecond))
+		s.LatencyQuantile = 0.99
+	}
+	return s
 }
 
 // ResizeRequest is the body of POST /v1/services/{name}/resize.
@@ -112,7 +131,66 @@ func (s *Server) Handler() http.Handler {
 	mux.HandleFunc("GET /v1/hup", s.handleHUP)
 	mux.HandleFunc("GET /metrics", s.handleMetrics)
 	mux.HandleFunc("GET /trace", s.handleTrace)
+	mux.HandleFunc("GET /usage", s.handleUsage)
 	return mux
+}
+
+// AccountView is the wire form of an ASP's bill.
+type AccountView struct {
+	ASP             string   `json:"asp"`
+	InstanceSeconds float64  `json:"instance_seconds"`
+	CPUMHzSeconds   float64  `json:"cpu_mhz_seconds"`
+	MemoryGBHours   float64  `json:"memory_gb_hours"`
+	DiskGBHours     float64  `json:"disk_gb_hours"`
+	NetworkGB       float64  `json:"network_gb"`
+	OpenServices    []string `json:"open_services"`
+}
+
+// UsageView is the body of GET /usage: per-service metered usage plus
+// per-ASP bills.
+type UsageView struct {
+	Services []accounting.ServiceUsage `json:"services"`
+	Accounts []AccountView             `json:"accounts,omitempty"`
+}
+
+// handleUsage exposes the accounting subsystem: every watched service's
+// windowed usage series, SLO state, and each ASP's resource-weighted
+// bill. ?service= narrows to one service. 404 until accounting is
+// enabled.
+func (s *Server) handleUsage(w http.ResponseWriter, r *http.Request) {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	acct := s.tb.Accountant
+	if acct == nil {
+		writeErr(w, http.StatusNotFound, fmt.Errorf("api: accounting not enabled"))
+		return
+	}
+	if name := r.URL.Query().Get("service"); name != "" {
+		u, ok := acct.Usage(name)
+		if !ok {
+			writeErr(w, http.StatusNotFound, fmt.Errorf("api: no metered service %q", name))
+			return
+		}
+		writeJSON(w, http.StatusOK, UsageView{Services: []accounting.ServiceUsage{u}})
+		return
+	}
+	view := UsageView{Services: acct.Report()}
+	for _, asp := range s.tb.Agent.Accounts() {
+		b, ok := s.tb.Agent.Billing(asp)
+		if !ok {
+			continue
+		}
+		view.Accounts = append(view.Accounts, AccountView{
+			ASP:             b.ASP,
+			InstanceSeconds: b.InstanceSeconds,
+			CPUMHzSeconds:   b.CPUMHzSeconds,
+			MemoryGBHours:   b.MemoryGBHours,
+			DiskGBHours:     b.DiskGBHours,
+			NetworkGB:       b.NetworkGB,
+			OpenServices:    b.OpenServices(),
+		})
+	}
+	writeJSON(w, http.StatusOK, view)
 }
 
 // handleMetrics exposes the testbed's metrics registry: plain text by
@@ -234,6 +312,7 @@ func (s *Server) handleCreate(w http.ResponseWriter, r *http.Request) {
 		Requirement:  soda.Requirement{N: req.N, M: m},
 		GuestProfile: img.SystemServices,
 		Behavior:     wd.Behavior(),
+		SLO:          req.SLO(),
 	})
 	if err != nil {
 		writeErr(w, statusFor(err), err)

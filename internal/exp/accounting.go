@@ -1,0 +1,166 @@
+package exp
+
+import (
+	"fmt"
+	"math"
+	"strings"
+
+	"repro/internal/accounting"
+	"repro/internal/hostos"
+	"repro/internal/hup"
+	"repro/internal/sim"
+	"repro/internal/soda"
+)
+
+// AcctService is one service's row in the accounting isolation run.
+type AcctService struct {
+	Name string
+	// ReservedMHz is the CPU reservation after the §3.2 inflation.
+	ReservedMHz float64
+	// WantShare is the share the proportional scheduler owes the
+	// service: reservation over total reservation.
+	WantShare float64
+	// MeteredShare is the share the accounting meters observed over the
+	// steady-state window.
+	MeteredShare float64
+	// MeteredMHzSec is the metered CPU over the window; HostMHzSec is
+	// the host OS's own cycle accounting for the same userids.
+	MeteredMHzSec, HostMHzSec float64
+}
+
+// AcctResult is the accounting subsystem's isolation experiment: the
+// metering pipeline observing the Figure 5 scheduler property from the
+// outside. Two always-runnable comp services with 1:2 CPU reservations
+// saturate tacoma; the per-service usage meters — fed only by the
+// hosts' cycle odometers, never by the scheduler's internals — must
+// reproduce the 1/3 : 2/3 split, and must agree with the host OS's own
+// accounting.
+type AcctResult struct {
+	Services []AcctService
+	// MaxShareErr is the largest |metered − want| share deviation.
+	MaxShareErr float64
+	// MaxMeterErr is the largest relative disagreement between the
+	// meters and the hosts' cycle accounting.
+	MaxMeterErr float64
+}
+
+// RunAccounting primes the two comp services on tacoma, lets them spin
+// for 90 s, and compares metered CPU shares over the trailing 60 s
+// steady-state window against the reservation proportions.
+func RunAccounting() (*AcctResult, error) {
+	tb, err := hup.New(hup.Config{
+		Hosts: []hostos.Spec{hostos.Tacoma()},
+		Seed:  13,
+	})
+	if err != nil {
+		return nil, err
+	}
+	if err := tb.Agent.RegisterASP("asp", "secret"); err != nil {
+		return nil, err
+	}
+	acct := tb.EnableAccounting(accounting.Options{})
+
+	img := hup.HoneypotImage("comp-img")
+	if err := tb.Publish(img); err != nil {
+		return nil, err
+	}
+
+	// 400 and 800 MHz requirements inflate ×1.5 to 600 and 1200 MHz —
+	// together exactly tacoma's 1.8 GHz clock, so shares are owed 1:2.
+	specs := []struct {
+		name string
+		mhz  int
+	}{{"small", 400}, {"big", 800}}
+	services := make(map[string]*soda.Service, len(specs))
+	for _, s := range specs {
+		comp := hup.NewCompDeployment(4)
+		svc, err := tb.CreateService("secret", soda.ServiceSpec{
+			Name:       s.name,
+			ImageName:  img.Name,
+			Repository: hup.RepoIP,
+			Requirement: soda.Requirement{N: 1, M: soda.MachineConfig{
+				CPUMHz: s.mhz, MemoryMB: 160, DiskMB: 1024, BandwidthMbps: 5,
+			}},
+			GuestProfile: img.SystemServices,
+			Behavior:     comp.Behavior(),
+		})
+		if err != nil {
+			return nil, err
+		}
+		services[s.name] = svc
+	}
+
+	// Warm up 30 s, then meter a 60 s steady-state window by differencing
+	// cumulative totals (and the hosts' own odometers) at its edges.
+	tb.K.RunFor(30 * sim.Second)
+	type edge struct{ meter, host float64 }
+	at := func(name string) edge {
+		u, _ := acct.Totals(name)
+		var host float64
+		for _, n := range services[name].Nodes {
+			host += n.Guest.Host().CPUCyclesFor(n.UID) / 1e6
+		}
+		return edge{meter: u.CPUMHzSeconds, host: host}
+	}
+	before := map[string]edge{}
+	for _, s := range specs {
+		before[s.name] = at(s.name)
+	}
+	tb.K.RunFor(60 * sim.Second)
+	acct.Sample()
+
+	res := &AcctResult{}
+	var totalReserved, totalMetered float64
+	windows := map[string]edge{}
+	for _, s := range specs {
+		after := at(s.name)
+		w := edge{meter: after.meter - before[s.name].meter, host: after.host - before[s.name].host}
+		windows[s.name] = w
+		totalReserved += float64(s.mhz) * soda.SlowdownFactor
+		totalMetered += w.meter
+	}
+	for _, s := range specs {
+		w := windows[s.name]
+		row := AcctService{
+			Name:          s.name,
+			ReservedMHz:   float64(s.mhz) * soda.SlowdownFactor,
+			WantShare:     float64(s.mhz) * soda.SlowdownFactor / totalReserved,
+			MeteredShare:  w.meter / totalMetered,
+			MeteredMHzSec: w.meter,
+			HostMHzSec:    w.host,
+		}
+		if e := math.Abs(row.MeteredShare - row.WantShare); e > res.MaxShareErr {
+			res.MaxShareErr = e
+		}
+		if w.host > 0 {
+			if e := math.Abs(w.meter-w.host) / w.host; e > res.MaxMeterErr {
+				res.MaxMeterErr = e
+			}
+		}
+		res.Services = append(res.Services, row)
+	}
+	return res, nil
+}
+
+// Title implements Result.
+func (*AcctResult) Title() string {
+	return "Accounting isolation: metered CPU shares vs scheduler proportions (comp ×2 on tacoma)"
+}
+
+// Render implements Result.
+func (r *AcctResult) Render() string {
+	var b strings.Builder
+	b.WriteString(r.Title() + "\n\n")
+	fmt.Fprintf(&b, "  %-8s %12s %10s %14s %16s %14s\n",
+		"service", "reserved-MHz", "want-share", "metered-share", "metered-MHz·s", "host-MHz·s")
+	for _, s := range r.Services {
+		fmt.Fprintf(&b, "  %-8s %12.0f %10.3f %14.3f %16.0f %14.0f\n",
+			s.Name, s.ReservedMHz, s.WantShare, s.MeteredShare, s.MeteredMHzSec, s.HostMHzSec)
+	}
+	b.WriteString("\n")
+	b.WriteString(shapeCheck("metered shares match 1:2 reservations within 2 points",
+		r.MaxShareErr <= 0.02) + "\n")
+	b.WriteString(shapeCheck("meters agree with host cycle accounting within 2%",
+		r.MaxMeterErr <= 0.02) + "\n")
+	return b.String()
+}

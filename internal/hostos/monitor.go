@@ -18,9 +18,10 @@ type CPUMonitor struct {
 	period sim.Duration
 	uids   []int
 	series map[int]*metrics.TimeSeries
-	last   map[int]float64
-	lastT  sim.Time
-	ticker *sim.Ticker
+	last    map[int]float64
+	lastT   sim.Time
+	ticker  *sim.Ticker
+	stopped bool
 }
 
 // NewCPUMonitor starts sampling the given userids every period. Names maps
@@ -68,8 +69,38 @@ func (m *CPUMonitor) sample() {
 	m.lastT = now
 }
 
-// Stop ends sampling.
-func (m *CPUMonitor) Stop() { m.ticker.Stop() }
+// Stop ends sampling. It is idempotent: stopping an already-stopped
+// monitor is a no-op.
+func (m *CPUMonitor) Stop() {
+	if m.stopped {
+		return
+	}
+	m.stopped = true
+	m.ticker.Stop()
+}
+
+// Stopped reports whether the monitor has been stopped.
+func (m *CPUMonitor) Stopped() bool { return m.stopped }
+
+// Detach removes uid from the sampled set, so a torn-down service stops
+// producing samples and its series no longer appears in SeriesSet —
+// consumers rendering live gauges stop exporting stale values. The
+// recorded history stays readable through the series the caller already
+// holds. Detach reports whether the uid was monitored.
+func (m *CPUMonitor) Detach(uid int) bool {
+	if _, ok := m.series[uid]; !ok {
+		return false
+	}
+	for i, u := range m.uids {
+		if u == uid {
+			m.uids = append(m.uids[:i], m.uids[i+1:]...)
+			break
+		}
+	}
+	delete(m.series, uid)
+	delete(m.last, uid)
+	return true
+}
 
 // Series returns the share series for uid, or nil if unmonitored.
 func (m *CPUMonitor) Series(uid int) *metrics.TimeSeries { return m.series[uid] }

@@ -1,0 +1,76 @@
+package hostos
+
+// Lifecycle tests for CPUMonitor: Stop must be idempotent, and Detach
+// must remove a torn-down service's uid from sampling and from
+// SeriesSet so stale gauges stop being exported.
+
+import (
+	"testing"
+
+	"repro/internal/hostos/sched"
+	"repro/internal/sim"
+)
+
+func TestCPUMonitorStopIdempotent(t *testing.T) {
+	k, h := newSeattle(t, sched.NewFairShare())
+	h.Spawn("a", 1).Spin()
+	mon := NewCPUMonitor(h, sim.Second, []int{1}, nil)
+	k.RunUntil(sim.Time(3 * sim.Second))
+	if mon.Stopped() {
+		t.Fatal("monitor reports stopped while running")
+	}
+	mon.Stop()
+	if !mon.Stopped() {
+		t.Fatal("monitor not stopped after Stop")
+	}
+	mon.Stop() // second Stop must not panic or double-release the ticker
+	mon.Stop()
+	n := mon.Series(1).Len()
+	k.RunUntil(sim.Time(10 * sim.Second))
+	if got := mon.Series(1).Len(); got != n {
+		t.Fatalf("samples after Stop: %d -> %d", n, got)
+	}
+}
+
+func TestCPUMonitorDetachStopsSampling(t *testing.T) {
+	k, h := newSeattle(t, sched.NewFairShare())
+	h.Spawn("a", 1).Spin()
+	h.Spawn("b", 2).Spin()
+	mon := NewCPUMonitor(h, sim.Second, []int{1, 2}, map[int]string{1: "a", 2: "b"})
+	k.RunUntil(sim.Time(5 * sim.Second))
+
+	// Hold the series like a renderer would, then tear uid 2 down.
+	detached := mon.Series(2)
+	frozen := detached.Len()
+	if !mon.Detach(2) {
+		t.Fatal("Detach(2) = false for a monitored uid")
+	}
+	if mon.Detach(2) {
+		t.Fatal("Detach(2) = true twice")
+	}
+	if mon.Detach(99) {
+		t.Fatal("Detach of unmonitored uid = true")
+	}
+	if mon.Series(2) != nil {
+		t.Fatal("Series(2) still resolves after Detach")
+	}
+
+	k.RunUntil(sim.Time(10 * sim.Second))
+	// The detached series froze; the survivor kept sampling.
+	if got := detached.Len(); got != frozen {
+		t.Fatalf("detached series grew: %d -> %d", frozen, got)
+	}
+	if got := mon.Series(1).Len(); got != 10 {
+		t.Fatalf("survivor samples = %d, want 10", got)
+	}
+	// SeriesSet no longer exports the torn-down service.
+	ss := mon.SeriesSet()
+	if len(ss.Series) != 1 || ss.Series[0].Name != "a" {
+		names := make([]string, len(ss.Series))
+		for i, s := range ss.Series {
+			names[i] = s.Name
+		}
+		t.Fatalf("SeriesSet after Detach = %v, want [a]", names)
+	}
+	mon.Stop()
+}

@@ -10,6 +10,7 @@ package hup
 import (
 	"fmt"
 
+	"repro/internal/accounting"
 	"repro/internal/hostos"
 	"repro/internal/hostos/sched"
 	"repro/internal/image"
@@ -56,6 +57,9 @@ type Testbed struct {
 	// Registry and Tracer are nil until EnableTelemetry.
 	Registry *telemetry.Registry
 	Tracer   *telemetry.Tracer
+
+	// Accountant is nil until EnableAccounting.
+	Accountant *accounting.Accountant
 
 	clients int
 }
@@ -163,6 +167,42 @@ func (tb *Testbed) EnableTelemetry() (*telemetry.Registry, *telemetry.Tracer) {
 	}
 	tb.Registry, tb.Tracer = reg, tracer
 	return reg, tracer
+}
+
+// EnableAccounting builds the usage-metering and SLO-evaluation
+// subsystem on the kernel's virtual clock, attaches it to the Master
+// (services watched on activation, violations surfaced as events), and
+// schedules the sampling and evaluation ticks on the kernel. Telemetry
+// is enabled implicitly so usage and burn-rate gauges have a registry.
+// opt's Clock is overridden with the kernel clock; zero-valued fields
+// take the accounting defaults.
+func (tb *Testbed) EnableAccounting(opt accounting.Options) *accounting.Accountant {
+	if tb.Accountant != nil {
+		return tb.Accountant
+	}
+	reg, tracer := tb.EnableTelemetry()
+	k := tb.K
+	opt.Clock = func() sim.Time { return k.Now() }
+	opt.Registry = reg
+	opt.Tracer = tracer
+	acct := accounting.New(opt)
+	tb.Master.EnableAccounting(acct)
+	// One combined ticker drives both sampling and evaluation: a single
+	// standing timer keeps the kernel's event heap shallow for the
+	// routing hot path, and evaluations always see a fresh sample.
+	evalEvery := int(acct.EvalPeriod() / acct.SamplePeriod())
+	if evalEvery < 1 {
+		evalEvery = 1
+	}
+	ticks := 0
+	k.Every(acct.SamplePeriod(), func() {
+		acct.Sample()
+		if ticks++; ticks%evalEvery == 0 {
+			acct.Evaluate()
+		}
+	})
+	tb.Accountant = acct
+	return acct
 }
 
 // MustNew is New, panicking on error; for benchmarks and examples.

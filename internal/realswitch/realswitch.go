@@ -203,6 +203,11 @@ func (p *Proxy) Dropped() int { return int(p.dropped.Value()) }
 // backend (connection refused or reset before any response bytes).
 func (p *Proxy) Retried() int { return int(p.retried.Value()) }
 
+// LatencyHistogram returns the proxy's wall-clock latency histogram,
+// nil when uninstrumented — parity with svcswitch.Switch for the SLO
+// evaluator.
+func (p *Proxy) LatencyHistogram() *telemetry.Histogram { return p.latency }
+
 // Transport returns the shared transport backing every backend proxy,
 // for connection-pool introspection in tests and benchmarks.
 func (p *Proxy) Transport() *http.Transport { return p.transport }

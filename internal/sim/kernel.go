@@ -1,7 +1,6 @@
 package sim
 
 import (
-	"container/heap"
 	"fmt"
 )
 
@@ -23,10 +22,25 @@ type Kernel struct {
 	stopped bool
 	free    []*event
 
+	// far parks events scheduled beyond farHorizon — standing periodic
+	// tickers, slow service timers — in an unsorted side list so they
+	// don't deepen the hot heap that microsecond-scale events churn
+	// through. farMin tracks the list's earliest (at, seq); step migrates
+	// the list into the heap only when that minimum could fire next.
+	far    []*event
+	farMin Time
+	farSeq uint64
+
 	// Dispatched counts events executed since construction; useful for
 	// progress assertions in tests.
 	dispatched uint64
 }
+
+// farHorizon is the scheduling distance beyond which an event is parked
+// in the far list instead of the heap. It only affects performance, not
+// ordering: anything coarser than the data plane's µs–ms timescale and
+// finer than the control plane's multi-second timers works.
+const farHorizon = Duration(50 * Millisecond)
 
 // Timer is a handle to a scheduled event. Cancel prevents a pending event
 // from firing; cancelling an already-fired or already-cancelled timer is a
@@ -65,46 +79,74 @@ type event struct {
 	seq       uint64
 	gen       uint64
 	fn        func()
-	index     int
 	cancelled bool
 }
 
+// eventQueue is a hand-rolled binary min-heap ordered by (at, seq). The
+// standard container/heap forces every comparison and swap through an
+// interface call; with events this small the dispatch overhead dominated
+// the scheduler's profile, so the sift loops are inlined here.
 type eventQueue []*event
 
-func (q eventQueue) Len() int { return len(q) }
-
-func (q eventQueue) Less(i, j int) bool {
-	if q[i].at != q[j].at {
-		return q[i].at < q[j].at
+func (q eventQueue) less(i, j int) bool {
+	a, b := q[i], q[j]
+	if a.at != b.at {
+		return a.at < b.at
 	}
-	return q[i].seq < q[j].seq
+	return a.seq < b.seq
 }
 
-func (q eventQueue) Swap(i, j int) {
-	q[i], q[j] = q[j], q[i]
-	q[i].index = i
-	q[j].index = j
-}
-
-func (q *eventQueue) Push(x any) {
-	ev := x.(*event)
-	ev.index = len(*q)
+// push appends ev and restores the heap property.
+func (q *eventQueue) push(ev *event) {
 	*q = append(*q, ev)
+	h := *q
+	i := len(h) - 1
+	for i > 0 {
+		parent := (i - 1) / 2
+		if !h.less(i, parent) {
+			break
+		}
+		h[i], h[parent] = h[parent], h[i]
+		i = parent
+	}
 }
 
-func (q *eventQueue) Pop() any {
-	old := *q
-	n := len(old)
-	ev := old[n-1]
-	old[n-1] = nil
-	*q = old[:n-1]
-	return ev
+// pop removes and returns the earliest event: the last element moves to
+// the root and sifts down with the usual early exit. (The bottom-up
+// "hole" deletion strategy was tried and measured slower here: the last
+// array slot usually holds the most recently scheduled — and therefore
+// earliest — event, which the classic sift leaves at the root for free.)
+func (q *eventQueue) pop() *event {
+	h := *q
+	n := len(h) - 1
+	top := h[0]
+	h[0] = h[n]
+	h[n] = nil
+	h = h[:n]
+	*q = h
+	i := 0
+	for {
+		left := 2*i + 1
+		if left >= n {
+			break
+		}
+		best := left
+		if right := left + 1; right < n && h.less(right, left) {
+			best = right
+		}
+		if !h.less(best, i) {
+			break
+		}
+		h[i], h[best] = h[best], h[i]
+		i = best
+	}
+	return top
 }
 
 // NewKernel returns a kernel with the clock at the epoch and an empty
 // event queue.
 func NewKernel() *Kernel {
-	return &Kernel{}
+	return &Kernel{farMin: MaxTime}
 }
 
 // Now returns the current virtual time.
@@ -112,7 +154,7 @@ func (k *Kernel) Now() Time { return k.now }
 
 // Pending returns the number of events still queued (including cancelled
 // events that have not yet been popped).
-func (k *Kernel) Pending() int { return len(k.queue) }
+func (k *Kernel) Pending() int { return len(k.queue) + len(k.far) }
 
 // Dispatched returns the number of events executed so far.
 func (k *Kernel) Dispatched() uint64 { return k.dispatched }
@@ -136,7 +178,15 @@ func (k *Kernel) At(t Time, fn func()) Timer {
 	}
 	ev.at, ev.seq, ev.fn = t, k.seq, fn
 	k.seq++
-	heap.Push(&k.queue, ev)
+	if t > k.now.Add(farHorizon) {
+		k.far = append(k.far, ev)
+		// seq is monotonic, so an (at) tie always keeps the older event.
+		if t < k.farMin {
+			k.farMin, k.farSeq = t, ev.seq
+		}
+	} else {
+		k.queue.push(ev)
+	}
 	return Timer{ev: ev, gen: ev.gen, at: t}
 }
 
@@ -169,15 +219,36 @@ func (k *Kernel) recycle(ev *event) {
 	k.free = append(k.free, ev)
 }
 
+// flushFar migrates the far list into the heap. It runs only when the
+// far minimum could be the next event to fire, so the standing timers
+// spend almost all of their lives outside the hot heap.
+func (k *Kernel) flushFar() {
+	for _, ev := range k.far {
+		k.queue.push(ev)
+	}
+	k.far = k.far[:0]
+	k.farMin, k.farSeq = MaxTime, 0
+}
+
 // step pops and executes the earliest event. It reports whether an event
 // was executed.
 func (k *Kernel) step(limit Time) bool {
-	for len(k.queue) > 0 {
+	for {
+		if len(k.far) > 0 {
+			if len(k.queue) == 0 {
+				k.flushFar()
+			} else if top := k.queue[0]; k.farMin < top.at || (k.farMin == top.at && k.farSeq < top.seq) {
+				k.flushFar()
+			}
+		}
+		if len(k.queue) == 0 {
+			return false
+		}
 		ev := k.queue[0]
 		if ev.at > limit {
 			return false
 		}
-		heap.Pop(&k.queue)
+		k.queue.pop()
 		at, fn, cancelled := ev.at, ev.fn, ev.cancelled
 		k.recycle(ev)
 		if cancelled {
@@ -191,7 +262,6 @@ func (k *Kernel) step(limit Time) bool {
 		fn()
 		return true
 	}
-	return false
 }
 
 // Run executes events until the queue is empty or Stop is called. It

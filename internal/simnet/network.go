@@ -72,11 +72,21 @@ type Network struct {
 	k       *sim.Kernel
 	latency sim.Duration
 	nics    map[string]*NIC
-	owner   map[IP]*NIC
+	owner   map[IP]*bridgeEntry
 	opFree  []*transferOp // recycled transfer operations
 
 	// Transferred counts total bytes delivered, for tests.
 	Transferred int64
+}
+
+// bridgeEntry is the bridging table's value: which NIC answers for an
+// address, plus the per-source-IP byte odometer the accounting meters
+// read. Keeping the odometer inside the entry lets Transfer charge bytes
+// with the map lookup it already performs, so metering adds no work to
+// the data path.
+type bridgeEntry struct {
+	nic   *NIC
+	bytes int64 // outbound bytes submitted from this source address
 }
 
 // transferOp is the per-transfer state of Network.Transfer. Ops are
@@ -129,7 +139,7 @@ func New(k *sim.Kernel, latency sim.Duration) *Network {
 		k:       k,
 		latency: latency,
 		nics:    make(map[string]*NIC),
-		owner:   make(map[IP]*NIC),
+		owner:   make(map[IP]*bridgeEntry),
 	}
 }
 
@@ -172,8 +182,23 @@ func (n *Network) NIC(hostName string) *NIC { return n.nics[hostName] }
 
 // Lookup returns the NIC whose bridge answers for ip.
 func (n *Network) Lookup(ip IP) (*NIC, bool) {
-	nic, ok := n.owner[ip]
-	return nic, ok
+	e, ok := n.owner[ip]
+	if !ok {
+		return nil, false
+	}
+	return e.nic, true
+}
+
+// BytesFrom returns the cumulative outbound bytes submitted from ip
+// since the address was bridged. The odometer resets to zero when the
+// address is released and re-registered, so meters must treat a value
+// below their last reading as a counter reset.
+func (n *Network) BytesFrom(ip IP) int64 {
+	e, ok := n.owner[ip]
+	if !ok {
+		return 0
+	}
+	return e.bytes
 }
 
 // AddIP registers ip with this NIC's bridging module, so packets to/from
@@ -181,10 +206,10 @@ func (n *Network) Lookup(ip IP) (*NIC, bool) {
 // notification of §4.3.
 func (nic *NIC) AddIP(ip IP) error {
 	if owner, taken := nic.net.owner[ip]; taken {
-		return fmt.Errorf("simnet: %s already bridged by %s", ip, owner.HostName)
+		return fmt.Errorf("simnet: %s already bridged by %s", ip, owner.nic.HostName)
 	}
 	nic.ips[ip] = true
-	nic.net.owner[ip] = nic
+	nic.net.owner[ip] = &bridgeEntry{nic: nic}
 	return nil
 }
 
@@ -345,7 +370,7 @@ func (nic *NIC) assignCaps(capacity float64, groups []ipGroup) {
 // onDone fires at delivery. Zero-byte transfers model control messages
 // and cost only latency.
 func (n *Network) Transfer(src, dst IP, size int64, onDone func()) error {
-	srcNIC, ok := n.owner[src]
+	srcEntry, ok := n.owner[src]
 	if !ok {
 		return fmt.Errorf("simnet: source %s not bridged by any host", src)
 	}
@@ -355,6 +380,7 @@ func (n *Network) Transfer(src, dst IP, size int64, onDone func()) error {
 	if size < 0 {
 		return fmt.Errorf("simnet: negative transfer size %d", size)
 	}
+	srcEntry.bytes += size
 	op := n.getOp()
 	op.size, op.onDone = size, onDone
 	op.meta = flowMeta{src: src, dst: dst}
@@ -362,7 +388,7 @@ func (n *Network) Transfer(src, dst IP, size int64, onDone func()) error {
 		op.drain()
 		return nil
 	}
-	srcNIC.out.SubmitPooled("transfer", 1, float64(size), &op.meta, op.drain)
+	srcEntry.nic.out.SubmitPooled("transfer", 1, float64(size), &op.meta, op.drain)
 	return nil
 }
 

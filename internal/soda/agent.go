@@ -3,7 +3,9 @@ package soda
 import (
 	"fmt"
 	"sort"
+	"sync"
 
+	"repro/internal/accounting"
 	"repro/internal/sim"
 	"repro/internal/simnet"
 )
@@ -16,24 +18,41 @@ type Agent struct {
 	// IP is the Agent machine's address.
 	IP simnet.IP
 
-	k       *sim.Kernel
-	net     *simnet.Network
-	master  *Master
+	k      *sim.Kernel
+	net    *simnet.Network
+	master *Master
+
+	// mu guards the ASP table, billing accounts, and the auth counters:
+	// the simulation mutates them on its goroutine while HTTP servers
+	// and consoles read bills concurrently.
+	mu      sync.Mutex
 	asps    map[string]string // credential → ASP name
 	billing map[string]*BillingAccount
 
-	// Authenticated and Denied count API calls by outcome.
+	// Authenticated and Denied count API calls by outcome. Guarded by mu;
+	// read them only after the simulation settles (tests) or via Stats.
 	Authenticated, Denied int
 }
 
-// BillingAccount accumulates an ASP's charges. The unit is the
-// machine-instance-second: one M of capacity held for one second of
-// virtual time.
+// BillingAccount accumulates an ASP's charges. Instance-seconds (one M
+// of capacity held for one second of virtual time) remain from the flat
+// tariff; the resource-weighted charges are fed by the accounting
+// subsystem's meters: CPU in MHz-seconds of cycles actually delivered,
+// memory and disk in GB-hours of reservation, network in GB moved
+// through the traffic shaper.
 type BillingAccount struct {
 	// ASP names the account owner.
-	ASP string
-	// InstanceSeconds is accumulated usage.
-	InstanceSeconds float64
+	ASP string `json:"asp"`
+	// InstanceSeconds is accumulated flat-rate usage.
+	InstanceSeconds float64 `json:"instance_seconds"`
+	// CPUMHzSeconds bills cycles the host scheduler delivered.
+	CPUMHzSeconds float64 `json:"cpu_mhz_seconds"`
+	// MemoryGBHours bills the memory reservation over time.
+	MemoryGBHours float64 `json:"memory_gb_hours"`
+	// DiskGBHours bills the disk reservation over time.
+	DiskGBHours float64 `json:"disk_gb_hours"`
+	// NetworkGB bills bytes the service's nodes put on the wire.
+	NetworkGB float64 `json:"network_gb"`
 	// open tracks running services: name → (capacity, since).
 	open map[string]usageSpan
 }
@@ -41,6 +60,14 @@ type BillingAccount struct {
 type usageSpan struct {
 	capacity int
 	since    sim.Time
+}
+
+// addUsage folds metered resource totals into the account's charges.
+func (b *BillingAccount) addUsage(u accounting.Usage) {
+	b.CPUMHzSeconds += u.CPUMHzSeconds
+	b.MemoryGBHours += u.MemoryGBHours()
+	b.DiskGBHours += u.DiskGBHours()
+	b.NetworkGB += u.NetworkGB()
 }
 
 // NewAgent creates the HUP's front door.
@@ -66,6 +93,8 @@ func (a *Agent) RegisterASP(name, credential string) error {
 	if name == "" || credential == "" {
 		return fmt.Errorf("soda: ASP registration needs a name and credential")
 	}
+	a.mu.Lock()
+	defer a.mu.Unlock()
 	if owner, taken := a.asps[credential]; taken && owner != name {
 		return fmt.Errorf("soda: credential already issued to %s", owner)
 	}
@@ -78,6 +107,8 @@ func (a *Agent) RegisterASP(name, credential string) error {
 
 // authenticate resolves a credential to an ASP, counting the outcome.
 func (a *Agent) authenticate(credential string) (string, error) {
+	a.mu.Lock()
+	defer a.mu.Unlock()
 	asp, ok := a.asps[credential]
 	if !ok {
 		a.Denied++
@@ -87,13 +118,88 @@ func (a *Agent) authenticate(credential string) (string, error) {
 	return asp, nil
 }
 
-// Billing returns the account for an ASP, with usage settled to now.
-func (a *Agent) Billing(asp string) (*BillingAccount, bool) {
-	acct, ok := a.billing[asp]
-	if ok {
-		acct.settle(a.k.Now())
+// openUsage opens (or re-opens, on resize) a service's usage span,
+// settling accrued instance-seconds first.
+func (a *Agent) openUsage(asp, service string, capacity int) {
+	now := a.k.Now()
+	a.mu.Lock()
+	defer a.mu.Unlock()
+	acct := a.billing[asp]
+	if acct == nil {
+		return
 	}
-	return acct, ok
+	acct.settle(now)
+	acct.open[service] = usageSpan{capacity: capacity, since: now}
+}
+
+// closeUsage settles and removes a service's usage span, folding its
+// final metered resource totals into the account.
+func (a *Agent) closeUsage(asp, service string, final accounting.Usage) {
+	now := a.k.Now()
+	a.mu.Lock()
+	defer a.mu.Unlock()
+	acct := a.billing[asp]
+	if acct == nil {
+		return
+	}
+	acct.settle(now)
+	delete(acct.open, service)
+	acct.addUsage(final)
+}
+
+// Billing returns a snapshot of the ASP's account with usage settled to
+// now. Resource-weighted charges cover both torn-down services
+// (settled into the account) and still-running ones (read live from the
+// accounting meters), so the bill is always current.
+func (a *Agent) Billing(asp string) (*BillingAccount, bool) {
+	now := a.k.Now()
+	a.mu.Lock()
+	defer a.mu.Unlock()
+	acct, ok := a.billing[asp]
+	if !ok {
+		return nil, false
+	}
+	acct.settle(now)
+	snap := &BillingAccount{
+		ASP:             acct.ASP,
+		InstanceSeconds: acct.InstanceSeconds,
+		CPUMHzSeconds:   acct.CPUMHzSeconds,
+		MemoryGBHours:   acct.MemoryGBHours,
+		DiskGBHours:     acct.DiskGBHours,
+		NetworkGB:       acct.NetworkGB,
+		open:            make(map[string]usageSpan, len(acct.open)),
+	}
+	for name, span := range acct.open {
+		snap.open[name] = span
+		if u, live := a.master.UsageTotals(name); live {
+			snap.addUsage(u)
+		}
+	}
+	return snap, true
+}
+
+// Accounts returns the enrolled ASP names, sorted.
+func (a *Agent) Accounts() []string {
+	a.mu.Lock()
+	defer a.mu.Unlock()
+	out := make([]string, 0, len(a.billing))
+	for n := range a.billing {
+		out = append(out, n)
+	}
+	sort.Strings(out)
+	return out
+}
+
+// ownsService reports whether the ASP has the service open.
+func (a *Agent) ownsService(asp, service string) bool {
+	a.mu.Lock()
+	defer a.mu.Unlock()
+	acct := a.billing[asp]
+	if acct == nil {
+		return false
+	}
+	_, ok := acct.open[service]
+	return ok
 }
 
 func (b *BillingAccount) settle(now sim.Time) {
@@ -128,9 +234,7 @@ func (a *Agent) ServiceCreation(credential string, spec ServiceSpec, onDone func
 	// The request crosses the LAN to the Master.
 	err = a.net.Transfer(a.IP, a.master.IP, 2048, func() {
 		a.master.CreateService(spec, func(svc *Service) {
-			acct := a.billing[asp]
-			acct.settle(a.k.Now())
-			acct.open[spec.Name] = usageSpan{capacity: svc.TotalCapacity(), since: a.k.Now()}
+			a.openUsage(asp, spec.Name, svc.TotalCapacity())
 			if onDone != nil {
 				onDone(svc)
 			}
@@ -157,9 +261,10 @@ func (a *Agent) ServiceTeardown(credential, serviceName string, onDone func(), o
 			}
 			return
 		}
-		acct := a.billing[asp]
-		acct.settle(a.k.Now())
-		delete(acct.open, serviceName)
+		// The teardown unwatched the meters; fold the final metered
+		// totals into the owner's bill.
+		final, _ := a.master.SettledUsage(serviceName)
+		a.closeUsage(asp, serviceName, final)
 		if onDone != nil {
 			onDone()
 		}
@@ -181,9 +286,7 @@ func (a *Agent) ServiceResizing(credential, serviceName string, newN int, onDone
 	}
 	err = a.net.Transfer(a.IP, a.master.IP, 512, func() {
 		a.master.ResizeService(serviceName, newN, func(svc *Service) {
-			acct := a.billing[asp]
-			acct.settle(a.k.Now())
-			acct.open[serviceName] = usageSpan{capacity: svc.TotalCapacity(), since: a.k.Now()}
+			a.openUsage(asp, serviceName, svc.TotalCapacity())
 			if onDone != nil {
 				onDone(svc)
 			}

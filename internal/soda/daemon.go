@@ -360,6 +360,7 @@ func (d *Daemon) Prime(req PrimeRequest, onDone func(NodeInfo), onErr func(error
 				IP:             ip,
 				Port:           port,
 				Capacity:       req.Instances,
+				UID:            uid,
 				Guest:          report.Guest,
 				DownloadTime:   downloadTime,
 				BootTime:       bootTime,

@@ -28,6 +28,12 @@ const (
 	// instrumented Masters — the tracer's OnEnd hook feeds the observer
 	// mechanism, so event consumers see the span stream too.
 	EventSpanEnded
+	// EventSLOViolation: the accounting subsystem detected a service
+	// burning its error budget past a multi-window threshold. The detail
+	// names the dimension (latency/availability/cpu), window pair, and
+	// burn rate; the matching "slo.violation" trace span carries the
+	// breached window.
+	EventSLOViolation
 )
 
 // String names the kind.
@@ -47,6 +53,8 @@ func (k EventKind) String() string {
 		return "torn-down"
 	case EventSpanEnded:
 		return "span"
+	case EventSLOViolation:
+		return "slo-violation"
 	}
 	return fmt.Sprintf("event(%d)", int(k))
 }

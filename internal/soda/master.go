@@ -4,6 +4,7 @@ import (
 	"fmt"
 	"sort"
 
+	"repro/internal/accounting"
 	"repro/internal/appsvc"
 	"repro/internal/simnet"
 	"repro/internal/svcswitch"
@@ -27,9 +28,16 @@ type Master struct {
 	daemons   []*Daemon
 	services  map[string]*Service
 	observers []Observer
+	// settled holds the final metered usage of torn-down services until
+	// the Agent folds it into the owner's bill.
+	settled map[string]accounting.Usage
 
 	// Admitted and Rejected count creation requests.
 	Admitted, Rejected int
+
+	// acct meters usage and evaluates SLOs for hosted services; nil when
+	// accounting is disabled.
+	acct *accounting.Accountant
 
 	// Telemetry. All fields are nil-safe: an uninstrumented Master pays
 	// only no-op calls.
@@ -88,6 +96,7 @@ func NewMaster(net *simnet.Network, ip simnet.IP, daemons []*Daemon) (*Master, e
 		net:      net,
 		daemons:  daemons,
 		services: make(map[string]*Service),
+		settled:  make(map[string]accounting.Usage),
 	}, nil
 }
 
@@ -114,6 +123,92 @@ func (m *Master) Instrument(reg *telemetry.Registry, tracer *telemetry.Tracer) {
 	m.admittedCtr.Add(int64(m.Admitted))
 	m.rejectedCtr.Add(int64(m.Rejected))
 	m.activeServices.Set(float64(len(m.services)))
+}
+
+// EnableAccounting attaches the usage-metering and SLO-evaluation
+// subsystem: every Active service is watched, resizes re-watch with the
+// new node set, teardowns settle the final bill, and violations surface
+// as EventSLOViolation to the Master's observers.
+func (m *Master) EnableAccounting(a *accounting.Accountant) {
+	m.acct = a
+	if a == nil {
+		return
+	}
+	a.OnViolation(func(v accounting.Violation) {
+		m.emit(EventSLOViolation, v.Service, "", v.Detail)
+	})
+	// Services already active (accounting enabled late) start metering
+	// from now.
+	for _, svc := range m.services {
+		if svc.State == Active {
+			m.watchService(svc)
+		}
+	}
+}
+
+// Accountant returns the attached accountant (nil when accounting is
+// disabled).
+func (m *Master) Accountant() *accounting.Accountant { return m.acct }
+
+// UsageTotals returns a service's live cumulative metered usage.
+func (m *Master) UsageTotals(name string) (accounting.Usage, bool) {
+	if m.acct == nil {
+		return accounting.Usage{}, false
+	}
+	return m.acct.Totals(name)
+}
+
+// SettledUsage returns — and consumes — the final metered usage of a
+// torn-down service.
+func (m *Master) SettledUsage(name string) (accounting.Usage, bool) {
+	u, ok := m.settled[name]
+	if ok {
+		delete(m.settled, name)
+	}
+	return u, ok
+}
+
+// nodeRefs converts a service's node records into meter references.
+func nodeRefs(svc *Service) []accounting.NodeRef {
+	refs := make([]accounting.NodeRef, 0, len(svc.Nodes))
+	for _, n := range svc.Nodes {
+		ref := accounting.NodeRef{Name: n.NodeName, UID: n.UID, IP: n.IP}
+		if n.Guest != nil {
+			ref.Host = n.Guest.Host()
+		}
+		refs = append(refs, ref)
+	}
+	return refs
+}
+
+// watchService (re-)registers a service with the accountant. Called when
+// a service turns Active and again after every resize; the accountant
+// preserves accumulated usage across re-watches.
+func (m *Master) watchService(svc *Service) {
+	if m.acct == nil {
+		return
+	}
+	cfg := accounting.WatchConfig{
+		Service: svc.Spec.Name,
+		SLO:     svc.Spec.SLO,
+		Nodes:   nodeRefs(svc),
+		Net:     m.net,
+		Reserved: func() accounting.ReservedResources {
+			k := svc.TotalCapacity()
+			mc := svc.Spec.Requirement.M
+			return accounting.ReservedResources{
+				CPUMHz:   float64(mc.CPUMHz * k),
+				MemoryMB: float64(mc.MemoryMB * k),
+				DiskMB:   float64(mc.DiskMB * k),
+			}
+		},
+	}
+	if sw := svc.Switch; sw != nil {
+		cfg.Latency = sw.LatencyHistogram()
+		cfg.Routed = func() int64 { return int64(sw.Routed()) }
+		cfg.Dropped = func() int64 { return int64(sw.Dropped()) }
+	}
+	m.acct.Watch(cfg)
 }
 
 // Tracer returns the Master's span tracer (nil when uninstrumented).
@@ -218,6 +313,7 @@ func (m *Master) CreateService(spec ServiceSpec, onDone func(*Service), onErr fu
 		build.EndSpan()
 		svc.State = Active
 		root.EndSpan()
+		m.watchService(svc)
 		m.emit(EventServiceActive, spec.Name, "",
 			fmt.Sprintf("switch on %s, policy %s", svc.Nodes[0].NodeName, svc.Switch.Policy().Name()))
 		if onDone != nil {
@@ -314,6 +410,11 @@ func (m *Master) buildSwitch(svc *Service) error {
 	if err := svc.Config.SetEntries(entries); err != nil {
 		return err
 	}
+	if svc.Spec.SLO.Enabled() {
+		if err := svc.Config.SetSLO(svc.Spec.SLO); err != nil {
+			return err
+		}
+	}
 	home := &appsvc.GuestBackend{G: svc.Nodes[0].Guest}
 	svc.Switch = svcswitch.New(m.net, home, svc.Config)
 	if m.reg != nil {
@@ -360,6 +461,11 @@ func (m *Master) TeardownService(name string) error {
 	}
 	svc.State = TornDown
 	delete(m.services, name)
+	if m.acct != nil {
+		if u, watched := m.acct.Unwatch(name); watched {
+			m.settled[name] = u
+		}
+	}
 	m.activeServices.Set(float64(len(m.services)))
 	m.tornDownCtr.Inc()
 	m.emit(EventTornDown, name, "", "")

@@ -113,15 +113,7 @@ func (a *Agent) ServiceStatus(credential, serviceName string) (*ServiceStatus, e
 	if err != nil {
 		return nil, err
 	}
-	acct := a.billing[asp]
-	owned := false
-	for _, open := range acct.OpenServices() {
-		if open == serviceName {
-			owned = true
-			break
-		}
-	}
-	if !owned {
+	if !a.ownsService(asp, serviceName) {
 		return nil, fmt.Errorf("soda: ASP %s does not own service %q", asp, serviceName)
 	}
 	return a.master.Status(serviceName)

@@ -111,6 +111,10 @@ type ServiceSpec struct {
 	SwitchPolicy svcswitch.Policy
 	// Port is the service's listen port; 0 means the conventional 8080.
 	Port int
+	// SLO is the service-level objective the platform meters the service
+	// against; the zero value disables evaluation (metering still runs).
+	// It is recorded in the service configuration file.
+	SLO svcswitch.SLO
 }
 
 // Validate reports the first problem with the spec, or nil.
@@ -122,6 +126,9 @@ func (s ServiceSpec) Validate() error {
 		return fmt.Errorf("soda: service %s without an image", s.Name)
 	case s.Repository == "":
 		return fmt.Errorf("soda: service %s without an image repository", s.Name)
+	}
+	if err := s.SLO.Validate(); err != nil {
+		return err
 	}
 	return s.Requirement.Validate()
 }
@@ -140,6 +147,10 @@ type NodeInfo struct {
 	Port int
 	// Capacity is the number of machine instances M mapped to the node.
 	Capacity int
+	// UID is the userid the host's scheduler accounts the node's CPU
+	// under (§3.3's per-service userid); the accounting meter reads
+	// cycle odometers by it.
+	UID int
 	// Guest is the running guest OS.
 	Guest *uml.Guest
 	// DownloadTime is how long the image transfer took (§4.3's in-text

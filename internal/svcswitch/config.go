@@ -65,6 +65,7 @@ type ConfigFile struct {
 	mu      sync.RWMutex
 	version atomic.Int64
 	entries []BackendEntry // immutable once installed; replaced wholesale
+	slo     SLO            // service-level objective; zero = none
 }
 
 // NewConfigFile returns an empty configuration for a service.
@@ -162,6 +163,11 @@ func (c *ConfigFile) Render() string {
 	version, entries := c.Snapshot()
 	var b strings.Builder
 	fmt.Fprintf(&b, "# service %s (version %d)\n", c.ServiceName, version)
+	// The SLO rides along as a comment so the Table 3 directive shape is
+	// untouched for services without one.
+	if slo := c.SLO(); slo.Enabled() {
+		fmt.Fprintf(&b, "# slo %s\n", slo)
+	}
 	for _, e := range entries {
 		if e.Component != "" {
 			fmt.Fprintf(&b, "BackEnd %s %d %d %s\n", e.IP, e.Port, e.Capacity, e.Component)

@@ -1,0 +1,104 @@
+package svcswitch
+
+import (
+	"fmt"
+	"time"
+)
+
+// SLO is the service-level objective attached to a service configuration
+// file: the contract the hosting platform meters the service against.
+// The zero value means "no SLO" — metering still runs, evaluation does
+// not. Targets follow SRE convention: LatencyQuantile of the requests
+// must complete under LatencyTarget, Availability of the requests must
+// not be dropped, and the platform must deliver at least MinCPUMHz of
+// CPU when the service demands it.
+type SLO struct {
+	// LatencyTarget is the response-time bound (0 = no latency SLO).
+	LatencyTarget time.Duration
+	// LatencyQuantile is the fraction of requests that must meet
+	// LatencyTarget, e.g. 0.99 for a p99 target. Defaults to 0.99 when a
+	// LatencyTarget is set without one.
+	LatencyQuantile float64
+	// Availability is the fraction of requests that must not be dropped
+	// (0 = no availability SLO).
+	Availability float64
+	// MinCPUMHz is the minimum CPU delivery under contention
+	// (0 = no CPU SLO).
+	MinCPUMHz float64
+}
+
+// Enabled reports whether any objective is set.
+func (s SLO) Enabled() bool {
+	return s.LatencyTarget > 0 || s.Availability > 0 || s.MinCPUMHz > 0
+}
+
+// Normalize fills defaulted fields: a latency target without a quantile
+// becomes a p99 objective.
+func (s SLO) Normalize() SLO {
+	if s.LatencyTarget > 0 && s.LatencyQuantile == 0 {
+		s.LatencyQuantile = 0.99
+	}
+	return s
+}
+
+// Validate reports the first problem with the objective, or nil. The
+// zero SLO is valid (disabled).
+func (s SLO) Validate() error {
+	switch {
+	case s.LatencyTarget < 0:
+		return fmt.Errorf("svcswitch: SLO with negative latency target")
+	case s.LatencyQuantile != 0 && (s.LatencyQuantile < 0 || s.LatencyQuantile >= 1):
+		return fmt.Errorf("svcswitch: SLO latency quantile %v outside [0, 1)", s.LatencyQuantile)
+	case s.Availability != 0 && (s.Availability < 0 || s.Availability >= 1):
+		return fmt.Errorf("svcswitch: SLO availability %v outside [0, 1)", s.Availability)
+	case s.MinCPUMHz < 0:
+		return fmt.Errorf("svcswitch: SLO with negative CPU floor")
+	}
+	return nil
+}
+
+// String renders the enabled objectives, for config files and traces.
+func (s SLO) String() string {
+	if !s.Enabled() {
+		return "none"
+	}
+	s = s.Normalize()
+	out := ""
+	if s.LatencyTarget > 0 {
+		out += fmt.Sprintf("p%g<%v", s.LatencyQuantile*100, s.LatencyTarget)
+	}
+	if s.Availability > 0 {
+		if out != "" {
+			out += " "
+		}
+		out += fmt.Sprintf("avail>=%g%%", s.Availability*100)
+	}
+	if s.MinCPUMHz > 0 {
+		if out != "" {
+			out += " "
+		}
+		out += fmt.Sprintf("cpu>=%gMHz", s.MinCPUMHz)
+	}
+	return out
+}
+
+// SetSLO attaches (or clears, with the zero value) the service's SLO,
+// bumping the file version so watchers notice.
+func (c *ConfigFile) SetSLO(s SLO) error {
+	if err := s.Validate(); err != nil {
+		return err
+	}
+	s = s.Normalize()
+	c.mu.Lock()
+	c.slo = s
+	c.version.Add(1)
+	c.mu.Unlock()
+	return nil
+}
+
+// SLO returns the attached objective (zero value when none).
+func (c *ConfigFile) SLO() SLO {
+	c.mu.RLock()
+	defer c.mu.RUnlock()
+	return c.slo
+}

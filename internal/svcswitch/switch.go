@@ -232,6 +232,11 @@ func (s *Switch) Dropped() int { return int(s.dropped.Value()) }
 // (dead, unbound, or mid-flight-failed backends).
 func (s *Switch) Retried() int { return int(s.retried.Value()) }
 
+// LatencyHistogram returns the end-to-end latency histogram, nil when
+// the switch is uninstrumented. The SLO evaluator diffs its snapshots
+// into per-window distributions.
+func (s *Switch) LatencyHistogram() *telemetry.Histogram { return s.latency }
+
 // backendHist returns the per-backend latency histogram, or nil when the
 // switch is uninstrumented.
 func (s *Switch) backendHist(addr string) *telemetry.Histogram {

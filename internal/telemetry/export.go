@@ -41,6 +41,69 @@ func (h HistogramSnapshot) Mean() float64 {
 	return h.Sum / float64(h.Count)
 }
 
+// Sub returns the windowed difference h − prev: the distribution of
+// observations recorded between the two snapshots of the same histogram.
+// Min/Max are not recoverable for a window and are zeroed. A prev taken
+// from a different histogram (mismatched bounds) yields h unchanged, as
+// does an empty prev.
+func (h HistogramSnapshot) Sub(prev HistogramSnapshot) HistogramSnapshot {
+	if prev.Count == 0 && len(prev.Buckets) == 0 {
+		return h
+	}
+	if len(prev.Bounds) != len(h.Bounds) || len(prev.Buckets) != len(h.Buckets) {
+		return h
+	}
+	out := HistogramSnapshot{
+		Name:    h.Name,
+		Labels:  h.Labels,
+		Count:   h.Count - prev.Count,
+		Sum:     h.Sum - prev.Sum,
+		Bounds:  h.Bounds,
+		Buckets: make([]int64, len(h.Buckets)),
+	}
+	for i := range h.Buckets {
+		out.Buckets[i] = h.Buckets[i] - prev.Buckets[i]
+	}
+	return out
+}
+
+// CountAbove estimates how many observations exceeded x, interpolating
+// linearly within the bucket containing x. The overflow bucket has no
+// upper bound, so its whole population counts as above any x at or past
+// the last bound — a deliberately conservative tail estimate.
+func (h HistogramSnapshot) CountAbove(x float64) float64 {
+	var above float64
+	for i, c := range h.Buckets {
+		if c <= 0 {
+			continue
+		}
+		lo := 0.0
+		if i > 0 {
+			lo = h.Bounds[i-1]
+		}
+		overflow := i >= len(h.Bounds)
+		switch {
+		case overflow || x <= lo:
+			above += float64(c)
+		case x >= h.Bounds[i]:
+			// Bucket entirely at or below x.
+		default:
+			hi := h.Bounds[i]
+			above += float64(c) * (hi - x) / (hi - lo)
+		}
+	}
+	return above
+}
+
+// FractionAbove is CountAbove normalised by the snapshot's population;
+// 0 with no observations.
+func (h HistogramSnapshot) FractionAbove(x float64) float64 {
+	if h.Count <= 0 {
+		return 0
+	}
+	return h.CountAbove(x) / float64(h.Count)
+}
+
 // Snapshot is a point-in-time copy of every registered instrument,
 // deterministically ordered by instrument key.
 type Snapshot struct {

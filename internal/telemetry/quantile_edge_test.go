@@ -1,0 +1,147 @@
+package telemetry
+
+// Edge cases of the histogram quantile and snapshot machinery that the
+// SLO evaluator leans on: empty histograms, a population concentrated in
+// a single bucket, and observations past the last bound (the overflow
+// bucket). The evaluator diffs cumulative snapshots and reads tail
+// fractions, so these paths must be exact about zeros and conservative
+// about the unbounded bucket.
+
+import (
+	"math"
+	"strings"
+	"testing"
+)
+
+func TestQuantileEmptyHistogram(t *testing.T) {
+	r := NewRegistry()
+	h := r.Histogram("empty_hist", nil)
+	for _, p := range []float64{0, 0.5, 0.99, 1} {
+		if q := h.Quantile(p); q != 0 {
+			t.Fatalf("Quantile(%v) on empty histogram = %v, want 0", p, q)
+		}
+	}
+	snap := h.Snapshot()
+	if snap.Count != 0 || snap.Sum != 0 {
+		t.Fatalf("empty snapshot = count %d sum %v", snap.Count, snap.Sum)
+	}
+	if got := snap.CountAbove(0.1); got != 0 {
+		t.Fatalf("CountAbove on empty snapshot = %v", got)
+	}
+	if got := snap.FractionAbove(0.1); got != 0 {
+		t.Fatalf("FractionAbove on empty snapshot = %v", got)
+	}
+	if got := snap.Mean(); got != 0 {
+		t.Fatalf("Mean on empty snapshot = %v", got)
+	}
+}
+
+func TestQuantileNilHistogram(t *testing.T) {
+	var h *Histogram
+	if q := h.Quantile(0.99); q != 0 {
+		t.Fatalf("nil Quantile = %v", q)
+	}
+	snap := h.Snapshot()
+	if snap.Count != 0 || len(snap.Buckets) != 0 {
+		t.Fatalf("nil Snapshot = %+v", snap)
+	}
+}
+
+func TestQuantileSingleBucket(t *testing.T) {
+	r := NewRegistry()
+	h := r.Histogram("single_bucket", []float64{1, 10, 100})
+	// Every observation identical, all landing in the (1, 10] bucket.
+	for i := 0; i < 50; i++ {
+		h.Observe(5)
+	}
+	for _, p := range []float64{0.01, 0.5, 0.99} {
+		q := h.Quantile(p)
+		// With min == max == 5 the interpolation range collapses to the
+		// exact value regardless of p.
+		if math.Abs(q-5) > 1e-9 {
+			t.Fatalf("Quantile(%v) = %v, want 5", p, q)
+		}
+	}
+	snap := h.Snapshot()
+	if snap.Count != 50 {
+		t.Fatalf("count = %d", snap.Count)
+	}
+	// All mass is above 1 and below 10.
+	if got := snap.CountAbove(1); math.Abs(got-50) > 1e-9 {
+		t.Fatalf("CountAbove(1) = %v, want 50", got)
+	}
+	if got := snap.CountAbove(10); got != 0 {
+		t.Fatalf("CountAbove(10) = %v, want 0", got)
+	}
+	// Interpolated split inside the bucket: (10-5.5)/(10-1) of 50.
+	want := 50 * (10 - 5.5) / (10 - 1)
+	if got := snap.CountAbove(5.5); math.Abs(got-want) > 1e-9 {
+		t.Fatalf("CountAbove(5.5) = %v, want %v", got, want)
+	}
+}
+
+func TestQuantileAllOverflow(t *testing.T) {
+	r := NewRegistry()
+	h := r.Histogram("overflow_hist", []float64{0.001, 0.01, 0.1})
+	// Every sample beyond the last bound.
+	for i := 0; i < 20; i++ {
+		h.Observe(3 + float64(i))
+	}
+	// Quantiles must stay within [last bound, max], not collapse to 0.
+	for _, p := range []float64{0.5, 0.99} {
+		q := h.Quantile(p)
+		if q < 0.1 || q > 22 {
+			t.Fatalf("Quantile(%v) = %v, want within (0.1, 22]", p, q)
+		}
+	}
+	snap := h.Snapshot()
+	// The overflow bucket is unbounded: its population counts as above
+	// any threshold at or past the last bound.
+	if got := snap.CountAbove(0.1); got != 20 {
+		t.Fatalf("CountAbove(0.1) = %v, want 20", got)
+	}
+	if got := snap.CountAbove(1000); got != 20 {
+		t.Fatalf("CountAbove(1000) = %v, want 20 (conservative overflow)", got)
+	}
+	if got := snap.FractionAbove(0.1); math.Abs(got-1) > 1e-9 {
+		t.Fatalf("FractionAbove(0.1) = %v, want 1", got)
+	}
+	// Exposition should render it without NaNs.
+	reg := r.Snapshot()
+	text := reg.RenderText()
+	if !strings.Contains(text, "overflow_hist") || strings.Contains(text, "NaN") {
+		t.Fatalf("RenderText = %q", text)
+	}
+}
+
+func TestSnapshotSubWindows(t *testing.T) {
+	r := NewRegistry()
+	h := r.Histogram("windowed", []float64{1, 10})
+	h.Observe(0.5)
+	h.Observe(5)
+	prev := h.Snapshot()
+	h.Observe(5)
+	h.Observe(50)
+	h.Observe(50)
+	cur := h.Snapshot()
+
+	win := cur.Sub(prev)
+	if win.Count != 3 {
+		t.Fatalf("window count = %d, want 3", win.Count)
+	}
+	if got := win.CountAbove(10); got != 2 {
+		t.Fatalf("window CountAbove(10) = %v, want 2", got)
+	}
+	if math.Abs(win.Sum-105) > 1e-9 {
+		t.Fatalf("window sum = %v, want 105", win.Sum)
+	}
+	// Sub against an empty prev returns the cumulative snapshot.
+	if got := cur.Sub(HistogramSnapshot{}); got.Count != cur.Count {
+		t.Fatalf("Sub(zero) count = %d, want %d", got.Count, cur.Count)
+	}
+	// Mismatched bounds (different histogram) must not corrupt counts.
+	other := r.Histogram("other_bounds", []float64{2}).Snapshot()
+	if got := cur.Sub(other); got.Count != cur.Count {
+		t.Fatalf("Sub(mismatched) count = %d, want %d", got.Count, cur.Count)
+	}
+}

@@ -231,9 +231,11 @@ func (h *Histogram) Quantile(p float64) float64 {
 			cum += c
 			continue
 		}
-		// The rank falls in bucket i.
+		// The rank falls in bucket i. Clamp both interpolation ends to
+		// the observed range: bounds say nothing tighter than min/max
+		// when the population concentrates in one bucket.
 		lo := h.min
-		if i > 0 {
+		if i > 0 && h.bounds[i-1] > lo {
 			lo = h.bounds[i-1]
 		}
 		hi := h.max
@@ -250,6 +252,17 @@ func (h *Histogram) Quantile(p float64) float64 {
 		return lo + (hi-lo)*frac
 	}
 	return h.max
+}
+
+// Snapshot copies the histogram's current cumulative state. Nil-safe:
+// a nil histogram yields the zero snapshot. Consumers that need windowed
+// distributions (the SLO evaluator) subtract successive snapshots with
+// HistogramSnapshot.Sub.
+func (h *Histogram) Snapshot() HistogramSnapshot {
+	if h == nil {
+		return HistogramSnapshot{}
+	}
+	return h.snapshot()
 }
 
 // snapshot copies the histogram state under the lock.
