@@ -1,0 +1,49 @@
+package main
+
+import (
+	"encoding/json"
+	"fmt"
+	"os"
+	"time"
+
+	"repro/internal/exp"
+)
+
+// chaosConfig parameterises the -chaos smoke run: the fault-lifecycle
+// experiment with an explicit seed and virtual duration, emitting a JSON
+// report for CI (BENCH_chaos.json).
+type chaosConfig struct {
+	seed     uint64
+	duration time.Duration // virtual time, not wall time
+	out      string
+}
+
+// runChaosCmd executes the chaos experiment and renders/saves the
+// report. The acceptance shape (detection, recovery, ≥90% throughput,
+// zero dead-routed requests, determinism) gates the exit code — after
+// the report is written, so CI keeps the artifact for a failing run.
+func runChaosCmd(cfg chaosConfig) int {
+	res, err := exp.RunChaosWith(cfg.seed, cfg.duration)
+	if err != nil {
+		fmt.Fprintf(os.Stderr, "chaos: %v\n", err)
+		return 1
+	}
+	fmt.Print(res.Render())
+	if cfg.out != "" {
+		data, err := json.MarshalIndent(res, "", "  ")
+		if err != nil {
+			fmt.Fprintf(os.Stderr, "chaos: %v\n", err)
+			return 1
+		}
+		if err := os.WriteFile(cfg.out, append(data, '\n'), 0o644); err != nil {
+			fmt.Fprintf(os.Stderr, "chaos: %v\n", err)
+			return 1
+		}
+		fmt.Printf("wrote %s\n", cfg.out)
+	}
+	if err := res.Shape(); err != nil {
+		fmt.Fprintf(os.Stderr, "chaos: FAILED: %v\n", err)
+		return 1
+	}
+	return 0
+}

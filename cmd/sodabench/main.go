@@ -16,6 +16,15 @@
 // real reverse proxy, concurrent keep-alive clients:
 //
 //	sodabench -throughput -backends 4 -conc 16 -duration 5s -out BENCH_pr2.json
+//
+// -chaos runs the fault-lifecycle smoke on the simulated testbed: a host
+// is crash-stopped mid-run and the run fails unless the failure detector
+// confirms the death, the switch ejects the dead backends, a replacement
+// node is primed, throughput recovers to ≥90% of pre-fault, and the same
+// seed reproduces the identical event sequence. -duration is virtual
+// time (the run itself takes well under a second of wall time):
+//
+//	sodabench -chaos -seed 1 -duration 20s -out BENCH_chaos.json
 package main
 
 import (
@@ -52,6 +61,7 @@ func experiments() []experiment {
 		{"acct", "accounting: metered CPU shares vs scheduler proportions", func() (exp.Result, error) { return exp.RunAccounting() }},
 		{"breakdown", "supplementary: per-stage response-time breakdown", func() (exp.Result, error) { return exp.RunBreakdown() }},
 		{"sweep-inflation", "sweep: inflation factor 1.0..2.0", func() (exp.Result, error) { return exp.RunInflationSweep() }},
+		{"chaos", "fault lifecycle: host crash, detection, self-healing recovery", func() (exp.Result, error) { return exp.RunChaos() }},
 	}
 }
 
@@ -59,14 +69,24 @@ func main() {
 	expFlag := flag.String("exp", "all", "experiment id to run, or 'all'")
 	list := flag.Bool("list", false, "list experiment ids and exit")
 	throughput := flag.Bool("throughput", false, "run the live proxy throughput benchmark instead of simulated experiments")
+	chaosFlag := flag.Bool("chaos", false, "run the fault-lifecycle smoke: crash a host mid-run, assert detection, recovery, and determinism")
+	seed := flag.Uint64("seed", 1, "chaos: fault schedule seed")
 	backends := flag.Int("backends", 4, "throughput: number of live backends")
 	conc := flag.Int("conc", 16, "throughput: concurrent clients")
-	duration := flag.Duration("duration", 5*time.Second, "throughput: measurement window")
+	duration := flag.Duration("duration", 5*time.Second, "throughput: wall-clock measurement window; chaos: virtual run length (use 20s)")
 	idlePerHost := flag.Int("idle-per-host", 0, "throughput: proxy transport MaxIdleConnsPerHost (0 = tuned default)")
 	out := flag.String("out", "", "throughput: write the JSON report to this file")
 	sloP99Ms := flag.Float64("slo-p99-ms", 0, "throughput: fail unless p99 latency is at or under this target (ms)")
 	sloAvail := flag.Float64("slo-availability", 0, "throughput: fail unless routed fraction meets this target (e.g. 0.999)")
 	flag.Parse()
+
+	if *chaosFlag {
+		os.Exit(runChaosCmd(chaosConfig{
+			seed:     *seed,
+			duration: *duration,
+			out:      *out,
+		}))
+	}
 
 	if *throughput {
 		os.Exit(runThroughputCmd(throughputConfig{

@@ -16,6 +16,7 @@
 //	sodactl -server http://localhost:7083 teardown -name web
 //	sodactl -server http://localhost:7083 hup
 //	sodactl -server http://localhost:7083 top
+//	sodactl -server http://localhost:7083 faults
 package main
 
 import (
@@ -47,7 +48,7 @@ func main() {
 	flag.Parse()
 
 	if flag.NArg() < 1 {
-		fmt.Fprintln(os.Stderr, "usage: sodactl [flags] publish|create|list|get|resize|status|usage|slo|probe|teardown|hup|top [flags]")
+		fmt.Fprintln(os.Stderr, "usage: sodactl [flags] publish|create|list|get|resize|status|usage|slo|probe|teardown|hup|top|faults [flags]")
 		os.Exit(2)
 	}
 	cmd := flag.Arg(0)
@@ -92,6 +93,8 @@ func main() {
 		err = do(http.MethodGet, *server+"/v1/hup", nil)
 	case "top":
 		err = top(*server)
+	case "faults":
+		err = faults(*server)
 	default:
 		fmt.Fprintf(os.Stderr, "sodactl: unknown command %q\n", cmd)
 		os.Exit(2)
@@ -253,6 +256,50 @@ func top(server string) error {
 		pt.AddRowf(h.Name, dlCount, dlMean, bootCount, bootMean)
 	}
 	fmt.Print(pt.String())
+	return nil
+}
+
+// faults fetches /faults and renders the fault lifecycle: failure
+// detector host states, standing injected faults, the injection log,
+// and the Master's recovery history with per-recovery MTTR.
+func faults(server string) error {
+	var view api.FaultsView
+	if err := fetchJSON(server+"/faults", &view); err != nil {
+		return err
+	}
+
+	ht := metrics.NewTable("Host health", "host", "state", "last-beat(s)", "beats")
+	for _, h := range view.Hosts {
+		ht.AddRowf(h.Host, h.State, h.LastBeat, h.Beats)
+	}
+	fmt.Println(ht.String())
+
+	if len(view.Active) > 0 {
+		fmt.Println("Active faults:")
+		for _, f := range view.Active {
+			fmt.Printf("  %s\n", f)
+		}
+		fmt.Println()
+	}
+	if len(view.Injections) > 0 {
+		fmt.Println("Injection history:")
+		for _, rec := range view.Injections {
+			fmt.Printf("  %s\n", rec)
+		}
+		fmt.Println()
+	}
+
+	if len(view.Recoveries) == 0 {
+		fmt.Println("no recoveries")
+		return nil
+	}
+	rt := metrics.NewTable("Recoveries", "t(s)", "service", "failed-node", "failed-host",
+		"new-node", "new-host", "mttr(s)", "ok", "detail")
+	for _, r := range view.Recoveries {
+		rt.AddRowf(fmt.Sprintf("%.2f", r.AtS), r.Service, r.FailedNode, r.FailedHost,
+			r.NewNode, r.NewHost, r.MTTRS, r.OK, r.Detail)
+	}
+	fmt.Print(rt.String())
 	return nil
 }
 

@@ -34,6 +34,7 @@ func main() {
 	seed := flag.Uint64("seed", 1, "simulation seed")
 	configPath := flag.String("config", "", "JSON scenario file describing the HUP (overrides -hosts/-seed)")
 	imageCache := flag.Bool("image-cache", false, "enable daemon-side master-image caching")
+	chaosFlag := flag.Bool("chaos", false, "enable self-healing and attach the fault injector (adds /faults)")
 	flag.Parse()
 
 	var cfg hup.Config
@@ -82,6 +83,13 @@ func main() {
 	// Per-service metering, billing, and SLO evaluation; /usage serves
 	// the reports and violations land in the event log below.
 	tb.EnableAccounting(accounting.Options{})
+	if *chaosFlag {
+		// Heartbeat failure detector, automatic node recovery, and the
+		// fault injector; /faults serves the detector state, standing
+		// faults, and recovery history.
+		tb.EnableSelfHealing(soda.HealthConfig{})
+		tb.EnableChaos(*seed)
+	}
 	// Stream the control-plane event trace to the log.
 	tb.Master.Observe(func(e soda.Event) {
 		log.Printf("sodad: %v", e)
@@ -99,6 +107,9 @@ func main() {
 	log.Printf("sodad: HUP with %d host(s) up; SODA API on %s (ASP %q)", len(tb.Hosts), *listen, *asp)
 	log.Printf("sodad: try: curl -s -X POST localhost%s/v1/images -d '{\"name\":\"web\",\"size_mb\":30}'", *listen)
 	log.Printf("sodad: metrics on %s/metrics, span trees on %s/trace, usage on %s/usage, pprof on %s/debug/pprof/", *listen, *listen, *listen, *listen)
+	if *chaosFlag {
+		log.Printf("sodad: self-healing on; fault state and recovery history on %s/faults", *listen)
+	}
 	if err := http.ListenAndServe(*listen, mux); err != nil {
 		log.Fatalf("sodad: %v", err)
 	}

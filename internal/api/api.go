@@ -132,7 +132,83 @@ func (s *Server) Handler() http.Handler {
 	mux.HandleFunc("GET /metrics", s.handleMetrics)
 	mux.HandleFunc("GET /trace", s.handleTrace)
 	mux.HandleFunc("GET /usage", s.handleUsage)
+	mux.HandleFunc("GET /faults", s.handleFaults)
 	return mux
+}
+
+// HostHealthView is the wire form of the failure detector's view of one
+// HUP host.
+type HostHealthView struct {
+	Host     string  `json:"host"`
+	State    string  `json:"state"`
+	LastBeat float64 `json:"last_beat_s"`
+	Beats    int     `json:"beats"`
+}
+
+// RecoveryView is the wire form of one node replacement.
+type RecoveryView struct {
+	AtS        float64 `json:"at_s"`
+	Service    string  `json:"service"`
+	FailedNode string  `json:"failed_node"`
+	FailedHost string  `json:"failed_host"`
+	NewNode    string  `json:"new_node,omitempty"`
+	NewHost    string  `json:"new_host,omitempty"`
+	MTTRS      float64 `json:"mttr_s"`
+	OK         bool    `json:"ok"`
+	Detail     string  `json:"detail,omitempty"`
+}
+
+// FaultsView is the body of GET /faults: detector host states, standing
+// injected faults, the injection log, and the recovery history. 404
+// until self-healing is enabled.
+type FaultsView struct {
+	Hosts      []HostHealthView `json:"hosts"`
+	Active     []string         `json:"active_faults,omitempty"`
+	Injections []string         `json:"injections,omitempty"`
+	Recoveries []RecoveryView   `json:"recoveries,omitempty"`
+}
+
+// handleFaults exposes the fault lifecycle: who is suspected or dead,
+// what the chaos injector currently has broken, and every recovery the
+// Master performed.
+func (s *Server) handleFaults(w http.ResponseWriter, r *http.Request) {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	if !s.tb.Master.HealthEnabled() {
+		writeErr(w, http.StatusNotFound, fmt.Errorf("api: self-healing not enabled"))
+		return
+	}
+	view := FaultsView{}
+	for _, hh := range s.tb.Master.HostHealth() {
+		view.Hosts = append(view.Hosts, HostHealthView{
+			Host:     hh.Host,
+			State:    hh.State.String(),
+			LastBeat: hh.LastBeat.Seconds(),
+			Beats:    hh.Beats,
+		})
+	}
+	if inj := s.tb.Chaos; inj != nil {
+		for _, f := range inj.ActiveFaults() {
+			view.Active = append(view.Active, f.String())
+		}
+		for _, rec := range inj.History() {
+			view.Injections = append(view.Injections, rec.String())
+		}
+	}
+	for _, rec := range s.tb.Master.Recoveries() {
+		view.Recoveries = append(view.Recoveries, RecoveryView{
+			AtS:        rec.At.Seconds(),
+			Service:    rec.Service,
+			FailedNode: rec.FailedNode,
+			FailedHost: rec.FailedHost,
+			NewNode:    rec.NewNode,
+			NewHost:    rec.NewHost,
+			MTTRS:      rec.MTTR.Seconds(),
+			OK:         rec.OK,
+			Detail:     rec.Detail,
+		})
+	}
+	writeJSON(w, http.StatusOK, view)
 }
 
 // AccountView is the wire form of an ASP's bill.

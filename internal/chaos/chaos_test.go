@@ -1,0 +1,143 @@
+package chaos_test
+
+import (
+	"errors"
+	"fmt"
+	"reflect"
+	"testing"
+
+	"repro/internal/chaos"
+	"repro/internal/hup"
+	"repro/internal/image"
+	"repro/internal/sim"
+)
+
+// Injector tests: scripted faults land on the right testbed parts at the
+// right virtual times, heals undo them, and the same seed replays the
+// identical sequence.
+
+func armedTestbed(t *testing.T, seed uint64) (*hup.Testbed, *chaos.Injector) {
+	t.Helper()
+	tb, err := hup.New(hup.Config{Seed: 11})
+	if err != nil {
+		t.Fatal(err)
+	}
+	return tb, tb.EnableChaos(seed)
+}
+
+func TestHostCrashAndAutoRestore(t *testing.T) {
+	tb, inj := armedTestbed(t, 3)
+	inj.Schedule(chaos.Fault{At: sim.Second, Kind: chaos.HostCrash, Host: "tacoma", Duration: 2 * sim.Second})
+	inj.Arm()
+	tb.K.RunFor(1500 * sim.Millisecond)
+	if !tb.Daemons[1].Crashed() {
+		t.Fatal("tacoma not crashed at t=1.5s")
+	}
+	if len(inj.ActiveFaults()) != 1 {
+		t.Fatalf("active faults = %v", inj.ActiveFaults())
+	}
+	tb.K.RunFor(2 * sim.Second) // past the auto-heal at t=3s
+	if tb.Daemons[1].Crashed() {
+		t.Fatal("tacoma not restored after Duration")
+	}
+	if len(inj.ActiveFaults()) != 0 {
+		t.Fatalf("active faults after heal = %v", inj.ActiveFaults())
+	}
+	hist := inj.History()
+	if len(hist) != 2 || hist[0].Fault.Kind != chaos.HostCrash || hist[1].Fault.Kind != chaos.HostRestore || !hist[1].Healed {
+		t.Fatalf("history = %v", hist)
+	}
+}
+
+func TestPartitionBlocksControlPlaneTraffic(t *testing.T) {
+	tb, inj := armedTestbed(t, 3)
+	inj.Schedule(chaos.Fault{At: 0, Kind: chaos.Partition, Host: "seattle", Peer: "tacoma", Duration: sim.Second})
+	inj.Arm()
+	tb.K.RunFor(sim.Millisecond) // apply the partition
+	delivered := false
+	// Host IPs from the hup layout: seattle=128.10.9.10, tacoma=128.10.9.11.
+	if err := tb.Net.Transfer("128.10.9.10", "128.10.9.11", 64, func() { delivered = true }); err != nil {
+		t.Fatal(err)
+	}
+	tb.K.RunFor(100 * sim.Millisecond)
+	if delivered {
+		t.Fatal("transfer crossed the partition")
+	}
+	tb.K.RunFor(sim.Second) // heal
+	if err := tb.Net.Transfer("128.10.9.10", "128.10.9.11", 64, func() { delivered = true }); err != nil {
+		t.Fatal(err)
+	}
+	tb.K.RunFor(100 * sim.Millisecond)
+	if !delivered {
+		t.Fatal("transfer dropped after the partition healed")
+	}
+}
+
+func TestImageFaultFailsDownloadsUntilHealed(t *testing.T) {
+	tb, inj := armedTestbed(t, 3)
+	img := hup.WebContentImage("web", 1)
+	if err := tb.Publish(img); err != nil {
+		t.Fatal(err)
+	}
+	inj.Schedule(chaos.Fault{At: 0, Kind: chaos.ImageFault, Image: "web", Mode: image.FaultError, Duration: sim.Second})
+	inj.Arm()
+	tb.K.RunFor(sim.Millisecond)
+	var gotErr error
+	tb.Repo.Download("web", "128.10.9.10", func(*image.Image) { t.Error("faulted download delivered") },
+		func(err error) { gotErr = err })
+	tb.K.RunFor(100 * sim.Millisecond)
+	if gotErr == nil || !errors.Is(gotErr, image.ErrTransient) {
+		t.Fatalf("err = %v, want ErrTransient", gotErr)
+	}
+	tb.K.RunFor(sim.Second) // heal
+	var got *image.Image
+	tb.Repo.Download("web", "128.10.9.10", func(c *image.Image) { got = c }, func(err error) { t.Error(err) })
+	tb.K.RunFor(10 * sim.Second)
+	if got == nil {
+		t.Fatal("download still failing after image fault healed")
+	}
+}
+
+func TestScheduleAfterArmPanics(t *testing.T) {
+	_, inj := armedTestbed(t, 3)
+	inj.Arm()
+	defer func() {
+		if recover() == nil {
+			t.Fatal("Schedule after Arm did not panic")
+		}
+	}()
+	inj.Schedule(chaos.Fault{Kind: chaos.HostCrash, Host: "seattle"})
+}
+
+func TestSameSeedReplaysIdenticalHistory(t *testing.T) {
+	run := func() []string {
+		tb, inj := armedTestbed(t, 7)
+		inj.Schedule(chaos.Fault{At: 200 * sim.Millisecond, Kind: chaos.LinkFault,
+			Host: "seattle", Peer: "tacoma", Loss: 0.5, Duration: sim.Second})
+		inj.Schedule(chaos.Fault{At: 500 * sim.Millisecond, Kind: chaos.HostCrash,
+			Host: "tacoma", Duration: sim.Second})
+		inj.Arm()
+		// Push lossy traffic so the fault RNG actually draws.
+		delivered := 0
+		for i := 0; i < 50; i++ {
+			i := i
+			tb.K.After(sim.Duration(i*20)*sim.Millisecond, func() {
+				tb.Net.Transfer("128.10.9.10", "128.10.9.11", 64, func() { delivered++ })
+			})
+		}
+		tb.K.RunFor(3 * sim.Second)
+		out := []string{}
+		for _, r := range inj.History() {
+			out = append(out, r.String())
+		}
+		out = append(out, fmt.Sprintf("delivered=%d", delivered))
+		return out
+	}
+	a, b := run(), run()
+	if !reflect.DeepEqual(a, b) {
+		t.Fatalf("same seed diverged:\n%v\nvs\n%v", a, b)
+	}
+	if len(a) < 4 {
+		t.Fatalf("history too short: %v", a)
+	}
+}

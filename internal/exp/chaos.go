@@ -1,0 +1,314 @@
+package exp
+
+import (
+	"fmt"
+	"strings"
+
+	"repro/internal/appsvc"
+	"repro/internal/chaos"
+	"repro/internal/hostos"
+	"repro/internal/hup"
+	"repro/internal/sim"
+	"repro/internal/soda"
+	"repro/internal/svcswitch"
+	"repro/internal/workload"
+)
+
+// ChaosResult is the fault-lifecycle experiment: a scripted host crash
+// mid-run, the Master's detection and recovery, and the throughput cost.
+// All fields are JSON-tagged so sodabench -chaos can emit the run as a
+// machine-readable report (BENCH_chaos.json in CI).
+type ChaosResult struct {
+	Seed           uint64  `json:"seed"`
+	VirtualSeconds float64 `json:"virtual_seconds"`
+	// CrashHost is the HUP host crash-stopped at CrashAtS.
+	CrashHost string  `json:"crash_host"`
+	CrashAtS  float64 `json:"crash_at_s"`
+	// DetectS is crash → EventHostDead; MTTRS is detection → first
+	// successful replacement. Negative means it never happened.
+	DetectS float64 `json:"detect_s"`
+	MTTRS   float64 `json:"mttr_s"`
+	// PreRate and PostRate are completed requests per second in the
+	// windows before the crash and after recovery settles.
+	PreRate       float64 `json:"pre_rate_rps"`
+	PostRate      float64 `json:"post_rate_rps"`
+	RecoveryRatio float64 `json:"recovery_ratio"`
+	// Client-side request accounting.
+	Issued    int `json:"issued"`
+	Completed int `json:"completed"`
+	Timeouts  int `json:"timeouts"`
+	Errors    int `json:"errors"`
+	// Ejected counts passive-health ejections; DeadRouted counts
+	// requests completed by a dead backend after detection plus one
+	// probe interval (must be zero).
+	Ejected    int `json:"ejected"`
+	DeadRouted int `json:"dead_routed"`
+	// Recoveries / RecoveryFailures count replacement outcomes.
+	Recoveries       int `json:"recoveries"`
+	RecoveryFailures int `json:"recovery_failures"`
+	// FinalCapacity vs WantCapacity: machine instances after recovery.
+	FinalCapacity int `json:"final_capacity"`
+	WantCapacity  int `json:"want_capacity"`
+	// EventSeq is the fault-lifecycle event sequence; FaultLog the
+	// injector's history. Both must be identical across same-seed runs.
+	EventSeq []string `json:"event_seq"`
+	FaultLog []string `json:"fault_log"`
+	// Deterministic reports whether a second same-seed run reproduced
+	// EventSeq and FaultLog exactly.
+	Deterministic bool `json:"deterministic"`
+}
+
+// olympia is the third HUP host of the chaos testbed — a second
+// tacoma-class machine, so the service spreads over three hosts and a
+// crash always leaves spare capacity somewhere.
+func olympia() hostos.Spec {
+	spec := hostos.Tacoma()
+	spec.Name = "olympia"
+	return spec
+}
+
+// chaosDetector is the fast tuning the experiment runs under: 100 ms
+// heartbeats, suspect after 3 missed, confirm after 6, recovery retry
+// every 500 ms, 3-strike ejection with 200 ms half-open probes.
+func chaosDetector() soda.HealthConfig {
+	return soda.HealthConfig{
+		HeartbeatEvery: 100 * sim.Millisecond,
+		SuspectAfter:   300 * sim.Millisecond,
+		ConfirmAfter:   600 * sim.Millisecond,
+		CheckEvery:     50 * sim.Millisecond,
+		RetryRecovery:  500 * sim.Millisecond,
+		EjectAfter:     3,
+		ProbeAfter:     200 * sim.Millisecond,
+	}
+}
+
+// RunChaos runs the default chaos experiment: seed 1, 20 virtual
+// seconds.
+func RunChaos() (*ChaosResult, error) { return RunChaosWith(1, 20*sim.Second) }
+
+// RunChaosWith executes the fault-lifecycle experiment twice with the
+// same seed — the second run only to verify the fault schedule and
+// recovery event sequence are bit-identical — and returns the first
+// run's measurements.
+func RunChaosWith(seed uint64, total sim.Duration) (*ChaosResult, error) {
+	if total < 3*sim.Second {
+		return nil, fmt.Errorf("chaos: run of %v too short to fit detection and recovery", total)
+	}
+	res, err := chaosRun(seed, total)
+	if err != nil {
+		return nil, err
+	}
+	rerun, err := chaosRun(seed, total)
+	if err != nil {
+		return nil, err
+	}
+	res.Deterministic = eqStrings(res.EventSeq, rerun.EventSeq) && eqStrings(res.FaultLog, rerun.FaultLog)
+	return res, nil
+}
+
+func eqStrings(a, b []string) bool {
+	if len(a) != len(b) {
+		return false
+	}
+	for i := range a {
+		if a[i] != b[i] {
+			return false
+		}
+	}
+	return true
+}
+
+// chaosRun performs one measured run.
+func chaosRun(seed uint64, total sim.Duration) (*ChaosResult, error) {
+	tb, err := hup.New(hup.Config{
+		Hosts: []hostos.Spec{hostos.Seattle(), hostos.Tacoma(), olympia()},
+		Seed:  seed,
+	})
+	if err != nil {
+		return nil, err
+	}
+	if err := tb.Agent.RegisterASP("asp", "secret"); err != nil {
+		return nil, err
+	}
+	tb.EnableSelfHealing(chaosDetector())
+	inj := tb.EnableChaos(seed)
+
+	img := hup.WebContentImage("web", 8)
+	if err := tb.Publish(img); err != nil {
+		return nil, err
+	}
+	wd := hup.NewWebDeployment(tb, appsvc.DefaultWebParams(64))
+	svc, err := tb.CreateService("secret", soda.ServiceSpec{
+		Name:         "web",
+		ImageName:    img.Name,
+		Repository:   hup.RepoIP,
+		Requirement:  soda.Requirement{N: 2, M: defaultM()},
+		GuestProfile: img.SystemServices,
+		Behavior:     wd.Behavior(),
+	})
+	if err != nil {
+		return nil, err
+	}
+	if len(svc.Nodes) < 2 {
+		return nil, fmt.Errorf("chaos: service landed on %d node(s), need 2+ to crash a non-home host", len(svc.Nodes))
+	}
+
+	res := &ChaosResult{
+		Seed:           seed,
+		VirtualSeconds: total.Seconds(),
+		WantCapacity:   svc.TotalCapacity(),
+	}
+
+	// Crash a non-home host: the switch keeps running, so detection and
+	// re-routing — not switch loss — are what is measured.
+	victim := svc.Nodes[1].HostName
+	res.CrashHost = victim
+	deadAddrs := make(map[string]bool)
+	for _, n := range svc.Nodes {
+		if n.HostName == victim {
+			deadAddrs[fmt.Sprintf("%s:%d", n.IP, n.Port)] = true
+		}
+	}
+
+	t0 := tb.K.Now() // creation already consumed virtual time
+	crashAt := sim.Duration(float64(total) * 0.35)
+	crashTime := t0.Add(crashAt)
+	res.CrashAtS = crashAt.Seconds()
+	probe := chaosDetector().ProbeAfter
+
+	var detectTime sim.Time
+	tb.Master.Observe(func(e soda.Event) {
+		switch e.Kind {
+		case soda.EventNodeFailed, soda.EventNodeRecovered, soda.EventHostSuspected,
+			soda.EventHostDead, soda.EventHostAlive, soda.EventRecoveryFailed:
+			res.EventSeq = append(res.EventSeq, e.String())
+			if e.Kind == soda.EventHostDead && detectTime == 0 {
+				detectTime = e.At
+			}
+		}
+	})
+
+	// Throughput windows: pre-fault [0.1·D, crash), post-recovery
+	// [0.75·D, D). Completions are counted where they finish.
+	preLo, preHi := t0.Add(total/10), crashTime
+	postLo, postHi := t0.Add(sim.Duration(float64(total)*0.75)), t0.Add(total)
+	var preCount, postCount int
+	svc.Switch.OnTrace(func(tr svcswitch.Trace) {
+		if tr.Dropped {
+			return
+		}
+		c := tr.Completed
+		if !c.Before(preLo) && c.Before(preHi) {
+			preCount++
+		}
+		if !c.Before(postLo) && c.Before(postHi) {
+			postCount++
+		}
+		if deadAddrs[tr.Backend] && detectTime > 0 && !c.Before(detectTime.Add(probe)) {
+			res.DeadRouted++
+		}
+	})
+
+	inj.Schedule(chaos.Fault{At: crashAt, Kind: chaos.HostCrash, Host: victim})
+	inj.Arm()
+
+	gen := workload.NewGenerator(tb.K, hup.SwitchTarget{Switch: svc.Switch}, tb.AddClient(), tb.RNG.Split())
+	gen.Timeout = sim.Second
+	gen.RunClosedLoop(12, 20*sim.Millisecond)
+	tb.K.RunUntil(t0.Add(total))
+	gen.Stop()
+	tb.K.RunUntil(t0.Add(total + 2*sim.Second)) // drain in-flight requests
+
+	res.PreRate = float64(preCount) / preHi.Sub(preLo).Seconds()
+	res.PostRate = float64(postCount) / postHi.Sub(postLo).Seconds()
+	if res.PreRate > 0 {
+		res.RecoveryRatio = res.PostRate / res.PreRate
+	}
+	res.Issued, res.Completed = gen.Issued, gen.Completed
+	res.Timeouts, res.Errors = gen.Timeouts, gen.Errors
+	res.Ejected = svc.Switch.EjectedTotal()
+	res.FinalCapacity = svc.TotalCapacity()
+	res.DetectS = -1
+	if detectTime > 0 {
+		res.DetectS = detectTime.Sub(crashTime).Seconds()
+	}
+	res.MTTRS = -1
+	for _, r := range tb.Master.Recoveries() {
+		if r.OK {
+			res.Recoveries++
+			if res.MTTRS < 0 {
+				res.MTTRS = r.MTTR.Seconds()
+			}
+		} else {
+			res.RecoveryFailures++
+		}
+	}
+	for _, r := range inj.History() {
+		res.FaultLog = append(res.FaultLog, r.String())
+	}
+	return res, nil
+}
+
+// Title implements Result.
+func (*ChaosResult) Title() string {
+	return "Fault lifecycle: host crash mid-run — detection, self-healing recovery, throughput cost"
+}
+
+// Shape evaluates the acceptance criteria; the error lists every miss.
+func (r *ChaosResult) Shape() error {
+	var misses []string
+	if r.DetectS < 0 {
+		misses = append(misses, "host death never detected")
+	}
+	if r.Recoveries < 1 {
+		misses = append(misses, "no successful recovery")
+	}
+	if r.Ejected < 1 {
+		misses = append(misses, "dead backend never ejected")
+	}
+	if r.DeadRouted != 0 {
+		misses = append(misses, fmt.Sprintf("%d request(s) served by dead backends after detection", r.DeadRouted))
+	}
+	if r.RecoveryRatio < 0.9 {
+		misses = append(misses, fmt.Sprintf("post-fault throughput %.2f of pre-fault (< 0.90)", r.RecoveryRatio))
+	}
+	if r.FinalCapacity < r.WantCapacity {
+		misses = append(misses, fmt.Sprintf("capacity %d < reserved %d", r.FinalCapacity, r.WantCapacity))
+	}
+	if !r.Deterministic {
+		misses = append(misses, "same seed did not reproduce the event sequence")
+	}
+	if len(misses) > 0 {
+		return fmt.Errorf("chaos: %s", strings.Join(misses, "; "))
+	}
+	return nil
+}
+
+// Render implements Result.
+func (r *ChaosResult) Render() string {
+	var b strings.Builder
+	b.WriteString(r.Title() + "\n\n")
+	fmt.Fprintf(&b, "  seed %d, %.0fs virtual; crash-stop %s at %.1fs\n",
+		r.Seed, r.VirtualSeconds, r.CrashHost, r.CrashAtS)
+	fmt.Fprintf(&b, "  detection %.2fs after crash; first recovery %.2fs after detection (%d ok, %d retried)\n",
+		r.DetectS, r.MTTRS, r.Recoveries, r.RecoveryFailures)
+	fmt.Fprintf(&b, "  throughput %.0f req/s pre-fault -> %.0f req/s post-recovery (ratio %.2f)\n",
+		r.PreRate, r.PostRate, r.RecoveryRatio)
+	fmt.Fprintf(&b, "  clients: %d issued, %d completed, %d timed out, %d errors\n",
+		r.Issued, r.Completed, r.Timeouts, r.Errors)
+	fmt.Fprintf(&b, "  switch: %d ejection(s), %d completion(s) by dead backends after detection\n",
+		r.Ejected, r.DeadRouted)
+	fmt.Fprintf(&b, "  capacity %d/%d machine instance(s) after recovery\n\n", r.FinalCapacity, r.WantCapacity)
+	for _, e := range r.EventSeq {
+		b.WriteString("  " + e + "\n")
+	}
+	b.WriteString("\n")
+	b.WriteString(shapeCheck("host death detected by heartbeat deadline", r.DetectS >= 0) + "\n")
+	b.WriteString(shapeCheck("replacement node primed on a surviving host", r.Recoveries >= 1) + "\n")
+	b.WriteString(shapeCheck("switch ejected the dead backend", r.Ejected >= 1) + "\n")
+	b.WriteString(shapeCheck("no requests served by dead backends after detection (+1 probe)", r.DeadRouted == 0) + "\n")
+	b.WriteString(shapeCheck("post-fault throughput ≥ 90% of pre-fault", r.RecoveryRatio >= 0.9) + "\n")
+	b.WriteString(shapeCheck("reserved capacity fully restored", r.FinalCapacity >= r.WantCapacity) + "\n")
+	b.WriteString(shapeCheck("same seed reproduces the identical fault schedule and event sequence", r.Deterministic) + "\n")
+	return b.String()
+}

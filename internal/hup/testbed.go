@@ -11,6 +11,7 @@ import (
 	"fmt"
 
 	"repro/internal/accounting"
+	"repro/internal/chaos"
 	"repro/internal/hostos"
 	"repro/internal/hostos/sched"
 	"repro/internal/image"
@@ -60,6 +61,9 @@ type Testbed struct {
 
 	// Accountant is nil until EnableAccounting.
 	Accountant *accounting.Accountant
+
+	// Chaos is nil until EnableChaos.
+	Chaos *chaos.Injector
 
 	clients int
 }
@@ -203,6 +207,35 @@ func (tb *Testbed) EnableAccounting(opt accounting.Options) *accounting.Accounta
 	})
 	tb.Accountant = acct
 	return acct
+}
+
+// EnableSelfHealing turns on the Master's heartbeat failure detector,
+// automatic node recovery, and passive per-backend switch health.
+// Telemetry is enabled implicitly so recovery counters and MTTR
+// histograms have a registry. Zero-valued cfg fields take the soda
+// defaults.
+func (tb *Testbed) EnableSelfHealing(cfg soda.HealthConfig) {
+	tb.EnableTelemetry()
+	tb.Master.EnableHealth(cfg)
+}
+
+// EnableChaos attaches a fault injector to the testbed. Its randomness
+// derives from seed alone — independent of the testbed's main RNG
+// stream, so a chaos run's fault-free prefix is identical to the same
+// run without chaos. Idempotent; the seed of the first call wins.
+func (tb *Testbed) EnableChaos(seed uint64) *chaos.Injector {
+	if tb.Chaos != nil {
+		return tb.Chaos
+	}
+	tb.Chaos = chaos.New(chaos.Config{
+		Kernel:  tb.K,
+		Net:     tb.Net,
+		Master:  tb.Master,
+		Daemons: tb.Daemons,
+		Repo:    tb.Repo,
+		Seed:    seed,
+	})
+	return tb.Chaos
 }
 
 // MustNew is New, panicking on error; for benchmarks and examples.

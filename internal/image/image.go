@@ -26,6 +26,78 @@ type Image struct {
 	// WorkerProcesses is how many server processes the service runs in
 	// its virtual service node (httpd pre-fork workers, etc.).
 	WorkerProcesses int
+	// Checksum is the publisher's digest over the image manifest. Zero
+	// means the image was never sealed; Verify passes unsealed images so
+	// ad-hoc test images keep working without a signing step.
+	Checksum uint64
+}
+
+// ComputeChecksum digests the image manifest — name, service metadata,
+// and every file's path, size, and mode — with FNV-1a. Content bytes are
+// synthetic in this model, so the manifest is the identity of the image.
+func (im *Image) ComputeChecksum() uint64 {
+	const (
+		offset64 = 14695981039346656037
+		prime64  = 1099511628211
+	)
+	h := uint64(offset64)
+	mix := func(s string) {
+		for i := 0; i < len(s); i++ {
+			h ^= uint64(s[i])
+			h *= prime64
+		}
+		h ^= 0xff // field separator
+		h *= prime64
+	}
+	mixInt := func(v int64) {
+		for i := 0; i < 8; i++ {
+			h ^= uint64(byte(v >> (8 * i)))
+			h *= prime64
+		}
+	}
+	mix(im.Name)
+	mix(im.ServiceCommand)
+	mixInt(int64(im.Port))
+	mixInt(int64(im.WorkerProcesses))
+	for _, s := range im.SystemServices {
+		mix(s)
+	}
+	if im.RootFS != nil {
+		for _, f := range im.RootFS.List() {
+			mix(f.Path)
+			mixInt(f.SizeBytes)
+			if f.Executable {
+				mixInt(1)
+			} else {
+				mixInt(0)
+			}
+		}
+	}
+	if h == 0 {
+		h = 1 // keep sealed images distinguishable from unsealed
+	}
+	return h
+}
+
+// Seal stamps the image with its manifest checksum.
+func (im *Image) Seal() { im.Checksum = im.ComputeChecksum() }
+
+// Verify reports whether the image matches its checksum. Unsealed
+// images (zero checksum) pass.
+func (im *Image) Verify() bool {
+	return im.Checksum == 0 || im.Checksum == im.ComputeChecksum()
+}
+
+// Corrupt flips the checksum so Verify fails — the chaos injector's
+// model of a bit-flipped download.
+func (im *Image) Corrupt() {
+	if im.Checksum == 0 {
+		im.Seal()
+	}
+	im.Checksum = ^im.Checksum
+	if im.Checksum == 0 {
+		im.Checksum = ^uint64(1)
+	}
 }
 
 // Validate reports the first problem with the image, or nil.
@@ -148,6 +220,7 @@ func (b *Builder) Build() (*Image, error) {
 	if err := b.img.Validate(); err != nil {
 		return nil, err
 	}
+	b.img.Seal()
 	return b.img, nil
 }
 

@@ -1,11 +1,34 @@
 package image
 
 import (
+	"errors"
 	"fmt"
 	"sort"
 
 	"repro/internal/sim"
 	"repro/internal/simnet"
+)
+
+// ErrTransient marks download failures worth retrying: connection drops,
+// checksum mismatches, timeouts. Lookup failures (the image simply is
+// not published) are permanent and are not wrapped with it.
+var ErrTransient = errors.New("transient download failure")
+
+// FaultKind selects how an injected repository fault manifests to one
+// download attempt.
+type FaultKind int
+
+// Repository fault kinds.
+const (
+	// FaultNone leaves the attempt alone.
+	FaultNone FaultKind = iota
+	// FaultError fails the attempt with a transient error.
+	FaultError
+	// FaultCorrupt delivers the image with a broken checksum.
+	FaultCorrupt
+	// FaultStall swallows the attempt: neither callback ever fires, so
+	// only the downloader's own deadline can rescue it.
+	FaultStall
 )
 
 // Repository is the ASP-side image store: "The image should be stored in
@@ -17,7 +40,15 @@ type Repository struct {
 
 	net    *simnet.Network
 	images map[string]*Image
+
+	// faultHook, when set, is consulted once per download attempt and
+	// may fail, corrupt, or stall it. Installed by the chaos injector.
+	faultHook func(name string) FaultKind
 }
+
+// SetFaultHook installs (or, with nil, removes) the per-attempt fault
+// hook.
+func (r *Repository) SetFaultHook(fn func(name string) FaultKind) { r.faultHook = fn }
 
 // HTTP/1.1 transfer framing model: one request/response header exchange
 // per download (the daemon fetches the packaged image as a single entity
@@ -90,11 +121,26 @@ func (r *Repository) Download(name string, destIP simnet.IP, onDone func(*Image)
 		fail(err)
 		return
 	}
+	fault := FaultNone
+	if r.faultHook != nil {
+		fault = r.faultHook(name)
+	}
+	if fault == FaultStall {
+		return // the attempt vanishes; the caller's deadline cleans up
+	}
 	// Request: headers to the repository; response: the packaged image.
 	err = r.net.Transfer(destIP, r.IP, httpHeaderBytes, func() {
+		if fault == FaultError {
+			fail(fmt.Errorf("image: download of %q from %s reset: %w", name, r.IP, ErrTransient))
+			return
+		}
 		err := r.net.Transfer(r.IP, destIP, WireBytes(im), func() {
 			if onDone != nil {
-				onDone(im.Clone())
+				c := im.Clone()
+				if fault == FaultCorrupt {
+					c.Corrupt()
+				}
+				onDone(c)
 			}
 		})
 		if err != nil {

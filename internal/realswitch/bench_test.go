@@ -95,7 +95,7 @@ func BenchmarkPickParallel(b *testing.B) {
 	b.RunParallel(func(pb *testing.PB) {
 		for pb.Next() {
 			t := p.loadTable()
-			idx := p.pick(t, 0)
+			idx := p.pick(t, 0, 0)
 			if idx < 0 {
 				b.Error("no pick")
 				return

@@ -79,10 +79,15 @@ func (c TransportConfig) transport() *http.Transport {
 
 // statCell is one backend's forwarding statistics as atomics, so the
 // request path updates them without a lock and without contending with
-// other backends' cells.
+// other backends' cells. The passive-health fields ride in the same
+// cell: they persist across route-table rebuilds for free.
 type statCell struct {
 	active    atomic.Int64
 	forwarded atomic.Int64
+
+	fails        atomic.Int32 // consecutive failures while in rotation
+	ejectedUntil atomic.Int64 // UnixNano the next probe is due; 0 = in rotation
+	probing      atomic.Bool  // a half-open probe is in flight
 }
 
 func (c *statCell) snapshot() svcswitch.Stats {
@@ -90,6 +95,54 @@ func (c *statCell) snapshot() svcswitch.Stats {
 		Forwarded: int(c.forwarded.Load()),
 		Active:    int(c.active.Load()),
 	}
+}
+
+// admit reports whether the backend may receive a request at now. An
+// ejected backend admits exactly one half-open probe once its sit-out
+// elapses; the CAS makes concurrent requests race for the probe slot.
+func (c *statCell) admit(now int64) bool {
+	until := c.ejectedUntil.Load()
+	if until == 0 {
+		return true
+	}
+	if now < until {
+		return false
+	}
+	return c.probing.CompareAndSwap(false, true)
+}
+
+// RetryPolicy bounds the proxy's retry-on-dead-backend behaviour.
+type RetryPolicy struct {
+	// MaxRetries caps additional backend attempts after the first; 0
+	// disables retries entirely.
+	MaxRetries int
+	// RetryNonIdempotent permits retrying methods like POST. Off by
+	// default: a connection reset does not prove the backend never
+	// processed the request.
+	RetryNonIdempotent bool
+}
+
+// DefaultRetryPolicy returns the proxy's retry defaults.
+func DefaultRetryPolicy() RetryPolicy { return RetryPolicy{MaxRetries: 3} }
+
+// HealthConfig tunes passive backend health tracking (consecutive-error
+// ejection with half-open re-admission). The zero value disables it.
+type HealthConfig struct {
+	// EjectAfter is the consecutive-failure count that ejects a backend;
+	// 0 disables health tracking.
+	EjectAfter int
+	// ProbeAfter is how long an ejected backend sits out before one
+	// half-open probe is admitted.
+	ProbeAfter time.Duration
+}
+
+// idempotent reports whether the method is safe to replay per RFC 9110.
+func idempotent(method string) bool {
+	switch method {
+	case "", http.MethodGet, http.MethodHead, http.MethodOptions, http.MethodTrace:
+		return true
+	}
+	return false
 }
 
 // routeTable is an immutable snapshot of everything the request path
@@ -112,6 +165,12 @@ type routeTable struct {
 	fast     bool
 	schedule []int32
 	cursor   atomic.Uint64
+
+	// Policy knobs snapshotted at rebuild, so the request path reads
+	// them without touching the mutex.
+	retry      RetryPolicy
+	ejectAfter int
+	probeNs    int64
 }
 
 // maxScheduleSlots caps the precomputed WRR cycle length; configurations
@@ -138,16 +197,21 @@ type Proxy struct {
 	transport *http.Transport
 	tcfg      TransportConfig
 	pickStats []svcswitch.Stats // slow-path scratch, guarded by mu
+	retryPol  RetryPolicy
+	healthCfg HealthConfig
 
 	// Wall-clock twins of the simulated switch's instruments. The
 	// counters always work (they back Routed/Dropped/Retried); latency
 	// histograms collect only once Instrument connects a registry.
-	reg        *telemetry.Registry
-	routed     *telemetry.Counter
-	dropped    *telemetry.Counter
-	retried    *telemetry.Counter
-	latency    *telemetry.Histogram
-	backendLat map[string]*telemetry.Histogram
+	reg            *telemetry.Registry
+	routed         *telemetry.Counter
+	dropped        *telemetry.Counter
+	retried        *telemetry.Counter
+	ejectedC       *telemetry.Counter
+	readmitted     *telemetry.Counter
+	retryExhausted *telemetry.Counter
+	latency        *telemetry.Histogram
+	backendLat     map[string]*telemetry.Histogram
 }
 
 // New creates a proxy for the given service configuration with the
@@ -166,6 +230,7 @@ func NewWithTransport(config *svcswitch.ConfigFile, tc TransportConfig) *Proxy {
 		proxies:   make(map[string]*httputil.ReverseProxy),
 		tcfg:      tc,
 		transport: tc.transport(),
+		retryPol:  DefaultRetryPolicy(),
 	}
 	p.Instrument(nil)
 	return p
@@ -182,11 +247,18 @@ func (p *Proxy) Instrument(reg *telemetry.Registry) {
 	routed := reg.Counter("soda_switch_routed_total", svc)
 	dropped := reg.Counter("soda_switch_dropped_total", svc)
 	retried := reg.Counter("soda_switch_retries_total", svc)
+	ejected := reg.Counter("soda_switch_ejected_total", svc)
+	readmitted := reg.Counter("soda_switch_readmitted_total", svc)
+	exhausted := reg.Counter("soda_switch_retry_exhausted_total", svc)
 	routed.Add(p.routed.Value())
 	dropped.Add(p.dropped.Value())
 	retried.Add(p.retried.Value())
+	ejected.Add(p.ejectedC.Value())
+	readmitted.Add(p.readmitted.Value())
+	exhausted.Add(p.retryExhausted.Value())
 	p.reg = reg
 	p.routed, p.dropped, p.retried = routed, dropped, retried
+	p.ejectedC, p.readmitted, p.retryExhausted = ejected, readmitted, exhausted
 	p.latency = reg.Histogram("soda_switch_latency_seconds", nil, svc)
 	p.backendLat = make(map[string]*telemetry.Histogram)
 	p.rebuildLocked()
@@ -202,6 +274,65 @@ func (p *Proxy) Dropped() int { return int(p.dropped.Value()) }
 // Retried returns how many backend attempts were abandoned for another
 // backend (connection refused or reset before any response bytes).
 func (p *Proxy) Retried() int { return int(p.retried.Value()) }
+
+// RetryExhausted returns how many requests were dropped while untried
+// backends remained — the retry cap or the idempotency gate stopped the
+// proxy from trying them.
+func (p *Proxy) RetryExhausted() int { return int(p.retryExhausted.Value()) }
+
+// EjectedTotal returns how many times a backend was ejected.
+func (p *Proxy) EjectedTotal() int { return int(p.ejectedC.Value()) }
+
+// ReadmittedTotal returns how many times an ejected backend was
+// re-admitted after a successful half-open probe.
+func (p *Proxy) ReadmittedTotal() int { return int(p.readmitted.Value()) }
+
+// SetRetryPolicy replaces the retry bounds and republishes the route
+// table so in-flight pickers see the change on their next request.
+func (p *Proxy) SetRetryPolicy(rp RetryPolicy) {
+	if rp.MaxRetries < 0 {
+		panic("realswitch: negative retry cap")
+	}
+	p.mu.Lock()
+	defer p.mu.Unlock()
+	p.retryPol = rp
+	p.rebuildLocked()
+}
+
+// RetryPolicy returns the active retry bounds.
+func (p *Proxy) RetryPolicy() RetryPolicy {
+	p.mu.Lock()
+	defer p.mu.Unlock()
+	return p.retryPol
+}
+
+// SetHealth configures passive backend health tracking; a zero
+// EjectAfter disables it and returns every backend to the rotation.
+func (p *Proxy) SetHealth(hc HealthConfig) {
+	if hc.EjectAfter < 0 || hc.ProbeAfter < 0 {
+		panic("realswitch: negative health threshold")
+	}
+	p.mu.Lock()
+	defer p.mu.Unlock()
+	p.healthCfg = hc
+	if hc.EjectAfter == 0 {
+		for _, c := range p.cells {
+			c.fails.Store(0)
+			c.ejectedUntil.Store(0)
+			c.probing.Store(false)
+		}
+	}
+	p.rebuildLocked()
+}
+
+// BackendEjected reports whether passive health currently holds the
+// backend out of the rotation.
+func (p *Proxy) BackendEjected(e svcswitch.BackendEntry) bool {
+	p.mu.Lock()
+	defer p.mu.Unlock()
+	c := p.cells[e.Addr()]
+	return c != nil && c.ejectedUntil.Load() != 0
+}
 
 // LatencyHistogram returns the proxy's wall-clock latency histogram,
 // nil when uninstrumented — parity with svcswitch.Switch for the SLO
@@ -282,13 +413,16 @@ func (p *Proxy) rebuildLocked() *routeTable {
 		p.cfgSeen = version
 	}
 	t := &routeTable{
-		version: version,
-		entries: entries,
-		addrs:   make([]string, len(entries)),
-		proxies: make([]*httputil.ReverseProxy, len(entries)),
-		cells:   make([]*statCell, len(entries)),
-		hists:   make([]*telemetry.Histogram, len(entries)),
-		latency: p.latency,
+		version:    version,
+		entries:    entries,
+		addrs:      make([]string, len(entries)),
+		proxies:    make([]*httputil.ReverseProxy, len(entries)),
+		cells:      make([]*statCell, len(entries)),
+		hists:      make([]*telemetry.Histogram, len(entries)),
+		latency:    p.latency,
+		retry:      p.retryPol,
+		ejectAfter: p.healthCfg.EjectAfter,
+		probeNs:    int64(p.healthCfg.ProbeAfter),
 	}
 	for i, e := range entries {
 		addr := e.Addr()
@@ -371,29 +505,43 @@ func gcd(a, b int) int {
 }
 
 // pick chooses a backend index from the table, skipping already-tried
-// backends. Fast path: one atomic increment into the precomputed
-// schedule. Slow path (custom policy): mutex-guarded Pick with stats
-// snapshotted from the atomic cells. Returns -1 when no pick is
-// possible.
-func (p *Proxy) pick(t *routeTable, tried uint64) int {
+// backends and (when health tracking is on) ejected ones. Fast path: one
+// atomic increment into the precomputed schedule. Slow path (custom
+// policy): mutex-guarded Pick with stats snapshotted from the atomic
+// cells. If health would exclude every untried backend, the pick fails
+// open and considers them anyway. Returns -1 when no pick is possible.
+func (p *Proxy) pick(t *routeTable, tried uint64, now int64) int {
 	if t.fast {
 		n := uint64(len(t.schedule))
 		for i := uint64(0); i < n; i++ {
 			idx := int(t.schedule[(t.cursor.Add(1)-1)%n])
-			if tried&(1<<uint(idx)) == 0 {
-				return idx
+			if tried&(1<<uint(idx)) != 0 {
+				continue
+			}
+			if t.ejectAfter > 0 && !t.cells[idx].admit(now) {
+				continue
+			}
+			return idx
+		}
+		if t.ejectAfter > 0 {
+			// Fail open: every untried backend is ejected.
+			for i := uint64(0); i < n; i++ {
+				idx := int(t.schedule[(t.cursor.Add(1)-1)%n])
+				if tried&(1<<uint(idx)) == 0 {
+					return idx
+				}
 			}
 		}
 		return -1
 	}
-	return p.slowPick(t, tried)
+	return p.slowPick(t, tried, now)
 }
 
-func (p *Proxy) slowPick(t *routeTable, tried uint64) int {
+func (p *Proxy) slowPick(t *routeTable, tried uint64, now int64) int {
 	p.mu.Lock()
 	defer p.mu.Unlock()
 	n := len(t.entries)
-	if tried == 0 {
+	if tried == 0 && t.ejectAfter == 0 {
 		if cap(p.pickStats) < n {
 			p.pickStats = make([]svcswitch.Stats, n)
 		}
@@ -407,27 +555,72 @@ func (p *Proxy) slowPick(t *routeTable, tried uint64) int {
 		}
 		return idx
 	}
-	// Retry: re-consult the policy against the untried subset (cold
-	// path; allocation is fine here).
-	sub := make([]svcswitch.BackendEntry, 0, n)
-	stats := make([]svcswitch.Stats, 0, n)
-	back := make([]int, 0, n)
-	for i := range t.entries {
-		if tried&(1<<uint(i)) != 0 {
-			continue
+	// Retry or health-filtered pick: re-consult the policy against the
+	// eligible subset (cold path; allocation is fine here).
+	pickSub := func(useHealth bool) int {
+		sub := make([]svcswitch.BackendEntry, 0, n)
+		stats := make([]svcswitch.Stats, 0, n)
+		back := make([]int, 0, n)
+		for i := range t.entries {
+			if tried&(1<<uint(i)) != 0 {
+				continue
+			}
+			if useHealth && !t.cells[i].admit(now) {
+				continue
+			}
+			sub = append(sub, t.entries[i])
+			stats = append(stats, t.cells[i].snapshot())
+			back = append(back, i)
 		}
-		sub = append(sub, t.entries[i])
-		stats = append(stats, t.cells[i].snapshot())
-		back = append(back, i)
+		if len(sub) == 0 {
+			return -1
+		}
+		idx, err := p.policy.Pick(sub, stats)
+		if err != nil || idx < 0 || idx >= len(sub) {
+			return -1
+		}
+		return back[idx]
 	}
-	if len(sub) == 0 {
-		return -1
+	if t.ejectAfter > 0 {
+		if idx := pickSub(true); idx >= 0 {
+			return idx
+		}
 	}
-	idx, err := p.policy.Pick(sub, stats)
-	if err != nil || idx < 0 || idx >= len(sub) {
-		return -1
+	return pickSub(false)
+}
+
+// noteSuccess clears a backend's failure streak; a successful half-open
+// probe re-admits it.
+func (p *Proxy) noteSuccess(t *routeTable, cell *statCell) {
+	if t.ejectAfter == 0 {
+		return
 	}
-	return back[idx]
+	cell.fails.Store(0)
+	cell.probing.Store(false)
+	if cell.ejectedUntil.Swap(0) != 0 {
+		p.readmitted.Inc()
+	}
+}
+
+// noteFailure records a failed backend attempt: a failed probe re-arms
+// the sit-out window; enough consecutive failures eject the backend.
+func (p *Proxy) noteFailure(t *routeTable, cell *statCell, now int64) {
+	if t.ejectAfter == 0 {
+		return
+	}
+	wasProbe := cell.probing.Swap(false)
+	if cell.ejectedUntil.Load() != 0 {
+		if wasProbe {
+			cell.ejectedUntil.Store(now + t.probeNs)
+		}
+		return
+	}
+	if int(cell.fails.Add(1)) >= t.ejectAfter {
+		cell.fails.Store(0)
+		if cell.ejectedUntil.Swap(now+t.probeNs) == 0 {
+			p.ejectedC.Inc()
+		}
+	}
 }
 
 // captureWriter wraps the client's ResponseWriter so the proxy can tell
@@ -480,10 +673,13 @@ func replayable(r *http.Request) bool {
 // backend lock-free, and reverse-proxy the request over the shared
 // transport, timed on the wall clock. Backends that fail before any
 // response bytes are committed are retried through the remaining
-// backends (counted in soda_switch_retries_total); when none are left,
-// the request is dropped with 502.
+// backends (counted in soda_switch_retries_total) up to the retry
+// policy's cap — non-idempotent methods are not retried unless the
+// policy opts in; when attempts run out, the request is dropped with
+// 502 (soda_switch_retry_exhausted_total if backends remained untried).
 func (p *Proxy) ServeHTTP(w http.ResponseWriter, r *http.Request) {
 	start := time.Now()
+	now := start.UnixNano()
 	t := p.loadTable()
 	n := len(t.entries)
 	if n == 0 {
@@ -491,16 +687,22 @@ func (p *Proxy) ServeHTTP(w http.ResponseWriter, r *http.Request) {
 		http.Error(w, "realswitch: no backends configured", http.StatusBadGateway)
 		return
 	}
-	canRetry := n <= maxMaskedBackends && replayable(r)
+	canRetry := n <= maxMaskedBackends && replayable(r) &&
+		(t.retry.RetryNonIdempotent || idempotent(r.Method))
+	maxAttempts := n
+	if maxAttempts > t.retry.MaxRetries+1 {
+		maxAttempts = t.retry.MaxRetries + 1
+	}
 	var tried uint64
 	var lastErr error
-	for attempt := 0; attempt < n; attempt++ {
-		idx := p.pick(t, tried)
+	attempts := 0
+	for ; attempts < maxAttempts; attempts++ {
+		idx := p.pick(t, tried, now)
 		if idx < 0 {
 			break
 		}
 		tried |= 1 << uint(idx)
-		if attempt > 0 {
+		if attempts > 0 {
 			p.retried.Inc()
 			if r.GetBody != nil {
 				body, err := r.GetBody()
@@ -517,6 +719,7 @@ func (p *Proxy) ServeHTTP(w http.ResponseWriter, r *http.Request) {
 		cell.active.Add(-1)
 		if !cw.failed {
 			cell.forwarded.Add(1)
+			p.noteSuccess(t, cell)
 			p.routed.Inc()
 			elapsed := time.Since(start).Seconds()
 			t.latency.Observe(elapsed)
@@ -524,21 +727,40 @@ func (p *Proxy) ServeHTTP(w http.ResponseWriter, r *http.Request) {
 			return
 		}
 		lastErr = cw.err
+		p.noteFailure(t, cell, now)
 		if cw.wroteHeader {
 			// Bytes already reached the client; nothing to retry.
 			p.dropped.Inc()
 			return
 		}
 		if !canRetry {
+			attempts++
 			break
 		}
 	}
 	p.dropped.Inc()
+	if lastErr != nil && untriedRemain(tried, n) {
+		p.retryExhausted.Inc()
+	}
 	msg := "realswitch: no live backend"
 	if lastErr != nil {
 		msg = fmt.Sprintf("%s: %v", msg, lastErr)
 	}
 	http.Error(w, msg, http.StatusBadGateway)
+}
+
+// untriedRemain reports whether any of the n backends was never
+// attempted.
+func untriedRemain(tried uint64, n int) bool {
+	if n > maxMaskedBackends {
+		return true // can't tell; beyond the mask the proxy gives up early
+	}
+	for i := 0; i < n; i++ {
+		if tried&(1<<uint(i)) == 0 {
+			return true
+		}
+	}
+	return false
 }
 
 // Backend is a minimal live application service for demonstrations: it

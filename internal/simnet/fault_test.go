@@ -1,0 +1,150 @@
+package simnet
+
+import (
+	"math"
+	"testing"
+
+	"repro/internal/sim"
+)
+
+// Link fault and partition tests: the impairment layer the chaos
+// injector drives.
+
+func faultLAN(t *testing.T) (*sim.Kernel, *Network) {
+	t.Helper()
+	k, n := lan(t)
+	a := n.MustAttach("seattle", 100)
+	b := n.MustAttach("tacoma", 100)
+	if err := a.AddIP("10.0.0.1"); err != nil {
+		t.Fatal(err)
+	}
+	if err := b.AddIP("10.0.0.2"); err != nil {
+		t.Fatal(err)
+	}
+	return k, n
+}
+
+func TestLinkFaultFullLossDropsDirectionally(t *testing.T) {
+	k, n := faultLAN(t)
+	n.SetLinkFault("seattle", "tacoma", 1, 0)
+	forward, reverse := false, false
+	if err := n.Transfer("10.0.0.1", "10.0.0.2", 100, func() { forward = true }); err != nil {
+		t.Fatal(err)
+	}
+	if err := n.Transfer("10.0.0.2", "10.0.0.1", 100, func() { reverse = true }); err != nil {
+		t.Fatal(err)
+	}
+	k.Run()
+	if forward {
+		t.Fatal("transfer delivered across a loss=1 link")
+	}
+	if !reverse {
+		t.Fatal("reverse direction impaired by a directed fault")
+	}
+	if n.Dropped != 1 {
+		t.Fatalf("Dropped = %d, want 1", n.Dropped)
+	}
+	// Healing restores delivery.
+	n.ClearLinkFault("seattle", "tacoma")
+	forward = false
+	n.Transfer("10.0.0.1", "10.0.0.2", 100, func() { forward = true })
+	k.Run()
+	if !forward {
+		t.Fatal("transfer dropped after fault cleared")
+	}
+}
+
+func TestLinkFaultDelayAddsToLatency(t *testing.T) {
+	k, n := faultLAN(t)
+	base := 100 * sim.Microsecond // lan() fixture latency
+	n.SetLinkFault("seattle", "tacoma", 0, 10*sim.Millisecond)
+	var done sim.Time
+	if err := n.Transfer("10.0.0.1", "10.0.0.2", 0, func() { done = k.Now() }); err != nil {
+		t.Fatal(err)
+	}
+	k.Run()
+	want := (base + 10*sim.Millisecond).Seconds()
+	if math.Abs(done.Seconds()-want) > 1e-9 {
+		t.Fatalf("delivery at %vs, want %vs", done.Seconds(), want)
+	}
+}
+
+func TestPartitionBlocksBothDirectionsUntilHealed(t *testing.T) {
+	k, n := faultLAN(t)
+	n.Partition("seattle", "tacoma")
+	delivered := 0
+	n.Transfer("10.0.0.1", "10.0.0.2", 64, func() { delivered++ })
+	n.Transfer("10.0.0.2", "10.0.0.1", 64, func() { delivered++ })
+	k.Run()
+	if delivered != 0 {
+		t.Fatalf("%d transfers crossed a partition", delivered)
+	}
+	if n.Dropped != 2 {
+		t.Fatalf("Dropped = %d, want 2", n.Dropped)
+	}
+	n.HealPartition("seattle", "tacoma")
+	n.Transfer("10.0.0.1", "10.0.0.2", 64, func() { delivered++ })
+	n.Transfer("10.0.0.2", "10.0.0.1", 64, func() { delivered++ })
+	k.Run()
+	if delivered != 2 {
+		t.Fatalf("delivered = %d after heal, want 2", delivered)
+	}
+}
+
+func TestLinkFaultWildcardIsolatesHost(t *testing.T) {
+	k, n := faultLAN(t)
+	c := n.MustAttach("olympia", 100)
+	if err := c.AddIP("10.0.0.3"); err != nil {
+		t.Fatal(err)
+	}
+	// Everything destined for tacoma vanishes, regardless of source.
+	n.SetLinkFault("*", "tacoma", 1, 0)
+	toTacoma, toOlympia := false, false
+	n.Transfer("10.0.0.1", "10.0.0.2", 64, func() { toTacoma = true })
+	n.Transfer("10.0.0.1", "10.0.0.3", 64, func() { toOlympia = true })
+	k.Run()
+	if toTacoma {
+		t.Fatal("wildcard fault did not isolate tacoma")
+	}
+	if !toOlympia {
+		t.Fatal("wildcard fault bled onto an unrelated host")
+	}
+	// An exact entry wins over the wildcard.
+	n.SetLinkFault("seattle", "tacoma", 0, 5*sim.Millisecond)
+	delivered := false
+	n.Transfer("10.0.0.1", "10.0.0.2", 0, func() { delivered = true })
+	k.Run()
+	if !delivered {
+		t.Fatal("exact-match fault did not override the wildcard drop")
+	}
+	n.ClearFaults()
+	if len(n.faults) != 0 {
+		t.Fatal("ClearFaults left entries behind")
+	}
+}
+
+func TestPartialLossDropsDeterministicallyPerSeed(t *testing.T) {
+	run := func() (delivered, dropped int64) {
+		k, n := faultLAN(t)
+		n.SetFaultRNG(sim.NewRNG(99))
+		n.SetLinkFault("seattle", "tacoma", 0.5, 0)
+		var got int64
+		for i := 0; i < 200; i++ {
+			n.Transfer("10.0.0.1", "10.0.0.2", 64, func() { got++ })
+		}
+		k.Run()
+		return got, n.Dropped
+	}
+	d1, x1 := run()
+	d2, x2 := run()
+	if d1 != d2 || x1 != x2 {
+		t.Fatalf("same seed diverged: %d/%d vs %d/%d", d1, x1, d2, x2)
+	}
+	if d1+x1 != 200 {
+		t.Fatalf("conservation broken: %d delivered + %d dropped != 200", d1, x1)
+	}
+	// 50% loss over 200 trials: both outcomes must actually occur.
+	if d1 == 0 || x1 == 0 {
+		t.Fatalf("degenerate loss behaviour: delivered=%d dropped=%d", d1, x1)
+	}
+}

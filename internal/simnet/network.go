@@ -75,8 +75,25 @@ type Network struct {
 	owner   map[IP]*bridgeEntry
 	opFree  []*transferOp // recycled transfer operations
 
+	// faults holds the injected link impairments, keyed by directed
+	// (srcHost, dstHost) pair; "*" matches any host. Empty in normal
+	// operation, so the data path pays a single length check.
+	faults   map[[2]string]linkFault
+	faultRNG *sim.RNG
+
 	// Transferred counts total bytes delivered, for tests.
 	Transferred int64
+
+	// Dropped counts transfers silently discarded by an injected loss
+	// fault or partition, for tests and chaos reports.
+	Dropped int64
+}
+
+// linkFault is one directed host-pair impairment: a loss probability and
+// an added one-way delay. A loss of 1.0 is a partition.
+type linkFault struct {
+	loss  float64
+	delay sim.Duration
 }
 
 // bridgeEntry is the bridging table's value: which NIC answers for an
@@ -98,8 +115,9 @@ type transferOp struct {
 	size   int64
 	onDone func()
 	meta   flowMeta
-	drain  func() // stage 1: flow drained through the source link
-	arrive func() // stage 2: propagation delay elapsed, deliver
+	extra  sim.Duration // injected delay from a link fault
+	drain  func()       // stage 1: flow drained through the source link
+	arrive func()       // stage 2: propagation delay elapsed, deliver
 }
 
 // getOp draws a transfer op from the pool.
@@ -111,7 +129,7 @@ func (n *Network) getOp() *transferOp {
 		return op
 	}
 	op := &transferOp{n: n}
-	op.drain = func() { op.n.k.After(op.n.latency, op.arrive) }
+	op.drain = func() { op.n.k.After(op.n.latency+op.extra, op.arrive) }
 	op.arrive = func() {
 		op.n.Transferred += op.size
 		fn := op.onDone
@@ -126,7 +144,7 @@ func (n *Network) getOp() *transferOp {
 // putOp returns an op to the pool. The op is reusable immediately, so
 // callbacks must copy what they need before releasing.
 func (n *Network) putOp(op *transferOp) {
-	op.size, op.onDone, op.meta = 0, nil, flowMeta{}
+	op.size, op.onDone, op.meta, op.extra = 0, nil, flowMeta{}, 0
 	n.opFree = append(n.opFree, op)
 }
 
@@ -365,24 +383,104 @@ func (nic *NIC) assignCaps(capacity float64, groups []ipGroup) {
 	}
 }
 
+// SetFaultRNG installs the random source that loss faults draw from.
+// Chaos harnesses seed it explicitly so drop decisions replay exactly.
+func (n *Network) SetFaultRNG(rng *sim.RNG) { n.faultRNG = rng }
+
+// SetLinkFault installs (or replaces) an impairment on the directed
+// srcHost → dstHost link: each transfer is dropped with probability loss,
+// and survivors incur delay on top of the LAN latency. Either endpoint
+// may be the wildcard "*". A zero loss and zero delay clears the entry.
+func (n *Network) SetLinkFault(srcHost, dstHost string, loss float64, delay sim.Duration) {
+	if loss < 0 || loss > 1 {
+		panic(fmt.Sprintf("simnet: loss probability %v out of [0,1]", loss))
+	}
+	if delay < 0 {
+		panic("simnet: negative fault delay")
+	}
+	key := [2]string{srcHost, dstHost}
+	if loss == 0 && delay == 0 {
+		delete(n.faults, key)
+		return
+	}
+	if n.faults == nil {
+		n.faults = make(map[[2]string]linkFault)
+	}
+	if n.faultRNG == nil {
+		n.faultRNG = sim.NewRNG(0xFA017)
+	}
+	n.faults[key] = linkFault{loss: loss, delay: delay}
+}
+
+// ClearLinkFault removes the impairment on srcHost → dstHost, if any.
+func (n *Network) ClearLinkFault(srcHost, dstHost string) {
+	delete(n.faults, [2]string{srcHost, dstHost})
+}
+
+// Partition drops all traffic between hosts a and b, both directions.
+func (n *Network) Partition(a, b string) {
+	n.SetLinkFault(a, b, 1, 0)
+	n.SetLinkFault(b, a, 1, 0)
+}
+
+// HealPartition restores the a↔b links.
+func (n *Network) HealPartition(a, b string) {
+	n.ClearLinkFault(a, b)
+	n.ClearLinkFault(b, a)
+}
+
+// ClearFaults removes every injected link impairment.
+func (n *Network) ClearFaults() { n.faults = nil }
+
+// lookupFault resolves the impairment (if any) on the src → dst host
+// pair, honouring "*" wildcards. Exact matches win over wildcards.
+func (n *Network) lookupFault(srcHost, dstHost string) (linkFault, bool) {
+	if f, ok := n.faults[[2]string{srcHost, dstHost}]; ok {
+		return f, true
+	}
+	if f, ok := n.faults[[2]string{srcHost, "*"}]; ok {
+		return f, true
+	}
+	if f, ok := n.faults[[2]string{"*", dstHost}]; ok {
+		return f, true
+	}
+	if f, ok := n.faults[[2]string{"*", "*"}]; ok {
+		return f, true
+	}
+	return linkFault{}, false
+}
+
 // Transfer moves size bytes from src to dst: the flow drains through the
 // source NIC's shaped outbound link, then arrives after the LAN latency.
 // onDone fires at delivery. Zero-byte transfers model control messages
-// and cost only latency.
+// and cost only latency. A transfer dropped by an injected link fault
+// returns nil and its onDone never fires — exactly how a lost datagram
+// looks to the endpoints.
 func (n *Network) Transfer(src, dst IP, size int64, onDone func()) error {
 	srcEntry, ok := n.owner[src]
 	if !ok {
 		return fmt.Errorf("simnet: source %s not bridged by any host", src)
 	}
-	if _, ok := n.owner[dst]; !ok {
+	dstEntry, ok := n.owner[dst]
+	if !ok {
 		return fmt.Errorf("simnet: destination %s not bridged by any host", dst)
 	}
 	if size < 0 {
 		return fmt.Errorf("simnet: negative transfer size %d", size)
 	}
+	var extra sim.Duration
+	if len(n.faults) > 0 {
+		if f, ok := n.lookupFault(srcEntry.nic.HostName, dstEntry.nic.HostName); ok {
+			if f.loss >= 1 || (f.loss > 0 && n.faultRNG.Float64() < f.loss) {
+				n.Dropped++
+				return nil
+			}
+			extra = f.delay
+		}
+	}
 	srcEntry.bytes += size
 	op := n.getOp()
-	op.size, op.onDone = size, onDone
+	op.size, op.onDone, op.extra = size, onDone, extra
 	op.meta = flowMeta{src: src, dst: dst}
 	if size == 0 {
 		op.drain()

@@ -1,10 +1,13 @@
 package soda
 
 import (
+	"errors"
 	"fmt"
+	"sort"
 
 	"repro/internal/hostos"
 	"repro/internal/image"
+	"repro/internal/sim"
 	"repro/internal/simnet"
 	"repro/internal/telemetry"
 	"repro/internal/uml"
@@ -54,6 +57,19 @@ type Daemon struct {
 	mode     AddressMode
 	nextPort int
 
+	// crashed marks a crash-stopped daemon: it stops heartbeating,
+	// refuses work, and holds its bookkeeping until Restore sweeps it.
+	crashed bool
+	// pending tracks primes still in flight (reserve → download → boot),
+	// so Teardown and Crash can cancel them without leaking the slice,
+	// the bridged IP, or a half-built RAM disk.
+	pending map[string]*pendingPrime
+	rng     *sim.RNG
+	retry   DownloadRetryConfig
+	// crashSink, when set, receives guest-crash notifications (the
+	// Master's failure detector registers one per service node).
+	crashSink func(service, node, reason string)
+
 	// cache holds downloaded master images (name → image + pinned disk),
 	// when caching is enabled. Cached images are cloned per node, so
 	// tailoring never disturbs the master copy.
@@ -61,18 +77,57 @@ type Daemon struct {
 
 	// Primed counts nodes successfully bootstrapped; TornDown counts
 	// nodes removed. CacheHits counts downloads avoided by the cache.
-	Primed, TornDown, CacheHits int
+	// DownloadRetries counts image-download attempts re-issued after a
+	// transient failure (reset connection, checksum mismatch, timeout).
+	Primed, TornDown, CacheHits, DownloadRetries int
 
 	// Telemetry instruments, labeled by host. The counters mirror the
 	// exported fields above; the stage histograms collect only once
 	// Instrument connects a registry.
-	reg          *telemetry.Registry
-	primedCtr    *telemetry.Counter
-	tornDownCtr  *telemetry.Counter
-	cacheHitCtr  *telemetry.Counter
-	liveNodes    *telemetry.Gauge
-	downloadHist *telemetry.Histogram
-	bootHist     *telemetry.Histogram
+	reg              *telemetry.Registry
+	primedCtr        *telemetry.Counter
+	tornDownCtr      *telemetry.Counter
+	cacheHitCtr      *telemetry.Counter
+	downloadRetryCtr *telemetry.Counter
+	liveNodes        *telemetry.Gauge
+	downloadHist     *telemetry.Histogram
+	bootHist         *telemetry.Histogram
+}
+
+// pendingPrime is one in-flight priming operation.
+type pendingPrime struct {
+	uid       int
+	cancelled bool
+}
+
+// DownloadRetryConfig tunes the daemon's image-download robustness:
+// per-attempt deadline, bounded retries with exponential backoff, and
+// seeded jitter so concurrent retries don't synchronise.
+type DownloadRetryConfig struct {
+	// Attempts is the total number of download attempts (first + retries).
+	Attempts int
+	// Backoff is the delay before the second attempt; it doubles per
+	// retry, capped at MaxBackoff.
+	Backoff sim.Duration
+	// MaxBackoff caps the exponential backoff.
+	MaxBackoff sim.Duration
+	// Timeout is the per-attempt deadline; 0 disables it. It must
+	// comfortably exceed a legitimate download of the largest image
+	// (the paper's 400 MB image takes ~35 s on the 100 Mbps testbed).
+	Timeout sim.Duration
+	// JitterFrac spreads each backoff by ±frac.
+	JitterFrac float64
+}
+
+// DefaultDownloadRetry returns the daemon's retry defaults.
+func DefaultDownloadRetry() DownloadRetryConfig {
+	return DownloadRetryConfig{
+		Attempts:   3,
+		Backoff:    500 * sim.Millisecond,
+		MaxBackoff: 5 * sim.Second,
+		Timeout:    120 * sim.Second,
+		JitterFrac: 0.2,
+	}
 }
 
 // cachedImage is one master image pinned on the host's disk.
@@ -103,6 +158,11 @@ type DaemonConfig struct {
 	UIDBase int
 	// Mode selects bridging (default) or the footnote-3 proxying.
 	Mode AddressMode
+	// RNG drives download-retry jitter; nil derives an independent
+	// stream from UIDBase so existing testbeds' randomness is untouched.
+	RNG *sim.RNG
+	// Retry tunes image-download retries; zero value means defaults.
+	Retry DownloadRetryConfig
 }
 
 // NewDaemon starts a SODA Daemon on a host.
@@ -116,6 +176,12 @@ func NewDaemon(cfg DaemonConfig) (*Daemon, error) {
 	if cfg.UIDBase <= 0 {
 		cfg.UIDBase = 10000
 	}
+	if cfg.RNG == nil {
+		cfg.RNG = sim.NewRNG(0xDAE0 ^ uint64(cfg.UIDBase))
+	}
+	if cfg.Retry == (DownloadRetryConfig{}) {
+		cfg.Retry = DefaultDownloadRetry()
+	}
 	d := &Daemon{
 		HostIP:   cfg.HostIP,
 		host:     cfg.Host,
@@ -127,6 +193,9 @@ func NewDaemon(cfg DaemonConfig) (*Daemon, error) {
 		nodes:    make(map[string]*nodeRuntime),
 		mode:     cfg.Mode,
 		nextPort: 9000,
+		pending:  make(map[string]*pendingPrime),
+		rng:      cfg.RNG,
+		retry:    cfg.Retry,
 	}
 	d.Instrument(nil)
 	return d, nil
@@ -141,11 +210,14 @@ func (d *Daemon) Instrument(reg *telemetry.Registry) {
 	primed := reg.Counter("soda_daemon_primed_total", host)
 	torn := reg.Counter("soda_daemon_torndown_total", host)
 	hits := reg.Counter("soda_daemon_cache_hits_total", host)
+	retries := reg.Counter("soda_daemon_download_retries_total", host)
 	primed.Add(int64(d.Primed))
 	torn.Add(int64(d.TornDown))
 	hits.Add(int64(d.CacheHits))
+	retries.Add(int64(d.DownloadRetries))
 	d.reg = reg
 	d.primedCtr, d.tornDownCtr, d.cacheHitCtr = primed, torn, hits
+	d.downloadRetryCtr = retries
 	d.liveNodes = reg.Gauge("soda_daemon_nodes", host)
 	d.liveNodes.Set(float64(len(d.nodes)))
 	d.downloadHist = reg.Histogram("soda_prime_download_seconds", nil, host)
@@ -195,7 +267,7 @@ func (d *Daemon) fetchImage(repo *image.Repository, name string, onDone func(*im
 			return
 		}
 	}
-	repo.Download(name, d.HostIP, func(img *image.Image) {
+	d.downloadWithRetry(repo, name, func(img *image.Image) {
 		if d.cache != nil {
 			sizeMB := img.SizeMB()
 			if err := d.host.UseDisk(sizeMB); err == nil {
@@ -205,6 +277,79 @@ func (d *Daemon) fetchImage(repo *image.Repository, name string, onDone func(*im
 		}
 		onDone(img)
 	}, onErr)
+}
+
+// SetDownloadRetry replaces the download retry tuning.
+func (d *Daemon) SetDownloadRetry(cfg DownloadRetryConfig) { d.retry = cfg }
+
+// downloadWithRetry performs the HTTP download with a per-attempt
+// deadline, checksum verification, and bounded exponential backoff with
+// jitter on transient failures. Permanent failures (the image is not
+// published) fail fast.
+func (d *Daemon) downloadWithRetry(repo *image.Repository, name string, onDone func(*image.Image), onErr func(error)) {
+	cfg := d.retry
+	if cfg.Attempts < 1 {
+		cfg.Attempts = 1
+	}
+	k := d.net.Kernel()
+	var attempt func(n int)
+	attempt = func(n int) {
+		settled := false
+		var deadline sim.Timer
+		settle := func() bool {
+			if settled {
+				return false
+			}
+			settled = true
+			deadline.Cancel()
+			return true
+		}
+		retryOrFail := func(err error) {
+			if !errors.Is(err, image.ErrTransient) || n >= cfg.Attempts {
+				onErr(err)
+				return
+			}
+			d.DownloadRetries++
+			d.downloadRetryCtr.Inc()
+			backoff := cfg.Backoff
+			for i := 1; i < n; i++ {
+				backoff *= 2
+				if cfg.MaxBackoff > 0 && backoff >= cfg.MaxBackoff {
+					backoff = cfg.MaxBackoff
+					break
+				}
+			}
+			backoff = d.rng.JitterDuration(backoff, cfg.JitterFrac)
+			k.After(backoff, func() { attempt(n + 1) })
+		}
+		if cfg.Timeout > 0 {
+			deadline = k.After(cfg.Timeout, func() {
+				if settled {
+					return // a late completion will be discarded by settle
+				}
+				settled = true
+				retryOrFail(fmt.Errorf("soda: download of %q timed out after %v: %w",
+					name, cfg.Timeout, image.ErrTransient))
+			})
+		}
+		repo.Download(name, d.HostIP, func(img *image.Image) {
+			if !settle() {
+				return
+			}
+			if !img.Verify() {
+				retryOrFail(fmt.Errorf("soda: image %q failed checksum verification: %w",
+					name, image.ErrTransient))
+				return
+			}
+			onDone(img)
+		}, func(err error) {
+			if !settle() {
+				return
+			}
+			retryOrFail(err)
+		})
+	}
+	attempt(1)
 }
 
 // Host returns the daemon's HUP host.
@@ -259,8 +404,16 @@ func (d *Daemon) Prime(req PrimeRequest, onDone func(NodeInfo), onErr func(error
 			onErr(err)
 		}
 	}
+	if d.crashed {
+		fail(fmt.Errorf("soda: %s: daemon is down", d.host.Spec.Name))
+		return
+	}
 	if req.Instances <= 0 {
 		fail(fmt.Errorf("soda: prime with %d instances", req.Instances))
+		return
+	}
+	if _, dup := d.pending[req.NodeName]; dup {
+		fail(fmt.Errorf("soda: %s: node %q already priming", d.host.Spec.Name, req.NodeName))
 		return
 	}
 	if req.Factor == 0 {
@@ -317,7 +470,11 @@ func (d *Daemon) Prime(req PrimeRequest, onDone func(NodeInfo), onErr func(error
 	alloc.Annotate("ip", string(ip))
 	alloc.EndSpan()
 
+	p := &pendingPrime{uid: uid}
+	d.pending[req.NodeName] = p
+
 	abort := func(err error) {
+		delete(d.pending, req.NodeName)
 		if !proxied {
 			d.nic.SetShaperCap(ip, 0)
 			d.nic.RemoveIP(ip)
@@ -334,6 +491,10 @@ func (d *Daemon) Prime(req PrimeRequest, onDone func(NodeInfo), onErr func(error
 	download := req.Span.StartChild("image.download", telemetry.L("image", req.ImageName))
 	d.fetchImage(repo, req.ImageName, func(img *image.Image) {
 		download.EndSpan()
+		if p.cancelled {
+			abort(fmt.Errorf("soda: prime of %q cancelled", req.NodeName))
+			return
+		}
 		downloadTime := k.Now().Sub(downloadStart)
 		d.downloadHist.Observe(downloadTime.Seconds())
 		sizeMB := img.SizeMB()
@@ -352,8 +513,20 @@ func (d *Daemon) Prime(req PrimeRequest, onDone func(NodeInfo), onErr func(error
 			Profile:  req.GuestProfile,
 			Span:     req.Span,
 		}, func(report *uml.BootReport) {
+			if p.cancelled {
+				// Torn down at the very instant boot completed: unwind
+				// the fully built guest.
+				report.Guest.Stop()
+				d.host.FreeDisk(sizeMB)
+				abort(fmt.Errorf("soda: prime of %q cancelled", req.NodeName))
+				return
+			}
+			delete(d.pending, req.NodeName)
 			bootTime := k.Now().Sub(bootStart)
 			d.bootHist.Observe(bootTime.Seconds())
+			report.Guest.OnCrash(func(reason string) {
+				d.reportCrash(req.ServiceName, req.NodeName, reason)
+			})
 			info := NodeInfo{
 				NodeName:       req.NodeName,
 				HostName:       d.host.Spec.Name,
@@ -386,8 +559,20 @@ func (d *Daemon) Prime(req PrimeRequest, onDone func(NodeInfo), onErr func(error
 
 // Teardown removes a node: crash-stop the guest, free the RAM disk and
 // image disk space, return the IP to the pool, drop the bridge mapping
-// and shaper cap, release the reservation.
+// and shaper cap, release the reservation. A node still mid-prime is
+// cancelled instead: the in-flight boot is killed and the prime's own
+// abort path unwinds the slice, the bridged IP, and the RAM disk.
 func (d *Daemon) Teardown(nodeName string) error {
+	if d.crashed {
+		return fmt.Errorf("soda: %s: daemon is down", d.host.Spec.Name)
+	}
+	if p, ok := d.pending[nodeName]; ok {
+		p.cancelled = true
+		// Kill any boot processes; the uml abort hook frees the RAM disk
+		// and fails the prime, whose abort path releases the rest.
+		d.host.KillUID(p.uid)
+		return nil
+	}
 	rt, ok := d.nodes[nodeName]
 	if !ok {
 		return fmt.Errorf("soda: %s: no node %q", d.host.Spec.Name, nodeName)
@@ -440,4 +625,80 @@ func (d *Daemon) NodeInfoFor(nodeName string) (NodeInfo, bool) {
 		return NodeInfo{}, false
 	}
 	return rt.info, true
+}
+
+// Crashed reports whether the daemon is crash-stopped.
+func (d *Daemon) Crashed() bool { return d.crashed }
+
+// SetCrashSink installs the guest-crash notification hook. The Master's
+// failure detector uses it to learn of individual node deaths without
+// waiting for a heartbeat deadline.
+func (d *Daemon) SetCrashSink(fn func(service, node, reason string)) { d.crashSink = fn }
+
+// reportCrash forwards one guest crash to the sink. Crashes observed
+// while the whole daemon is down are suppressed — the host-level
+// detector owns that failure.
+func (d *Daemon) reportCrash(service, node, reason string) {
+	if d.crashed || d.crashSink == nil {
+		return
+	}
+	d.crashSink(service, node, reason)
+}
+
+// Crash crash-stops the daemon and everything on its host: in-flight
+// primes are cancelled, every guest dies. Bookkeeping (reservations,
+// disk, bridged IPs) is deliberately left in place — a crashed host
+// releases nothing — until Restore sweeps it. Idempotent.
+func (d *Daemon) Crash() {
+	if d.crashed {
+		return
+	}
+	d.crashed = true
+	names := make([]string, 0, len(d.pending))
+	for name := range d.pending {
+		names = append(names, name)
+	}
+	sort.Strings(names)
+	for _, name := range names {
+		p := d.pending[name]
+		p.cancelled = true
+		d.host.KillUID(p.uid)
+	}
+	names = names[:0]
+	for name := range d.nodes {
+		names = append(names, name)
+	}
+	sort.Strings(names)
+	for _, name := range names {
+		d.nodes[name].info.Guest.Crash("host crash")
+	}
+}
+
+// Restore brings a crash-stopped daemon back: the previous incarnation's
+// node bookkeeping is swept (its guests are long dead), after which the
+// daemon accepts work and heartbeats again.
+func (d *Daemon) Restore() {
+	if !d.crashed {
+		return
+	}
+	names := make([]string, 0, len(d.nodes))
+	for name := range d.nodes {
+		names = append(names, name)
+	}
+	sort.Strings(names)
+	for _, name := range names {
+		rt := d.nodes[name]
+		delete(d.nodes, name)
+		d.host.FreeDisk(rt.diskMB)
+		if !rt.proxied {
+			d.nic.SetShaperCap(rt.info.IP, 0)
+			d.nic.RemoveIP(rt.info.IP)
+			d.pool.Release(rt.info.IP)
+		}
+		rt.reservation.Release()
+		d.TornDown++
+		d.tornDownCtr.Inc()
+	}
+	d.liveNodes.Set(float64(len(d.nodes)))
+	d.crashed = false
 }

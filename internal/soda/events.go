@@ -34,6 +34,23 @@ const (
 	// burn rate; the matching "slo.violation" trace span carries the
 	// breached window.
 	EventSLOViolation
+	// EventNodeFailed: a virtual service node was lost to a host crash or
+	// guest-OS crash and has been removed from its service's route table.
+	EventNodeFailed
+	// EventNodeRecovered: a replacement node was primed and bound into
+	// the switch after a failure; the detail carries the MTTR.
+	EventNodeRecovered
+	// EventHostSuspected: the failure detector missed enough heartbeats
+	// from a host to suspect it, but has not yet confirmed death.
+	EventHostSuspected
+	// EventHostDead: the failure detector confirmed a host dead; recovery
+	// of its nodes begins.
+	EventHostDead
+	// EventHostAlive: a suspected or dead host resumed heartbeating.
+	EventHostAlive
+	// EventRecoveryFailed: the Master could not place a replacement node
+	// (no surviving capacity); it will retry after a back-off.
+	EventRecoveryFailed
 )
 
 // String names the kind.
@@ -55,6 +72,18 @@ func (k EventKind) String() string {
 		return "span"
 	case EventSLOViolation:
 		return "slo-violation"
+	case EventNodeFailed:
+		return "node-failed"
+	case EventNodeRecovered:
+		return "node-recovered"
+	case EventHostSuspected:
+		return "host-suspected"
+	case EventHostDead:
+		return "host-dead"
+	case EventHostAlive:
+		return "host-alive"
+	case EventRecoveryFailed:
+		return "recovery-failed"
 	}
 	return fmt.Sprintf("event(%d)", int(k))
 }

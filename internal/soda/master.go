@@ -39,6 +39,10 @@ type Master struct {
 	// accounting is disabled.
 	acct *accounting.Accountant
 
+	// health is the failure detector and recovery loop; nil until
+	// EnableHealth.
+	health *healthMonitor
+
 	// Telemetry. All fields are nil-safe: an uninstrumented Master pays
 	// only no-op calls.
 	reg            *telemetry.Registry
@@ -241,9 +245,19 @@ func (m *Master) Services() []string {
 // (§3.2: "The SODA Master collects resource information from SODA Daemons
 // running in each HUP host").
 func (m *Master) CollectAvailability() []HostAvail {
-	out := make([]HostAvail, len(m.daemons))
+	out := make([]HostAvail, 0, len(m.daemons))
 	for i, d := range m.daemons {
-		out[i] = HostAvail{Index: i, HostName: d.Host().Spec.Name, Avail: d.Availability()}
+		// Crash-stopped hosts report nothing; hosts the failure detector
+		// has confirmed dead are skipped even before their daemon object
+		// is marked (the collection itself would time out on the real
+		// testbed). Index stays the true daemon index.
+		if d.Crashed() {
+			continue
+		}
+		if m.health != nil && m.health.hosts[i].state == HostDead {
+			continue
+		}
+		out = append(out, HostAvail{Index: i, HostName: d.Host().Spec.Name, Avail: d.Availability()})
 	}
 	return out
 }
@@ -423,6 +437,12 @@ func (m *Master) buildSwitch(svc *Service) error {
 	if svc.Spec.SwitchPolicy != nil {
 		svc.Switch.SetPolicy(svc.Spec.SwitchPolicy)
 	}
+	if m.health != nil {
+		svc.Switch.SetHealth(svcswitch.HealthConfig{
+			EjectAfter: m.health.cfg.EjectAfter,
+			ProbeAfter: m.health.cfg.ProbeAfter,
+		})
+	}
 	if svc.Spec.Behavior != nil {
 		for i, n := range svc.Nodes {
 			if h := svc.Spec.Behavior(n.Guest); h != nil {
@@ -454,7 +474,14 @@ func (m *Master) TeardownService(name string) error {
 	}
 	sp := m.tracer.StartRoot("service.teardown", telemetry.L("service", name))
 	for _, n := range svc.Nodes {
-		if err := m.daemons[svc.nodeDaemon[n.NodeName]].Teardown(n.NodeName); err != nil {
+		d := m.daemons[svc.nodeDaemon[n.NodeName]]
+		if d.Crashed() {
+			// A crash-stopped host can't execute teardown — its guests are
+			// already dead and Restore sweeps the bookkeeping. Removing the
+			// service must not fail on it.
+			continue
+		}
+		if err := d.Teardown(n.NodeName); err != nil {
 			sp.Fail(err)
 			return err
 		}

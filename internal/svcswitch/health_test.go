@@ -1,0 +1,154 @@
+package svcswitch
+
+import (
+	"testing"
+
+	"repro/internal/sim"
+	"repro/internal/simnet"
+)
+
+// Passive backend health tests: consecutive-error ejection and half-open
+// re-admission under a flapping backend.
+
+func TestHealthEjectsAfterConsecutiveFailures(t *testing.T) {
+	k, _, sw, ents := switchFixture(t, 1, 1)
+	sw.SetHealth(HealthConfig{EjectAfter: 3, ProbeAfter: sim.Second})
+	served := 0
+	sw.Bind(ents[0], func(simnet.IP, func()) bool { return false }) // hard down
+	sw.Bind(ents[1], func(client simnet.IP, onDone func()) bool {
+		served++
+		k.Immediately(onDone)
+		return true
+	})
+	for i := 0; i < 12; i++ {
+		sw.Route(Request{ClientIP: "10.0.1.1", Bytes: 128})
+	}
+	k.Run()
+	if sw.EjectedTotal() != 1 {
+		t.Fatalf("ejections = %d, want 1", sw.EjectedTotal())
+	}
+	if !sw.BackendEjected(ents[0].Addr()) {
+		t.Fatal("dead backend still in rotation")
+	}
+	if sw.BackendEjected(ents[1].Addr()) {
+		t.Fatal("healthy backend ejected")
+	}
+	if served != 12 || sw.Dropped() != 0 {
+		t.Fatalf("served=%d dropped=%d, want all 12 on the live backend", served, sw.Dropped())
+	}
+}
+
+func TestHealthHalfOpenReadmitsRecoveredBackend(t *testing.T) {
+	k, _, sw, ents := switchFixture(t, 1, 1)
+	sw.SetHealth(HealthConfig{EjectAfter: 2, ProbeAfter: 500 * sim.Millisecond})
+	down := true
+	flappyServed := 0
+	sw.Bind(ents[0], func(client simnet.IP, onDone func()) bool {
+		if down {
+			return false
+		}
+		flappyServed++
+		k.Immediately(onDone)
+		return true
+	})
+	sw.Bind(ents[1], func(client simnet.IP, onDone func()) bool {
+		k.Immediately(onDone)
+		return true
+	})
+	// Fail it out of the rotation.
+	for i := 0; i < 6; i++ {
+		sw.Route(Request{ClientIP: "10.0.1.1", Bytes: 128})
+	}
+	k.Run()
+	if !sw.BackendEjected(ents[0].Addr()) {
+		t.Fatal("backend not ejected after consecutive failures")
+	}
+	// It recovers, but before ProbeAfter elapses no traffic reaches it.
+	down = false
+	for i := 0; i < 4; i++ {
+		sw.Route(Request{ClientIP: "10.0.1.1", Bytes: 128})
+	}
+	k.Run()
+	if flappyServed != 0 {
+		t.Fatalf("ejected backend served %d requests inside the hold-off", flappyServed)
+	}
+	// Past the hold-off, one half-open probe re-admits it; traffic flows.
+	k.RunFor(sim.Second)
+	for i := 0; i < 8; i++ {
+		sw.Route(Request{ClientIP: "10.0.1.1", Bytes: 128})
+	}
+	k.Run()
+	if sw.ReadmittedTotal() != 1 {
+		t.Fatalf("readmissions = %d, want 1", sw.ReadmittedTotal())
+	}
+	if sw.BackendEjected(ents[0].Addr()) {
+		t.Fatal("backend still ejected after successful probe")
+	}
+	if flappyServed == 0 {
+		t.Fatal("re-admitted backend received no traffic")
+	}
+}
+
+func TestHealthFailedProbeKeepsBackendOut(t *testing.T) {
+	k, _, sw, ents := switchFixture(t, 1, 1)
+	sw.SetHealth(HealthConfig{EjectAfter: 1, ProbeAfter: 200 * sim.Millisecond})
+	attempts := 0
+	sw.Bind(ents[0], func(simnet.IP, func()) bool {
+		attempts++
+		return false // stays dead through every probe
+	})
+	sw.Bind(ents[1], func(client simnet.IP, onDone func()) bool {
+		k.Immediately(onDone)
+		return true
+	})
+	sw.Route(Request{ClientIP: "10.0.1.1", Bytes: 128})
+	k.Run()
+	if !sw.BackendEjected(ents[0].Addr()) {
+		t.Fatal("not ejected after EjectAfter=1 failure")
+	}
+	ejectedAttempts := attempts
+	// Several probe windows pass; each admits at most one probe, every
+	// one fails, and the backend never re-enters the rotation.
+	for round := 0; round < 3; round++ {
+		k.RunFor(300 * sim.Millisecond)
+		for i := 0; i < 5; i++ {
+			sw.Route(Request{ClientIP: "10.0.1.1", Bytes: 128})
+		}
+		k.Run()
+	}
+	if sw.ReadmittedTotal() != 0 {
+		t.Fatalf("readmissions = %d for a dead backend", sw.ReadmittedTotal())
+	}
+	if !sw.BackendEjected(ents[0].Addr()) {
+		t.Fatal("dead backend re-admitted")
+	}
+	probes := attempts - ejectedAttempts
+	if probes == 0 || probes > 3 {
+		t.Fatalf("probe attempts = %d, want 1..3 (one per window)", probes)
+	}
+	if sw.Dropped() != 0 {
+		t.Fatal("probing dropped client requests")
+	}
+}
+
+func TestHealthDisabledKeepsAllBackendsInRotation(t *testing.T) {
+	k, _, sw, ents := switchFixture(t, 1, 1)
+	// No SetHealth: a failing backend is retried per-request but never
+	// remembered as bad.
+	fails := 0
+	sw.Bind(ents[0], func(simnet.IP, func()) bool { fails++; return false })
+	sw.Bind(ents[1], func(client simnet.IP, onDone func()) bool {
+		k.Immediately(onDone)
+		return true
+	})
+	for i := 0; i < 10; i++ {
+		sw.Route(Request{ClientIP: "10.0.1.1", Bytes: 128})
+	}
+	k.Run()
+	if sw.EjectedTotal() != 0 || sw.BackendEjected(ents[0].Addr()) {
+		t.Fatal("health tracking active without SetHealth")
+	}
+	if fails < 5 {
+		t.Fatalf("dead backend attempted %d times; WRR should keep offering it", fails)
+	}
+}

@@ -75,6 +75,7 @@ type routeView struct {
 	handlers []Handler
 	stats    []*Stats
 	hists    []*telemetry.Histogram
+	health   []*backendHealth
 }
 
 // remove deletes candidate i in place (owned views only).
@@ -85,8 +86,10 @@ func (v *routeView) remove(i int) {
 	copy(v.handlers[i:], v.handlers[i+1:])
 	copy(v.stats[i:], v.stats[i+1:])
 	copy(v.hists[i:], v.hists[i+1:])
+	copy(v.health[i:], v.health[i+1:])
 	v.entries, v.addrs = v.entries[:n], v.addrs[:n]
 	v.handlers, v.stats, v.hists = v.handlers[:n], v.stats[:n], v.hists[:n]
+	v.health = v.health[:n]
 }
 
 // clone deep-copies the view so it can be mutated.
@@ -97,7 +100,37 @@ func (v routeView) clone() routeView {
 		handlers: append([]Handler(nil), v.handlers...),
 		stats:    append([]*Stats(nil), v.stats...),
 		hists:    append([]*telemetry.Histogram(nil), v.hists...),
+		health:   append([]*backendHealth(nil), v.health...),
 	}
+}
+
+// HealthConfig tunes the switch's passive backend health tracking.
+// The zero value disables it, keeping the data plane byte-identical to
+// the health-unaware switch.
+type HealthConfig struct {
+	// EjectAfter is the consecutive-failure count that ejects a backend
+	// from the rotation; 0 disables health tracking.
+	EjectAfter int
+	// ProbeAfter is how long an ejected backend sits out before one
+	// half-open probe request is allowed through.
+	ProbeAfter sim.Duration
+}
+
+// backendHealth is one backend's passive health record. It lives in the
+// switch's persistent health map (keyed by address), so rebuilding the
+// route cache never forgets failure counts.
+type backendHealth struct {
+	fails    int      // consecutive failures while in rotation
+	ejected  bool     // out of the rotation
+	probing  bool     // a half-open probe is in flight
+	reopenAt sim.Time // when the next probe may be admitted
+}
+
+// usable reports whether the backend may receive a request at now:
+// either it is in rotation, or it is ejected but due a half-open probe
+// and no probe is already in flight.
+func (h *backendHealth) usable(now sim.Time) bool {
+	return !h.ejected || (!h.probing && now >= h.reopenAt)
 }
 
 // inflight is the per-request state machine. Requests draw these from a
@@ -117,6 +150,7 @@ type inflight struct {
 	pick int
 	st   *Stats
 	hist *telemetry.Histogram
+	hp   *backendHealth
 	addr string
 
 	statScratch []Stats // policy input buffer, reused
@@ -157,6 +191,12 @@ type Switch struct {
 	cfgSeen  int
 	onTrace  func(Trace)
 
+	// Passive backend health (consecutive-error ejection + half-open
+	// re-admission). Disabled until SetHealth; records persist across
+	// route-cache rebuilds.
+	healthCfg HealthConfig
+	health    map[string]*backendHealth
+
 	// Route cache: per-component views rebuilt only when the config
 	// version or the bind set changes, so the hot path reads parallel
 	// slices instead of filtering entries and formatting map keys.
@@ -174,6 +214,8 @@ type Switch struct {
 	routed     *telemetry.Counter
 	dropped    *telemetry.Counter
 	retried    *telemetry.Counter
+	ejectedC   *telemetry.Counter
+	readmitted *telemetry.Counter
 	latency    *telemetry.Histogram
 	backendLat map[string]*telemetry.Histogram
 }
@@ -209,13 +251,18 @@ func (s *Switch) Instrument(reg *telemetry.Registry) {
 	routed := reg.Counter("soda_switch_routed_total", svc)
 	dropped := reg.Counter("soda_switch_dropped_total", svc)
 	retried := reg.Counter("soda_switch_retries_total", svc)
+	ejected := reg.Counter("soda_switch_ejected_total", svc)
+	readmitted := reg.Counter("soda_switch_readmitted_total", svc)
 	// Carry forward counts accumulated before instrumentation, so the
 	// accessors never regress.
 	routed.Add(s.routed.Value())
 	dropped.Add(s.dropped.Value())
 	retried.Add(s.retried.Value())
+	ejected.Add(s.ejectedC.Value())
+	readmitted.Add(s.readmitted.Value())
 	s.reg = reg
 	s.routed, s.dropped, s.retried = routed, dropped, retried
+	s.ejectedC, s.readmitted = ejected, readmitted
 	s.latency = reg.Histogram("soda_switch_latency_seconds", nil, svc)
 	s.backendLat = make(map[string]*telemetry.Histogram)
 	s.bindSeq++ // cached views hold stale histograms
@@ -268,6 +315,53 @@ func (s *Switch) SetPolicy(p Policy) {
 	p.Reset()
 }
 
+// SetHealth configures passive backend health tracking. A zero
+// EjectAfter disables it and clears all records. Enabling is an RCU-style
+// config change: the route cache rebuilds on the next request.
+func (s *Switch) SetHealth(cfg HealthConfig) {
+	if cfg.EjectAfter < 0 || cfg.ProbeAfter < 0 {
+		panic("svcswitch: negative health threshold")
+	}
+	s.healthCfg = cfg
+	if cfg.EjectAfter == 0 {
+		s.health = nil
+	} else if s.health == nil {
+		s.health = make(map[string]*backendHealth)
+	}
+	s.bindSeq++ // cached views hold stale health refs
+}
+
+// Health returns the active health configuration.
+func (s *Switch) Health() HealthConfig { return s.healthCfg }
+
+// BackendEjected reports whether passive health currently holds the
+// backend address out of the rotation.
+func (s *Switch) BackendEjected(addr string) bool {
+	h := s.health[addr]
+	return h != nil && h.ejected
+}
+
+// EjectedTotal returns how many times a backend was ejected.
+func (s *Switch) EjectedTotal() int { return int(s.ejectedC.Value()) }
+
+// ReadmittedTotal returns how many times an ejected backend was
+// re-admitted after a successful half-open probe.
+func (s *Switch) ReadmittedTotal() int { return int(s.readmitted.Value()) }
+
+// Node returns the node the switch executes on.
+func (s *Switch) Node() Node { return s.node }
+
+// SetNode re-homes the switch onto a different virtual service node —
+// the recovery path when the node hosting the switch dies (§3.4 co-
+// location). The Switch pointer stays stable, so client routes and
+// accounting hooks keep working across the move.
+func (s *Switch) SetNode(n Node) {
+	if n == nil {
+		panic("svcswitch: nil node")
+	}
+	s.node = n
+}
+
 // OnTrace installs a per-request trace hook, called once per request at
 // completion or drop. Nil removes the hook.
 func (s *Switch) OnTrace(fn func(Trace)) { s.onTrace = fn }
@@ -293,6 +387,7 @@ func (s *Switch) Unbind(e BackendEntry) {
 	delete(s.handlers, addr)
 	delete(s.stats, addr)
 	delete(s.backendLat, addr)
+	delete(s.health, addr)
 	s.bindSeq++
 }
 
@@ -311,6 +406,58 @@ func (s *Switch) statRefAddr(addr string) *Stats {
 		s.stats[addr] = st
 	}
 	return st
+}
+
+// healthRef returns the persistent health record for addr, or nil when
+// health tracking is disabled.
+func (s *Switch) healthRef(addr string) *backendHealth {
+	if s.healthCfg.EjectAfter == 0 {
+		return nil
+	}
+	h := s.health[addr]
+	if h == nil {
+		h = &backendHealth{}
+		s.health[addr] = h
+	}
+	return h
+}
+
+// noteFailure records one failed interaction with a backend: a failed
+// probe re-arms the ejection window; enough consecutive in-rotation
+// failures eject the backend.
+func (s *Switch) noteFailure(h *backendHealth) {
+	if h == nil {
+		return
+	}
+	now := s.net.Kernel().Now()
+	wasProbe := h.probing
+	h.probing = false
+	if h.ejected {
+		if wasProbe {
+			h.reopenAt = now.Add(s.healthCfg.ProbeAfter)
+		}
+		return
+	}
+	h.fails++
+	if h.fails >= s.healthCfg.EjectAfter {
+		h.ejected = true
+		h.reopenAt = now.Add(s.healthCfg.ProbeAfter)
+		s.ejectedC.Inc()
+	}
+}
+
+// noteSuccess resets a backend's failure streak; a successful half-open
+// probe re-admits it to the rotation.
+func (s *Switch) noteSuccess(h *backendHealth) {
+	if h == nil {
+		return
+	}
+	h.fails = 0
+	h.probing = false
+	if h.ejected {
+		h.ejected = false
+		s.readmitted.Inc()
+	}
 }
 
 // routesFor returns the cached route view for a component, rebuilding
@@ -341,6 +488,7 @@ func (s *Switch) rebuildRoutes(version int) {
 		v.handlers = append(v.handlers, s.handlers[addr])
 		v.stats = append(v.stats, s.statRefAddr(addr))
 		v.hists = append(v.hists, s.backendHist(addr))
+		v.health = append(v.health, s.healthRef(addr))
 	}
 	s.cacheVersion = version
 	s.cacheBinds = s.bindSeq
@@ -377,7 +525,7 @@ func (s *Switch) getOp() *inflight {
 func (s *Switch) putOp(op *inflight) {
 	op.req, op.tr, op.view = Request{}, Trace{}, routeView{}
 	op.owned = false
-	op.pick, op.st, op.hist, op.addr = 0, nil, nil, ""
+	op.pick, op.st, op.hist, op.hp, op.addr = 0, nil, nil, nil, ""
 	s.opFree = append(s.opFree, op)
 }
 
@@ -428,10 +576,40 @@ func (s *Switch) dispatch(op *inflight) {
 	}
 }
 
+// applyHealth removes ejected backends from the candidate view before
+// the policy runs. If no candidate is usable the view is left intact
+// (fail open): routing to a possibly-dead backend beats certainly
+// dropping the request.
+func (s *Switch) applyHealth(op *inflight) {
+	hs := op.view.health
+	if len(hs) == 0 || s.healthCfg.EjectAfter == 0 {
+		return
+	}
+	now := s.net.Kernel().Now()
+	usable := 0
+	for i, h := range hs {
+		if op.view.handlers[i] == nil {
+			continue
+		}
+		if h == nil || h.usable(now) {
+			usable++
+		}
+	}
+	if usable == 0 {
+		return
+	}
+	for i := len(op.view.entries) - 1; i >= 0; i-- {
+		if h := op.view.health[i]; h != nil && !h.usable(now) {
+			op.dropCandidate(i)
+		}
+	}
+}
+
 // forward picks a backend from the op's candidate view and hands the
 // request over, retrying with the remaining candidates if the pick is
 // dead, unbound, or dies while the forward is in flight.
 func (s *Switch) forward(op *inflight) {
+	s.applyHealth(op)
 	for n := len(op.view.entries); n > 0; n = len(op.view.entries) {
 		if cap(op.statScratch) < n {
 			op.statScratch = make([]Stats, n)
@@ -455,11 +633,16 @@ func (s *Switch) forward(op *inflight) {
 		op.pick = idx
 		op.st = op.view.stats[idx]
 		op.hist = op.view.hists[idx]
+		op.hp = op.view.health[idx]
 		op.addr = op.view.addrs[idx]
+		if op.hp != nil && op.hp.ejected {
+			op.hp.probing = true // this request is the half-open probe
+		}
 		op.st.Active++
 		// Switch → backend, then service handling.
 		if err := s.net.Transfer(s.node.IP(), op.view.entries[idx].IP, op.req.Bytes, op.onDeliver); err != nil {
 			op.st.Active--
+			s.noteFailure(op.hp)
 			op.tr.Retries++
 			op.dropCandidate(idx)
 			continue
@@ -482,6 +665,7 @@ func (s *Switch) deliver(op *inflight) {
 	}
 	// Backend died after the forward: retry the survivors.
 	op.st.Active--
+	s.noteFailure(op.hp)
 	op.tr.Retries++
 	op.dropCandidate(op.pick)
 	s.forward(op)
@@ -490,6 +674,7 @@ func (s *Switch) deliver(op *inflight) {
 // serve runs when the backend has delivered the response to the client.
 func (s *Switch) serve(op *inflight) {
 	op.st.Active--
+	s.noteSuccess(op.hp)
 	op.tr.Completed = s.net.Kernel().Now()
 	s.latency.Observe(op.tr.Total().Seconds())
 	op.hist.Observe(op.tr.ServiceTime().Seconds())

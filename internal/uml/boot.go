@@ -130,6 +130,23 @@ func Boot(req BootRequest, onDone func(*BootReport), onErr func(error)) {
 		}
 	}
 
+	// If the booter process is killed before the guest exists — the node
+	// was torn down mid-boot, or the host crash-stopped — the in-flight
+	// Exec callbacks never fire. Without this hook the RAM reserved for
+	// the root disk above would leak and the caller would wait forever.
+	// completed flips just before the normal path's own Kill(booter).
+	completed := false
+	booter.OnKill(func() {
+		if completed {
+			return
+		}
+		completed = true
+		if useRAM {
+			h.FreeMemory(sizeMB)
+		}
+		fail(fmt.Errorf("uml: boot of %s aborted", req.NodeName))
+	})
+
 	// Phase 4+5: start system services sequentially, then the app. The
 	// guest.boot span closes when the UML exec completes; everything after
 	// that — system services plus the application — is service.bootstrap.
@@ -140,6 +157,7 @@ func Boot(req BootRequest, onDone func(*BootReport), onErr func(error)) {
 		startNext = func(i int) {
 			if i >= len(services) {
 				report.ServicesStarted = len(services)
+				completed = true
 				guest := newGuest(req, useRAM, sizeMB)
 				report.Guest = guest
 				h.Kill(booter)

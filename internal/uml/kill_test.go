@@ -1,0 +1,63 @@
+package uml
+
+import (
+	"testing"
+
+	"repro/internal/hostos"
+	"repro/internal/sim"
+)
+
+// Regression: killing the booter mid-boot (node torn down while priming,
+// or the host crash-stopped) must free the RAM disk reserved for the
+// root file system and fail the boot, instead of leaking the memory and
+// leaving the caller waiting forever.
+func TestBootKilledMidBootFreesRAMDiskAndFails(t *testing.T) {
+	k := sim.NewKernel()
+	h := hostos.MustNew(k, hostos.Seattle(), nil)
+	free0 := h.MemoryFreeMB()
+	var gotErr error
+	var report *BootReport
+	Boot(BootRequest{Host: h, UID: 7, IP: "1.1.1.1", NodeName: "n",
+		Image: testImage(ProfileTomsrtbt(), 15), Profile: ProfileTomsrtbt()},
+		func(r *BootReport) { report = r }, func(err error) { gotErr = err })
+	// The RAM disk is reserved up front; the boot itself takes seconds.
+	if h.MemoryFreeMB() >= free0 {
+		t.Fatal("RAM disk never reserved; test premise broken")
+	}
+	k.RunFor(10 * sim.Millisecond)
+	h.KillUID(7)
+	k.Run()
+	if report != nil {
+		t.Fatal("boot completed after its processes were killed")
+	}
+	if gotErr == nil {
+		t.Fatal("mid-boot kill surfaced no error")
+	}
+	if got := h.MemoryFreeMB(); got != free0 {
+		t.Fatalf("RAM disk leaked: free %dMB, want %dMB", got, free0)
+	}
+	if len(h.ProcessesByUID(7)) != 0 {
+		t.Fatal("boot processes survived the kill")
+	}
+}
+
+// A kill that lands after the boot completed must not double-free the
+// RAM disk or fail a boot that already succeeded.
+func TestKillAfterBootCompletionIsHarmless(t *testing.T) {
+	k := sim.NewKernel()
+	h := hostos.MustNew(k, hostos.Seattle(), nil)
+	var report *BootReport
+	Boot(BootRequest{Host: h, UID: 7, IP: "1.1.1.1", NodeName: "n",
+		Image: testImage(ProfileTomsrtbt(), 15), Profile: ProfileTomsrtbt()},
+		func(r *BootReport) { report = r }, func(err error) { t.Fatal(err) })
+	k.Run()
+	if report == nil {
+		t.Fatal("boot never completed")
+	}
+	freeAfter := h.MemoryFreeMB()
+	h.KillUID(7) // guest workers die, but the booter's abort hook must not re-fire
+	k.Run()
+	if h.MemoryFreeMB() < freeAfter {
+		t.Fatalf("late kill changed memory accounting: %dMB -> %dMB", freeAfter, h.MemoryFreeMB())
+	}
+}
