@@ -1,0 +1,47 @@
+package main
+
+import (
+	"encoding/json"
+	"fmt"
+	"os"
+
+	"repro/internal/exp"
+)
+
+// flightConfig parameterises the -flight benchmark: the routing hot
+// path measured bare vs flight-recorder-enabled, emitting a JSON report
+// for CI (BENCH_flight.json).
+type flightConfig struct {
+	ops    int
+	trials int
+	out    string
+}
+
+// runFlightCmd executes the flight-overhead benchmark and renders/saves
+// the report. The ≤5% overhead gate sets the exit code — after the
+// report is written, so CI keeps the artifact for a failing run.
+func runFlightCmd(cfg flightConfig) int {
+	res, err := exp.RunFlightOverheadWith(cfg.ops, cfg.trials)
+	if err != nil {
+		fmt.Fprintf(os.Stderr, "flight: %v\n", err)
+		return 1
+	}
+	fmt.Print(res.Render())
+	if cfg.out != "" {
+		data, err := json.MarshalIndent(res, "", "  ")
+		if err != nil {
+			fmt.Fprintf(os.Stderr, "flight: %v\n", err)
+			return 1
+		}
+		if err := os.WriteFile(cfg.out, append(data, '\n'), 0o644); err != nil {
+			fmt.Fprintf(os.Stderr, "flight: %v\n", err)
+			return 1
+		}
+		fmt.Printf("wrote %s\n", cfg.out)
+	}
+	if err := res.Shape(); err != nil {
+		fmt.Fprintf(os.Stderr, "flight: FAILED: %v\n", err)
+		return 1
+	}
+	return 0
+}

@@ -25,6 +25,11 @@
 // time (the run itself takes well under a second of wall time):
 //
 //	sodabench -chaos -seed 1 -duration 20s -out BENCH_chaos.json
+//
+// -flight measures what the black-box flight recorder costs the routing
+// hot path (gate: ≤5%), emitting BENCH_flight.json:
+//
+//	sodabench -flight -out BENCH_flight.json
 package main
 
 import (
@@ -62,6 +67,7 @@ func experiments() []experiment {
 		{"breakdown", "supplementary: per-stage response-time breakdown", func() (exp.Result, error) { return exp.RunBreakdown() }},
 		{"sweep-inflation", "sweep: inflation factor 1.0..2.0", func() (exp.Result, error) { return exp.RunInflationSweep() }},
 		{"chaos", "fault lifecycle: host crash, detection, self-healing recovery", func() (exp.Result, error) { return exp.RunChaos() }},
+		{"flight", "flight recorder: routing hot-path overhead bare vs recording", func() (exp.Result, error) { return exp.RunFlightOverhead() }},
 	}
 }
 
@@ -70,6 +76,9 @@ func main() {
 	list := flag.Bool("list", false, "list experiment ids and exit")
 	throughput := flag.Bool("throughput", false, "run the live proxy throughput benchmark instead of simulated experiments")
 	chaosFlag := flag.Bool("chaos", false, "run the fault-lifecycle smoke: crash a host mid-run, assert detection, recovery, and determinism")
+	flightFlag := flag.Bool("flight", false, "run the flight-recorder overhead benchmark: routing hot path bare vs recording enabled")
+	flightOps := flag.Int("flight-ops", 100000, "flight: routed requests per trial")
+	flightTrials := flag.Int("flight-trials", 5, "flight: trials (minimum ns/op taken)")
 	seed := flag.Uint64("seed", 1, "chaos: fault schedule seed")
 	backends := flag.Int("backends", 4, "throughput: number of live backends")
 	conc := flag.Int("conc", 16, "throughput: concurrent clients")
@@ -79,6 +88,14 @@ func main() {
 	sloP99Ms := flag.Float64("slo-p99-ms", 0, "throughput: fail unless p99 latency is at or under this target (ms)")
 	sloAvail := flag.Float64("slo-availability", 0, "throughput: fail unless routed fraction meets this target (e.g. 0.999)")
 	flag.Parse()
+
+	if *flightFlag {
+		os.Exit(runFlightCmd(flightConfig{
+			ops:    *flightOps,
+			trials: *flightTrials,
+			out:    *out,
+		}))
+	}
 
 	if *chaosFlag {
 		os.Exit(runChaosCmd(chaosConfig{

@@ -17,6 +17,9 @@
 //	sodactl -server http://localhost:7083 hup
 //	sodactl -server http://localhost:7083 top
 //	sodactl -server http://localhost:7083 faults
+//	sodactl -server http://localhost:7083 logs     -tail 50 -level warn
+//	sodactl -server http://localhost:7083 incidents
+//	sodactl -server http://localhost:7083 incident show -id inc-1-host-dead
 package main
 
 import (
@@ -29,7 +32,10 @@ import (
 	"os"
 	"sort"
 
+	"strings"
+
 	"repro/internal/api"
+	"repro/internal/flight"
 	"repro/internal/metrics"
 	"repro/internal/telemetry"
 )
@@ -45,10 +51,14 @@ func main() {
 	sloP99Ms := flag.Float64("slo-p99-ms", 0, "SLO: p99 latency target in ms (create)")
 	sloAvail := flag.Float64("slo-availability", 0, "SLO: availability target, e.g. 0.99 (create)")
 	sloMinCPU := flag.Float64("slo-min-cpu-mhz", 0, "SLO: CPU delivery floor in MHz (create)")
+	tail := flag.Int("tail", 100, "log records to fetch (logs)")
+	level := flag.String("level", "", "minimum log level: debug|info|warn|error (logs)")
+	component := flag.String("component", "", "narrow logs to one component (logs)")
+	incidentID := flag.String("id", "", "incident id (incident show)")
 	flag.Parse()
 
 	if flag.NArg() < 1 {
-		fmt.Fprintln(os.Stderr, "usage: sodactl [flags] publish|create|list|get|resize|status|usage|slo|probe|teardown|hup|top|faults [flags]")
+		fmt.Fprintln(os.Stderr, "usage: sodactl [flags] publish|create|list|get|resize|status|usage|slo|probe|teardown|hup|top|faults|logs|incidents|incident [flags]")
 		os.Exit(2)
 	}
 	cmd := flag.Arg(0)
@@ -95,6 +105,22 @@ func main() {
 		err = top(*server)
 	case "faults":
 		err = faults(*server)
+	case "logs":
+		err = logs(*server, *tail, *level, *component)
+	case "incidents":
+		err = incidents(*server)
+	case "incident":
+		// "sodactl incident show -id <id>": the generic re-parse above
+		// stopped at the bare word "show", so parse the flags after it.
+		rest := flag.Args()
+		if len(rest) < 1 || rest[0] != "show" {
+			err = fmt.Errorf("usage: sodactl incident show -id <incident-id>")
+			break
+		}
+		if err = flag.CommandLine.Parse(rest[1:]); err != nil {
+			break
+		}
+		err = incidentShow(*server, *incidentID)
 	default:
 		fmt.Fprintf(os.Stderr, "sodactl: unknown command %q\n", cmd)
 		os.Exit(2)
@@ -301,6 +327,171 @@ func faults(server string) error {
 	}
 	fmt.Print(rt.String())
 	return nil
+}
+
+// formatRecord renders one flight record as a console line.
+func formatRecord(r flight.RecordView) string {
+	var b bytes.Buffer
+	fmt.Fprintf(&b, "%10.3fs %-5s %-10s %s", r.AtSec, r.Level, r.Comp, r.Msg)
+	keys := make([]string, 0, len(r.Labels))
+	for k := range r.Labels {
+		keys = append(keys, k)
+	}
+	sort.Strings(keys)
+	for _, k := range keys {
+		fmt.Fprintf(&b, " %s=%s", k, r.Labels[k])
+	}
+	if r.Trace != 0 {
+		fmt.Fprintf(&b, " trace=%d", r.Trace)
+	}
+	return b.String()
+}
+
+// logs fetches /logs and renders the flight recorder's ring tail.
+func logs(server string, tail int, level, component string) error {
+	url := fmt.Sprintf("%s/logs?n=%d", server, tail)
+	if level != "" {
+		url += "&level=" + level
+	}
+	if component != "" {
+		url += "&component=" + component
+	}
+	var view api.LogsView
+	if err := fetchJSON(url, &view); err != nil {
+		return err
+	}
+	for _, r := range view.Records {
+		fmt.Println(formatRecord(r))
+	}
+	fmt.Printf("\n%d record(s) shown; ring %d/%d, %d incident(s), %d suppressed trigger(s)\n",
+		len(view.Records), view.Stats.Records, view.Stats.Capacity,
+		view.Stats.Incidents, view.Stats.Suppressed)
+	return nil
+}
+
+// incidents fetches /incidents and renders the black-box incident store.
+func incidents(server string) error {
+	var view api.IncidentsView
+	if err := fetchJSON(server+"/incidents", &view); err != nil {
+		return err
+	}
+	if len(view.Incidents) == 0 {
+		fmt.Println("no incidents")
+		return nil
+	}
+	it := metrics.NewTable("Incidents", "id", "trigger", "subject", "opened(s)", "sealed(s)", "records", "detail")
+	for _, inc := range view.Incidents {
+		sealed := "open"
+		if !inc.Open {
+			sealed = fmt.Sprintf("%.2f", inc.SealedSec)
+		}
+		it.AddRowf(inc.ID, inc.Trigger, inc.Subject,
+			fmt.Sprintf("%.2f", inc.OpenedSec), sealed, inc.Records, inc.Detail)
+	}
+	fmt.Print(it.String())
+	return nil
+}
+
+// incidentShow fetches one incident bundle and renders the full
+// forensic story: the record timeline, the span subtree, the metric
+// movement over the window, route tables, and any standing faults.
+func incidentShow(server, id string) error {
+	if id == "" {
+		return fmt.Errorf("usage: sodactl incident show -id <incident-id>")
+	}
+	var inc flight.Incident
+	if err := fetchJSON(server+"/incidents/"+id, &inc); err != nil {
+		return err
+	}
+	state := fmt.Sprintf("sealed at %.2fs", inc.SealedSec)
+	if inc.Open {
+		state = "still open"
+	}
+	fmt.Printf("Incident %s — %s(%s), opened %.2fs, %s\n", inc.ID, inc.Trigger, inc.Subject, inc.OpenedSec, state)
+	if inc.Detail != "" {
+		fmt.Printf("  %s\n", inc.Detail)
+	}
+	fmt.Println()
+
+	fmt.Printf("Records (%d", len(inc.Records))
+	if inc.Truncated > 0 {
+		fmt.Printf(", %d truncated", inc.Truncated)
+	}
+	fmt.Println("):")
+	for _, r := range inc.Records {
+		fmt.Printf("  %s\n", formatRecord(r))
+	}
+
+	if len(inc.Spans) > 0 {
+		fmt.Println("\nSpans in window:")
+		for _, sp := range inc.Spans {
+			printSpan(sp, 1)
+		}
+	}
+	if inc.MetricDelta != nil {
+		d := inc.MetricDelta
+		if len(d.Counters) > 0 {
+			ct := metrics.NewTable("Metric movement (window delta)", "counter", "labels", "+delta")
+			for _, c := range d.Counters {
+				ct.AddRowf(c.Name, labelString(c.Labels), c.Value)
+			}
+			fmt.Println()
+			fmt.Print(ct.String())
+		}
+		for _, h := range d.Histograms {
+			fmt.Printf("\n%s%s: %d observation(s) in window", h.Name, labelString(h.Labels), h.Count)
+			if h.Count > 0 {
+				fmt.Printf(", mean %.4gs, max %.4gs", h.Sum/float64(h.Count), h.Max)
+			}
+			for _, ex := range h.Exemplars {
+				fmt.Printf("\n  exemplar trace=%d value=%.4g", ex.Trace, ex.Value)
+			}
+			fmt.Println()
+		}
+	}
+	if len(inc.Routes) > 0 {
+		fmt.Println("\nRoute tables at seal:")
+		for _, rt := range inc.Routes {
+			fmt.Printf("  service %s:\n", rt.Service)
+			for _, line := range strings.Split(strings.TrimRight(rt.Table, "\n"), "\n") {
+				fmt.Printf("    %s\n", line)
+			}
+		}
+	}
+	if len(inc.Faults) > 0 {
+		fmt.Println("\nActive faults at seal:")
+		for _, f := range inc.Faults {
+			fmt.Printf("  %s\n", f)
+		}
+	}
+	return nil
+}
+
+// printSpan renders one span subtree with indentation.
+func printSpan(sp telemetry.SpanView, depth int) {
+	fmt.Printf("%s%s trace=%d span=%d %.3fs→%.3fs (%.1fms)\n",
+		strings.Repeat("  ", depth), sp.Name, sp.Trace, sp.ID,
+		sp.StartSec, sp.EndSec, sp.Duration()*1e3)
+	for _, c := range sp.Children {
+		printSpan(c, depth+1)
+	}
+}
+
+// labelString renders a label map compactly, keys sorted.
+func labelString(labels map[string]string) string {
+	if len(labels) == 0 {
+		return ""
+	}
+	keys := make([]string, 0, len(labels))
+	for k := range labels {
+		keys = append(keys, k)
+	}
+	sort.Strings(keys)
+	parts := make([]string, len(keys))
+	for i, k := range keys {
+		parts[i] = k + "=" + labels[k]
+	}
+	return "{" + strings.Join(parts, ",") + "}"
 }
 
 // fetchJSON GETs url and decodes the JSON response into v.

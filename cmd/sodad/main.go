@@ -14,16 +14,18 @@ package main
 import (
 	"flag"
 	"fmt"
-	"log"
 	"net/http"
 	"net/http/pprof"
 	"os"
+	"strings"
 
 	"repro/internal/accounting"
 	"repro/internal/api"
+	"repro/internal/flight"
 	"repro/internal/hostos"
 	"repro/internal/hup"
 	"repro/internal/soda"
+	"repro/internal/telemetry"
 )
 
 func main() {
@@ -35,18 +37,28 @@ func main() {
 	configPath := flag.String("config", "", "JSON scenario file describing the HUP (overrides -hosts/-seed)")
 	imageCache := flag.Bool("image-cache", false, "enable daemon-side master-image caching")
 	chaosFlag := flag.Bool("chaos", false, "enable self-healing and attach the fault injector (adds /faults)")
+	logLevel := flag.String("log-level", "info", "minimum console log level (debug|info|warn|error)")
 	flag.Parse()
+
+	// Console logger for the daemon's own diagnostics; once the testbed
+	// is up it is superseded by the flight recorder's logger, which both
+	// captures to the black-box ring and echoes here.
+	boot := flight.NewConsole(os.Stderr).Component("sodad")
+	fatal := func(format string, args ...any) {
+		boot.Errorf(format, args...)
+		os.Exit(1)
+	}
 
 	var cfg hup.Config
 	if *configPath != "" {
 		f, err := os.Open(*configPath)
 		if err != nil {
-			log.Fatalf("sodad: %v", err)
+			fatal("%v", err)
 		}
 		cfg, err = hup.LoadConfig(f)
 		f.Close()
 		if err != nil {
-			log.Fatalf("sodad: %v", err)
+			fatal("%v", err)
 		}
 	} else {
 		var specs []hostos.Spec
@@ -67,7 +79,7 @@ func main() {
 	}
 	tb, err := hup.New(cfg)
 	if err != nil {
-		log.Fatalf("sodad: building HUP: %v", err)
+		fatal("building HUP: %v", err)
 	}
 	if *imageCache {
 		for _, d := range tb.Daemons {
@@ -75,13 +87,24 @@ func main() {
 		}
 	}
 	if err := tb.Agent.RegisterASP(*asp, *credential); err != nil {
-		log.Fatalf("sodad: enrolling ASP: %v", err)
+		fatal("enrolling ASP: %v", err)
 	}
 	// Metrics registry + virtual-clock tracer over the whole control
 	// plane; /metrics and /trace serve them.
 	tb.EnableTelemetry()
+	// Black-box flight recorder: structured logs from every subsystem
+	// captured to a ring, incidents auto-frozen on SLO violations and
+	// host failures; /logs and /incidents serve them. The logger echoes
+	// to stderr, replacing the old raw event-stream prints.
+	_, flog := tb.EnableFlightRecorder(hup.FlightOptions{})
+	min, err := flight.ParseLevel(*logLevel)
+	if err != nil {
+		fatal("%v", err)
+	}
+	flog.SetMinLevel(min)
+	flog.SetConsole(os.Stderr)
 	// Per-service metering, billing, and SLO evaluation; /usage serves
-	// the reports and violations land in the event log below.
+	// the reports and violations land in the flight ring above.
 	tb.EnableAccounting(accounting.Options{})
 	if *chaosFlag {
 		// Heartbeat failure detector, automatic node recovery, and the
@@ -90,10 +113,6 @@ func main() {
 		tb.EnableSelfHealing(soda.HealthConfig{})
 		tb.EnableChaos(*seed)
 	}
-	// Stream the control-plane event trace to the log.
-	tb.Master.Observe(func(e soda.Event) {
-		log.Printf("sodad: %v", e)
-	})
 
 	srv := api.NewServer(tb)
 	mux := http.NewServeMux()
@@ -104,13 +123,21 @@ func main() {
 	mux.HandleFunc("/debug/pprof/profile", pprof.Profile)
 	mux.HandleFunc("/debug/pprof/symbol", pprof.Symbol)
 	mux.HandleFunc("/debug/pprof/trace", pprof.Trace)
-	log.Printf("sodad: HUP with %d host(s) up; SODA API on %s (ASP %q)", len(tb.Hosts), *listen, *asp)
-	log.Printf("sodad: try: curl -s -X POST localhost%s/v1/images -d '{\"name\":\"web\",\"size_mb\":30}'", *listen)
-	log.Printf("sodad: metrics on %s/metrics, span trees on %s/trace, usage on %s/usage, pprof on %s/debug/pprof/", *listen, *listen, *listen, *listen)
+	boot.Info("HUP up; serving SODA API",
+		telemetry.L("hosts", fmt.Sprintf("%d", len(tb.Hosts))),
+		telemetry.L("listen", *listen),
+		telemetry.L("asp", *asp))
+	addr := *listen
+	if strings.HasPrefix(addr, ":") {
+		addr = "localhost" + addr
+	}
+	boot.Infof("try: curl -s -X POST %s/v1/images -d '{\"name\":\"web\",\"size_mb\":30}'", addr)
+	boot.Infof("metrics on %s/metrics, traces on %s/trace, usage on %s/usage, logs on %s/logs, incidents on %s/incidents",
+		addr, addr, addr, addr, addr)
 	if *chaosFlag {
-		log.Printf("sodad: self-healing on; fault state and recovery history on %s/faults", *listen)
+		boot.Infof("self-healing on; fault state and recovery history on %s/faults", addr)
 	}
 	if err := http.ListenAndServe(*listen, mux); err != nil {
-		log.Fatalf("sodad: %v", err)
+		fatal("%v", err)
 	}
 }

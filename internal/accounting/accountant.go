@@ -5,6 +5,7 @@ import (
 	"sort"
 	"sync"
 
+	"repro/internal/flight"
 	"repro/internal/sim"
 	"repro/internal/simnet"
 	"repro/internal/svcswitch"
@@ -78,6 +79,10 @@ type WatchConfig struct {
 type Accountant struct {
 	opt Options
 
+	// flog carries watch/unwatch/violation diagnostics into the flight
+	// recorder; nil (no-op) until SetLogger.
+	flog *flight.Logger
+
 	mu       sync.Mutex
 	services map[string]*svcEntry
 	onViol   []func(Violation)
@@ -103,6 +108,10 @@ func (a *Accountant) SamplePeriod() sim.Duration { return a.opt.SamplePeriod }
 // EvalPeriod returns the evaluation tick the owner should drive
 // Evaluate at.
 func (a *Accountant) EvalPeriod() sim.Duration { return a.opt.EvalPeriod }
+
+// SetLogger routes the accountant's structured diagnostics into the
+// flight recorder. Nil restores the no-op default.
+func (a *Accountant) SetLogger(l *flight.Logger) { a.flog = l }
 
 // OnViolation registers a callback invoked (outside the lock) for every
 // violation fired.
@@ -131,6 +140,9 @@ func (a *Accountant) Watch(cfg WatchConfig) {
 			meter: NewMeter(cfg.Service, cfg.Net, cfg.Reserved, cfg.Nodes, a.opt.Registry, now),
 		}
 		a.services[cfg.Service] = e
+		a.flog.Debug("metering started",
+			telemetry.L("service", cfg.Service),
+			telemetry.L("nodes", fmt.Sprint(len(cfg.Nodes))))
 	} else {
 		e.meter.reserved = cfg.Reserved
 		e.meter.setNodes(cfg.Nodes)
@@ -165,6 +177,7 @@ func (a *Accountant) Unwatch(service string) (Usage, bool) {
 		e.eval.slowG.Set(0)
 	}
 	delete(a.services, service)
+	a.flog.Debug("metering settled", telemetry.L("service", service))
 	return total, true
 }
 
@@ -211,6 +224,11 @@ func (a *Accountant) Evaluate() {
 			telemetry.L("dimension", v.Dimension))
 		sp.Annotate("burn_rate", fmt.Sprintf("%.2f", v.BurnRate))
 		sp.Annotate("detail", v.Detail)
+		a.flog.WithTrace(sp.TraceID()).Warn("slo violation",
+			telemetry.L("service", v.Service),
+			telemetry.L("window", v.Window),
+			telemetry.L("dimension", v.Dimension),
+			telemetry.L("burn_rate", fmt.Sprintf("%.2f", v.BurnRate)))
 		sp.EndSpan()
 		for _, fn := range callbacks {
 			fn(v)

@@ -11,12 +11,14 @@ import (
 	"encoding/json"
 	"fmt"
 	"net/http"
+	"strconv"
 	"strings"
 	"sync"
 	"time"
 
 	"repro/internal/accounting"
 	"repro/internal/appsvc"
+	"repro/internal/flight"
 	"repro/internal/hup"
 	"repro/internal/image"
 	"repro/internal/soda"
@@ -133,6 +135,10 @@ func (s *Server) Handler() http.Handler {
 	mux.HandleFunc("GET /trace", s.handleTrace)
 	mux.HandleFunc("GET /usage", s.handleUsage)
 	mux.HandleFunc("GET /faults", s.handleFaults)
+	mux.HandleFunc("GET /logs", s.handleLogs)
+	mux.HandleFunc("GET /incidents", s.handleIncidents)
+	mux.HandleFunc("GET /incidents/{id}", s.handleIncident)
+	mux.HandleFunc("POST /incidents", s.handleTriggerIncident)
 	return mux
 }
 
@@ -209,6 +215,144 @@ func (s *Server) handleFaults(w http.ResponseWriter, r *http.Request) {
 		})
 	}
 	writeJSON(w, http.StatusOK, view)
+}
+
+// LogsView is the body of GET /logs: the newest ring records plus
+// recorder statistics. 404 until the flight recorder is enabled.
+type LogsView struct {
+	Records []flight.RecordView `json:"records"`
+	Stats   flight.Stats        `json:"stats"`
+}
+
+// handleLogs exposes the flight recorder's ring buffer. ?n= bounds the
+// tail (default 100), ?level= sets the minimum severity, ?component=
+// narrows to one subsystem.
+func (s *Server) handleLogs(w http.ResponseWriter, r *http.Request) {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	rec := s.tb.Flight
+	if rec == nil {
+		writeErr(w, http.StatusNotFound, fmt.Errorf("api: flight recorder not enabled"))
+		return
+	}
+	q := r.URL.Query()
+	n := 100
+	if v := q.Get("n"); v != "" {
+		parsed, err := strconv.Atoi(v)
+		if err != nil || parsed <= 0 {
+			writeErr(w, http.StatusBadRequest, fmt.Errorf("api: bad n %q", v))
+			return
+		}
+		n = parsed
+	}
+	min := flight.LevelDebug
+	if v := q.Get("level"); v != "" {
+		parsed, err := flight.ParseLevel(v)
+		if err != nil {
+			writeErr(w, http.StatusBadRequest, err)
+			return
+		}
+		min = parsed
+	}
+	writeJSON(w, http.StatusOK, LogsView{
+		Records: rec.Tail(n, min, q.Get("component")),
+		Stats:   rec.StatsNow(),
+	})
+}
+
+// IncidentSummary is one row of GET /incidents; the full bundle hangs
+// off GET /incidents/{id}.
+type IncidentSummary struct {
+	ID        string  `json:"id"`
+	Trigger   string  `json:"trigger"`
+	Subject   string  `json:"subject,omitempty"`
+	Detail    string  `json:"detail,omitempty"`
+	OpenedSec float64 `json:"opened_s"`
+	SealedSec float64 `json:"sealed_s,omitempty"`
+	Open      bool    `json:"open,omitempty"`
+	Records   int     `json:"records"`
+}
+
+// IncidentsView is the body of GET /incidents.
+type IncidentsView struct {
+	Incidents []IncidentSummary `json:"incidents"`
+	Stats     flight.Stats      `json:"stats"`
+}
+
+func (s *Server) handleIncidents(w http.ResponseWriter, r *http.Request) {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	rec := s.tb.Flight
+	if rec == nil {
+		writeErr(w, http.StatusNotFound, fmt.Errorf("api: flight recorder not enabled"))
+		return
+	}
+	view := IncidentsView{Incidents: []IncidentSummary{}, Stats: rec.StatsNow()}
+	for _, inc := range rec.Incidents() {
+		view.Incidents = append(view.Incidents, IncidentSummary{
+			ID:        inc.ID,
+			Trigger:   inc.Trigger,
+			Subject:   inc.Subject,
+			Detail:    inc.Detail,
+			OpenedSec: inc.OpenedSec,
+			SealedSec: inc.SealedSec,
+			Open:      inc.Open,
+			Records:   len(inc.Records),
+		})
+	}
+	writeJSON(w, http.StatusOK, view)
+}
+
+func (s *Server) handleIncident(w http.ResponseWriter, r *http.Request) {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	rec := s.tb.Flight
+	if rec == nil {
+		writeErr(w, http.StatusNotFound, fmt.Errorf("api: flight recorder not enabled"))
+		return
+	}
+	id := r.PathValue("id")
+	inc := rec.Incident(id)
+	if inc == nil {
+		writeErr(w, http.StatusNotFound, fmt.Errorf("api: no incident %q", id))
+		return
+	}
+	writeJSON(w, http.StatusOK, inc)
+}
+
+// TriggerRequest is the body of POST /incidents: open an incident by
+// hand — forensic capture of "something looks wrong right now".
+type TriggerRequest struct {
+	Trigger string `json:"trigger"`
+	Subject string `json:"subject,omitempty"`
+	Detail  string `json:"detail,omitempty"`
+}
+
+func (s *Server) handleTriggerIncident(w http.ResponseWriter, r *http.Request) {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	rec := s.tb.Flight
+	if rec == nil {
+		writeErr(w, http.StatusNotFound, fmt.Errorf("api: flight recorder not enabled"))
+		return
+	}
+	var req TriggerRequest
+	if err := json.NewDecoder(r.Body).Decode(&req); err != nil {
+		writeErr(w, http.StatusBadRequest, err)
+		return
+	}
+	if req.Trigger == "" {
+		req.Trigger = "manual"
+	}
+	id := rec.Trigger(req.Trigger, req.Subject, req.Detail)
+	if id == "" {
+		writeErr(w, http.StatusTooManyRequests,
+			fmt.Errorf("api: trigger %s/%s suppressed by cooldown", req.Trigger, req.Subject))
+		return
+	}
+	// The incident stays open until the post window elapses on the
+	// virtual clock (later API calls drive it); fetch it by id then.
+	writeJSON(w, http.StatusAccepted, map[string]string{"id": id})
 }
 
 // AccountView is the wire form of an ASP's bill.

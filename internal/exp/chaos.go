@@ -1,11 +1,14 @@
 package exp
 
 import (
+	"crypto/sha256"
+	"encoding/json"
 	"fmt"
 	"strings"
 
 	"repro/internal/appsvc"
 	"repro/internal/chaos"
+	"repro/internal/flight"
 	"repro/internal/hostos"
 	"repro/internal/hup"
 	"repro/internal/sim"
@@ -53,8 +56,17 @@ type ChaosResult struct {
 	// injector's history. Both must be identical across same-seed runs.
 	EventSeq []string `json:"event_seq"`
 	FaultLog []string `json:"fault_log"`
+	// Incidents / IncidentIDs describe the flight recorder's automatic
+	// captures; IncidentDigest is a SHA-256 over the sealed bundles'
+	// JSON, compared across same-seed runs. IncidentSpansRecovery
+	// reports that the host-dead bundle's records tell the whole story,
+	// detection through recovery completion.
+	Incidents             int      `json:"incidents"`
+	IncidentIDs           []string `json:"incident_ids,omitempty"`
+	IncidentDigest        string   `json:"incident_digest"`
+	IncidentSpansRecovery bool     `json:"incident_spans_recovery"`
 	// Deterministic reports whether a second same-seed run reproduced
-	// EventSeq and FaultLog exactly.
+	// EventSeq, FaultLog, and the incident bundles exactly.
 	Deterministic bool `json:"deterministic"`
 }
 
@@ -102,7 +114,8 @@ func RunChaosWith(seed uint64, total sim.Duration) (*ChaosResult, error) {
 	if err != nil {
 		return nil, err
 	}
-	res.Deterministic = eqStrings(res.EventSeq, rerun.EventSeq) && eqStrings(res.FaultLog, rerun.FaultLog)
+	res.Deterministic = eqStrings(res.EventSeq, rerun.EventSeq) && eqStrings(res.FaultLog, rerun.FaultLog) &&
+		res.IncidentDigest == rerun.IncidentDigest
 	return res, nil
 }
 
@@ -132,6 +145,9 @@ func chaosRun(seed uint64, total sim.Duration) (*ChaosResult, error) {
 	}
 	tb.EnableSelfHealing(chaosDetector())
 	inj := tb.EnableChaos(seed)
+	// Black-box flight recorder: the host death must auto-capture an
+	// incident bundle whose records span detection through recovery.
+	rec, _ := tb.EnableFlightRecorder(hup.FlightOptions{})
 
 	img := hup.WebContentImage("web", 8)
 	if err := tb.Publish(img); err != nil {
@@ -246,6 +262,27 @@ func chaosRun(seed uint64, total sim.Duration) (*ChaosResult, error) {
 	for _, r := range inj.History() {
 		res.FaultLog = append(res.FaultLog, r.String())
 	}
+
+	// Freeze any still-open incidents at this fixed virtual instant so
+	// two same-seed runs digest identical bundles.
+	rec.SealAll()
+	var sealed []*flight.Incident
+	for _, inc := range rec.Incidents() {
+		if inc.Open {
+			continue
+		}
+		sealed = append(sealed, inc)
+		res.IncidentIDs = append(res.IncidentIDs, inc.ID)
+		if inc.Trigger == "host-dead" && inc.HasRecord("host-dead") && inc.HasRecord("node-recovered") {
+			res.IncidentSpansRecovery = true
+		}
+	}
+	res.Incidents = len(sealed)
+	blob, err := json.Marshal(sealed)
+	if err != nil {
+		return nil, err
+	}
+	res.IncidentDigest = fmt.Sprintf("%x", sha256.Sum256(blob))
 	return res, nil
 }
 
@@ -275,8 +312,14 @@ func (r *ChaosResult) Shape() error {
 	if r.FinalCapacity < r.WantCapacity {
 		misses = append(misses, fmt.Sprintf("capacity %d < reserved %d", r.FinalCapacity, r.WantCapacity))
 	}
+	if r.Incidents < 1 {
+		misses = append(misses, "flight recorder captured no incident bundle")
+	}
+	if !r.IncidentSpansRecovery {
+		misses = append(misses, "no host-dead bundle spans detection through recovery completion")
+	}
 	if !r.Deterministic {
-		misses = append(misses, "same seed did not reproduce the event sequence")
+		misses = append(misses, "same seed did not reproduce the event sequence and incident bundles")
 	}
 	if len(misses) > 0 {
 		return fmt.Errorf("chaos: %s", strings.Join(misses, "; "))
@@ -309,6 +352,10 @@ func (r *ChaosResult) Render() string {
 	b.WriteString(shapeCheck("no requests served by dead backends after detection (+1 probe)", r.DeadRouted == 0) + "\n")
 	b.WriteString(shapeCheck("post-fault throughput ≥ 90% of pre-fault", r.RecoveryRatio >= 0.9) + "\n")
 	b.WriteString(shapeCheck("reserved capacity fully restored", r.FinalCapacity >= r.WantCapacity) + "\n")
-	b.WriteString(shapeCheck("same seed reproduces the identical fault schedule and event sequence", r.Deterministic) + "\n")
+	fmt.Fprintf(&b, "  flight recorder: %d incident bundle(s) %v, digest %.12s…\n\n",
+		r.Incidents, r.IncidentIDs, r.IncidentDigest)
+	b.WriteString(shapeCheck("flight recorder auto-captured the host death", r.Incidents >= 1) + "\n")
+	b.WriteString(shapeCheck("host-dead bundle spans detection through recovery completion", r.IncidentSpansRecovery) + "\n")
+	b.WriteString(shapeCheck("same seed reproduces the identical fault schedule, events, and incident bundles", r.Deterministic) + "\n")
 	return b.String()
 }

@@ -9,9 +9,11 @@ package hup
 
 import (
 	"fmt"
+	"time"
 
 	"repro/internal/accounting"
 	"repro/internal/chaos"
+	"repro/internal/flight"
 	"repro/internal/hostos"
 	"repro/internal/hostos/sched"
 	"repro/internal/image"
@@ -64,6 +66,10 @@ type Testbed struct {
 
 	// Chaos is nil until EnableChaos.
 	Chaos *chaos.Injector
+
+	// Flight and FlightLog are nil until EnableFlightRecorder.
+	Flight    *flight.Recorder
+	FlightLog *flight.Logger
 
 	clients int
 }
@@ -236,6 +242,139 @@ func (tb *Testbed) EnableChaos(seed uint64) *chaos.Injector {
 		Seed:    seed,
 	})
 	return tb.Chaos
+}
+
+// FlightOptions parameterises EnableFlightRecorder. Zero values take
+// the flight package defaults plus the tick cadences below.
+type FlightOptions struct {
+	// Ring and incident shape; zero-valued fields take flight defaults.
+	Capacity           int
+	PreRecords         int
+	PostWindow         sim.Duration
+	Cooldown           sim.Duration
+	MaxIncidents       int
+	MaxIncidentRecords int
+	// CaptureEvery is the metric-snapshot heartbeat (default 1s).
+	CaptureEvery sim.Duration
+	// TickEvery is the incident seal-check cadence (default 250ms).
+	TickEvery sim.Duration
+}
+
+// EnableFlightRecorder builds the black-box flight recorder on the
+// kernel's virtual clock and wires it through the control plane: a
+// structured logger on the Master (propagated to daemons, switches,
+// health, and accounting), an event observer turning every SODA event
+// into a ring record, automatic incident triggers on SLO violations
+// and host failures, and kernel timers for metric snapshots and
+// incident sealing. Telemetry is enabled implicitly so bundles carry
+// metric deltas and span subtrees. Deterministic: timestamps come from
+// virtual time, so same-seed runs produce byte-identical incident
+// bundles. Idempotent; the options of the first call win.
+func (tb *Testbed) EnableFlightRecorder(opt FlightOptions) (*flight.Recorder, *flight.Logger) {
+	if tb.Flight != nil {
+		return tb.Flight, tb.FlightLog
+	}
+	reg, tracer := tb.EnableTelemetry()
+	k := tb.K
+	master := tb.Master
+	rec := flight.NewRecorder(flight.Options{
+		Clock:              func() time.Duration { return k.Now().Duration() },
+		Capacity:           opt.Capacity,
+		PreRecords:         opt.PreRecords,
+		PostWindow:         time.Duration(opt.PostWindow),
+		Cooldown:           time.Duration(opt.Cooldown),
+		MaxIncidents:       opt.MaxIncidents,
+		MaxIncidentRecords: opt.MaxIncidentRecords,
+		Metrics:            reg.Snapshot,
+		Spans:              tracer.Roots,
+		Routes: func() []flight.RouteTable {
+			var out []flight.RouteTable
+			for _, name := range master.Services() {
+				svc, ok := master.Service(name)
+				if !ok || svc.Config == nil {
+					continue
+				}
+				out = append(out, flight.RouteTable{Service: name, Table: svc.Config.Render()})
+			}
+			return out
+		},
+		Faults: func() []string {
+			// Closure, not a bound snapshot: chaos may be enabled after
+			// the recorder, and bundles should still list the schedule.
+			if tb.Chaos == nil {
+				return nil
+			}
+			faults := tb.Chaos.ActiveFaults()
+			out := make([]string, len(faults))
+			for i, f := range faults {
+				out[i] = f.String()
+			}
+			return out
+		},
+	})
+	log := flight.NewLogger(rec)
+	master.SetFlightLogger(log)
+
+	// Every SODA event becomes a ring record; failure-path events also
+	// open incidents, keyed per subject so a multi-host outage captures
+	// one bundle per host while a flapping host stays rate-limited.
+	master.Observe(func(ev soda.Event) {
+		msg := ev.Kind.String()
+		level := flight.LevelInfo
+		switch ev.Kind {
+		case soda.EventRejected, soda.EventNodeFailed, soda.EventHostDead, soda.EventRecoveryFailed:
+			level = flight.LevelError
+		case soda.EventHostSuspected, soda.EventSLOViolation:
+			level = flight.LevelWarn
+		case soda.EventSpanEnded:
+			level = flight.LevelDebug
+		}
+		labels := make([]telemetry.Label, 0, 3)
+		if ev.Service != "" {
+			labels = append(labels, telemetry.L("service", ev.Service))
+		}
+		if ev.Node != "" {
+			labels = append(labels, telemetry.L("node", ev.Node))
+		}
+		if ev.Detail != "" {
+			labels = append(labels, telemetry.L("detail", ev.Detail))
+		}
+		elog := log.Component("event")
+		switch level {
+		case flight.LevelError:
+			elog.Error(msg, labels...)
+		case flight.LevelWarn:
+			elog.Warn(msg, labels...)
+		case flight.LevelDebug:
+			elog.Debug(msg, labels...)
+		default:
+			elog.Info(msg, labels...)
+		}
+		switch ev.Kind {
+		case soda.EventSLOViolation:
+			rec.Trigger("slo-violation", ev.Service, ev.Detail)
+		case soda.EventHostSuspected:
+			rec.Trigger("host-suspected", ev.Node, ev.Detail)
+		case soda.EventHostDead:
+			rec.Trigger("host-dead", ev.Node, ev.Detail)
+		case soda.EventNodeRecovered:
+			rec.Trigger("node-recovered", ev.Service, ev.Detail)
+		}
+	})
+
+	capture := opt.CaptureEvery
+	if capture <= 0 {
+		capture = sim.Second
+	}
+	tick := opt.TickEvery
+	if tick <= 0 {
+		tick = 250 * sim.Millisecond
+	}
+	k.Every(capture, rec.CaptureMetrics)
+	k.Every(tick, rec.Tick)
+
+	tb.Flight, tb.FlightLog = rec, log
+	return rec, log
 }
 
 // MustNew is New, panicking on error; for benchmarks and examples.

@@ -28,6 +28,7 @@ import (
 	"sync/atomic"
 	"time"
 
+	"repro/internal/flight"
 	"repro/internal/svcswitch"
 	"repro/internal/telemetry"
 )
@@ -212,6 +213,15 @@ type Proxy struct {
 	retryExhausted *telemetry.Counter
 	latency        *telemetry.Histogram
 	backendLat     map[string]*telemetry.Histogram
+
+	// reqSeq numbers requests (atomically — ServeHTTP is concurrent);
+	// histogram exemplars carry it as the trace ID.
+	reqSeq atomic.Uint64
+
+	// flog logs backend-health transitions and drops — never successful
+	// per-request traffic. Stored atomically so SetLogger is safe while
+	// requests are in flight. Nil (no-op) until SetLogger.
+	flog atomic.Pointer[flight.Logger]
 }
 
 // New creates a proxy for the given service configuration with the
@@ -263,6 +273,14 @@ func (p *Proxy) Instrument(reg *telemetry.Registry) {
 	p.backendLat = make(map[string]*telemetry.Histogram)
 	p.rebuildLocked()
 }
+
+// SetLogger routes the proxy's backend-health transitions and drops into
+// the flight recorder. Safe to call while requests are in flight. A nil
+// logger restores the no-op default.
+func (p *Proxy) SetLogger(l *flight.Logger) { p.flog.Store(l) }
+
+// logger returns the current flight logger (nil for no-op).
+func (p *Proxy) logger() *flight.Logger { return p.flog.Load() }
 
 // Routed returns how many requests were forwarded to a backend. It is
 // lock-free: the counter is atomic.
@@ -599,6 +617,7 @@ func (p *Proxy) noteSuccess(t *routeTable, cell *statCell) {
 	cell.probing.Store(false)
 	if cell.ejectedUntil.Swap(0) != 0 {
 		p.readmitted.Inc()
+		p.logger().Info("backend readmitted", telemetry.L("backend", cellAddr(t, cell)))
 	}
 }
 
@@ -619,8 +638,20 @@ func (p *Proxy) noteFailure(t *routeTable, cell *statCell, now int64) {
 		cell.fails.Store(0)
 		if cell.ejectedUntil.Swap(now+t.probeNs) == 0 {
 			p.ejectedC.Inc()
+			p.logger().Warn("backend ejected", telemetry.L("backend", cellAddr(t, cell)))
 		}
 	}
+}
+
+// cellAddr resolves a stat cell back to its backend address for
+// diagnostics (health transitions only, never the per-request path).
+func cellAddr(t *routeTable, cell *statCell) string {
+	for i, c := range t.cells {
+		if c == cell {
+			return t.addrs[i]
+		}
+	}
+	return "?"
 }
 
 // captureWriter wraps the client's ResponseWriter so the proxy can tell
@@ -680,10 +711,12 @@ func replayable(r *http.Request) bool {
 func (p *Proxy) ServeHTTP(w http.ResponseWriter, r *http.Request) {
 	start := time.Now()
 	now := start.UnixNano()
+	reqID := p.reqSeq.Add(1)
 	t := p.loadTable()
 	n := len(t.entries)
 	if n == 0 {
 		p.dropped.Inc()
+		p.logger().WithTrace(reqID).Error("request dropped: no backends configured")
 		http.Error(w, "realswitch: no backends configured", http.StatusBadGateway)
 		return
 	}
@@ -722,8 +755,8 @@ func (p *Proxy) ServeHTTP(w http.ResponseWriter, r *http.Request) {
 			p.noteSuccess(t, cell)
 			p.routed.Inc()
 			elapsed := time.Since(start).Seconds()
-			t.latency.Observe(elapsed)
-			t.hists[idx].Observe(elapsed)
+			t.latency.ObserveTraced(elapsed, reqID)
+			t.hists[idx].ObserveTraced(elapsed, reqID)
 			return
 		}
 		lastErr = cw.err
@@ -746,6 +779,9 @@ func (p *Proxy) ServeHTTP(w http.ResponseWriter, r *http.Request) {
 	if lastErr != nil {
 		msg = fmt.Sprintf("%s: %v", msg, lastErr)
 	}
+	p.logger().WithTrace(reqID).Error("request dropped",
+		telemetry.L("attempts", fmt.Sprint(attempts)),
+		telemetry.L("error", msg))
 	http.Error(w, msg, http.StatusBadGateway)
 }
 

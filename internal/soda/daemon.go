@@ -5,6 +5,7 @@ import (
 	"fmt"
 	"sort"
 
+	"repro/internal/flight"
 	"repro/internal/hostos"
 	"repro/internal/image"
 	"repro/internal/sim"
@@ -80,6 +81,10 @@ type Daemon struct {
 	// DownloadRetries counts image-download attempts re-issued after a
 	// transient failure (reset connection, checksum mismatch, timeout).
 	Primed, TornDown, CacheHits, DownloadRetries int
+
+	// flog carries the daemon's structured diagnostics into the flight
+	// recorder; nil (no-op) until SetFlightLogger.
+	flog *flight.Logger
 
 	// Telemetry instruments, labeled by host. The counters mirror the
 	// exported fields above; the stage histograms collect only once
@@ -224,6 +229,13 @@ func (d *Daemon) Instrument(reg *telemetry.Registry) {
 	d.bootHist = reg.Histogram("soda_prime_boot_seconds", nil, host)
 }
 
+// SetFlightLogger routes the daemon's structured diagnostics into the
+// flight recorder, stamped with the host name. Nil restores the no-op
+// default.
+func (d *Daemon) SetFlightLogger(l *flight.Logger) {
+	d.flog = l.Component("daemon", telemetry.L("host", d.host.Spec.Name))
+}
+
 // Mode returns the daemon's address mode.
 func (d *Daemon) Mode() AddressMode { return d.mode }
 
@@ -311,6 +323,10 @@ func (d *Daemon) downloadWithRetry(repo *image.Repository, name string, onDone f
 			}
 			d.DownloadRetries++
 			d.downloadRetryCtr.Inc()
+			d.flog.Warn("image download retry",
+				telemetry.L("image", name),
+				telemetry.L("attempt", fmt.Sprint(n)),
+				telemetry.L("error", err.Error()))
 			backoff := cfg.Backoff
 			for i := 1; i < n; i++ {
 				backoff *= 2
@@ -544,6 +560,10 @@ func (d *Daemon) Prime(req PrimeRequest, onDone func(NodeInfo), onErr func(error
 			d.Primed++
 			d.primedCtr.Inc()
 			d.liveNodes.Set(float64(len(d.nodes)))
+			d.flog.WithTrace(req.Span.TraceID()).Info("node primed",
+				telemetry.L("service", req.ServiceName),
+				telemetry.L("node", req.NodeName),
+				telemetry.L("download_s", fmt.Sprintf("%.1f", downloadTime.Seconds())))
 			if onDone != nil {
 				onDone(info)
 			}
@@ -589,6 +609,7 @@ func (d *Daemon) Teardown(nodeName string) error {
 	d.TornDown++
 	d.tornDownCtr.Inc()
 	d.liveNodes.Set(float64(len(d.nodes)))
+	d.flog.Debug("node torn down", telemetry.L("node", nodeName))
 	return nil
 }
 
@@ -642,6 +663,9 @@ func (d *Daemon) reportCrash(service, node, reason string) {
 	if d.crashed || d.crashSink == nil {
 		return
 	}
+	d.flog.Error("guest crashed",
+		telemetry.L("service", service), telemetry.L("node", node),
+		telemetry.L("reason", reason))
 	d.crashSink(service, node, reason)
 }
 
@@ -654,6 +678,9 @@ func (d *Daemon) Crash() {
 		return
 	}
 	d.crashed = true
+	d.flog.Error("daemon crash-stopped",
+		telemetry.L("nodes", fmt.Sprint(len(d.nodes))),
+		telemetry.L("pending", fmt.Sprint(len(d.pending))))
 	names := make([]string, 0, len(d.pending))
 	for name := range d.pending {
 		names = append(names, name)
@@ -701,4 +728,5 @@ func (d *Daemon) Restore() {
 	}
 	d.liveNodes.Set(float64(len(d.nodes)))
 	d.crashed = false
+	d.flog.Info("daemon restored", telemetry.L("swept", fmt.Sprint(len(names))))
 }

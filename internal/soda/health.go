@@ -243,7 +243,10 @@ func (m *Master) heartbeat(i int) {
 	if hs.state != HostAlive {
 		prev := hs.state
 		hs.state = HostAlive
-		m.emit(EventHostAlive, "", "", fmt.Sprintf("host %s back from %v", m.daemons[i].Host().Spec.Name, prev))
+		m.emit(EventHostAlive, "", m.daemons[i].Host().Spec.Name, fmt.Sprintf("host %s back from %v", m.daemons[i].Host().Spec.Name, prev))
+		m.flog.Component("health").Info("host alive",
+			telemetry.L("host", m.daemons[i].Host().Spec.Name),
+			telemetry.L("was", prev.String()))
 	}
 }
 
@@ -259,14 +262,20 @@ func (m *Master) checkLiveness() {
 		silent := now.Sub(hs.lastBeat)
 		if hs.state == HostAlive && silent >= h.cfg.SuspectAfter {
 			hs.state = HostSuspected
-			m.emit(EventHostSuspected, "", "",
+			m.emit(EventHostSuspected, "", m.daemons[i].Host().Spec.Name,
 				fmt.Sprintf("host %s silent %v", m.daemons[i].Host().Spec.Name, silent))
+			m.flog.Component("health").Warn("host suspected",
+				telemetry.L("host", m.daemons[i].Host().Spec.Name),
+				telemetry.L("silent", silent.String()))
 		}
 		if hs.state == HostSuspected && silent >= h.cfg.ConfirmAfter {
 			hs.state = HostDead
 			h.hostDeadCtr.Inc()
-			m.emit(EventHostDead, "", "",
+			m.emit(EventHostDead, "", m.daemons[i].Host().Spec.Name,
 				fmt.Sprintf("host %s silent %v, recovering", m.daemons[i].Host().Spec.Name, silent))
+			m.flog.Component("health").Error("host dead",
+				telemetry.L("host", m.daemons[i].Host().Spec.Name),
+				telemetry.L("silent", silent.String()))
 			m.hostDied(i, now)
 		}
 	}
@@ -335,6 +344,9 @@ func (m *Master) recoverNodes(svc *Service, lost []NodeInfo, detectedAt sim.Time
 		delete(svc.nodeDaemon, n.NodeName)
 		m.emit(EventNodeFailed, svc.Spec.Name, n.NodeName,
 			fmt.Sprintf("%s (%s, cap %d)", cause, n.HostName, n.Capacity))
+		m.flog.Component("health").Error("node failed",
+			telemetry.L("service", svc.Spec.Name), telemetry.L("node", n.NodeName),
+			telemetry.L("cause", cause))
 	}
 	kept := svc.Nodes[:0]
 	for _, n := range svc.Nodes {
@@ -375,6 +387,9 @@ func (m *Master) restoreCapacity(svc *Service, lost []NodeInfo, lostCap int, det
 	retry := func(remaining int) {
 		m.emit(EventRecoveryFailed, svc.Spec.Name, "",
 			fmt.Sprintf("%d instance(s) unplaced, retry in %v", remaining, h.cfg.RetryRecovery))
+		m.flog.Component("health").Warn("recovery shortfall",
+			telemetry.L("service", svc.Spec.Name),
+			telemetry.L("unplaced", fmt.Sprint(remaining)))
 		h.recoveries = append(h.recoveries, RecoveryRecord{
 			At: k.Now(), Service: svc.Spec.Name,
 			FailedNode: failedNode, FailedHost: failedHost,
@@ -435,6 +450,9 @@ func (m *Master) restoreCapacity(svc *Service, lost []NodeInfo, lostCap int, det
 			})
 			m.emit(EventNodeRecovered, svc.Spec.Name, "",
 				fmt.Sprintf("in-place +%d, mttr %v", lostCap-remaining, k.Now().Sub(detectedAt)))
+			m.flog.Component("health").WithTrace(root.TraceID()).Info("node recovered",
+				telemetry.L("service", svc.Spec.Name),
+				telemetry.L("mttr", k.Now().Sub(detectedAt).String()))
 		}
 		if remaining > 0 {
 			root.Fail(fmt.Errorf("soda: recovery of %q: %w", svc.Spec.Name, err))
@@ -513,6 +531,11 @@ func (m *Master) restoreCapacity(svc *Service, lost []NodeInfo, lostCap int, det
 				})
 				m.emit(EventNodeRecovered, svc.Spec.Name, info.NodeName,
 					fmt.Sprintf("on %s cap=%d mttr=%v", info.HostName, info.Capacity, mttr))
+				m.flog.Component("health").WithTrace(root.TraceID()).Info("node recovered",
+					telemetry.L("service", svc.Spec.Name),
+					telemetry.L("node", info.NodeName),
+					telemetry.L("host", info.HostName),
+					telemetry.L("mttr", mttr.String()))
 				finishOne()
 			}, abort)
 		})

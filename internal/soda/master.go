@@ -6,6 +6,7 @@ import (
 
 	"repro/internal/accounting"
 	"repro/internal/appsvc"
+	"repro/internal/flight"
 	"repro/internal/simnet"
 	"repro/internal/svcswitch"
 	"repro/internal/telemetry"
@@ -47,6 +48,7 @@ type Master struct {
 	// only no-op calls.
 	reg            *telemetry.Registry
 	tracer         *telemetry.Tracer
+	flog           *flight.Logger
 	admittedCtr    *telemetry.Counter
 	rejectedCtr    *telemetry.Counter
 	tornDownCtr    *telemetry.Counter
@@ -129,6 +131,29 @@ func (m *Master) Instrument(reg *telemetry.Registry, tracer *telemetry.Tracer) {
 	m.activeServices.Set(float64(len(m.services)))
 }
 
+// SetFlightLogger routes the Master's structured diagnostics — and those
+// of every switch it subsequently creates and every daemon it drives —
+// into the flight recorder. Nil restores the no-op default. Call it
+// before services are created so their switches inherit the logger.
+func (m *Master) SetFlightLogger(l *flight.Logger) {
+	m.flog = l.Component("master")
+	for _, d := range m.daemons {
+		d.SetFlightLogger(l)
+	}
+	if m.acct != nil {
+		m.acct.SetLogger(l.Component("accounting"))
+	}
+	for _, svc := range m.services {
+		if svc.Switch != nil {
+			svc.Switch.SetLogger(l.Component("switch", telemetry.L("service", svc.Spec.Name)))
+		}
+	}
+}
+
+// FlightLogger returns the logger family attached via SetFlightLogger
+// (component "master"; nil when unset).
+func (m *Master) FlightLogger() *flight.Logger { return m.flog }
+
 // EnableAccounting attaches the usage-metering and SLO-evaluation
 // subsystem: every Active service is watched, resizes re-watch with the
 // new node set, teardowns settle the final bill, and violations surface
@@ -137,6 +162,9 @@ func (m *Master) EnableAccounting(a *accounting.Accountant) {
 	m.acct = a
 	if a == nil {
 		return
+	}
+	if m.flog != nil {
+		a.SetLogger(m.flog.Component("accounting"))
 	}
 	a.OnViolation(func(v accounting.Violation) {
 		m.emit(EventSLOViolation, v.Service, "", v.Detail)
@@ -269,10 +297,13 @@ func (m *Master) CollectAvailability() []HostAvail {
 // back).
 func (m *Master) CreateService(spec ServiceSpec, onDone func(*Service), onErr func(error)) {
 	root := m.tracer.StartRoot("service.create", telemetry.L("service", spec.Name))
+	flog := m.flog.WithTrace(root.TraceID())
 	fail := func(err error) {
 		m.Rejected++
 		m.rejectedCtr.Inc()
 		m.emit(EventRejected, spec.Name, "", err.Error())
+		flog.Error("service rejected",
+			telemetry.L("service", spec.Name), telemetry.L("error", err.Error()))
 		root.Fail(err)
 		if onErr != nil {
 			onErr(err)
@@ -302,6 +333,9 @@ func (m *Master) CreateService(spec ServiceSpec, onDone func(*Service), onErr fu
 	m.admittedCtr.Inc()
 	m.emit(EventAdmitted, spec.Name, "",
 		fmt.Sprintf("<%d, M> over %d node(s), strategy %v", spec.Requirement.N, len(placements), m.Strategy))
+	flog.Info("service admitted",
+		telemetry.L("service", spec.Name),
+		telemetry.L("placements", fmt.Sprint(len(placements))))
 	svc := &Service{
 		Spec:       spec,
 		State:      Priming,
@@ -330,6 +364,9 @@ func (m *Master) CreateService(spec ServiceSpec, onDone func(*Service), onErr fu
 		m.watchService(svc)
 		m.emit(EventServiceActive, spec.Name, "",
 			fmt.Sprintf("switch on %s, policy %s", svc.Nodes[0].NodeName, svc.Switch.Policy().Name()))
+		flog.Info("service active",
+			telemetry.L("service", spec.Name),
+			telemetry.L("switch", svc.Nodes[0].NodeName))
 		if onDone != nil {
 			onDone(svc)
 		}
@@ -434,6 +471,9 @@ func (m *Master) buildSwitch(svc *Service) error {
 	if m.reg != nil {
 		svc.Switch.Instrument(m.reg)
 	}
+	if m.flog != nil {
+		svc.Switch.SetLogger(m.flog.Component("switch", telemetry.L("service", svc.Spec.Name)))
+	}
 	if svc.Spec.SwitchPolicy != nil {
 		svc.Switch.SetPolicy(svc.Spec.SwitchPolicy)
 	}
@@ -463,6 +503,7 @@ func (m *Master) rollback(svc *Service) {
 	svc.State = TornDown
 	delete(m.services, svc.Spec.Name)
 	m.activeServices.Set(float64(len(m.services)))
+	m.flog.Warn("priming rolled back", telemetry.L("service", svc.Spec.Name))
 }
 
 // TeardownService removes a hosted service entirely —
@@ -496,6 +537,7 @@ func (m *Master) TeardownService(name string) error {
 	m.activeServices.Set(float64(len(m.services)))
 	m.tornDownCtr.Inc()
 	m.emit(EventTornDown, name, "", "")
+	m.flog.WithTrace(sp.TraceID()).Info("service torn down", telemetry.L("service", name))
 	sp.EndSpan()
 	return nil
 }

@@ -2,6 +2,9 @@ package svcswitch
 
 import (
 	"testing"
+	"time"
+
+	"repro/internal/flight"
 
 	"repro/internal/sim"
 	"repro/internal/simnet"
@@ -90,6 +93,27 @@ func BenchmarkRouting(b *testing.B) {
 				b.Fatalf("routed %d < N %d", sw.Routed(), b.N)
 			}
 		})
+	}
+}
+
+// BenchmarkRoutingFlight measures the routing hot path with the flight
+// recorder attached: the switch logger is live and every histogram
+// observation stamps a trace-ID exemplar. The data plane never logs per
+// request by design, so this must track BenchmarkRouting/telemetry
+// within noise (the exp-level gate is ≤5%).
+func BenchmarkRoutingFlight(b *testing.B) {
+	k, sw, _ := benchSwitch(b)
+	sw.Instrument(telemetry.NewRegistry())
+	rec := flight.NewRecorder(flight.Options{
+		Clock: func() time.Duration { return k.Now().Duration() },
+	})
+	sw.SetLogger(flight.NewLogger(rec).Component("switch", telemetry.L("service", "svc")))
+	b.ReportAllocs()
+	b.ResetTimer()
+	runRouting(b, k, sw, b.N)
+	b.StopTimer()
+	if sw.Routed() < b.N {
+		b.Fatalf("routed %d < N %d", sw.Routed(), b.N)
 	}
 }
 

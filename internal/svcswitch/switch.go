@@ -4,6 +4,7 @@ import (
 	"fmt"
 
 	"repro/internal/cycles"
+	"repro/internal/flight"
 	"repro/internal/sim"
 	"repro/internal/simnet"
 	"repro/internal/telemetry"
@@ -19,6 +20,10 @@ import (
 //	Completed  → the response was fully delivered to the client
 type Trace struct {
 	Accepted, Arrived, Picked, Delivered, Completed sim.Time
+	// ID is the request's sequence number within this switch, starting
+	// at 1. It doubles as the trace ID stamped onto latency-histogram
+	// exemplars, so an outlier bucket points back at a concrete request.
+	ID uint64
 	// Backend is the chosen node's address; empty when dropped.
 	Backend string
 	// Retries counts backends tried before one accepted.
@@ -120,6 +125,7 @@ type HealthConfig struct {
 // switch's persistent health map (keyed by address), so rebuilding the
 // route cache never forgets failure counts.
 type backendHealth struct {
+	addr     string   // backend address, for ejection diagnostics
 	fails    int      // consecutive failures while in rotation
 	ejected  bool     // out of the rotation
 	probing  bool     // a half-open probe is in flight
@@ -197,6 +203,14 @@ type Switch struct {
 	healthCfg HealthConfig
 	health    map[string]*backendHealth
 
+	// reqSeq numbers requests; Trace.ID and histogram exemplars use it.
+	reqSeq uint64
+
+	// flog logs control-plane transitions only (ejection, re-admission)
+	// — never per-request — so the routing hot path is untouched. Nil
+	// (no-op) until SetLogger.
+	flog *flight.Logger
+
 	// Route cache: per-component views rebuilt only when the config
 	// version or the bind set changes, so the hot path reads parallel
 	// slices instead of filtering entries and formatting map keys.
@@ -267,6 +281,12 @@ func (s *Switch) Instrument(reg *telemetry.Registry) {
 	s.backendLat = make(map[string]*telemetry.Histogram)
 	s.bindSeq++ // cached views hold stale histograms
 }
+
+// SetLogger routes the switch's backend-health transitions (ejection,
+// half-open re-admission) into the flight recorder. Per-request traffic
+// is never logged — the hot path stays allocation-free. Nil restores the
+// no-op default.
+func (s *Switch) SetLogger(l *flight.Logger) { s.flog = l }
 
 // Routed returns how many requests were forwarded to a backend.
 func (s *Switch) Routed() int { return int(s.routed.Value()) }
@@ -416,7 +436,7 @@ func (s *Switch) healthRef(addr string) *backendHealth {
 	}
 	h := s.health[addr]
 	if h == nil {
-		h = &backendHealth{}
+		h = &backendHealth{addr: addr}
 		s.health[addr] = h
 	}
 	return h
@@ -443,6 +463,9 @@ func (s *Switch) noteFailure(h *backendHealth) {
 		h.ejected = true
 		h.reopenAt = now.Add(s.healthCfg.ProbeAfter)
 		s.ejectedC.Inc()
+		s.flog.Warn("backend ejected",
+			telemetry.L("backend", h.addr),
+			telemetry.L("fails", fmt.Sprint(h.fails)))
 	}
 }
 
@@ -457,6 +480,7 @@ func (s *Switch) noteSuccess(h *backendHealth) {
 	if h.ejected {
 		h.ejected = false
 		s.readmitted.Inc()
+		s.flog.Info("backend readmitted", telemetry.L("backend", h.addr))
 	}
 }
 
@@ -536,6 +560,8 @@ func (s *Switch) putOp(op *inflight) {
 func (s *Switch) Route(req Request) error {
 	op := s.getOp()
 	op.req = req
+	s.reqSeq++
+	op.tr.ID = s.reqSeq
 	op.tr.Accepted = s.net.Kernel().Now()
 	if !s.node.Alive() {
 		s.drop(op)
@@ -676,8 +702,8 @@ func (s *Switch) serve(op *inflight) {
 	op.st.Active--
 	s.noteSuccess(op.hp)
 	op.tr.Completed = s.net.Kernel().Now()
-	s.latency.Observe(op.tr.Total().Seconds())
-	op.hist.Observe(op.tr.ServiceTime().Seconds())
+	s.latency.ObserveTraced(op.tr.Total().Seconds(), op.tr.ID)
+	op.hist.ObserveTraced(op.tr.ServiceTime().Seconds(), op.tr.ID)
 	if op.tr.Retries > 0 {
 		s.retried.Add(int64(op.tr.Retries))
 	}

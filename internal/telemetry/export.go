@@ -31,6 +31,9 @@ type HistogramSnapshot struct {
 	Max     float64           `json:"max"`
 	Bounds  []float64         `json:"bounds"`
 	Buckets []int64           `json:"buckets"`
+	// Exemplars[i] is the sampled (trace, value) for Buckets[i]; absent
+	// until ObserveTraced has stamped at least one bucket.
+	Exemplars []Exemplar `json:"exemplars,omitempty"`
 }
 
 // Mean returns sum/count, or 0 with no observations.
@@ -54,12 +57,13 @@ func (h HistogramSnapshot) Sub(prev HistogramSnapshot) HistogramSnapshot {
 		return h
 	}
 	out := HistogramSnapshot{
-		Name:    h.Name,
-		Labels:  h.Labels,
-		Count:   h.Count - prev.Count,
-		Sum:     h.Sum - prev.Sum,
-		Bounds:  h.Bounds,
-		Buckets: make([]int64, len(h.Buckets)),
+		Name:      h.Name,
+		Labels:    h.Labels,
+		Count:     h.Count - prev.Count,
+		Sum:       h.Sum - prev.Sum,
+		Bounds:    h.Bounds,
+		Buckets:   make([]int64, len(h.Buckets)),
+		Exemplars: h.Exemplars,
 	}
 	for i := range h.Buckets {
 		out.Buckets[i] = h.Buckets[i] - prev.Buckets[i]
@@ -221,6 +225,17 @@ func (s Snapshot) RenderText() string {
 	for _, h := range s.Histograms {
 		fmt.Fprintf(&b, "%s count=%d sum=%.6g mean=%.6g min=%.6g max=%.6g\n",
 			renderKey(h.Name, h.Labels), h.Count, h.Sum, h.Mean(), h.Min, h.Max)
+		for i, ex := range h.Exemplars {
+			if ex.Trace == 0 {
+				continue
+			}
+			bound := "+Inf"
+			if i < len(h.Bounds) {
+				bound = fmt.Sprintf("%g", h.Bounds[i])
+			}
+			fmt.Fprintf(&b, "%s exemplar le=%s trace=%d value=%.6g\n",
+				renderKey(h.Name, h.Labels), bound, ex.Trace, ex.Value)
+		}
 	}
 	return b.String()
 }

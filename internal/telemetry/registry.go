@@ -129,13 +129,22 @@ func (g *Gauge) Value() float64 {
 // running sum/min/max, under a mutex (observation volume in this repo is
 // far below contention concern; correctness under -race matters more).
 type Histogram struct {
-	mu     sync.Mutex
-	bounds []float64 // ascending upper bounds; implicit +Inf last
-	counts []int64   // len(bounds)+1
-	count  int64
-	sum    float64
-	min    float64
-	max    float64
+	mu        sync.Mutex
+	bounds    []float64  // ascending upper bounds; implicit +Inf last
+	counts    []int64    // len(bounds)+1
+	exemplars []Exemplar // len(bounds)+1; zero Trace = no exemplar yet
+	count     int64
+	sum       float64
+	min       float64
+	max       float64
+}
+
+// Exemplar pins one sampled observation to the trace that produced it, so
+// an outlier bucket in a latency histogram can be chased back to the
+// request's span tree. A zero Trace means the bucket has no exemplar.
+type Exemplar struct {
+	Trace uint64  `json:"trace"`
+	Value float64 `json:"value"`
 }
 
 // DefBuckets are the default latency-style buckets, in seconds, spanning
@@ -151,17 +160,30 @@ func newHistogram(buckets []float64) *Histogram {
 	}
 	bounds := append([]float64(nil), buckets...)
 	sort.Float64s(bounds)
-	return &Histogram{bounds: bounds, counts: make([]int64, len(bounds)+1)}
+	return &Histogram{
+		bounds:    bounds,
+		counts:    make([]int64, len(bounds)+1),
+		exemplars: make([]Exemplar, len(bounds)+1),
+	}
 }
 
 // Observe records one value. Nil-safe no-op.
-func (h *Histogram) Observe(v float64) {
+func (h *Histogram) Observe(v float64) { h.ObserveTraced(v, 0) }
+
+// ObserveTraced records one value and, when trace is non-zero, stamps it
+// as the exemplar for the bucket the value lands in. Last writer wins per
+// bucket — the freshest sample is the most useful one to chase. Nil-safe
+// no-op.
+func (h *Histogram) ObserveTraced(v float64, trace uint64) {
 	if h == nil {
 		return
 	}
 	h.mu.Lock()
 	i := sort.SearchFloat64s(h.bounds, v)
 	h.counts[i]++
+	if trace != 0 {
+		h.exemplars[i] = Exemplar{Trace: trace, Value: v}
+	}
 	h.count++
 	h.sum += v
 	if h.count == 1 || v < h.min {
@@ -276,6 +298,14 @@ func (h *Histogram) snapshot() HistogramSnapshot {
 		Max:     h.max,
 		Bounds:  append([]float64(nil), h.bounds...),
 		Buckets: append([]int64(nil), h.counts...),
+	}
+	// Exemplars are omitted entirely until some bucket has one, keeping
+	// untraced histograms' snapshots unchanged.
+	for _, ex := range h.exemplars {
+		if ex.Trace != 0 {
+			snap.Exemplars = append([]Exemplar(nil), h.exemplars...)
+			break
+		}
 	}
 	return snap
 }

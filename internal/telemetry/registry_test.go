@@ -208,3 +208,39 @@ func TestRegistryConcurrency(t *testing.T) {
 		t.Fatalf("histogram count = %d", got)
 	}
 }
+
+func TestHistogramExemplars(t *testing.T) {
+	r := NewRegistry()
+	h := r.Histogram("lat_seconds", []float64{0.1, 1, 10})
+	h.ObserveTraced(0.05, 0xabc)  // bucket le=0.1
+	h.ObserveTraced(0.5, 0)      // no trace: bucket counted, no exemplar
+	h.ObserveTraced(50, 0xdef)   // overflow bucket (+Inf)
+	h.ObserveTraced(0.06, 0x123) // last writer wins in le=0.1
+
+	var snap HistogramSnapshot
+	for _, hs := range r.Snapshot().Histograms {
+		if hs.Name == "lat_seconds" {
+			snap = hs
+		}
+	}
+	if len(snap.Exemplars) != len(snap.Bounds)+1 {
+		t.Fatalf("exemplar slots = %d, want %d", len(snap.Exemplars), len(snap.Bounds)+1)
+	}
+	if ex := snap.Exemplars[0]; ex.Trace != 0x123 || ex.Value != 0.06 {
+		t.Fatalf("le=0.1 exemplar = %+v, want last traced write", ex)
+	}
+	if ex := snap.Exemplars[1]; ex.Trace != 0 {
+		t.Fatalf("untraced bucket grew an exemplar: %+v", ex)
+	}
+	if ex := snap.Exemplars[3]; ex.Trace != 0xdef || ex.Value != 50 {
+		t.Fatalf("+Inf exemplar = %+v", ex)
+	}
+
+	text := r.Snapshot().RenderText()
+	if !strings.Contains(text, "exemplar le=0.1 trace=291 value=0.06") {
+		t.Fatalf("exposition missing le=0.1 exemplar:\n%s", text)
+	}
+	if !strings.Contains(text, "exemplar le=+Inf trace=3567 value=50") {
+		t.Fatalf("exposition missing +Inf exemplar:\n%s", text)
+	}
+}

@@ -23,6 +23,12 @@ type Span struct {
 
 	// Name is the span's stage name ("service.create", "image.download").
 	Name string
+	// Trace identifies the tree this span belongs to: every root gets the
+	// tracer's next sequential trace ID and children inherit it, so log
+	// records and histogram exemplars can point back at a whole operation.
+	// ID is the span's own sequence number, unique within the tracer.
+	// Both are deterministic — same run, same IDs.
+	Trace, ID uint64
 	// Start and End are offsets from the tracer epoch. End is zero while
 	// the span is open (an open span with Start 0 is still considered
 	// running).
@@ -38,11 +44,13 @@ type Span struct {
 // concurrent use. A nil tracer hands out nil spans; every span operation
 // on them is a no-op.
 type Tracer struct {
-	mu    sync.Mutex
-	clock func() time.Duration
-	roots []*Span
-	limit int
-	onEnd []func(*Span)
+	mu        sync.Mutex
+	clock     func() time.Duration
+	roots     []*Span
+	limit     int
+	onEnd     []func(*Span)
+	nextTrace uint64
+	nextSpan  uint64
 }
 
 // DefaultSpanLimit bounds retained root spans so a long-running sodad
@@ -97,7 +105,12 @@ func (t *Tracer) StartRoot(name string, attrs ...Label) *Span {
 	}
 	t.mu.Lock()
 	defer t.mu.Unlock()
-	sp := &Span{tracer: t, Name: name, Start: t.clock(), attrs: append([]Label(nil), attrs...)}
+	t.nextTrace++
+	t.nextSpan++
+	sp := &Span{
+		tracer: t, Name: name, Trace: t.nextTrace, ID: t.nextSpan,
+		Start: t.clock(), attrs: append([]Label(nil), attrs...),
+	}
 	t.roots = append(t.roots, sp)
 	if over := len(t.roots) - t.limit; over > 0 {
 		t.roots = append([]*Span(nil), t.roots[over:]...)
@@ -113,7 +126,11 @@ func (s *Span) StartChild(name string, attrs ...Label) *Span {
 	t := s.tracer
 	t.mu.Lock()
 	defer t.mu.Unlock()
-	child := &Span{tracer: t, Name: name, Start: t.clock(), attrs: append([]Label(nil), attrs...)}
+	t.nextSpan++
+	child := &Span{
+		tracer: t, Name: name, Trace: s.Trace, ID: t.nextSpan,
+		Start: t.clock(), attrs: append([]Label(nil), attrs...),
+	}
 	s.children = append(s.children, child)
 	return child
 }
@@ -174,6 +191,15 @@ func (s *Span) Duration() time.Duration {
 	return s.End - s.Start
 }
 
+// TraceID returns the span's trace identifier; 0 on a nil span. Trace is
+// assigned at creation and never mutated, so no lock is needed.
+func (s *Span) TraceID() uint64 {
+	if s == nil {
+		return 0
+	}
+	return s.Trace
+}
+
 // Attr returns the value of the named attribute, if present. Nil-safe.
 func (s *Span) Attr(key string) (string, bool) {
 	if s == nil {
@@ -193,6 +219,8 @@ func (s *Span) Attr(key string) (string, bool) {
 // exposition endpoints and tests consume.
 type SpanView struct {
 	Name     string            `json:"name"`
+	Trace    uint64            `json:"trace,omitempty"`
+	ID       uint64            `json:"span,omitempty"`
 	StartSec float64           `json:"start_sec"`
 	EndSec   float64           `json:"end_sec"`
 	Open     bool              `json:"open,omitempty"`
@@ -231,6 +259,8 @@ func (v SpanView) Find(name string) (SpanView, bool) {
 func (s *Span) viewLocked() SpanView {
 	v := SpanView{
 		Name:     s.Name,
+		Trace:    s.Trace,
+		ID:       s.ID,
 		StartSec: s.Start.Seconds(),
 		EndSec:   s.End.Seconds(),
 		Open:     !s.ended,
