@@ -30,6 +30,13 @@
 // hot path (gate: ≤5%), emitting BENCH_flight.json:
 //
 //	sodabench -flight -out BENCH_flight.json
+//
+// -primescale measures flash-crowd image priming at 1 → N replicas with
+// cooperative content-addressed chunk distribution against the
+// whole-image baseline, gating near-flat latency, ≥50% peer-sourced
+// bytes, exactly-once origin streaming, and same-seed determinism:
+//
+//	sodabench -primescale -replicas 32 -seed 1 -out BENCH_prime.json
 package main
 
 import (
@@ -68,6 +75,7 @@ func experiments() []experiment {
 		{"sweep-inflation", "sweep: inflation factor 1.0..2.0", func() (exp.Result, error) { return exp.RunInflationSweep() }},
 		{"chaos", "fault lifecycle: host crash, detection, self-healing recovery", func() (exp.Result, error) { return exp.RunChaos() }},
 		{"flight", "flight recorder: routing hot-path overhead bare vs recording", func() (exp.Result, error) { return exp.RunFlightOverhead() }},
+		{"primescale", "cooperative chunked priming: 1 → 32 replicas, peer-sourced bytes, near-flat latency", func() (exp.Result, error) { return exp.RunPrimeScale(32, 1) }},
 	}
 }
 
@@ -77,9 +85,11 @@ func main() {
 	throughput := flag.Bool("throughput", false, "run the live proxy throughput benchmark instead of simulated experiments")
 	chaosFlag := flag.Bool("chaos", false, "run the fault-lifecycle smoke: crash a host mid-run, assert detection, recovery, and determinism")
 	flightFlag := flag.Bool("flight", false, "run the flight-recorder overhead benchmark: routing hot path bare vs recording enabled")
+	primeFlag := flag.Bool("primescale", false, "run the priming-at-scale smoke: chunked cooperative mass prime vs whole-image baseline")
+	replicas := flag.Int("replicas", 32, "primescale: replica host count for the mass prime")
 	flightOps := flag.Int("flight-ops", 100000, "flight: routed requests per trial")
 	flightTrials := flag.Int("flight-trials", 5, "flight: trials (minimum ns/op taken)")
-	seed := flag.Uint64("seed", 1, "chaos: fault schedule seed")
+	seed := flag.Uint64("seed", 1, "chaos: fault schedule seed; primescale: testbed seed")
 	backends := flag.Int("backends", 4, "throughput: number of live backends")
 	conc := flag.Int("conc", 16, "throughput: concurrent clients")
 	duration := flag.Duration("duration", 5*time.Second, "throughput: wall-clock measurement window; chaos: virtual run length (use 20s)")
@@ -94,6 +104,14 @@ func main() {
 			ops:    *flightOps,
 			trials: *flightTrials,
 			out:    *out,
+		}))
+	}
+
+	if *primeFlag {
+		os.Exit(runPrimeScaleCmd(primeScaleConfig{
+			replicas: *replicas,
+			seed:     *seed,
+			out:      *out,
 		}))
 	}
 

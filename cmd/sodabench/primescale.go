@@ -1,0 +1,50 @@
+package main
+
+import (
+	"encoding/json"
+	"fmt"
+	"os"
+
+	"repro/internal/exp"
+)
+
+// primeScaleConfig parameterises the -primescale run: flash-crowd image
+// priming at 1 → N replicas with cooperative chunk distribution, against
+// the whole-image baseline, emitting a JSON report for CI
+// (BENCH_prime.json).
+type primeScaleConfig struct {
+	replicas int
+	seed     uint64
+	out      string
+}
+
+// runPrimeScaleCmd executes the priming-at-scale experiment and
+// renders/saves the report. The acceptance shape (mass ≤ 3× single,
+// ≥50% peer-sourced bytes, origin dedup, p95 node prime ≤ 2× single,
+// determinism) gates the exit code — after the report is written, so CI
+// keeps the artifact for a failing run.
+func runPrimeScaleCmd(cfg primeScaleConfig) int {
+	res, err := exp.RunPrimeScale(cfg.replicas, cfg.seed)
+	if err != nil {
+		fmt.Fprintf(os.Stderr, "primescale: %v\n", err)
+		return 1
+	}
+	fmt.Print(res.Render())
+	if cfg.out != "" {
+		data, err := json.MarshalIndent(res, "", "  ")
+		if err != nil {
+			fmt.Fprintf(os.Stderr, "primescale: %v\n", err)
+			return 1
+		}
+		if err := os.WriteFile(cfg.out, append(data, '\n'), 0o644); err != nil {
+			fmt.Fprintf(os.Stderr, "primescale: %v\n", err)
+			return 1
+		}
+		fmt.Printf("wrote %s\n", cfg.out)
+	}
+	if err := res.Shape(); err != nil {
+		fmt.Fprintf(os.Stderr, "primescale: FAILED: %v\n", err)
+		return 1
+	}
+	return 0
+}

@@ -17,6 +17,7 @@
 //	sodactl -server http://localhost:7083 hup
 //	sodactl -server http://localhost:7083 top
 //	sodactl -server http://localhost:7083 faults
+//	sodactl -server http://localhost:7083 images
 //	sodactl -server http://localhost:7083 logs     -tail 50 -level warn
 //	sodactl -server http://localhost:7083 incidents
 //	sodactl -server http://localhost:7083 incident show -id inc-1-host-dead
@@ -58,7 +59,7 @@ func main() {
 	flag.Parse()
 
 	if flag.NArg() < 1 {
-		fmt.Fprintln(os.Stderr, "usage: sodactl [flags] publish|create|list|get|resize|status|usage|slo|probe|teardown|hup|top|faults|logs|incidents|incident [flags]")
+		fmt.Fprintln(os.Stderr, "usage: sodactl [flags] publish|create|list|get|resize|status|usage|slo|probe|teardown|hup|top|faults|images|logs|incidents|incident [flags]")
 		os.Exit(2)
 	}
 	cmd := flag.Arg(0)
@@ -105,6 +106,8 @@ func main() {
 		err = top(*server)
 	case "faults":
 		err = faults(*server)
+	case "images":
+		err = images(*server)
 	case "logs":
 		err = logs(*server, *tail, *level, *component)
 	case "incidents":
@@ -326,6 +329,49 @@ func faults(server string) error {
 			r.NewNode, r.NewHost, r.MTTRS, r.OK, r.Detail)
 	}
 	fmt.Print(rt.String())
+	return nil
+}
+
+// images fetches /images and renders the image distribution layer:
+// per-host chunk-store occupancy with hit ratios and sourcing, and the
+// tracker's holder map when cooperative distribution is on.
+func images(server string) error {
+	var view api.ImagesView
+	if err := fetchJSON(server+"/images", &view); err != nil {
+		return err
+	}
+
+	st := metrics.NewTable("Chunk stores", "host", "images", "chunks", "MB",
+		"hit-ratio", "hits", "peer", "origin", "refetch", "peer-MB", "origin-MB")
+	for _, s := range view.Stores {
+		st.AddRowf(s.Host, s.Images, s.Chunks, s.Bytes>>20,
+			fmt.Sprintf("%.2f", s.HitRatio), s.ChunksHit, s.ChunksPeer, s.ChunksOrig,
+			s.Refetches, s.PeerBytes>>20, s.OriginBytes>>20)
+	}
+	fmt.Println(st.String())
+
+	if !view.Tracker {
+		fmt.Println("cooperative distribution: off (no tracker)")
+		return nil
+	}
+	if len(view.Holders) == 0 {
+		fmt.Println("tracker: on; no images announced yet")
+		return nil
+	}
+	ht := metrics.NewTable("Tracker holder map", "image", "chunks", "full-holders", "per-host")
+	for _, h := range view.Holders {
+		hosts := make([]string, 0, len(h.PerHost))
+		for name := range h.PerHost {
+			hosts = append(hosts, name)
+		}
+		sort.Strings(hosts)
+		parts := make([]string, len(hosts))
+		for i, name := range hosts {
+			parts[i] = fmt.Sprintf("%s:%d", name, h.PerHost[name])
+		}
+		ht.AddRowf(h.Image, h.ChunkTotal, h.FullHolders, strings.Join(parts, " "))
+	}
+	fmt.Print(ht.String())
 	return nil
 }
 

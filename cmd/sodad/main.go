@@ -36,6 +36,7 @@ func main() {
 	seed := flag.Uint64("seed", 1, "simulation seed")
 	configPath := flag.String("config", "", "JSON scenario file describing the HUP (overrides -hosts/-seed)")
 	imageCache := flag.Bool("image-cache", false, "enable daemon-side master-image caching")
+	p2p := flag.Bool("p2p", false, "enable cooperative chunked image distribution (chunk stores + Master tracker; adds /images)")
 	chaosFlag := flag.Bool("chaos", false, "enable self-healing and attach the fault injector (adds /faults)")
 	logLevel := flag.String("log-level", "info", "minimum console log level (debug|info|warn|error)")
 	flag.Parse()
@@ -85,6 +86,9 @@ func main() {
 		for _, d := range tb.Daemons {
 			d.EnableImageCache()
 		}
+	}
+	if *p2p {
+		tb.EnableChunkDistribution(soda.ChunkDistConfig{})
 	}
 	if err := tb.Agent.RegisterASP(*asp, *credential); err != nil {
 		fatal("enrolling ASP: %v", err)
@@ -136,6 +140,9 @@ func main() {
 		addr, addr, addr, addr, addr)
 	if *chaosFlag {
 		boot.Infof("self-healing on; fault state and recovery history on %s/faults", addr)
+	}
+	if *p2p {
+		boot.Infof("cooperative chunk distribution on; stores and holder map on %s/images", addr)
 	}
 	if err := http.ListenAndServe(*listen, mux); err != nil {
 		fatal("%v", err)

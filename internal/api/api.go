@@ -131,6 +131,7 @@ func (s *Server) Handler() http.Handler {
 	mux.HandleFunc("GET /v1/services/{name}/status", s.handleStatus)
 	mux.HandleFunc("POST /v1/services/{name}/probe", s.handleProbe)
 	mux.HandleFunc("GET /v1/hup", s.handleHUP)
+	mux.HandleFunc("GET /images", s.handleImages)
 	mux.HandleFunc("GET /metrics", s.handleMetrics)
 	mux.HandleFunc("GET /trace", s.handleTrace)
 	mux.HandleFunc("GET /usage", s.handleUsage)
@@ -410,6 +411,53 @@ func (s *Server) handleUsage(w http.ResponseWriter, r *http.Request) {
 			OpenServices:    b.OpenServices(),
 		})
 	}
+	writeJSON(w, http.StatusOK, view)
+}
+
+// ChunkStoreView is one host's row of GET /images: chunk-store
+// occupancy plus the sourcing breakdown of every prime it performed.
+type ChunkStoreView struct {
+	soda.ChunkStoreStats
+	// HitRatio is chunks served locally over all chunk acquisitions.
+	HitRatio float64 `json:"hit_ratio"`
+}
+
+// ImagesView is the body of GET /images: per-host chunk-store occupancy
+// and the tracker's holder map (which host holds how many chunks of
+// which image). 404 until a chunk store exists on some daemon.
+type ImagesView struct {
+	Tracker bool                   `json:"tracker"`
+	Stores  []ChunkStoreView       `json:"stores"`
+	Holders []soda.ImageHolderView `json:"holders,omitempty"`
+}
+
+// handleImages exposes the image distribution layer: how much of which
+// image sits on which host, where primes sourced their bytes, and the
+// tracker's holder map when cooperative distribution is on.
+func (s *Server) handleImages(w http.ResponseWriter, r *http.Request) {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	any := false
+	for _, d := range s.tb.Daemons {
+		if d.ChunkStoreEnabled() {
+			any = true
+			break
+		}
+	}
+	if !any {
+		writeErr(w, http.StatusNotFound, fmt.Errorf("api: no chunk store enabled"))
+		return
+	}
+	view := ImagesView{Tracker: s.tb.Master.ChunkDistributionEnabled()}
+	for _, d := range s.tb.Daemons {
+		st := d.ChunkStoreStats()
+		cv := ChunkStoreView{ChunkStoreStats: st}
+		if total := st.ChunksHit + st.ChunksPeer + st.ChunksOrig; total > 0 {
+			cv.HitRatio = float64(st.ChunksHit) / float64(total)
+		}
+		view.Stores = append(view.Stores, cv)
+	}
+	view.Holders = s.tb.Master.ImageHolders()
 	writeJSON(w, http.StatusOK, view)
 }
 

@@ -10,6 +10,7 @@ import (
 	"testing"
 
 	"repro/internal/hup"
+	"repro/internal/soda"
 )
 
 func apiFixture(t *testing.T) (*httptest.Server, *hup.Testbed) {
@@ -244,5 +245,52 @@ func TestAPIProbe(t *testing.T) {
 	resp2 := post(t, srv.URL+"/v1/services/web/probe", ProbeRequest{Credential: "wrong", Requests: 5})
 	if resp2.StatusCode != http.StatusUnauthorized {
 		t.Fatalf("foreign probe = %d", resp2.StatusCode)
+	}
+}
+
+func TestAPIImages(t *testing.T) {
+	srv, tb := apiFixture(t)
+
+	// 404 while no daemon retains chunks.
+	resp, err := http.Get(srv.URL + "/images")
+	if err != nil {
+		t.Fatal(err)
+	}
+	resp.Body.Close()
+	if resp.StatusCode != http.StatusNotFound {
+		t.Fatalf("images without stores = %d, want 404", resp.StatusCode)
+	}
+
+	tb.EnableChunkDistribution(soda.ChunkDistConfig{})
+	publishAndCreate(t, srv, "web", 2)
+
+	resp, err = http.Get(srv.URL + "/images")
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer resp.Body.Close()
+	if resp.StatusCode != http.StatusOK {
+		t.Fatalf("images status = %d", resp.StatusCode)
+	}
+	view := decode[ImagesView](t, resp)
+	if !view.Tracker {
+		t.Fatal("tracker not reported enabled")
+	}
+	if len(view.Stores) != len(tb.Daemons) {
+		t.Fatalf("stores = %d, want %d", len(view.Stores), len(tb.Daemons))
+	}
+	var chunks int
+	for _, s := range view.Stores {
+		chunks += s.Chunks
+	}
+	if chunks == 0 {
+		t.Fatal("no chunks reported after a prime")
+	}
+	if len(view.Holders) != 1 || view.Holders[0].Image != "web-img" {
+		t.Fatalf("holders = %+v, want one entry for web-img", view.Holders)
+	}
+	h := view.Holders[0]
+	if h.ChunkTotal <= 0 || h.FullHolders < 1 || len(h.PerHost) < 1 {
+		t.Fatalf("holder view = %+v", h)
 	}
 }

@@ -1,0 +1,226 @@
+package exp
+
+import (
+	"fmt"
+	"math"
+	"sort"
+
+	"repro/internal/hostos"
+	"repro/internal/hup"
+	"repro/internal/sim"
+	"repro/internal/soda"
+)
+
+// PrimeScaleResult reports the flash-crowd priming experiment: one image
+// primed onto 1 and then N replica hosts, with cooperative chunk
+// distribution on, against the seed's whole-image baseline. The paper's
+// utility promise is absorbing exactly this scale-out; the seed codebase
+// serialises it on the repository NIC (time ~linear in N), while chunked
+// cooperative priming stays near-flat.
+type PrimeScaleResult struct {
+	Replicas int    `json:"replicas"`
+	Seed     uint64 `json:"seed"`
+
+	// SingleSec and MassSec are the chunked service-creation times for 1
+	// and N replicas; BaselineSec is the N-replica whole-image rerun.
+	SingleSec   float64 `json:"single_replica_sec"`
+	MassSec     float64 `json:"mass_sec"`
+	BaselineSec float64 `json:"baseline_sec"`
+
+	// SingleNodePrimeSec is the lone replica's download+boot;
+	// P95NodePrimeSec the 95th percentile across the mass run's nodes.
+	SingleNodePrimeSec float64 `json:"single_node_prime_sec"`
+	P95NodePrimeSec    float64 `json:"p95_node_prime_sec"`
+
+	// Sourcing breakdown of the mass run.
+	PeerBytes          int64   `json:"bytes_from_peers"`
+	OriginBytes        int64   `json:"bytes_from_origin"`
+	PeerFraction       float64 `json:"peer_fraction"`
+	ChunkCount         int     `json:"chunk_count"`
+	OriginChunkFetches int     `json:"origin_chunk_fetches"`
+
+	// Deterministic reports whether a same-seed rerun of the mass prime
+	// was byte-identical (durations and per-daemon source odometers).
+	Deterministic bool `json:"deterministic"`
+}
+
+// Title implements Result.
+func (r *PrimeScaleResult) Title() string {
+	return fmt.Sprintf("Flash-crowd priming: 1 → %d replicas, cooperative chunk distribution", r.Replicas)
+}
+
+// Render implements Result.
+func (r *PrimeScaleResult) Render() string {
+	out := r.Title() + "\n"
+	out += fmt.Sprintf("  single replica (chunked):   %7.2f s  (node prime %.2f s)\n", r.SingleSec, r.SingleNodePrimeSec)
+	out += fmt.Sprintf("  %3d replicas   (chunked):   %7.2f s  (%.2fx single, p95 node prime %.2f s)\n",
+		r.Replicas, r.MassSec, r.MassSec/r.SingleSec, r.P95NodePrimeSec)
+	out += fmt.Sprintf("  %3d replicas   (baseline):  %7.2f s  (%.2fx single; whole-image downloads)\n",
+		r.Replicas, r.BaselineSec, r.BaselineSec/r.SingleSec)
+	out += fmt.Sprintf("  sourcing: %.1f%% of %d MB from peers; origin streamed %d of %d chunks once\n",
+		100*r.PeerFraction, (r.PeerBytes+r.OriginBytes)>>20, r.OriginChunkFetches, r.ChunkCount)
+	out += shapeCheck(fmt.Sprintf("mass prime %.2fx single ≤ 3x", r.MassSec/r.SingleSec), r.MassSec <= 3*r.SingleSec) + "\n"
+	out += shapeCheck("peer-sourced bytes > 0", r.PeerBytes > 0) + "\n"
+	out += shapeCheck(fmt.Sprintf("peer fraction %.2f ≥ 0.5", r.PeerFraction), r.PeerFraction >= 0.5) + "\n"
+	out += shapeCheck(fmt.Sprintf("p95 node prime %.2fx single ≤ 2x", r.P95NodePrimeSec/r.SingleNodePrimeSec),
+		r.P95NodePrimeSec <= 2*r.SingleNodePrimeSec) + "\n"
+	out += shapeCheck("origin dedup: each chunk streamed once", r.OriginChunkFetches == r.ChunkCount) + "\n"
+	out += shapeCheck(fmt.Sprintf("baseline %.2fs not faster than chunked %.2fs", r.BaselineSec, r.MassSec),
+		r.BaselineSec >= r.MassSec) + "\n"
+	out += shapeCheck("same-seed rerun byte-identical", r.Deterministic) + "\n"
+	return out
+}
+
+// Shape returns the first violated acceptance criterion, or nil.
+func (r *PrimeScaleResult) Shape() error {
+	switch {
+	case r.MassSec > 3*r.SingleSec:
+		return fmt.Errorf("mass prime %.2fs exceeds 3x single-replica %.2fs", r.MassSec, r.SingleSec)
+	case r.PeerBytes <= 0:
+		return fmt.Errorf("no bytes sourced from peers")
+	case r.PeerFraction < 0.5:
+		return fmt.Errorf("peer fraction %.2f below 0.5", r.PeerFraction)
+	case r.P95NodePrimeSec > 2*r.SingleNodePrimeSec:
+		return fmt.Errorf("p95 node prime %.2fs exceeds 2x single-replica %.2fs", r.P95NodePrimeSec, r.SingleNodePrimeSec)
+	case r.OriginChunkFetches != r.ChunkCount:
+		return fmt.Errorf("origin streamed %d chunk fetches for %d chunks (dedup broken)", r.OriginChunkFetches, r.ChunkCount)
+	case r.BaselineSec < r.MassSec:
+		return fmt.Errorf("baseline %.2fs beat chunked %.2fs", r.BaselineSec, r.MassSec)
+	case !r.Deterministic:
+		return fmt.Errorf("same-seed rerun diverged")
+	}
+	return nil
+}
+
+// primeScaleImage is the primed service image: the paper's S_I web
+// content service (29 MB → a few dozen 4 MiB-class chunks).
+func primeScaleImage() string { return "web-1.0" }
+
+// primeRun is one measured service creation.
+type primeRun struct {
+	createSec  float64
+	nodePrimes []float64 // per-node download+boot seconds
+	peerBytes  int64
+	origBytes  int64
+	origChunks int
+	chunkCount int
+}
+
+// runPrimeOnce builds a fresh fleet of n replica hosts, primes one
+// n-node service, and measures it. chunked selects cooperative
+// distribution vs. the whole-image baseline.
+func runPrimeOnce(n int, seed uint64, chunked bool) (primeRun, error) {
+	hosts := make([]hostos.Spec, n)
+	for i := range hosts {
+		s := hostos.Tacoma()
+		s.Name = fmt.Sprintf("replica-%02d", i)
+		hosts[i] = s
+	}
+	tb, err := hup.New(hup.Config{Hosts: hosts, Seed: seed})
+	if err != nil {
+		return primeRun{}, err
+	}
+	if err := tb.Agent.RegisterASP("asp", "key"); err != nil {
+		return primeRun{}, err
+	}
+	img := hup.WebContentImage(primeScaleImage(), 0)
+	if err := tb.Publish(img); err != nil {
+		return primeRun{}, err
+	}
+	if chunked {
+		tb.EnableChunkDistribution(soda.ChunkDistConfig{})
+	}
+	man, err := tb.Repo.ManifestFor(img.Name)
+	if err != nil {
+		return primeRun{}, err
+	}
+	// One machine configuration per host: 512 MB on a 768 MB tacoma
+	// leaves room for exactly one node, so N instances spread N-wide.
+	m := soda.MachineConfig{CPUMHz: 128, MemoryMB: 512, DiskMB: 64, BandwidthMbps: 1}
+	k := tb.K
+	var (
+		svc   *soda.Service
+		serr  error
+		done  bool
+		start = k.Now()
+		end   sim.Time
+	)
+	tb.Agent.ServiceCreation("key", soda.ServiceSpec{
+		Name: "flash", ImageName: img.Name, Repository: hup.RepoIP,
+		Requirement: soda.Requirement{N: n, M: m}, GuestProfile: img.SystemServices,
+	}, func(s *soda.Service) { svc, end, done = s, k.Now(), true },
+		func(err error) { serr, done = err, true })
+	for !done && k.Pending() > 0 {
+		k.RunFor(sim.Second)
+	}
+	if !done {
+		return primeRun{}, fmt.Errorf("exp: %d-replica prime never settled", n)
+	}
+	if serr != nil {
+		return primeRun{}, serr
+	}
+	run := primeRun{createSec: end.Sub(start).Seconds(), chunkCount: len(man.Chunks)}
+	for _, node := range svc.Nodes {
+		run.nodePrimes = append(run.nodePrimes, (node.DownloadTime + node.BootTime).Seconds())
+	}
+	sort.Float64s(run.nodePrimes)
+	for _, d := range tb.Daemons {
+		run.peerBytes += d.BytesFromPeers
+		run.origBytes += d.BytesFromOrigin
+		run.origChunks += d.ChunksOrigin
+	}
+	return run, nil
+}
+
+// RunPrimeScale measures flash-crowd priming at 1 and n replicas with
+// cooperative chunk distribution, reruns the mass prime for same-seed
+// determinism, and reruns it once more with chunking off as the seed
+// baseline.
+func RunPrimeScale(n int, seed uint64) (*PrimeScaleResult, error) {
+	if n < 2 {
+		return nil, fmt.Errorf("exp: primescale needs ≥ 2 replicas, got %d", n)
+	}
+	single, err := runPrimeOnce(1, seed, true)
+	if err != nil {
+		return nil, fmt.Errorf("exp: single-replica prime: %w", err)
+	}
+	mass, err := runPrimeOnce(n, seed, true)
+	if err != nil {
+		return nil, fmt.Errorf("exp: %d-replica prime: %w", n, err)
+	}
+	rerun, err := runPrimeOnce(n, seed, true)
+	if err != nil {
+		return nil, fmt.Errorf("exp: %d-replica rerun: %w", n, err)
+	}
+	baseline, err := runPrimeOnce(n, seed, false)
+	if err != nil {
+		return nil, fmt.Errorf("exp: %d-replica baseline: %w", n, err)
+	}
+
+	det := mass.createSec == rerun.createSec &&
+		mass.peerBytes == rerun.peerBytes &&
+		mass.origBytes == rerun.origBytes &&
+		mass.origChunks == rerun.origChunks
+
+	total := mass.peerBytes + mass.origBytes
+	frac := 0.0
+	if total > 0 {
+		frac = float64(mass.peerBytes) / float64(total)
+	}
+	p95 := mass.nodePrimes[int(math.Ceil(0.95*float64(len(mass.nodePrimes))))-1]
+	return &PrimeScaleResult{
+		Replicas:           n,
+		Seed:               seed,
+		SingleSec:          single.createSec,
+		MassSec:            mass.createSec,
+		BaselineSec:        baseline.createSec,
+		SingleNodePrimeSec: single.nodePrimes[0],
+		P95NodePrimeSec:    p95,
+		PeerBytes:          mass.peerBytes,
+		OriginBytes:        mass.origBytes,
+		PeerFraction:       frac,
+		ChunkCount:         mass.chunkCount,
+		OriginChunkFetches: mass.origChunks,
+		Deterministic:      det,
+	}, nil
+}

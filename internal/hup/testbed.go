@@ -102,9 +102,15 @@ func New(cfg Config) (*Testbed, error) {
 		if err := nic.AddIP(hostIP); err != nil {
 			return nil, err
 		}
-		// Disjoint per-daemon IP pools (§4.3).
-		lo := 100 + i*20
-		pool, err := simnet.NewIPPool("128.10.9", lo, lo+19)
+		// Disjoint per-daemon IP pools (§4.3). The first hosts share the
+		// .9 subnet with the control plane; once that octet would
+		// overflow, each further daemon gets a subnet of its own, so
+		// large replica fleets (the -primescale experiment) still build.
+		subnet, lo := "128.10.9", 100+i*20
+		if lo+19 > 255 {
+			subnet, lo = fmt.Sprintf("128.10.%d", 40+i), 100
+		}
+		pool, err := simnet.NewIPPool(subnet, lo, lo+19)
 		if err != nil {
 			return nil, err
 		}
@@ -223,6 +229,14 @@ func (tb *Testbed) EnableAccounting(opt accounting.Options) *accounting.Accounta
 func (tb *Testbed) EnableSelfHealing(cfg soda.HealthConfig) {
 	tb.EnableTelemetry()
 	tb.Master.EnableHealth(cfg)
+}
+
+// EnableChunkDistribution turns on cooperative content-addressed image
+// distribution: every daemon gains a chunk store and serve path, and the
+// Master acts as the tracker planning multi-source chunk fetches.
+// Idempotent; a zero config takes the defaults.
+func (tb *Testbed) EnableChunkDistribution(cfg soda.ChunkDistConfig) {
+	tb.Master.EnableChunkDistribution(cfg)
 }
 
 // EnableChaos attaches a fault injector to the testbed. Its randomness

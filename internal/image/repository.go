@@ -41,6 +41,11 @@ type Repository struct {
 	net    *simnet.Network
 	images map[string]*Image
 
+	// manifests caches each published image's chunk manifest, built
+	// lazily at chunkBytes granularity (0 = DefaultChunkBytes).
+	manifests  map[string]*Manifest
+	chunkBytes int64
+
 	// faultHook, when set, is consulted once per download attempt and
 	// may fail, corrupt, or stall it. Installed by the chaos injector.
 	faultHook func(name string) FaultKind
@@ -76,6 +81,7 @@ func (r *Repository) Publish(im *Image) error {
 		return err
 	}
 	r.images[im.Name] = im
+	delete(r.manifests, im.Name) // the next ManifestFor rebuilds
 	return nil
 }
 

@@ -1,0 +1,71 @@
+package simnet
+
+// FetchSet schedules a multi-source download: many small transfers
+// drawn from several sources, with a cap on how many may be in flight
+// against any one source at a time. Fetches beyond the cap queue FIFO
+// per source and start as earlier ones signal completion, so a slow or
+// dead source backs up only its own queue. Purely an admission
+// gate — the actual transfers still flow through the Network and its
+// shapers; deterministic because queues drain in submission order.
+type FetchSet struct {
+	net          *Network
+	perSourceCap int
+	inFlight     map[IP]int
+	queued       map[IP][]func(done func())
+}
+
+// NewFetchSet builds a fetch scheduler over the network with the given
+// per-source concurrency cap (values < 1 are treated as 1).
+func NewFetchSet(n *Network, perSourceCap int) *FetchSet {
+	if perSourceCap < 1 {
+		perSourceCap = 1
+	}
+	return &FetchSet{
+		net:          n,
+		perSourceCap: perSourceCap,
+		inFlight:     make(map[IP]int),
+		queued:       make(map[IP][]func(done func())),
+	}
+}
+
+// Fetch admits one transfer against src. start runs immediately if the
+// source has a free slot, otherwise when one frees; it must arrange for
+// its done argument to be called exactly once when the transfer settles
+// (success, failure, or timeout) — that releases the slot and starts
+// the next queued fetch for the same source.
+func (fs *FetchSet) Fetch(src IP, start func(done func())) {
+	if fs.inFlight[src] >= fs.perSourceCap {
+		fs.queued[src] = append(fs.queued[src], start)
+		return
+	}
+	fs.run(src, start)
+}
+
+func (fs *FetchSet) run(src IP, start func(done func())) {
+	fs.inFlight[src]++
+	released := false
+	start(func() {
+		if released {
+			return
+		}
+		released = true
+		fs.inFlight[src]--
+		if q := fs.queued[src]; len(q) > 0 {
+			next := q[0]
+			q[0] = nil
+			if len(q) == 1 {
+				delete(fs.queued, src)
+			} else {
+				fs.queued[src] = q[1:]
+			}
+			fs.run(src, next)
+		}
+	})
+}
+
+// InFlight returns the number of admitted, unreleased fetches against
+// src.
+func (fs *FetchSet) InFlight(src IP) int { return fs.inFlight[src] }
+
+// Queued returns the number of fetches waiting for a slot against src.
+func (fs *FetchSet) Queued(src IP) int { return len(fs.queued[src]) }

@@ -1,0 +1,101 @@
+package simnet
+
+import (
+	"testing"
+
+	"repro/internal/sim"
+)
+
+func TestFetchSetCapsPerSourceConcurrency(t *testing.T) {
+	k := sim.NewKernel()
+	n := New(k, 0)
+	fs := NewFetchSet(n, 2)
+
+	var started []int
+	maxInFlight := 0
+	for i := 0; i < 5; i++ {
+		i := i
+		fs.Fetch("10.0.0.1", func(done func()) {
+			started = append(started, i)
+			if f := fs.InFlight("10.0.0.1"); f > maxInFlight {
+				maxInFlight = f
+			}
+			k.After(sim.Duration(i+1)*sim.Millisecond, done)
+		})
+	}
+	if got := fs.InFlight("10.0.0.1"); got != 2 {
+		t.Fatalf("in flight at submit = %d, want 2", got)
+	}
+	if got := fs.Queued("10.0.0.1"); got != 3 {
+		t.Fatalf("queued at submit = %d, want 3", got)
+	}
+	k.Run()
+	if maxInFlight > 2 {
+		t.Fatalf("cap breached: %d in flight", maxInFlight)
+	}
+	// FIFO admission: everything starts, in submission order.
+	if len(started) != 5 {
+		t.Fatalf("started %d fetches, want 5", len(started))
+	}
+	for i, v := range started {
+		if v != i {
+			t.Fatalf("start order %v, want FIFO", started)
+		}
+	}
+	if fs.InFlight("10.0.0.1") != 0 || fs.Queued("10.0.0.1") != 0 {
+		t.Fatal("fetch set not drained")
+	}
+}
+
+func TestFetchSetSourcesAreIndependent(t *testing.T) {
+	k := sim.NewKernel()
+	n := New(k, 0)
+	fs := NewFetchSet(n, 1)
+
+	// Source A's fetch never completes (a stalled peer); source B's
+	// queue must drain anyway.
+	fs.Fetch("10.0.0.1", func(done func()) {})
+	ran := 0
+	for i := 0; i < 3; i++ {
+		fs.Fetch("10.0.0.2", func(done func()) {
+			ran++
+			k.After(sim.Millisecond, done)
+		})
+	}
+	k.Run()
+	if ran != 3 {
+		t.Fatalf("healthy source drained %d fetches, want 3", ran)
+	}
+	if fs.InFlight("10.0.0.1") != 1 {
+		t.Fatal("stalled source lost its slot without done()")
+	}
+}
+
+func TestFetchSetDoneIsIdempotent(t *testing.T) {
+	k := sim.NewKernel()
+	n := New(k, 0)
+	fs := NewFetchSet(n, 1)
+
+	var release func()
+	fs.Fetch("10.0.0.1", func(done func()) { release = done })
+	release()
+	release() // a double release must not free a second slot
+	if got := fs.InFlight("10.0.0.1"); got != 0 {
+		t.Fatalf("in flight after release = %d, want 0", got)
+	}
+	ran := 0
+	fs.Fetch("10.0.0.1", func(done func()) { ran++; done() })
+	if ran != 1 {
+		t.Fatal("slot not reusable after release")
+	}
+}
+
+func TestFetchSetClampsCap(t *testing.T) {
+	k := sim.NewKernel()
+	fs := NewFetchSet(New(k, 0), 0)
+	fs.Fetch("10.0.0.1", func(done func()) {})
+	fs.Fetch("10.0.0.1", func(done func()) { t.Fatal("second fetch ran with cap 0→1") })
+	if fs.InFlight("10.0.0.1") != 1 || fs.Queued("10.0.0.1") != 1 {
+		t.Fatal("cap 0 not clamped to 1")
+	}
+}

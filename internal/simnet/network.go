@@ -50,13 +50,18 @@ type NIC struct {
 	// HostName is the owning host, for traces.
 	HostName string
 
-	net    *Network
-	out    *sim.FluidServer
-	ips    map[IP]bool
-	caps   map[IP]float64 // bytes/sec allocation per source IP
-	mode   ShaperMode
-	groups []ipGroup // shaper scratch, reused across reschedules
+	net      *Network
+	out      *sim.FluidServer
+	rateMbps float64
+	ips      map[IP]bool
+	caps     map[IP]float64 // bytes/sec allocation per source IP
+	mode     ShaperMode
+	groups   []ipGroup // shaper scratch, reused across reschedules
 }
+
+// RateMbps returns the NIC's attached line rate in Mbps — what download
+// estimators use to size deadlines for flows this NIC will serve.
+func (nic *NIC) RateMbps() float64 { return nic.rateMbps }
 
 // ipGroup collects one source IP's active flows for the shaper. The
 // slice headers are reused between policy invocations so the rate
@@ -178,6 +183,7 @@ func (n *Network) Attach(hostName string, mbps float64) (*NIC, error) {
 	nic := &NIC{
 		HostName: hostName,
 		net:      n,
+		rateMbps: mbps,
 		ips:      make(map[IP]bool),
 		caps:     make(map[IP]float64),
 	}

@@ -71,16 +71,31 @@ type Daemon struct {
 	// Master's failure detector registers one per service node).
 	crashSink func(service, node, reason string)
 
-	// cache holds downloaded master images (name → image + pinned disk),
-	// when caching is enabled. Cached images are cloned per node, so
-	// tailoring never disturbs the master copy.
-	cache map[string]*cachedImage
+	// store is the content-addressed chunk cache (superseding the old
+	// whole-image master cache); nil until EnableChunkStore (which
+	// EnableImageCache aliases). coord/coordIdx point at the tracker
+	// once Master.EnableChunkDistribution attaches it.
+	store    *chunkStore
+	coord    *Master
+	coordIdx int
+	chunkCfg ChunkFetchConfig
+	fetchSet *simnet.FetchSet
+	// fetching dedups concurrent chunked fetches of the same image on
+	// this daemon: one engine run, many waiters.
+	fetching map[string]*chunkFetchJob
 
 	// Primed counts nodes successfully bootstrapped; TornDown counts
 	// nodes removed. CacheHits counts downloads avoided by the cache.
 	// DownloadRetries counts image-download attempts re-issued after a
 	// transient failure (reset connection, checksum mismatch, timeout).
 	Primed, TornDown, CacheHits, DownloadRetries int
+
+	// Chunk-distribution accounting: chunks already held locally (hits),
+	// fetched from peers vs. the repository, served to peers, and
+	// re-fetched after a per-chunk checksum mismatch; byte odometers
+	// split priming traffic by source.
+	ChunksHit, ChunksPeer, ChunksOrigin, ChunksServed, ChunkRefetches int
+	BytesFromPeers, BytesFromOrigin                                   int64
 
 	// flog carries the daemon's structured diagnostics into the flight
 	// recorder; nil (no-op) until SetFlightLogger.
@@ -94,6 +109,13 @@ type Daemon struct {
 	tornDownCtr      *telemetry.Counter
 	cacheHitCtr      *telemetry.Counter
 	downloadRetryCtr *telemetry.Counter
+	chunkHitCtr      *telemetry.Counter
+	chunkPeerCtr     *telemetry.Counter
+	chunkOriginCtr   *telemetry.Counter
+	chunkServedCtr   *telemetry.Counter
+	chunkRefetchCtr  *telemetry.Counter
+	bytesPeerCtr     *telemetry.Counter
+	bytesOriginCtr   *telemetry.Counter
 	liveNodes        *telemetry.Gauge
 	downloadHist     *telemetry.Histogram
 	bootHist         *telemetry.Histogram
@@ -133,12 +155,6 @@ func DefaultDownloadRetry() DownloadRetryConfig {
 		Timeout:    120 * sim.Second,
 		JitterFrac: 0.2,
 	}
-}
-
-// cachedImage is one master image pinned on the host's disk.
-type cachedImage struct {
-	img    *image.Image
-	diskMB int
 }
 
 // nodeRuntime is the daemon's bookkeeping for one virtual service node.
@@ -223,6 +239,20 @@ func (d *Daemon) Instrument(reg *telemetry.Registry) {
 	d.reg = reg
 	d.primedCtr, d.tornDownCtr, d.cacheHitCtr = primed, torn, hits
 	d.downloadRetryCtr = retries
+	d.chunkHitCtr = reg.Counter("soda_image_chunks_hit_total", host)
+	d.chunkPeerCtr = reg.Counter("soda_image_chunks_peer_total", host)
+	d.chunkOriginCtr = reg.Counter("soda_image_chunks_origin_total", host)
+	d.chunkServedCtr = reg.Counter("soda_image_chunks_served_total", host)
+	d.chunkRefetchCtr = reg.Counter("soda_image_chunk_refetches_total", host)
+	d.bytesPeerCtr = reg.Counter("soda_prime_bytes_from_peer", host)
+	d.bytesOriginCtr = reg.Counter("soda_prime_bytes_from_origin", host)
+	d.chunkHitCtr.Add(int64(d.ChunksHit))
+	d.chunkPeerCtr.Add(int64(d.ChunksPeer))
+	d.chunkOriginCtr.Add(int64(d.ChunksOrigin))
+	d.chunkServedCtr.Add(int64(d.ChunksServed))
+	d.chunkRefetchCtr.Add(int64(d.ChunkRefetches))
+	d.bytesPeerCtr.Add(d.BytesFromPeers)
+	d.bytesOriginCtr.Add(d.BytesFromOrigin)
 	d.liveNodes = reg.Gauge("soda_daemon_nodes", host)
 	d.liveNodes.Set(float64(len(d.nodes)))
 	d.downloadHist = reg.Histogram("soda_prime_download_seconds", nil, host)
@@ -239,51 +269,77 @@ func (d *Daemon) SetFlightLogger(l *flight.Logger) {
 // Mode returns the daemon's address mode.
 func (d *Daemon) Mode() AddressMode { return d.mode }
 
-// EnableImageCache turns on master-image caching: the first prime of an
-// image downloads and pins it on disk; later primes clone the cached
-// copy, skipping the transfer entirely. An extension beyond §4.3's
+// EnableImageCache turns on image caching: the first prime of an image
+// downloads and pins it on disk; later primes clone the cached copy,
+// skipping the transfer entirely. An extension beyond §4.3's
 // always-download behaviour; disabled by default so the reproduction
-// matches the paper.
-func (d *Daemon) EnableImageCache() {
-	if d.cache == nil {
-		d.cache = make(map[string]*cachedImage)
+// matches the paper. Today this is an alias for EnableChunkStore — the
+// content-addressed store subsumes the whole-image cache.
+func (d *Daemon) EnableImageCache() { d.EnableChunkStore() }
+
+// CachedImages returns how many assembled master images are pinned.
+func (d *Daemon) CachedImages() int {
+	if d.store == nil {
+		return 0
 	}
+	return len(d.store.images)
 }
 
-// CachedImages returns how many master images are pinned.
-func (d *Daemon) CachedImages() int { return len(d.cache) }
-
-// DropImageCache releases every pinned master image.
+// DropImageCache releases every pinned master image and the chunk
+// store's contents, and withdraws this daemon from the tracker's holder
+// sets.
 func (d *Daemon) DropImageCache() {
-	for name, c := range d.cache {
-		d.host.FreeDisk(c.diskMB)
-		delete(d.cache, name)
+	if d.store == nil {
+		return
+	}
+	for name, si := range d.store.images {
+		d.host.FreeDisk(si.diskMB)
+		delete(d.store.images, name)
+	}
+	d.store.chunks = make(map[uint64]int64)
+	if d.coord != nil && d.coord.chunkDist != nil {
+		d.coord.forgetHolder(d.coordIdx)
 	}
 }
 
-// fetchImage produces a private clone of the named image: from the cache
-// when enabled and warm, otherwise by HTTP download (populating the
-// cache if enabled).
-func (d *Daemon) fetchImage(repo *image.Repository, name string, onDone func(*image.Image), onErr func(error)) {
-	if d.cache != nil {
-		if c, hit := d.cache[name]; hit {
+// fetchImage produces a private clone of the named image: a local clone
+// when the store holds it assembled; a tracker-planned multi-source
+// chunk fetch when chunk distribution is on; otherwise a whole-image
+// HTTP download (populating the store if enabled). fanOut is how many
+// sibling primes were fanned out with this one — it pre-sizes download
+// deadlines for repository-link contention. parent is the prime's
+// image.download span.
+func (d *Daemon) fetchImage(repo *image.Repository, name string, fanOut int, parent *telemetry.Span, onDone func(*image.Image), onErr func(error)) {
+	if d.store != nil {
+		if si, hit := d.store.images[name]; hit {
 			d.CacheHits++
 			d.cacheHitCtr.Inc()
+			d.ChunksHit += len(si.manifest.Chunks)
+			d.chunkHitCtr.Add(int64(len(si.manifest.Chunks)))
 			// Cloning the cached master costs a local disk read, not a
 			// network transfer.
 			p := d.host.Spawn("sodad/cache-clone", 0)
-			p.ReadDiskSequential(c.img.SizeBytes(), func() {
+			p.ReadDiskSequential(si.img.SizeBytes(), func() {
 				d.host.Kill(p)
-				onDone(c.img.Clone())
+				onDone(si.img.Clone())
 			})
 			return
 		}
 	}
-	d.downloadWithRetry(repo, name, func(img *image.Image) {
-		if d.cache != nil {
+	if d.store != nil && d.coord != nil {
+		d.fetchChunked(repo, name, fanOut, parent, onDone, onErr)
+		return
+	}
+	d.downloadWithRetry(repo, name, fanOut, func(img *image.Image) {
+		if d.store != nil {
 			sizeMB := img.SizeMB()
 			if err := d.host.UseDisk(sizeMB); err == nil {
-				d.cache[name] = &cachedImage{img: img.Clone(), diskMB: sizeMB}
+				master := img.Clone()
+				man := image.BuildManifest(master, 0)
+				d.store.images[name] = &storedImage{img: master, manifest: man, diskMB: sizeMB}
+				for i := range man.Chunks {
+					d.store.storeChunk(man.Chunks[i].ID, man.Chunks[i].Bytes)
+				}
 			}
 			// Cache-fill failure (disk full) is not a priming failure.
 		}
@@ -297,11 +353,23 @@ func (d *Daemon) SetDownloadRetry(cfg DownloadRetryConfig) { d.retry = cfg }
 // downloadWithRetry performs the HTTP download with a per-attempt
 // deadline, checksum verification, and bounded exponential backoff with
 // jitter on transient failures. Permanent failures (the image is not
-// published) fail fast.
-func (d *Daemon) downloadWithRetry(repo *image.Repository, name string, onDone func(*image.Image), onErr func(error)) {
+// published) fail fast. fanOut widens the per-attempt deadline for
+// repository-link contention: a mass prime of N replicas shares the
+// repository NIC, so each flow legitimately takes ~N times the lone-flow
+// estimate and must not be misdiagnosed as a stall.
+func (d *Daemon) downloadWithRetry(repo *image.Repository, name string, fanOut int, onDone func(*image.Image), onErr func(error)) {
 	cfg := d.retry
 	if cfg.Attempts < 1 {
 		cfg.Attempts = 1
+	}
+	if fanOut > 1 && cfg.Timeout > 0 {
+		if im, err := repo.Lookup(name); err == nil {
+			if nic, ok := d.net.Lookup(repo.IP); ok {
+				if est := 2 * image.EstimateDownloadTimeContended(im, nic.RateMbps(), fanOut); est > cfg.Timeout {
+					cfg.Timeout = est
+				}
+			}
+		}
 	}
 	k := d.net.Kernel()
 	var attempt func(n int)
@@ -403,6 +471,10 @@ type PrimeRequest struct {
 	GuestProfile []string
 	// Port is the service's listen port.
 	Port int
+	// FanOut is how many sibling primes the Master fanned out together
+	// with this one (including it); the daemon uses it to pre-size
+	// download deadlines for repository-link contention. 0 means 1.
+	FanOut int
 	// Span, when non-nil, is the priming trace span the Master opened for
 	// this node; the daemon and guest boot attach stage child spans to it
 	// (image.download, guest.boot, service.bootstrap).
@@ -505,7 +577,7 @@ func (d *Daemon) Prime(req PrimeRequest, onDone func(NodeInfo), onErr func(error
 	k := d.net.Kernel()
 	downloadStart := k.Now()
 	download := req.Span.StartChild("image.download", telemetry.L("image", req.ImageName))
-	d.fetchImage(repo, req.ImageName, func(img *image.Image) {
+	d.fetchImage(repo, req.ImageName, req.FanOut, download, func(img *image.Image) {
 		download.EndSpan()
 		if p.cancelled {
 			abort(fmt.Errorf("soda: prime of %q cancelled", req.NodeName))

@@ -504,6 +504,7 @@ func (m *Master) restoreCapacity(svc *Service, lost []NodeInfo, lostCap int, det
 				Factor:       m.Factor,
 				GuestProfile: svc.Spec.GuestProfile,
 				Port:         servicePort(svc.Spec),
+				FanOut:       len(placements),
 				Span:         prime,
 			}, func(info NodeInfo) {
 				prime.EndSpan()

@@ -44,6 +44,10 @@ type Master struct {
 	// EnableHealth.
 	health *healthMonitor
 
+	// chunkDist is the cooperative image-distribution tracker; nil until
+	// EnableChunkDistribution.
+	chunkDist *chunkTracker
+
 	// Telemetry. All fields are nil-safe: an uninstrumented Master pays
 	// only no-op calls.
 	reg            *telemetry.Registry
@@ -416,6 +420,7 @@ func (m *Master) primePlacements(svc *Service, placements []Placement, parent *t
 				Factor:       m.Factor,
 				GuestProfile: spec.GuestProfile,
 				Port:         servicePort(spec),
+				FanOut:       len(placements),
 				Span:         prime,
 			}, func(info NodeInfo) {
 				prime.EndSpan()
