@@ -31,6 +31,12 @@
 //
 //	sodabench -flight -out BENCH_flight.json
 //
+// -reqtrace measures what the tail-sampled per-request trace layer costs
+// the routing hot path when attached but not retaining (gate: ≤2%),
+// emitting BENCH_trace.json:
+//
+//	sodabench -reqtrace -out BENCH_trace.json
+//
 // -primescale measures flash-crowd image priming at 1 → N replicas with
 // cooperative content-addressed chunk distribution against the
 // whole-image baseline, gating near-flat latency, ≥50% peer-sourced
@@ -75,6 +81,7 @@ func experiments() []experiment {
 		{"sweep-inflation", "sweep: inflation factor 1.0..2.0", func() (exp.Result, error) { return exp.RunInflationSweep() }},
 		{"chaos", "fault lifecycle: host crash, detection, self-healing recovery", func() (exp.Result, error) { return exp.RunChaos() }},
 		{"flight", "flight recorder: routing hot-path overhead bare vs recording", func() (exp.Result, error) { return exp.RunFlightOverhead() }},
+		{"reqtrace", "request tracing: routing hot-path overhead bare vs tail sampler attached", func() (exp.Result, error) { return exp.RunReqtraceOverhead() }},
 		{"primescale", "cooperative chunked priming: 1 → 32 replicas, peer-sourced bytes, near-flat latency", func() (exp.Result, error) { return exp.RunPrimeScale(32, 1) }},
 	}
 }
@@ -85,6 +92,7 @@ func main() {
 	throughput := flag.Bool("throughput", false, "run the live proxy throughput benchmark instead of simulated experiments")
 	chaosFlag := flag.Bool("chaos", false, "run the fault-lifecycle smoke: crash a host mid-run, assert detection, recovery, and determinism")
 	flightFlag := flag.Bool("flight", false, "run the flight-recorder overhead benchmark: routing hot path bare vs recording enabled")
+	reqtraceFlag := flag.Bool("reqtrace", false, "run the request-trace overhead benchmark: routing hot path bare vs tail sampler attached (unsampled)")
 	primeFlag := flag.Bool("primescale", false, "run the priming-at-scale smoke: chunked cooperative mass prime vs whole-image baseline")
 	replicas := flag.Int("replicas", 32, "primescale: replica host count for the mass prime")
 	flightOps := flag.Int("flight-ops", 100000, "flight: routed requests per trial")
@@ -101,6 +109,14 @@ func main() {
 
 	if *flightFlag {
 		os.Exit(runFlightCmd(flightConfig{
+			ops:    *flightOps,
+			trials: *flightTrials,
+			out:    *out,
+		}))
+	}
+
+	if *reqtraceFlag {
+		os.Exit(runReqtraceCmd(reqtraceConfig{
 			ops:    *flightOps,
 			trials: *flightTrials,
 			out:    *out,

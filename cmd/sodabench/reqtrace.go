@@ -1,0 +1,48 @@
+package main
+
+import (
+	"encoding/json"
+	"fmt"
+	"os"
+
+	"repro/internal/exp"
+)
+
+// reqtraceConfig parameterises the -reqtrace benchmark: the routing hot
+// path measured bare vs tail-sampler-attached (unsampled), emitting a
+// JSON report for CI (BENCH_trace.json).
+type reqtraceConfig struct {
+	ops    int
+	trials int
+	out    string
+}
+
+// runReqtraceCmd executes the request-trace overhead benchmark and
+// renders/saves the report. The ≤2% overhead gate sets the exit code —
+// after the report is written, so CI keeps the artifact for a failing
+// run.
+func runReqtraceCmd(cfg reqtraceConfig) int {
+	res, err := exp.RunReqtraceOverheadWith(cfg.ops, cfg.trials)
+	if err != nil {
+		fmt.Fprintf(os.Stderr, "reqtrace: %v\n", err)
+		return 1
+	}
+	fmt.Print(res.Render())
+	if cfg.out != "" {
+		data, err := json.MarshalIndent(res, "", "  ")
+		if err != nil {
+			fmt.Fprintf(os.Stderr, "reqtrace: %v\n", err)
+			return 1
+		}
+		if err := os.WriteFile(cfg.out, append(data, '\n'), 0o644); err != nil {
+			fmt.Fprintf(os.Stderr, "reqtrace: %v\n", err)
+			return 1
+		}
+		fmt.Printf("wrote %s\n", cfg.out)
+	}
+	if err := res.Shape(); err != nil {
+		fmt.Fprintf(os.Stderr, "reqtrace: FAILED: %v\n", err)
+		return 1
+	}
+	return 0
+}

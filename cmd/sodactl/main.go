@@ -21,6 +21,8 @@
 //	sodactl -server http://localhost:7083 logs     -tail 50 -level warn
 //	sodactl -server http://localhost:7083 incidents
 //	sodactl -server http://localhost:7083 incident show -id inc-1-host-dead
+//	sodactl -server http://localhost:7083 trace
+//	sodactl -server http://localhost:7083 trace    -id 42
 package main
 
 import (
@@ -38,6 +40,7 @@ import (
 	"repro/internal/api"
 	"repro/internal/flight"
 	"repro/internal/metrics"
+	"repro/internal/reqtrace"
 	"repro/internal/telemetry"
 )
 
@@ -55,11 +58,11 @@ func main() {
 	tail := flag.Int("tail", 100, "log records to fetch (logs)")
 	level := flag.String("level", "", "minimum log level: debug|info|warn|error (logs)")
 	component := flag.String("component", "", "narrow logs to one component (logs)")
-	incidentID := flag.String("id", "", "incident id (incident show)")
+	incidentID := flag.String("id", "", "incident id (incident show) or trace id (trace)")
 	flag.Parse()
 
 	if flag.NArg() < 1 {
-		fmt.Fprintln(os.Stderr, "usage: sodactl [flags] publish|create|list|get|resize|status|usage|slo|probe|teardown|hup|top|faults|images|logs|incidents|incident [flags]")
+		fmt.Fprintln(os.Stderr, "usage: sodactl [flags] publish|create|list|get|resize|status|usage|slo|probe|teardown|hup|top|faults|images|logs|incidents|incident|trace [flags]")
 		os.Exit(2)
 	}
 	cmd := flag.Arg(0)
@@ -124,6 +127,8 @@ func main() {
 			break
 		}
 		err = incidentShow(*server, *incidentID)
+	case "trace":
+		err = trace(*server, *name, *tail, *incidentID)
 	default:
 		fmt.Fprintf(os.Stderr, "sodactl: unknown command %q\n", cmd)
 		os.Exit(2)
@@ -228,6 +233,15 @@ func top(server string) error {
 		return err
 	}
 
+	// Build/uptime header from soda_build_info + soda_uptime_seconds.
+	for _, g := range snap.Gauges {
+		if g.Name == "soda_build_info" {
+			fmt.Printf("sodad %s (%s), virtual uptime %.1fs\n\n",
+				g.Labels["module"], g.Labels["go"], snap.Gauge("soda_uptime_seconds"))
+			break
+		}
+	}
+
 	ht := metrics.NewTable("HUP hosts", "host", "nodes", "primed", "torndown", "cache-hits",
 		"cpu-free(MHz)", "mem-free(MB)", "disk-free(MB)", "bw-free(Mbps)")
 	for _, h := range hosts {
@@ -286,6 +300,93 @@ func top(server string) error {
 	}
 	fmt.Print(pt.String())
 	return nil
+}
+
+// trace fetches /traces and renders the retained request traces. With
+// -id it resolves one trace via /traces/{id} and renders a per-stage
+// latency waterfall.
+func trace(server, service string, tail int, id string) error {
+	if id != "" {
+		var rec reqtrace.Record
+		if err := fetchJSON(server+"/traces/"+id, &rec); err != nil {
+			return err
+		}
+		renderWaterfall(rec)
+		return nil
+	}
+	url := fmt.Sprintf("%s/traces?n=%d", server, tail)
+	if service != "" {
+		url += "&service=" + service
+	}
+	var view api.TracesView
+	if err := fetchJSON(url, &view); err != nil {
+		return err
+	}
+	if len(view.Traces) == 0 {
+		fmt.Printf("no retained traces (services with collectors: %s)\n",
+			strings.Join(view.Services, ", "))
+		return nil
+	}
+	tt := metrics.NewTable("Retained request traces", "id", "service", "backend",
+		"start(s)", "total(ms)", "retries", "dropped", "why")
+	for _, t := range view.Traces {
+		tt.AddRowf(t.ID, t.Service, t.Backend,
+			fmt.Sprintf("%.3f", t.StartS), fmt.Sprintf("%.3f", t.TotalMs),
+			t.Retries, t.Dropped, t.Why)
+	}
+	fmt.Print(tt.String())
+	fmt.Printf("\n%d trace(s); inspect one: sodactl trace -id <id>\n", len(view.Traces))
+	return nil
+}
+
+// renderWaterfall prints one request trace as a stage-by-stage latency
+// waterfall: each stage's bar is offset by the stages before it and
+// scaled so the full request spans the terminal width.
+func renderWaterfall(rec reqtrace.Record) {
+	state := "ok"
+	if rec.Dropped {
+		state = "DROPPED"
+	}
+	fmt.Printf("Trace %d — service %s, backend %s, %s\n", rec.ID, rec.Service, rec.Backend, state)
+	fmt.Printf("  start %.3fs, total %.3fms, retries %d, retained: %s\n\n",
+		float64(rec.StartNs)/1e9, float64(rec.TotalNs)/1e6, rec.Retries, rec.Why)
+
+	stages := []struct {
+		name string
+		ns   int64
+	}{
+		{"queue", rec.QueueNs},
+		{"route", rec.RouteNs},
+		{"upstream", rec.UpstreamNs},
+		{"serve", rec.ServeNs},
+	}
+	const width = 60
+	total := rec.TotalNs
+	if total <= 0 {
+		total = 1
+	}
+	var offset int64
+	for _, st := range stages {
+		if st.ns <= 0 {
+			continue
+		}
+		lead := int(offset * width / total)
+		bar := int(st.ns * width / total)
+		if bar < 1 {
+			bar = 1
+		}
+		if lead+bar > width {
+			bar = width - lead
+		}
+		fmt.Printf("  %-8s %s%s %8.3fms (%4.1f%%)\n", st.name,
+			strings.Repeat(" ", lead), strings.Repeat("█", bar),
+			float64(st.ns)/1e6, 100*float64(st.ns)/float64(total))
+		offset += st.ns
+	}
+	if acc := rec.QueueNs + rec.RouteNs + rec.UpstreamNs + rec.ServeNs; acc < rec.TotalNs {
+		fmt.Printf("  %-8s %*s %8.3fms unattributed\n", "(other)", width, "",
+			float64(rec.TotalNs-acc)/1e6)
+	}
 }
 
 // faults fetches /faults and renders the fault lifecycle: failure
@@ -491,8 +592,21 @@ func incidentShow(server, id string) error {
 			}
 			for _, ex := range h.Exemplars {
 				fmt.Printf("\n  exemplar trace=%d value=%.4g", ex.Trace, ex.Value)
+				if ex.Trace != 0 {
+					fmt.Printf(" → %s/traces/%d", server, ex.Trace)
+				}
 			}
 			fmt.Println()
+		}
+	}
+	if len(inc.Traces) > 0 {
+		fmt.Printf("\nRetained request traces (%d):\n", len(inc.Traces))
+		for _, t := range inc.Traces {
+			fmt.Printf("  trace=%d backend=%s total=%.3fms q=%.3f r=%.3f u=%.3f s=%.3f retries=%d why=%s → %s/traces/%d\n",
+				t.ID, t.Backend, float64(t.TotalNs)/1e6,
+				float64(t.QueueNs)/1e6, float64(t.RouteNs)/1e6,
+				float64(t.UpstreamNs)/1e6, float64(t.ServeNs)/1e6,
+				t.Retries, t.Why, server, t.ID)
 		}
 	}
 	if len(inc.Routes) > 0 {

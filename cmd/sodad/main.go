@@ -24,6 +24,7 @@ import (
 	"repro/internal/flight"
 	"repro/internal/hostos"
 	"repro/internal/hup"
+	"repro/internal/reqtrace"
 	"repro/internal/soda"
 	"repro/internal/telemetry"
 )
@@ -110,6 +111,11 @@ func main() {
 	// Per-service metering, billing, and SLO evaluation; /usage serves
 	// the reports and violations land in the flight ring above.
 	tb.EnableAccounting(accounting.Options{})
+	// Tail-sampled per-request data-plane traces: slow/errored/retried
+	// requests (plus a deterministic head sample) are retained with
+	// per-stage latency attribution; /traces serves them, histogram
+	// exemplars and SLO-violation incident bundles point into them.
+	tb.EnableRequestTracing(reqtrace.Config{})
 	if *chaosFlag {
 		// Heartbeat failure detector, automatic node recovery, and the
 		// fault injector; /faults serves the detector state, standing
@@ -136,8 +142,9 @@ func main() {
 		addr = "localhost" + addr
 	}
 	boot.Infof("try: curl -s -X POST %s/v1/images -d '{\"name\":\"web\",\"size_mb\":30}'", addr)
-	boot.Infof("metrics on %s/metrics, traces on %s/trace, usage on %s/usage, logs on %s/logs, incidents on %s/incidents",
+	boot.Infof("metrics on %s/metrics, spans on %s/trace, usage on %s/usage, logs on %s/logs, incidents on %s/incidents",
 		addr, addr, addr, addr, addr)
+	boot.Infof("request traces (tail-sampled, per-stage latency) on %s/traces", addr)
 	if *chaosFlag {
 		boot.Infof("self-healing on; fault state and recovery history on %s/faults", addr)
 	}

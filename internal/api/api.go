@@ -137,6 +137,8 @@ func (s *Server) Handler() http.Handler {
 	mux.HandleFunc("GET /usage", s.handleUsage)
 	mux.HandleFunc("GET /faults", s.handleFaults)
 	mux.HandleFunc("GET /logs", s.handleLogs)
+	mux.HandleFunc("GET /traces", s.handleTraces)
+	mux.HandleFunc("GET /traces/{id}", s.handleTraceByID)
 	mux.HandleFunc("GET /incidents", s.handleIncidents)
 	mux.HandleFunc("GET /incidents/{id}", s.handleIncident)
 	mux.HandleFunc("POST /incidents", s.handleTriggerIncident)
@@ -471,6 +473,9 @@ func (s *Server) handleMetrics(w http.ResponseWriter, r *http.Request) {
 		writeErr(w, http.StatusNotFound, fmt.Errorf("api: telemetry not enabled"))
 		return
 	}
+	// soda_uptime_seconds is refreshed at exposition time rather than by
+	// a standing kernel timer, which would stop K.Run() from draining.
+	s.tb.Registry.Gauge("soda_uptime_seconds").Set(s.tb.K.Now().Seconds())
 	snap := s.tb.Registry.Snapshot()
 	if r.URL.Query().Get("format") == "json" {
 		writeJSON(w, http.StatusOK, snap)

@@ -1,0 +1,100 @@
+package api
+
+import (
+	"fmt"
+	"net/http"
+	"strconv"
+
+	"repro/internal/reqtrace"
+)
+
+// TraceSummary is one row of GET /traces; the full per-stage record
+// hangs off GET /traces/{id}.
+type TraceSummary struct {
+	ID      uint64  `json:"id"`
+	Service string  `json:"service"`
+	Backend string  `json:"backend,omitempty"`
+	StartS  float64 `json:"start_s"`
+	TotalMs float64 `json:"total_ms"`
+	Retries int     `json:"retries,omitempty"`
+	Dropped bool    `json:"dropped,omitempty"`
+	Why     string  `json:"why"`
+}
+
+// TracesView is the body of GET /traces: the retained request traces,
+// newest last, plus the services with collectors.
+type TracesView struct {
+	Services []string       `json:"services"`
+	Traces   []TraceSummary `json:"traces"`
+}
+
+// handleTraces lists retained request traces. ?service= narrows to one
+// service's ring; ?n= bounds the tail (default 100). 404 until request
+// tracing is enabled.
+func (s *Server) handleTraces(w http.ResponseWriter, r *http.Request) {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	st := s.tb.ReqTraces
+	if st == nil {
+		writeErr(w, http.StatusNotFound, fmt.Errorf("api: request tracing not enabled"))
+		return
+	}
+	q := r.URL.Query()
+	n := 100
+	if v := q.Get("n"); v != "" {
+		parsed, err := strconv.Atoi(v)
+		if err != nil || parsed <= 0 {
+			writeErr(w, http.StatusBadRequest, fmt.Errorf("api: bad n %q", v))
+			return
+		}
+		n = parsed
+	}
+	var recs []reqtrace.Record
+	if svc := q.Get("service"); svc != "" {
+		recs = st.Snapshot(svc)
+	} else {
+		recs = st.Snapshot()
+	}
+	if len(recs) > n {
+		recs = recs[len(recs)-n:]
+	}
+	view := TracesView{Services: st.Services(), Traces: []TraceSummary{}}
+	for _, rec := range recs {
+		view.Traces = append(view.Traces, TraceSummary{
+			ID:      rec.ID,
+			Service: rec.Service,
+			Backend: rec.Backend,
+			StartS:  float64(rec.StartNs) / 1e9,
+			TotalMs: float64(rec.TotalNs) / 1e6,
+			Retries: rec.Retries,
+			Dropped: rec.Dropped,
+			Why:     rec.Why.String(),
+		})
+	}
+	writeJSON(w, http.StatusOK, view)
+}
+
+// handleTraceByID resolves one retained trace — the target of histogram
+// exemplars and incident trace links — with its full per-stage
+// nanosecond attribution.
+func (s *Server) handleTraceByID(w http.ResponseWriter, r *http.Request) {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	st := s.tb.ReqTraces
+	if st == nil {
+		writeErr(w, http.StatusNotFound, fmt.Errorf("api: request tracing not enabled"))
+		return
+	}
+	id, err := strconv.ParseUint(r.PathValue("id"), 10, 64)
+	if err != nil || id == 0 {
+		writeErr(w, http.StatusBadRequest, fmt.Errorf("api: bad trace id %q", r.PathValue("id")))
+		return
+	}
+	rec, ok := st.Lookup(id)
+	if !ok {
+		writeErr(w, http.StatusNotFound,
+			fmt.Errorf("api: trace %d not retained (evicted, or never sampled)", id))
+		return
+	}
+	writeJSON(w, http.StatusOK, rec)
+}

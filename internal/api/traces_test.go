@@ -1,0 +1,86 @@
+package api
+
+import (
+	"net/http"
+	"strconv"
+	"testing"
+
+	"repro/internal/reqtrace"
+)
+
+func TestTracesRequireTracing(t *testing.T) {
+	srv, _ := apiFixture(t)
+	if resp := get(t, srv.URL+"/traces"); resp.StatusCode != http.StatusNotFound {
+		t.Fatalf("/traces without tracing = %d", resp.StatusCode)
+	}
+	if resp := get(t, srv.URL+"/traces/1"); resp.StatusCode != http.StatusNotFound {
+		t.Fatalf("/traces/1 without tracing = %d", resp.StatusCode)
+	}
+}
+
+func TestTracesExposition(t *testing.T) {
+	srv, tb := apiFixture(t)
+	// Retain-all so the probe traffic below is fully visible.
+	tb.EnableRequestTracing(reqtrace.Config{Capacity: 64, HeadEvery: 1})
+	publishAndCreate(t, srv, "web", 2)
+
+	if resp := post(t, srv.URL+"/v1/services/web/probe", ProbeRequest{
+		Credential: "secret", Requests: 20,
+	}); resp.StatusCode != http.StatusOK {
+		t.Fatalf("probe = %d", resp.StatusCode)
+	}
+
+	resp := get(t, srv.URL+"/traces")
+	if resp.StatusCode != http.StatusOK {
+		t.Fatalf("/traces = %d", resp.StatusCode)
+	}
+	view := decode[TracesView](t, resp)
+	if len(view.Services) != 1 || view.Services[0] != "web" {
+		t.Fatalf("services = %v", view.Services)
+	}
+	if len(view.Traces) != 20 {
+		t.Fatalf("retained %d traces over the wire, want 20", len(view.Traces))
+	}
+	for _, tr := range view.Traces {
+		if tr.ID == 0 || tr.Service != "web" || tr.TotalMs <= 0 || tr.Why == "" {
+			t.Fatalf("malformed trace summary: %+v", tr)
+		}
+	}
+
+	// ?n= bounds the tail; bad values are rejected.
+	if got := decode[TracesView](t, get(t, srv.URL+"/traces?n=3")); len(got.Traces) != 3 {
+		t.Fatalf("?n=3 returned %d traces", len(got.Traces))
+	}
+	if resp := get(t, srv.URL+"/traces?n=bogus"); resp.StatusCode != http.StatusBadRequest {
+		t.Fatalf("?n=bogus = %d", resp.StatusCode)
+	}
+	// ?service= narrows; unknown services yield an empty list, not 404.
+	if got := decode[TracesView](t, get(t, srv.URL+"/traces?service=web")); len(got.Traces) != 20 {
+		t.Fatalf("?service=web returned %d traces", len(got.Traces))
+	}
+	if got := decode[TracesView](t, get(t, srv.URL+"/traces?service=nosuch")); len(got.Traces) != 0 {
+		t.Fatalf("?service=nosuch returned %d traces", len(got.Traces))
+	}
+
+	// A listed ID resolves to the full per-stage record.
+	id := view.Traces[0].ID
+	resp = get(t, srv.URL+"/traces/"+strconv.FormatUint(id, 10))
+	if resp.StatusCode != http.StatusOK {
+		t.Fatalf("/traces/%d = %d", id, resp.StatusCode)
+	}
+	rec := decode[reqtrace.Record](t, resp)
+	if rec.ID != id || rec.TotalNs <= 0 || rec.ServeNs <= 0 {
+		t.Fatalf("resolved record incomplete: %+v", rec)
+	}
+	if sum := rec.QueueNs + rec.RouteNs + rec.UpstreamNs + rec.ServeNs; sum != rec.TotalNs {
+		t.Fatalf("stages do not partition total: %+v", rec)
+	}
+
+	// Unretained and malformed IDs.
+	if resp := get(t, srv.URL+"/traces/999999"); resp.StatusCode != http.StatusNotFound {
+		t.Fatalf("/traces/999999 = %d", resp.StatusCode)
+	}
+	if resp := get(t, srv.URL+"/traces/zero"); resp.StatusCode != http.StatusBadRequest {
+		t.Fatalf("/traces/zero = %d", resp.StatusCode)
+	}
+}

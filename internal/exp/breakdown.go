@@ -8,13 +8,14 @@ import (
 	"repro/internal/hostos"
 	"repro/internal/hup"
 	"repro/internal/metrics"
+	"repro/internal/reqtrace"
 	"repro/internal/soda"
-	"repro/internal/svcswitch"
 	"repro/internal/workload"
 )
 
 // BreakdownPoint decomposes one dataset size's response time into stages,
-// from per-request switch traces.
+// from retained reqtrace records (the switch's former private per-request
+// traces, now the shared data-plane trace layer).
 type BreakdownPoint struct {
 	DatasetMB   int
 	SwitchHopMs float64 // client→switch transfer + switch CPU + forward
@@ -57,6 +58,9 @@ func runBreakdownPoint(datasetMB int) (*BreakdownPoint, error) {
 	if err := tb.Publish(img); err != nil {
 		return nil, err
 	}
+	// Retain every request: head sample 1-in-1, ring big enough for all
+	// 300, so the stage attribution below sees the full population.
+	st := tb.EnableRequestTracing(reqtrace.Config{Capacity: 512, HeadEvery: 1})
 	wd := hup.NewWebDeployment(tb, appsvc.DefaultWebParams(datasetMB))
 	svc, err := tb.CreateService("k", soda.ServiceSpec{
 		Name: "web", ImageName: img.Name, Repository: hup.RepoIP,
@@ -66,21 +70,21 @@ func runBreakdownPoint(datasetMB int) (*BreakdownPoint, error) {
 	if err != nil {
 		return nil, err
 	}
-	var hop, service, total metrics.Summary
-	svc.Switch.OnTrace(func(tr svcswitch.Trace) {
-		if tr.Dropped {
-			return
-		}
-		hop.Observe(tr.SwitchHop().Seconds() * 1000)
-		service.Observe(tr.ServiceTime().Seconds() * 1000)
-		total.Observe(tr.Total().Seconds() * 1000)
-	})
 	gen := workload.NewGenerator(tb.K, hup.SwitchTarget{Switch: svc.Switch}, tb.AddClient(), tb.RNG.Split())
 	done := false
 	gen.IssueN(300, func() { done = true })
 	tb.K.Run()
+	var hop, service, total metrics.Summary
+	for _, rec := range st.Snapshot("web") {
+		if rec.Dropped {
+			continue
+		}
+		hop.Observe(float64(rec.QueueNs+rec.RouteNs+rec.UpstreamNs) / 1e6)
+		service.Observe(float64(rec.ServeNs) / 1e6)
+		total.Observe(float64(rec.TotalNs) / 1e6)
+	}
 	if !done || total.Count() != 300 {
-		return nil, fmt.Errorf("breakdown %dMB: %d traces of 300", datasetMB, total.Count())
+		return nil, fmt.Errorf("breakdown %dMB: %d retained traces of 300", datasetMB, total.Count())
 	}
 	return &BreakdownPoint{
 		DatasetMB:   datasetMB,

@@ -5,12 +5,15 @@ import (
 	"encoding/json"
 	"fmt"
 	"strings"
+	"time"
 
+	"repro/internal/accounting"
 	"repro/internal/appsvc"
 	"repro/internal/chaos"
 	"repro/internal/flight"
 	"repro/internal/hostos"
 	"repro/internal/hup"
+	"repro/internal/reqtrace"
 	"repro/internal/sim"
 	"repro/internal/soda"
 	"repro/internal/svcswitch"
@@ -65,6 +68,13 @@ type ChaosResult struct {
 	IncidentIDs           []string `json:"incident_ids,omitempty"`
 	IncidentDigest        string   `json:"incident_digest"`
 	IncidentSpansRecovery bool     `json:"incident_spans_recovery"`
+	// SLOIncidents counts sealed slo-violation bundles; SLOTraceCount
+	// the retained slow request traces embedded across them; and
+	// SLOTraceStagesOK that every embedded trace is genuinely slow
+	// (KeptSlow) and carries per-stage nanosecond attribution.
+	SLOIncidents     int  `json:"slo_incidents"`
+	SLOTraceCount    int  `json:"slo_trace_count"`
+	SLOTraceStagesOK bool `json:"slo_trace_stages_ok"`
 	// Deterministic reports whether a second same-seed run reproduced
 	// EventSeq, FaultLog, and the incident bundles exactly.
 	Deterministic bool `json:"deterministic"`
@@ -148,6 +158,19 @@ func chaosRun(seed uint64, total sim.Duration) (*ChaosResult, error) {
 	// Black-box flight recorder: the host death must auto-capture an
 	// incident bundle whose records span detection through recovery.
 	rec, _ := tb.EnableFlightRecorder(hup.FlightOptions{})
+	// SLO evaluation with seconds-scale burn windows so the crash's
+	// latency burst raises a violation while this 20-virtual-second run
+	// is still going (the SRE-default hours-scale pairs never would).
+	tb.EnableAccounting(accounting.Options{
+		Fast:        accounting.WindowPair{Short: 2 * time.Second, Long: 6 * time.Second, Threshold: 2},
+		Slow:        accounting.WindowPair{Short: 6 * time.Second, Long: 12 * time.Second, Threshold: 1.5},
+		EvalPeriod:  sim.Second,
+		MinRequests: 20,
+	})
+	// Tail-sampled request traces: the slo-violation bundle below must
+	// embed the violating service's retained slow traces with per-stage
+	// attribution (the collector's slow threshold is the SLO target).
+	tb.EnableRequestTracing(reqtrace.Config{})
 
 	img := hup.WebContentImage("web", 8)
 	if err := tb.Publish(img); err != nil {
@@ -161,6 +184,7 @@ func chaosRun(seed uint64, total sim.Duration) (*ChaosResult, error) {
 		Requirement:  soda.Requirement{N: 2, M: defaultM()},
 		GuestProfile: img.SystemServices,
 		Behavior:     wd.Behavior(),
+		SLO:          svcswitch.SLO{LatencyTarget: 10 * time.Millisecond, LatencyQuantile: 0.99},
 	})
 	if err != nil {
 		return nil, err
@@ -230,7 +254,10 @@ func chaosRun(seed uint64, total sim.Duration) (*ChaosResult, error) {
 
 	gen := workload.NewGenerator(tb.K, hup.SwitchTarget{Switch: svc.Switch}, tb.AddClient(), tb.RNG.Split())
 	gen.Timeout = sim.Second
-	gen.RunClosedLoop(12, 20*sim.Millisecond)
+	// 32 closed-loop clients saturate the two-backend pool enough that
+	// losing one pushes the tail past the 10ms/p99 SLO — light load hides
+	// a crash entirely (the switch ejects and reroutes within a tick).
+	gen.RunClosedLoop(32, 20*sim.Millisecond)
 	tb.K.RunUntil(t0.Add(total))
 	gen.Stop()
 	tb.K.RunUntil(t0.Add(total + 2*sim.Second)) // drain in-flight requests
@@ -276,6 +303,21 @@ func chaosRun(seed uint64, total sim.Duration) (*ChaosResult, error) {
 		if inc.Trigger == "host-dead" && inc.HasRecord("host-dead") && inc.HasRecord("node-recovered") {
 			res.IncidentSpansRecovery = true
 		}
+		if inc.Trigger == "slo-violation" {
+			res.SLOIncidents++
+			if res.SLOTraceCount == 0 {
+				res.SLOTraceStagesOK = len(inc.Traces) > 0
+			}
+			for _, tr := range inc.Traces {
+				res.SLOTraceCount++
+				// Each embedded trace must be a genuinely slow request
+				// with per-stage attribution that sums to its total.
+				sum := tr.QueueNs + tr.RouteNs + tr.UpstreamNs + tr.ServeNs
+				if tr.ID == 0 || tr.Why&reqtrace.KeptSlow == 0 || tr.TotalNs <= 0 || sum <= 0 || sum > tr.TotalNs {
+					res.SLOTraceStagesOK = false
+				}
+			}
+		}
 	}
 	res.Incidents = len(sealed)
 	blob, err := json.Marshal(sealed)
@@ -318,6 +360,15 @@ func (r *ChaosResult) Shape() error {
 	if !r.IncidentSpansRecovery {
 		misses = append(misses, "no host-dead bundle spans detection through recovery completion")
 	}
+	if r.SLOIncidents < 1 {
+		misses = append(misses, "crash latency burst raised no SLO-violation incident")
+	}
+	if r.SLOTraceCount < 1 {
+		misses = append(misses, "slo-violation bundle embeds no retained slow request trace")
+	}
+	if !r.SLOTraceStagesOK {
+		misses = append(misses, "embedded slow traces lack per-stage latency attribution")
+	}
 	if !r.Deterministic {
 		misses = append(misses, "same seed did not reproduce the event sequence and incident bundles")
 	}
@@ -356,6 +407,11 @@ func (r *ChaosResult) Render() string {
 		r.Incidents, r.IncidentIDs, r.IncidentDigest)
 	b.WriteString(shapeCheck("flight recorder auto-captured the host death", r.Incidents >= 1) + "\n")
 	b.WriteString(shapeCheck("host-dead bundle spans detection through recovery completion", r.IncidentSpansRecovery) + "\n")
+	fmt.Fprintf(&b, "  slo-violation: %d bundle(s) embedding %d retained slow trace(s)\n",
+		r.SLOIncidents, r.SLOTraceCount)
+	b.WriteString(shapeCheck("crash latency burst raised an SLO-violation incident", r.SLOIncidents >= 1) + "\n")
+	b.WriteString(shapeCheck("slo-violation bundle embeds retained slow traces with per-stage attribution",
+		r.SLOTraceCount >= 1 && r.SLOTraceStagesOK) + "\n")
 	b.WriteString(shapeCheck("same seed reproduces the identical fault schedule, events, and incident bundles", r.Deterministic) + "\n")
 	return b.String()
 }

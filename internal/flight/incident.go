@@ -1,6 +1,7 @@
 package flight
 
 import (
+	"repro/internal/reqtrace"
 	"repro/internal/telemetry"
 )
 
@@ -45,6 +46,10 @@ type Incident struct {
 	// Faults lists the chaos injector's active faults at seal time, when
 	// chaos is enabled.
 	Faults []string `json:"faults,omitempty"`
+	// Traces holds retained request traces relevant to the incident —
+	// on slo-violation triggers, the violating service's retained slow
+	// requests with per-stage latency attribution.
+	Traces []reqtrace.Record `json:"traces,omitempty"`
 }
 
 // clone deep-copies the incident's mutable parts (used to hand out
@@ -52,6 +57,7 @@ type Incident struct {
 func (inc *Incident) clone() *Incident {
 	cp := *inc
 	cp.Records = append([]RecordView(nil), inc.Records...)
+	cp.Traces = append([]reqtrace.Record(nil), inc.Traces...)
 	return &cp
 }
 

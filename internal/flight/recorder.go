@@ -5,6 +5,7 @@ import (
 	"sync"
 	"time"
 
+	"repro/internal/reqtrace"
 	"repro/internal/telemetry"
 )
 
@@ -48,15 +49,19 @@ type Options struct {
 	// (default 1024); overflow increments the bundle's Truncated count.
 	MaxIncidentRecords int
 
-	// Metrics, Spans, Routes, and Faults supply forensic context for
-	// incident bundles. All are optional. Metrics is called at trigger
-	// time (baseline) and seal time (delta); the others at seal time
-	// only. Seal-time providers run from Tick, never from inside a log
-	// append, so they may take control-plane locks.
+	// Metrics, Spans, Routes, Faults, and Traces supply forensic context
+	// for incident bundles. All are optional. Metrics is called at
+	// trigger time (baseline) and seal time (delta); the others at seal
+	// time only. Seal-time providers run from Tick, never from inside a
+	// log append, so they may take control-plane locks.
 	Metrics func() telemetry.Snapshot
 	Spans   func() []telemetry.SpanView
 	Routes  func() []RouteTable
 	Faults  func() []string
+	// Traces supplies retained request traces relevant to the incident
+	// (the testbed wires it to the reqtrace store's slow traces for the
+	// violating service on slo-violation triggers).
+	Traces func(trigger, subject string) []reqtrace.Record
 }
 
 func (o Options) withDefaults() Options {
@@ -365,6 +370,9 @@ func (r *Recorder) seal(oi *openIncident, now time.Duration) {
 	}
 	if r.opt.Faults != nil {
 		inc.Faults = r.opt.Faults()
+	}
+	if r.opt.Traces != nil {
+		inc.Traces = r.opt.Traces(inc.Trigger, inc.Subject)
 	}
 	r.mu.Lock()
 	r.sealed = append(r.sealed, inc)

@@ -9,6 +9,8 @@ package hup
 
 import (
 	"fmt"
+	"runtime"
+	"runtime/debug"
 	"time"
 
 	"repro/internal/accounting"
@@ -17,6 +19,7 @@ import (
 	"repro/internal/hostos"
 	"repro/internal/hostos/sched"
 	"repro/internal/image"
+	"repro/internal/reqtrace"
 	"repro/internal/sim"
 	"repro/internal/simnet"
 	"repro/internal/soda"
@@ -70,6 +73,9 @@ type Testbed struct {
 	// Flight and FlightLog are nil until EnableFlightRecorder.
 	Flight    *flight.Recorder
 	FlightLog *flight.Logger
+
+	// ReqTraces is nil until EnableRequestTracing.
+	ReqTraces *reqtrace.Store
 
 	clients int
 }
@@ -181,8 +187,45 @@ func (tb *Testbed) EnableTelemetry() (*telemetry.Registry, *telemetry.Tracer) {
 	for _, d := range tb.Daemons {
 		d.Instrument(reg)
 	}
+	// Identity instruments: soda_build_info is a constant-1 gauge whose
+	// labels carry the build, and soda_uptime_seconds is refreshed at
+	// exposition time (api.handleMetrics) rather than by a standing timer
+	// — a timer here would keep the kernel's event queue from draining
+	// for callers that use K.Run().
+	mod := "repro"
+	if bi, ok := debug.ReadBuildInfo(); ok && bi.Main.Path != "" {
+		mod = bi.Main.Path
+	}
+	reg.Gauge("soda_build_info",
+		telemetry.L("go", runtime.Version()), telemetry.L("module", mod)).Set(1)
+	reg.Gauge("soda_uptime_seconds").Set(k.Now().Seconds())
 	tb.Registry, tb.Tracer = reg, tracer
 	return reg, tracer
+}
+
+// maxIncidentTraces bounds how many retained slow traces an
+// SLO-violation incident bundle embeds.
+const maxIncidentTraces = 32
+
+// EnableRequestTracing builds the tail-sampling per-request trace
+// store and attaches it to the Master: every service switch — existing
+// and future — gets a per-service collector whose slow-retention
+// threshold derives from the service's SLO latency target (cfg's
+// SlowThreshold when the service has none). Trace IDs share the
+// telemetry exemplar namespace, so latency exemplars point at retained
+// records, resolvable via /traces/{id}. Retention is deterministic:
+// under the virtual clock, same-seed runs keep byte-identical rings.
+// Telemetry is enabled implicitly so the sampler's counters register.
+// Idempotent; the config of the first call wins.
+func (tb *Testbed) EnableRequestTracing(cfg reqtrace.Config) *reqtrace.Store {
+	if tb.ReqTraces != nil {
+		return tb.ReqTraces
+	}
+	reg, _ := tb.EnableTelemetry()
+	st := reqtrace.NewStore(cfg, reg)
+	tb.Master.EnableRequestTracing(st)
+	tb.ReqTraces = st
+	return st
 }
 
 // EnableAccounting builds the usage-metering and SLO-evaluation
@@ -324,6 +367,16 @@ func (tb *Testbed) EnableFlightRecorder(opt FlightOptions) (*flight.Recorder, *f
 				out[i] = f.String()
 			}
 			return out
+		},
+		Traces: func(trigger, subject string) []reqtrace.Record {
+			// SLO-violation bundles embed the violating service's
+			// retained slow traces. Closure over the testbed: request
+			// tracing may be enabled after the recorder (nil store and
+			// nil collectors degrade to no traces).
+			if trigger != "slo-violation" {
+				return nil
+			}
+			return tb.ReqTraces.SlowTraces(subject, maxIncidentTraces)
 		},
 	})
 	log := flight.NewLogger(rec)

@@ -29,6 +29,7 @@ import (
 	"time"
 
 	"repro/internal/flight"
+	"repro/internal/reqtrace"
 	"repro/internal/svcswitch"
 	"repro/internal/telemetry"
 )
@@ -222,6 +223,12 @@ type Proxy struct {
 	// per-request traffic. Stored atomically so SetLogger is safe while
 	// requests are in flight. Nil (no-op) until SetLogger.
 	flog atomic.Pointer[flight.Logger]
+
+	// rtc is the tail-sampling request collector, stored atomically so
+	// SetRequestTracer is safe while requests are in flight. Nil
+	// (untraced) until SetRequestTracer; when nil, ServeHTTP takes no
+	// extra clock readings at all.
+	rtc atomic.Pointer[reqtrace.Collector]
 }
 
 // New creates a proxy for the given service configuration with the
@@ -281,6 +288,17 @@ func (p *Proxy) SetLogger(l *flight.Logger) { p.flog.Store(l) }
 
 // logger returns the current flight logger (nil for no-op).
 func (p *Proxy) logger() *flight.Logger { return p.flog.Load() }
+
+// SetRequestTracer attaches a tail-sampling request collector. While
+// attached, request IDs come from the collector's store-wide sequence,
+// ServeHTTP attributes wall-clock time to route-pick and upstream
+// stages, and latency exemplars are stamped only for retained requests
+// so every exposed exemplar resolves via /traces/{id}. Safe to call
+// while requests are in flight; nil detaches.
+func (p *Proxy) SetRequestTracer(c *reqtrace.Collector) { p.rtc.Store(c) }
+
+// RequestTracer returns the attached collector, nil when untraced.
+func (p *Proxy) RequestTracer() *reqtrace.Collector { return p.rtc.Load() }
 
 // Routed returns how many requests were forwarded to a backend. It is
 // lock-free: the counter is atomic.
@@ -711,11 +729,20 @@ func replayable(r *http.Request) bool {
 func (p *Proxy) ServeHTTP(w http.ResponseWriter, r *http.Request) {
 	start := time.Now()
 	now := start.UnixNano()
+	rtc := p.rtc.Load()
 	reqID := p.reqSeq.Add(1)
+	if rtc != nil {
+		reqID = rtc.NextID()
+	}
 	t := p.loadTable()
 	n := len(t.entries)
 	if n == 0 {
 		p.dropped.Inc()
+		if rtc != nil {
+			rec := reqtrace.Record{ID: reqID, StartNs: now, Dropped: true,
+				TotalNs: time.Since(start).Nanoseconds()}
+			rtc.Offer(&rec)
+		}
 		p.logger().WithTrace(reqID).Error("request dropped: no backends configured")
 		http.Error(w, "realswitch: no backends configured", http.StatusBadGateway)
 		return
@@ -728,9 +755,20 @@ func (p *Proxy) ServeHTTP(w http.ResponseWriter, r *http.Request) {
 	}
 	var tried uint64
 	var lastErr error
+	// Per-stage wall-clock attribution, measured only when a collector
+	// is attached — the untraced path reads the clock exactly as before.
+	var routeNs, upstreamNs int64
+	lastBackend := ""
 	attempts := 0
 	for ; attempts < maxAttempts; attempts++ {
+		var tPick time.Time
+		if rtc != nil {
+			tPick = time.Now()
+		}
 		idx := p.pick(t, tried, now)
+		if rtc != nil {
+			routeNs += time.Since(tPick).Nanoseconds()
+		}
 		if idx < 0 {
 			break
 		}
@@ -748,15 +786,35 @@ func (p *Proxy) ServeHTTP(w http.ResponseWriter, r *http.Request) {
 		cell := t.cells[idx]
 		cell.active.Add(1)
 		cw := captureWriter{ResponseWriter: w}
+		var tUp time.Time
+		if rtc != nil {
+			lastBackend = t.addrs[idx]
+			tUp = time.Now()
+		}
 		t.proxies[idx].ServeHTTP(&cw, r)
+		if rtc != nil {
+			upstreamNs += time.Since(tUp).Nanoseconds()
+		}
 		cell.active.Add(-1)
 		if !cw.failed {
 			cell.forwarded.Add(1)
 			p.noteSuccess(t, cell)
 			p.routed.Inc()
-			elapsed := time.Since(start).Seconds()
-			t.latency.ObserveTraced(elapsed, reqID)
-			t.hists[idx].ObserveTraced(elapsed, reqID)
+			elapsed := time.Since(start)
+			exID := reqID
+			if rtc != nil {
+				rec := reqtrace.Record{
+					ID: reqID, StartNs: now, Backend: t.addrs[idx],
+					Retries: attempts, RouteNs: routeNs,
+					UpstreamNs: upstreamNs, TotalNs: elapsed.Nanoseconds(),
+				}
+				if !rtc.Offer(&rec) {
+					exID = 0 // unretained: leave no dangling exemplar
+				}
+			}
+			sec := elapsed.Seconds()
+			t.latency.ObserveTraced(sec, exID)
+			t.hists[idx].ObserveTraced(sec, exID)
 			return
 		}
 		lastErr = cw.err
@@ -764,6 +822,14 @@ func (p *Proxy) ServeHTTP(w http.ResponseWriter, r *http.Request) {
 		if cw.wroteHeader {
 			// Bytes already reached the client; nothing to retry.
 			p.dropped.Inc()
+			if rtc != nil {
+				rec := reqtrace.Record{
+					ID: reqID, StartNs: now, Backend: t.addrs[idx],
+					Retries: attempts, Dropped: true, RouteNs: routeNs,
+					UpstreamNs: upstreamNs, TotalNs: time.Since(start).Nanoseconds(),
+				}
+				rtc.Offer(&rec)
+			}
 			return
 		}
 		if !canRetry {
@@ -772,6 +838,14 @@ func (p *Proxy) ServeHTTP(w http.ResponseWriter, r *http.Request) {
 		}
 	}
 	p.dropped.Inc()
+	if rtc != nil {
+		rec := reqtrace.Record{
+			ID: reqID, StartNs: now, Backend: lastBackend,
+			Retries: attempts, Dropped: true, RouteNs: routeNs,
+			UpstreamNs: upstreamNs, TotalNs: time.Since(start).Nanoseconds(),
+		}
+		rtc.Offer(&rec)
+	}
 	if lastErr != nil && untriedRemain(tried, n) {
 		p.retryExhausted.Inc()
 	}

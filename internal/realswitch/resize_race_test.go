@@ -11,7 +11,10 @@ import (
 	"sync/atomic"
 	"testing"
 
+	"repro/internal/reqtrace"
 	"repro/internal/svcswitch"
+	"repro/internal/telemetry"
+	"time"
 )
 
 // liveBackend starts one httptest backend and returns its config entry.
@@ -45,6 +48,14 @@ func TestConcurrentResize(t *testing.T) {
 		t.Fatal(err)
 	}
 	p := New(cfg)
+	// Request tracing rides along under the same churn: retain-all so
+	// the sampling accounting below is exact even while tables swap.
+	reg := telemetry.NewRegistry()
+	const ringCap = 128
+	store := reqtrace.NewStore(reqtrace.Config{
+		Capacity: ringCap, HeadEvery: 1, SlowThreshold: time.Hour,
+	}, reg)
+	p.SetRequestTracer(store.Collector("race"))
 	front := httptest.NewServer(p)
 	defer front.Close()
 
@@ -108,7 +119,35 @@ func TestConcurrentResize(t *testing.T) {
 	if cfg.Version() < 3 {
 		t.Errorf("config version %d: resizer never ran", cfg.Version())
 	}
-	t.Logf("resizes=%d routed=%d retried=%d", resizes.Load(), p.Routed(), p.Retried())
+
+	// Tail-sampling accounting must reconcile exactly despite the churn:
+	// every completed request was offered, retain-all kept each one, and
+	// evictions are precisely the overflow past the ring.
+	snap := reg.Snapshot()
+	l := telemetry.L("service", "race")
+	if got := snap.Counter("soda_reqtrace_sampled_total", l); got != int64(total) {
+		t.Errorf("sampled_total = %d, want %d", got, total)
+	}
+	if got := snap.Counter("soda_reqtrace_retained_total", l); got != int64(total) {
+		t.Errorf("retained_total = %d, want %d (retain-all)", got, total)
+	}
+	if got := snap.Counter("soda_reqtrace_evicted_total", l); got != int64(total-ringCap) {
+		t.Errorf("evicted_total = %d, want %d", got, total-ringCap)
+	}
+	recs := store.Snapshot("race")
+	if len(recs) != ringCap {
+		t.Fatalf("ring holds %d records, want %d", len(recs), ringCap)
+	}
+	for _, rec := range recs {
+		if rec.Dropped || rec.Backend == "" || rec.TotalNs <= 0 || rec.UpstreamNs <= 0 {
+			t.Fatalf("malformed retained record under resize: %+v", rec)
+		}
+		if got, ok := store.Lookup(rec.ID); !ok || got.ID != rec.ID {
+			t.Fatalf("retained trace %d does not resolve", rec.ID)
+		}
+	}
+	t.Logf("resizes=%d routed=%d retried=%d retained=%d",
+		resizes.Load(), p.Routed(), p.Retried(), p.RequestTracer().Retained())
 }
 
 // TestRetryDeadBackend puts a dead backend in the rotation and verifies

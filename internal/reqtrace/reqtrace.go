@@ -1,0 +1,438 @@
+// Package reqtrace reconstructs individual data-plane requests. The
+// aggregate counters and histogram exemplars from PR 1/PR 5 say *that*
+// the switch is slow; a request trace says *where* — client→switch hop,
+// route pick, upstream transfer, or backend service time — with
+// nanosecond attribution per stage.
+//
+// Tracing every request would melt the hot path, so retention is
+// tail-based: the keep/drop decision is made at request *completion*,
+// when the outcome is known. Every slow (per-service SLO-derived
+// threshold), errored, or retried request is retained; the healthy rest
+// is represented by a deterministic 1-in-N head sample keyed on the
+// request's trace ID. Retained records land in a bounded per-switch
+// ring with eviction accounting, exposed as
+// soda_reqtrace_{sampled,retained,evicted}_total.
+//
+// The unsampled fast path performs no allocation and takes no lock:
+// the verdict is a handful of integer compares against immutable
+// policy fields plus three counter increments. Offer copies the record
+// by value into the preallocated ring only when it is retained, so the
+// caller's *Record never escapes (BenchmarkRoutingReqtrace holds the
+// 0 allocs/op line).
+//
+// Determinism: trace IDs come from a per-Store sequence (shared with
+// the telemetry exemplar namespace by construction — the switch stamps
+// the same ID into ObserveTraced), and the head-sample verdict is
+// ID%HeadEvery==0. Under the simulation kernel the ID order and every
+// stage duration are virtual-time-exact, so same-seed runs retain
+// byte-identical rings.
+package reqtrace
+
+import (
+	"sort"
+	"strings"
+	"sync"
+	"sync/atomic"
+	"time"
+
+	"repro/internal/telemetry"
+)
+
+// Reason says why the tail sampler retained a record. A record can
+// qualify several ways at once; the value is a bitmask.
+type Reason uint8
+
+const (
+	// KeptSlow: TotalNs reached the collector's slow threshold.
+	KeptSlow Reason = 1 << iota
+	// KeptError: the request was dropped (all attempts failed).
+	KeptError
+	// KeptRetry: at least one backend attempt was retried.
+	KeptRetry
+	// KeptHead: deterministic 1-in-N head sample (ID%HeadEvery==0).
+	KeptHead
+)
+
+// String renders the bitmask as "slow,retry"-style CSV; empty when the
+// record was not retained.
+func (r Reason) String() string {
+	if r == 0 {
+		return ""
+	}
+	parts := make([]string, 0, 4)
+	if r&KeptSlow != 0 {
+		parts = append(parts, "slow")
+	}
+	if r&KeptError != 0 {
+		parts = append(parts, "error")
+	}
+	if r&KeptRetry != 0 {
+		parts = append(parts, "retry")
+	}
+	if r&KeptHead != 0 {
+		parts = append(parts, "head")
+	}
+	return strings.Join(parts, ",")
+}
+
+// MarshalJSON renders the Reason as its CSV string so incident bundles
+// and /traces read "slow,retry" rather than a bitmask.
+func (r Reason) MarshalJSON() ([]byte, error) {
+	return []byte(`"` + r.String() + `"`), nil
+}
+
+// UnmarshalJSON parses the CSV form written by MarshalJSON.
+func (r *Reason) UnmarshalJSON(b []byte) error {
+	s := strings.Trim(string(b), `"`)
+	*r = 0
+	for _, p := range strings.Split(s, ",") {
+		switch p {
+		case "slow":
+			*r |= KeptSlow
+		case "error":
+			*r |= KeptError
+		case "retry":
+			*r |= KeptRetry
+		case "head":
+			*r |= KeptHead
+		}
+	}
+	return nil
+}
+
+// Record is one request's reconstructed timeline. Stage durations are
+// nanoseconds; a stage the request never reached (e.g. ServeNs on a
+// dropped request, QueueNs on the live proxy which has no modeled
+// client hop) is zero. The stages partition the total:
+//
+//	queue    client→switch ingress hop
+//	route    switch CPU + policy pick (includes retry re-picks)
+//	upstream switch→backend transfer (live proxy: full backend round trip)
+//	serve    backend handling + response delivery
+type Record struct {
+	ID      uint64 `json:"id"`
+	Service string `json:"service"`
+	// StartNs is the request's arrival offset from the clock epoch —
+	// virtual time zero under the simulation kernel, Unix nanoseconds
+	// on the live proxy.
+	StartNs    int64  `json:"start_ns"`
+	Backend    string `json:"backend,omitempty"`
+	Retries    int    `json:"retries,omitempty"`
+	Dropped    bool   `json:"dropped,omitempty"`
+	QueueNs    int64  `json:"queue_ns"`
+	RouteNs    int64  `json:"route_ns"`
+	UpstreamNs int64  `json:"upstream_ns"`
+	ServeNs    int64  `json:"serve_ns"`
+	TotalNs    int64  `json:"total_ns"`
+	// Why is set by the sampler when the record is retained.
+	Why Reason `json:"why,omitempty"`
+}
+
+// Config shapes a Store's collectors.
+type Config struct {
+	// Capacity bounds each per-switch ring. Default 256.
+	Capacity int
+	// HeadEvery keeps every Nth request regardless of outcome
+	// (ID%HeadEvery==0). Default 128; negative disables head sampling.
+	// 1 retains everything.
+	HeadEvery int
+	// SlowThreshold retains any request at least this slow. It is the
+	// default only: per-service SLO latency targets override it.
+	// Default 250ms; negative disables slow retention.
+	SlowThreshold time.Duration
+}
+
+// Defaults for Config zero values.
+const (
+	DefaultCapacity      = 256
+	DefaultHeadEvery     = 128
+	DefaultSlowThreshold = 250 * time.Millisecond
+)
+
+func (c Config) withDefaults() Config {
+	if c.Capacity <= 0 {
+		c.Capacity = DefaultCapacity
+	}
+	if c.HeadEvery == 0 {
+		c.HeadEvery = DefaultHeadEvery
+	}
+	if c.SlowThreshold == 0 {
+		c.SlowThreshold = DefaultSlowThreshold
+	}
+	return c
+}
+
+// Collector is the per-switch tail sampler and retention ring. All
+// methods are safe for concurrent use and no-ops on a nil receiver, so
+// a switch can call through unconditionally.
+type Collector struct {
+	service   string
+	ids       *atomic.Uint64
+	headEvery uint64 // 0 = head sampling disabled
+	slowNs    atomic.Int64
+
+	sampled  *telemetry.Counter
+	retained *telemetry.Counter
+	evicted  *telemetry.Counter
+
+	mu   sync.Mutex
+	ring []Record
+	next uint64 // total retained; ring slot = next % len(ring)
+}
+
+// NextID draws the next trace ID from the owning Store's shared
+// sequence. Nil-safe (returns 0, the "untraced" sentinel).
+func (c *Collector) NextID() uint64 {
+	if c == nil {
+		return 0
+	}
+	return c.ids.Add(1)
+}
+
+// SetSlowThreshold overrides the retention threshold, normally from
+// the service's SLO latency target. Non-positive disables slow
+// retention. Nil-safe.
+func (c *Collector) SetSlowThreshold(d time.Duration) {
+	if c == nil {
+		return
+	}
+	c.slowNs.Store(int64(d))
+}
+
+// SlowThreshold reports the active retention threshold (0 = disabled).
+func (c *Collector) SlowThreshold() time.Duration {
+	if c == nil {
+		return 0
+	}
+	if ns := c.slowNs.Load(); ns > 0 {
+		return time.Duration(ns)
+	}
+	return 0
+}
+
+// verdict computes the tail decision without touching the ring.
+func (c *Collector) verdict(rec *Record) Reason {
+	var why Reason
+	if slow := c.slowNs.Load(); slow > 0 && rec.TotalNs >= slow {
+		why |= KeptSlow
+	}
+	if rec.Dropped {
+		why |= KeptError
+	}
+	if rec.Retries > 0 {
+		why |= KeptRetry
+	}
+	if c.headEvery > 0 && rec.ID%c.headEvery == 0 {
+		why |= KeptHead
+	}
+	return why
+}
+
+// Offer presents a completed request to the tail sampler. The record
+// is copied into the ring only when retained, so the pointer never
+// escapes and the unsampled path allocates nothing. Offer stamps
+// rec.Service and, when retaining, rec.Why. Returns whether the record
+// was retained. Nil-safe (false).
+func (c *Collector) Offer(rec *Record) bool {
+	if c == nil {
+		return false
+	}
+	c.sampled.Inc()
+	why := c.verdict(rec)
+	if why == 0 {
+		return false
+	}
+	rec.Service = c.service
+	rec.Why = why
+	c.retained.Inc()
+	c.mu.Lock()
+	slot := c.next % uint64(len(c.ring))
+	if c.next >= uint64(len(c.ring)) && c.ring[slot].ID != 0 {
+		c.evicted.Inc()
+	}
+	c.ring[slot] = *rec
+	c.next++
+	c.mu.Unlock()
+	return true
+}
+
+// Snapshot copies the retained records, oldest first. Nil-safe (nil).
+func (c *Collector) Snapshot() []Record {
+	if c == nil {
+		return nil
+	}
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	n := c.next
+	cap64 := uint64(len(c.ring))
+	count := n
+	if count > cap64 {
+		count = cap64
+	}
+	out := make([]Record, 0, count)
+	for i := uint64(0); i < count; i++ {
+		out = append(out, c.ring[(n-count+i)%cap64])
+	}
+	return out
+}
+
+// Lookup finds a retained record by trace ID. Nil-safe (miss).
+func (c *Collector) Lookup(id uint64) (Record, bool) {
+	if c == nil || id == 0 {
+		return Record{}, false
+	}
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	for i := range c.ring {
+		if c.ring[i].ID == id {
+			return c.ring[i], true
+		}
+	}
+	return Record{}, false
+}
+
+// Retained reports how many records were ever retained (including
+// since-evicted ones). Nil-safe (0).
+func (c *Collector) Retained() uint64 {
+	if c == nil {
+		return 0
+	}
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	return c.next
+}
+
+// Store owns the shared trace-ID sequence and one Collector per
+// service, so IDs are globally unique across switches and /traces/{id}
+// resolves unambiguously. Nil-safe throughout.
+type Store struct {
+	cfg Config
+	reg *telemetry.Registry
+	ids atomic.Uint64
+
+	mu    sync.Mutex
+	bysvc map[string]*Collector
+	order []string
+}
+
+// NewStore builds a Store; counters register against reg (nil reg is
+// fine — telemetry hands out working unregistered instruments).
+func NewStore(cfg Config, reg *telemetry.Registry) *Store {
+	return &Store{cfg: cfg.withDefaults(), reg: reg, bysvc: make(map[string]*Collector)}
+}
+
+// Collector returns (creating on first use) the named service's
+// collector. Nil-safe (nil collector, whose methods are no-ops).
+func (st *Store) Collector(service string) *Collector {
+	if st == nil {
+		return nil
+	}
+	st.mu.Lock()
+	defer st.mu.Unlock()
+	if c, ok := st.bysvc[service]; ok {
+		return c
+	}
+	head := st.cfg.HeadEvery
+	if head < 0 {
+		head = 0
+	}
+	c := &Collector{
+		service:   service,
+		ids:       &st.ids,
+		headEvery: uint64(head),
+		sampled:   st.reg.Counter("soda_reqtrace_sampled_total", telemetry.L("service", service)),
+		retained:  st.reg.Counter("soda_reqtrace_retained_total", telemetry.L("service", service)),
+		evicted:   st.reg.Counter("soda_reqtrace_evicted_total", telemetry.L("service", service)),
+	}
+	c.ring = make([]Record, st.cfg.Capacity)
+	if st.cfg.SlowThreshold > 0 {
+		c.slowNs.Store(int64(st.cfg.SlowThreshold))
+	}
+	st.bysvc[service] = c
+	st.order = append(st.order, service)
+	return c
+}
+
+// Services lists services with collectors, in creation order.
+func (st *Store) Services() []string {
+	if st == nil {
+		return nil
+	}
+	st.mu.Lock()
+	defer st.mu.Unlock()
+	return append([]string(nil), st.order...)
+}
+
+// Lookup resolves a trace ID across every collector. Nil-safe (miss).
+func (st *Store) Lookup(id uint64) (Record, bool) {
+	if st == nil {
+		return Record{}, false
+	}
+	for _, c := range st.collectors() {
+		if rec, ok := c.Lookup(id); ok {
+			return rec, true
+		}
+	}
+	return Record{}, false
+}
+
+// Snapshot merges every collector's retained records, sorted by trace
+// ID ascending — a deterministic global view. Pass service names to
+// restrict; none means all. Nil-safe (nil).
+func (st *Store) Snapshot(services ...string) []Record {
+	if st == nil {
+		return nil
+	}
+	var out []Record
+	if len(services) == 0 {
+		for _, c := range st.collectors() {
+			out = append(out, c.Snapshot()...)
+		}
+	} else {
+		st.mu.Lock()
+		cs := make([]*Collector, 0, len(services))
+		for _, s := range services {
+			if c, ok := st.bysvc[s]; ok {
+				cs = append(cs, c)
+			}
+		}
+		st.mu.Unlock()
+		for _, c := range cs {
+			out = append(out, c.Snapshot()...)
+		}
+	}
+	sort.Slice(out, func(i, j int) bool { return out[i].ID < out[j].ID })
+	return out
+}
+
+// SlowTraces returns up to max of the service's newest retained slow
+// records (KeptSlow set), sorted by trace ID ascending — the payload
+// an SLO-violation flight bundle embeds. Nil-safe (nil).
+func (st *Store) SlowTraces(service string, max int) []Record {
+	if st == nil || max <= 0 {
+		return nil
+	}
+	st.mu.Lock()
+	c := st.bysvc[service]
+	st.mu.Unlock()
+	var slow []Record
+	for _, rec := range c.Snapshot() {
+		if rec.Why&KeptSlow != 0 {
+			slow = append(slow, rec)
+		}
+	}
+	if len(slow) > max {
+		slow = slow[len(slow)-max:]
+	}
+	return slow
+}
+
+func (st *Store) collectors() []*Collector {
+	st.mu.Lock()
+	defer st.mu.Unlock()
+	cs := make([]*Collector, 0, len(st.order))
+	for _, s := range st.order {
+		cs = append(cs, st.bysvc[s])
+	}
+	return cs
+}

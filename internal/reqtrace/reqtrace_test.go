@@ -1,0 +1,355 @@
+package reqtrace
+
+import (
+	"encoding/json"
+	"sync"
+	"testing"
+	"time"
+
+	"repro/internal/telemetry"
+)
+
+func TestReasonString(t *testing.T) {
+	cases := []struct {
+		r    Reason
+		want string
+	}{
+		{0, ""},
+		{KeptSlow, "slow"},
+		{KeptError, "error"},
+		{KeptRetry, "retry"},
+		{KeptHead, "head"},
+		{KeptSlow | KeptRetry, "slow,retry"},
+		{KeptSlow | KeptError | KeptRetry | KeptHead, "slow,error,retry,head"},
+	}
+	for _, c := range cases {
+		if got := c.r.String(); got != c.want {
+			t.Errorf("Reason(%b).String() = %q, want %q", c.r, got, c.want)
+		}
+	}
+}
+
+func TestReasonJSONRoundTrip(t *testing.T) {
+	for _, r := range []Reason{0, KeptSlow, KeptError | KeptHead, KeptSlow | KeptRetry} {
+		buf, err := json.Marshal(r)
+		if err != nil {
+			t.Fatal(err)
+		}
+		var back Reason
+		if err := json.Unmarshal(buf, &back); err != nil {
+			t.Fatal(err)
+		}
+		if back != r {
+			t.Errorf("round trip %v → %s → %v", r, buf, back)
+		}
+	}
+}
+
+// TestTailRetention exercises each retention rule in isolation.
+func TestTailRetention(t *testing.T) {
+	reg := telemetry.NewRegistry()
+	st := NewStore(Config{Capacity: 8, HeadEvery: 10, SlowThreshold: time.Millisecond}, reg)
+	c := st.Collector("web")
+
+	offer := func(rec Record) (Record, bool) {
+		kept := c.Offer(&rec)
+		return rec, kept
+	}
+
+	// Fast, clean, off the head grid: not retained.
+	if rec, kept := offer(Record{ID: 3, TotalNs: 1000}); kept || rec.Why != 0 {
+		t.Errorf("fast clean request retained: %+v", rec)
+	}
+	// Slow: retained with KeptSlow.
+	if rec, kept := offer(Record{ID: 4, TotalNs: int64(2 * time.Millisecond)}); !kept || rec.Why != KeptSlow {
+		t.Errorf("slow request: kept=%v why=%s", kept, rec.Why)
+	}
+	// Dropped: KeptError.
+	if rec, kept := offer(Record{ID: 5, Dropped: true, TotalNs: 10}); !kept || rec.Why != KeptError {
+		t.Errorf("dropped request: kept=%v why=%s", kept, rec.Why)
+	}
+	// Retried: KeptRetry.
+	if rec, kept := offer(Record{ID: 6, Retries: 2, TotalNs: 10}); !kept || rec.Why != KeptRetry {
+		t.Errorf("retried request: kept=%v why=%s", kept, rec.Why)
+	}
+	// On the head grid (ID%10==0): KeptHead.
+	if rec, kept := offer(Record{ID: 20, TotalNs: 10}); !kept || rec.Why != KeptHead {
+		t.Errorf("head-sampled request: kept=%v why=%s", kept, rec.Why)
+	}
+	// Qualifies several ways at once: bitmask unions.
+	rec, kept := offer(Record{ID: 30, Retries: 1, TotalNs: int64(5 * time.Millisecond)})
+	if !kept || rec.Why != KeptSlow|KeptRetry|KeptHead {
+		t.Errorf("multi-reason request: kept=%v why=%s", kept, rec.Why)
+	}
+	// Retained records carry the collector's service.
+	if rec.Service != "web" {
+		t.Errorf("retained record service = %q, want web", rec.Service)
+	}
+
+	snap := telemetry.L("service", "web")
+	s := reg.Snapshot()
+	if got := s.Counter("soda_reqtrace_sampled_total", snap); got != 6 {
+		t.Errorf("sampled_total = %d, want 6", got)
+	}
+	if got := s.Counter("soda_reqtrace_retained_total", snap); got != 5 {
+		t.Errorf("retained_total = %d, want 5", got)
+	}
+	if got := s.Counter("soda_reqtrace_evicted_total", snap); got != 0 {
+		t.Errorf("evicted_total = %d, want 0", got)
+	}
+}
+
+func TestSlowThresholdOverride(t *testing.T) {
+	st := NewStore(Config{SlowThreshold: time.Second}, nil)
+	c := st.Collector("web")
+	if got := c.SlowThreshold(); got != time.Second {
+		t.Fatalf("initial threshold %v", got)
+	}
+	c.SetSlowThreshold(10 * time.Millisecond)
+	rec := Record{ID: 1, TotalNs: int64(20 * time.Millisecond)}
+	if !c.Offer(&rec) || rec.Why != KeptSlow {
+		t.Errorf("20ms request not retained after 10ms override: %+v", rec)
+	}
+	// Non-positive disables slow retention entirely.
+	c.SetSlowThreshold(-1)
+	if c.SlowThreshold() != 0 {
+		t.Errorf("disabled threshold reads %v", c.SlowThreshold())
+	}
+	rec = Record{ID: 3, TotalNs: int64(time.Hour)}
+	if c.Offer(&rec) {
+		t.Errorf("slow retention fired while disabled: %+v", rec)
+	}
+}
+
+// TestRingEviction fills a small ring past capacity and checks the
+// overwrite accounting and the snapshot window.
+func TestRingEviction(t *testing.T) {
+	reg := telemetry.NewRegistry()
+	st := NewStore(Config{Capacity: 4, HeadEvery: 1, SlowThreshold: -1}, reg)
+	c := st.Collector("web")
+	for id := uint64(1); id <= 10; id++ {
+		rec := Record{ID: id, TotalNs: int64(id)}
+		if !c.Offer(&rec) {
+			t.Fatalf("HeadEvery=1 did not retain id %d", id)
+		}
+	}
+	s := reg.Snapshot()
+	l := telemetry.L("service", "web")
+	if got := s.Counter("soda_reqtrace_retained_total", l); got != 10 {
+		t.Errorf("retained_total = %d, want 10", got)
+	}
+	// 10 inserts into a 4-slot ring evict 6 live records.
+	if got := s.Counter("soda_reqtrace_evicted_total", l); got != 6 {
+		t.Errorf("evicted_total = %d, want 6", got)
+	}
+	snap := c.Snapshot()
+	if len(snap) != 4 {
+		t.Fatalf("snapshot size %d, want 4", len(snap))
+	}
+	for i, rec := range snap {
+		if want := uint64(7 + i); rec.ID != want {
+			t.Errorf("snapshot[%d].ID = %d, want %d (oldest-first window)", i, rec.ID, want)
+		}
+	}
+	// Evicted IDs no longer resolve; live ones do.
+	if _, ok := c.Lookup(3); ok {
+		t.Error("evicted id 3 still resolves")
+	}
+	if rec, ok := c.Lookup(9); !ok || rec.TotalNs != 9 {
+		t.Errorf("live id 9: ok=%v rec=%+v", ok, rec)
+	}
+	if c.Retained() != 10 {
+		t.Errorf("Retained() = %d, want 10", c.Retained())
+	}
+}
+
+// TestHeadSampleDeterminism: the head verdict is a pure function of the
+// trace ID, so two same-configured collectors retain identical sets.
+func TestHeadSampleDeterminism(t *testing.T) {
+	run := func() []Record {
+		st := NewStore(Config{Capacity: 64, HeadEvery: 7, SlowThreshold: -1}, nil)
+		c := st.Collector("web")
+		for i := 0; i < 100; i++ {
+			rec := Record{ID: c.NextID(), TotalNs: int64(i)}
+			c.Offer(&rec)
+		}
+		return c.Snapshot()
+	}
+	a, b := run(), run()
+	aj, _ := json.Marshal(a)
+	bj, _ := json.Marshal(b)
+	if string(aj) != string(bj) {
+		t.Fatalf("same-config runs diverge:\n%s\n%s", aj, bj)
+	}
+	if len(a) == 0 {
+		t.Fatal("head sample retained nothing")
+	}
+	for _, rec := range a {
+		if rec.ID%7 != 0 || rec.Why != KeptHead {
+			t.Errorf("retained %+v off the 1-in-7 grid", rec)
+		}
+	}
+}
+
+func TestNilSafety(t *testing.T) {
+	var c *Collector
+	if c.NextID() != 0 {
+		t.Error("nil NextID != 0")
+	}
+	c.SetSlowThreshold(time.Second)
+	if c.SlowThreshold() != 0 {
+		t.Error("nil SlowThreshold != 0")
+	}
+	if c.Offer(&Record{ID: 1, Dropped: true}) {
+		t.Error("nil Offer retained")
+	}
+	if c.Snapshot() != nil || c.Retained() != 0 {
+		t.Error("nil Snapshot/Retained not empty")
+	}
+	if _, ok := c.Lookup(1); ok {
+		t.Error("nil Lookup hit")
+	}
+
+	var st *Store
+	if st.Collector("web") != nil {
+		t.Error("nil Store.Collector != nil")
+	}
+	if st.Services() != nil || st.Snapshot() != nil || st.SlowTraces("web", 1) != nil {
+		t.Error("nil Store accessors not empty")
+	}
+	if _, ok := st.Lookup(1); ok {
+		t.Error("nil Store.Lookup hit")
+	}
+
+	// nil registry still hands out working (unregistered) counters.
+	live := NewStore(Config{}, nil)
+	rec := Record{ID: live.Collector("web").NextID(), Dropped: true}
+	if !live.Collector("web").Offer(&rec) {
+		t.Error("nil-registry store did not retain a dropped request")
+	}
+}
+
+// TestStoreMerge: IDs are globally unique across collectors, Snapshot
+// merges sorted by ID, and Lookup resolves across services.
+func TestStoreMerge(t *testing.T) {
+	st := NewStore(Config{Capacity: 16, HeadEvery: 1, SlowThreshold: -1}, nil)
+	web, db := st.Collector("web"), st.Collector("db")
+	for i := 0; i < 3; i++ {
+		r1 := Record{ID: web.NextID()}
+		web.Offer(&r1)
+		r2 := Record{ID: db.NextID()}
+		db.Offer(&r2)
+	}
+	if got := st.Services(); len(got) != 2 || got[0] != "web" || got[1] != "db" {
+		t.Errorf("Services() = %v", got)
+	}
+	all := st.Snapshot()
+	if len(all) != 6 {
+		t.Fatalf("merged snapshot %d records, want 6", len(all))
+	}
+	seen := map[uint64]bool{}
+	for i, rec := range all {
+		if seen[rec.ID] {
+			t.Errorf("duplicate trace ID %d", rec.ID)
+		}
+		seen[rec.ID] = true
+		if i > 0 && all[i-1].ID >= rec.ID {
+			t.Errorf("snapshot not ID-sorted at %d", i)
+		}
+	}
+	if rec, ok := st.Lookup(all[4].ID); !ok || rec.ID != all[4].ID {
+		t.Errorf("Store.Lookup(%d) = %+v %v", all[4].ID, rec, ok)
+	}
+	if len(st.Snapshot("db")) != 3 {
+		t.Errorf("narrowed snapshot %d records, want 3", len(st.Snapshot("db")))
+	}
+	// Same collector back on second ask.
+	if st.Collector("web") != web {
+		t.Error("Collector not idempotent")
+	}
+}
+
+func TestSlowTraces(t *testing.T) {
+	st := NewStore(Config{Capacity: 32, HeadEvery: -1, SlowThreshold: time.Millisecond}, nil)
+	c := st.Collector("web")
+	for i := 0; i < 8; i++ {
+		rec := Record{ID: c.NextID(), TotalNs: int64(2 * time.Millisecond)}
+		c.Offer(&rec)
+	}
+	// A dropped-but-fast request is retained but not slow.
+	drop := Record{ID: c.NextID(), Dropped: true, TotalNs: 10}
+	c.Offer(&drop)
+
+	slow := st.SlowTraces("web", 5)
+	if len(slow) != 5 {
+		t.Fatalf("SlowTraces returned %d, want 5", len(slow))
+	}
+	for i, rec := range slow {
+		if rec.Why&KeptSlow == 0 {
+			t.Errorf("SlowTraces[%d] lacks KeptSlow: %s", i, rec.Why)
+		}
+		if i > 0 && slow[i-1].ID >= rec.ID {
+			t.Errorf("SlowTraces not ID-sorted at %d", i)
+		}
+	}
+	// Newest five: IDs 4..8.
+	if slow[0].ID != 4 || slow[4].ID != 8 {
+		t.Errorf("SlowTraces window = [%d..%d], want [4..8]", slow[0].ID, slow[4].ID)
+	}
+	if st.SlowTraces("nosuch", 5) != nil {
+		t.Error("SlowTraces for unknown service not nil")
+	}
+	if st.SlowTraces("web", 0) != nil {
+		t.Error("SlowTraces max=0 not nil")
+	}
+}
+
+// TestOfferZeroAlloc pins the unsampled fast path at zero allocations.
+func TestOfferZeroAlloc(t *testing.T) {
+	st := NewStore(Config{Capacity: 8, HeadEvery: -1, SlowThreshold: time.Hour}, nil)
+	c := st.Collector("web")
+	rec := Record{ID: 1, TotalNs: 100}
+	if allocs := testing.AllocsPerRun(1000, func() {
+		rec.ID++
+		c.Offer(&rec)
+	}); allocs != 0 {
+		t.Errorf("unsampled Offer allocates %.1f/op, want 0", allocs)
+	}
+}
+
+// TestConcurrentOffer hammers one collector from many goroutines; run
+// with -race this validates the locking discipline, and the counters
+// must still reconcile exactly.
+func TestConcurrentOffer(t *testing.T) {
+	reg := telemetry.NewRegistry()
+	st := NewStore(Config{Capacity: 32, HeadEvery: 4, SlowThreshold: -1}, reg)
+	c := st.Collector("web")
+	const workers, per = 8, 500
+	var wg sync.WaitGroup
+	for w := 0; w < workers; w++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for i := 0; i < per; i++ {
+				rec := Record{ID: c.NextID(), TotalNs: int64(i)}
+				c.Offer(&rec)
+				c.Snapshot()
+				st.Lookup(rec.ID)
+			}
+		}()
+	}
+	wg.Wait()
+	s := reg.Snapshot()
+	l := telemetry.L("service", "web")
+	total := int64(workers * per)
+	if got := s.Counter("soda_reqtrace_sampled_total", l); got != total {
+		t.Errorf("sampled_total = %d, want %d", got, total)
+	}
+	// IDs 1..4000 contain exactly 1000 multiples of 4.
+	if got := s.Counter("soda_reqtrace_retained_total", l); got != total/4 {
+		t.Errorf("retained_total = %d, want %d", got, total/4)
+	}
+	if got := s.Counter("soda_reqtrace_evicted_total", l); got != total/4-32 {
+		t.Errorf("evicted_total = %d, want %d", got, total/4-32)
+	}
+}

@@ -7,6 +7,7 @@ import (
 	"repro/internal/accounting"
 	"repro/internal/appsvc"
 	"repro/internal/flight"
+	"repro/internal/reqtrace"
 	"repro/internal/simnet"
 	"repro/internal/svcswitch"
 	"repro/internal/telemetry"
@@ -47,6 +48,11 @@ type Master struct {
 	// chunkDist is the cooperative image-distribution tracker; nil until
 	// EnableChunkDistribution.
 	chunkDist *chunkTracker
+
+	// reqTraces is the per-request tail-sampling trace store; nil until
+	// EnableRequestTracing. Each service switch gets its own collector,
+	// slow threshold derived from the service's SLO latency target.
+	reqTraces *reqtrace.Store
 
 	// Telemetry. All fields are nil-safe: an uninstrumented Master pays
 	// only no-op calls.
@@ -185,6 +191,36 @@ func (m *Master) EnableAccounting(a *accounting.Accountant) {
 // Accountant returns the attached accountant (nil when accounting is
 // disabled).
 func (m *Master) Accountant() *accounting.Accountant { return m.acct }
+
+// EnableRequestTracing attaches the tail-sampling request-trace store:
+// every switch the Master subsequently creates — and every service
+// already active — gets a per-service collector, its slow-retention
+// threshold derived from the service's SLO latency target. Nil detaches
+// (existing switches keep their collectors until rebuilt).
+func (m *Master) EnableRequestTracing(st *reqtrace.Store) {
+	m.reqTraces = st
+	if st == nil {
+		return
+	}
+	for _, svc := range m.services {
+		if svc.Switch != nil {
+			m.attachRequestTracer(svc)
+		}
+	}
+}
+
+// RequestTraces returns the attached trace store (nil when request
+// tracing is disabled).
+func (m *Master) RequestTraces() *reqtrace.Store { return m.reqTraces }
+
+// attachRequestTracer wires one service's switch to its collector.
+func (m *Master) attachRequestTracer(svc *Service) {
+	c := m.reqTraces.Collector(svc.Spec.Name)
+	if slo := svc.Config.SLO(); slo.LatencyTarget > 0 {
+		c.SetSlowThreshold(slo.LatencyTarget)
+	}
+	svc.Switch.SetRequestTracer(c)
+}
 
 // UsageTotals returns a service's live cumulative metered usage.
 func (m *Master) UsageTotals(name string) (accounting.Usage, bool) {
@@ -478,6 +514,9 @@ func (m *Master) buildSwitch(svc *Service) error {
 	}
 	if m.flog != nil {
 		svc.Switch.SetLogger(m.flog.Component("switch", telemetry.L("service", svc.Spec.Name)))
+	}
+	if m.reqTraces != nil {
+		m.attachRequestTracer(svc)
 	}
 	if svc.Spec.SwitchPolicy != nil {
 		svc.Switch.SetPolicy(svc.Spec.SwitchPolicy)

@@ -5,6 +5,7 @@ import (
 	"time"
 
 	"repro/internal/flight"
+	"repro/internal/reqtrace"
 
 	"repro/internal/sim"
 	"repro/internal/simnet"
@@ -114,6 +115,41 @@ func BenchmarkRoutingFlight(b *testing.B) {
 	b.StopTimer()
 	if sw.Routed() < b.N {
 		b.Fatalf("routed %d < N %d", sw.Routed(), b.N)
+	}
+}
+
+// BenchmarkRoutingReqtrace measures the routing hot path with a request
+// tracer attached but configured to never retain (head sampling off,
+// slow threshold above any simulated latency): the pure cost of the
+// tail-sampler verdict on every request. The acceptance bar is 0
+// allocs/op — the Record is assembled in the pooled op's scratch field
+// and Offer never lets it escape — and ≤2% over BenchmarkRouting/
+// telemetry (gated by sodabench -reqtrace in CI).
+func BenchmarkRoutingReqtrace(b *testing.B) {
+	k, sw, _ := benchSwitch(b)
+	sw.Instrument(telemetry.NewRegistry())
+	st := reqtrace.NewStore(reqtrace.Config{
+		Capacity: 256, HeadEvery: -1, SlowThreshold: time.Hour,
+	}, telemetry.NewRegistry())
+	sw.SetRequestTracer(st.Collector("svc"))
+	b.ReportAllocs()
+	b.ResetTimer()
+	runRouting(b, k, sw, b.N)
+	b.StopTimer()
+	if sw.Routed() < b.N {
+		b.Fatalf("routed %d < N %d", sw.Routed(), b.N)
+	}
+	if got := sw.RequestTracer().Retained(); got != 0 {
+		b.Fatalf("never-retain collector retained %d", got)
+	}
+}
+
+// TestRoutingReqtraceZeroAlloc pins the unsampled tracing fast path at
+// 0 allocs/op so a regression fails `go test`, not just the benchmark.
+func TestRoutingReqtraceZeroAlloc(t *testing.T) {
+	res := testing.Benchmark(BenchmarkRoutingReqtrace)
+	if allocs := res.AllocsPerOp(); allocs != 0 {
+		t.Fatalf("tracing-enabled unsampled routing allocates %d/op, want 0", allocs)
 	}
 }
 

@@ -5,6 +5,7 @@ import (
 
 	"repro/internal/cycles"
 	"repro/internal/flight"
+	"repro/internal/reqtrace"
 	"repro/internal/sim"
 	"repro/internal/simnet"
 	"repro/internal/telemetry"
@@ -40,6 +41,39 @@ func (t Trace) ServiceTime() sim.Duration { return t.Completed.Sub(t.Delivered) 
 
 // Total returns the end-to-end response time.
 func (t Trace) Total() sim.Duration { return t.Completed.Sub(t.Accepted) }
+
+// record fills a reqtrace.Record from the timeline. Stage boundaries
+// the request never reached (zero timestamps) contribute nothing; the
+// remainder of a dropped request's timeline past its last reached
+// boundary stays unattributed. For a served request the four stages
+// sum exactly to TotalNs. Retried upstream attempts land in
+// UpstreamNs: Picked is the first pick, Delivered the successful one.
+func (t *Trace) record(rec *reqtrace.Record) {
+	*rec = reqtrace.Record{
+		ID:      t.ID,
+		StartNs: int64(t.Accepted),
+		Backend: t.Backend,
+		Retries: t.Retries,
+		Dropped: t.Dropped,
+		TotalNs: int64(t.Completed.Sub(t.Accepted)),
+	}
+	prev := t.Accepted
+	if t.Arrived != 0 {
+		rec.QueueNs = int64(t.Arrived.Sub(prev))
+		prev = t.Arrived
+	}
+	if t.Picked != 0 {
+		rec.RouteNs = int64(t.Picked.Sub(prev))
+		prev = t.Picked
+	}
+	if t.Delivered != 0 {
+		rec.UpstreamNs = int64(t.Delivered.Sub(prev))
+		prev = t.Delivered
+	}
+	if !t.Dropped {
+		rec.ServeNs = int64(t.Completed.Sub(prev))
+	}
+}
 
 // Node is where the switch itself executes — it is "co-located in one of
 // the virtual service nodes" (§3.4), so its processing pays that node's
@@ -161,6 +195,10 @@ type inflight struct {
 
 	statScratch []Stats // policy input buffer, reused
 
+	// rec is the reqtrace scratch record, rebuilt from tr at completion
+	// so the Offer argument lives in the pooled op and never escapes.
+	rec reqtrace.Record
+
 	onArrive  func() // client→switch hop delivered
 	onExec    func() // switch CPU burst done, pick next
 	onDeliver func() // switch→backend hop delivered
@@ -203,8 +241,14 @@ type Switch struct {
 	healthCfg HealthConfig
 	health    map[string]*backendHealth
 
-	// reqSeq numbers requests; Trace.ID and histogram exemplars use it.
+	// reqSeq numbers requests; Trace.ID and histogram exemplars use it
+	// until SetRequestTracer switches the switch onto the collector's
+	// store-wide ID sequence.
 	reqSeq uint64
+
+	// rtc is the tail-sampling request collector; nil (untraced) until
+	// SetRequestTracer.
+	rtc *reqtrace.Collector
 
 	// flog logs control-plane transitions only (ejection, re-admission)
 	// — never per-request — so the routing hot path is untouched. Nil
@@ -281,6 +325,17 @@ func (s *Switch) Instrument(reg *telemetry.Registry) {
 	s.backendLat = make(map[string]*telemetry.Histogram)
 	s.bindSeq++ // cached views hold stale histograms
 }
+
+// SetRequestTracer attaches a tail-sampling request collector. While
+// attached, trace IDs come from the collector's store-wide sequence —
+// so /traces/{id} resolves unambiguously across services — and latency
+// exemplars are stamped only for retained requests, making every
+// exposed exemplar point at a resolvable trace. Nil detaches and
+// restores the per-switch reqSeq numbering.
+func (s *Switch) SetRequestTracer(c *reqtrace.Collector) { s.rtc = c }
+
+// RequestTracer returns the attached collector, nil when untraced.
+func (s *Switch) RequestTracer() *reqtrace.Collector { return s.rtc }
 
 // SetLogger routes the switch's backend-health transitions (ejection,
 // half-open re-admission) into the flight recorder. Per-request traffic
@@ -561,7 +616,11 @@ func (s *Switch) Route(req Request) error {
 	op := s.getOp()
 	op.req = req
 	s.reqSeq++
-	op.tr.ID = s.reqSeq
+	if s.rtc != nil {
+		op.tr.ID = s.rtc.NextID()
+	} else {
+		op.tr.ID = s.reqSeq
+	}
 	op.tr.Accepted = s.net.Kernel().Now()
 	if !s.node.Alive() {
 		s.drop(op)
@@ -587,6 +646,10 @@ func (s *Switch) drop(op *inflight) {
 	}
 	op.tr.Dropped = true
 	op.tr.Completed = s.net.Kernel().Now()
+	if s.rtc != nil {
+		op.tr.record(&op.rec)
+		s.rtc.Offer(&op.rec)
+	}
 	s.emitTrace(&op.tr)
 	s.putOp(op)
 }
@@ -702,8 +765,15 @@ func (s *Switch) serve(op *inflight) {
 	op.st.Active--
 	s.noteSuccess(op.hp)
 	op.tr.Completed = s.net.Kernel().Now()
-	s.latency.ObserveTraced(op.tr.Total().Seconds(), op.tr.ID)
-	op.hist.ObserveTraced(op.tr.ServiceTime().Seconds(), op.tr.ID)
+	exID := op.tr.ID
+	if s.rtc != nil {
+		op.tr.record(&op.rec)
+		if !s.rtc.Offer(&op.rec) {
+			exID = 0 // unretained: leave no dangling exemplar
+		}
+	}
+	s.latency.ObserveTraced(op.tr.Total().Seconds(), exID)
+	op.hist.ObserveTraced(op.tr.ServiceTime().Seconds(), exID)
 	if op.tr.Retries > 0 {
 		s.retried.Add(int64(op.tr.Retries))
 	}
