@@ -1,0 +1,50 @@
+package main
+
+import (
+	"encoding/json"
+	"fmt"
+	"os"
+	"time"
+
+	"repro/internal/exp"
+)
+
+// failoverConfig parameterises the -failover smoke run: the control-plane
+// HA experiment with an explicit seed and virtual duration, emitting a
+// JSON report for CI (BENCH_failover.json).
+type failoverConfig struct {
+	seed     uint64
+	duration time.Duration // virtual time, not wall time
+	out      string
+}
+
+// runFailoverCmd executes the failover experiment and renders/saves the
+// report. The acceptance shape (replay fidelity, MTTR ≤ 5s virtual, full
+// daemon resync, zero dropped data-plane requests, determinism) gates the
+// exit code — after the report is written, so CI keeps the artifact for a
+// failing run.
+func runFailoverCmd(cfg failoverConfig) int {
+	res, err := exp.RunFailoverWith(cfg.seed, cfg.duration)
+	if err != nil {
+		fmt.Fprintf(os.Stderr, "failover: %v\n", err)
+		return 1
+	}
+	fmt.Print(res.Render())
+	if cfg.out != "" {
+		data, err := json.MarshalIndent(res, "", "  ")
+		if err != nil {
+			fmt.Fprintf(os.Stderr, "failover: %v\n", err)
+			return 1
+		}
+		if err := os.WriteFile(cfg.out, append(data, '\n'), 0o644); err != nil {
+			fmt.Fprintf(os.Stderr, "failover: %v\n", err)
+			return 1
+		}
+		fmt.Printf("wrote %s\n", cfg.out)
+	}
+	if err := res.Shape(); err != nil {
+		fmt.Fprintf(os.Stderr, "failover: FAILED: %v\n", err)
+		return 1
+	}
+	return 0
+}

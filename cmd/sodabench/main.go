@@ -26,6 +26,15 @@
 //
 //	sodabench -chaos -seed 1 -duration 20s -out BENCH_chaos.json
 //
+// -failover runs the control-plane HA smoke: the leader Master is
+// crash-stopped mid-run and the run fails unless journal replay
+// reconstructs the pre-crash state byte-for-byte, the warm standby takes
+// over within 5 virtual seconds, every daemon resynchronizes under the
+// new epoch, zero data-plane requests are dropped, and the same seed
+// reproduces the identical takeover timeline:
+//
+//	sodabench -failover -seed 1 -duration 20s -out BENCH_failover.json
+//
 // -flight measures what the black-box flight recorder costs the routing
 // hot path (gate: ≤5%), emitting BENCH_flight.json:
 //
@@ -80,6 +89,7 @@ func experiments() []experiment {
 		{"breakdown", "supplementary: per-stage response-time breakdown", func() (exp.Result, error) { return exp.RunBreakdown() }},
 		{"sweep-inflation", "sweep: inflation factor 1.0..2.0", func() (exp.Result, error) { return exp.RunInflationSweep() }},
 		{"chaos", "fault lifecycle: host crash, detection, self-healing recovery", func() (exp.Result, error) { return exp.RunChaos() }},
+		{"failover", "control-plane HA: leader crash, journal replay, warm-standby takeover", func() (exp.Result, error) { return exp.RunFailover() }},
 		{"flight", "flight recorder: routing hot-path overhead bare vs recording", func() (exp.Result, error) { return exp.RunFlightOverhead() }},
 		{"reqtrace", "request tracing: routing hot-path overhead bare vs tail sampler attached", func() (exp.Result, error) { return exp.RunReqtraceOverhead() }},
 		{"primescale", "cooperative chunked priming: 1 → 32 replicas, peer-sourced bytes, near-flat latency", func() (exp.Result, error) { return exp.RunPrimeScale(32, 1) }},
@@ -91,6 +101,7 @@ func main() {
 	list := flag.Bool("list", false, "list experiment ids and exit")
 	throughput := flag.Bool("throughput", false, "run the live proxy throughput benchmark instead of simulated experiments")
 	chaosFlag := flag.Bool("chaos", false, "run the fault-lifecycle smoke: crash a host mid-run, assert detection, recovery, and determinism")
+	failoverFlag := flag.Bool("failover", false, "run the control-plane HA smoke: crash the leader Master mid-run, assert replay fidelity, takeover MTTR, and zero dropped requests")
 	flightFlag := flag.Bool("flight", false, "run the flight-recorder overhead benchmark: routing hot path bare vs recording enabled")
 	reqtraceFlag := flag.Bool("reqtrace", false, "run the request-trace overhead benchmark: routing hot path bare vs tail sampler attached (unsampled)")
 	primeFlag := flag.Bool("primescale", false, "run the priming-at-scale smoke: chunked cooperative mass prime vs whole-image baseline")
@@ -127,6 +138,14 @@ func main() {
 		os.Exit(runPrimeScaleCmd(primeScaleConfig{
 			replicas: *replicas,
 			seed:     *seed,
+			out:      *out,
+		}))
+	}
+
+	if *failoverFlag {
+		os.Exit(runFailoverCmd(failoverConfig{
+			seed:     *seed,
+			duration: *duration,
 			out:      *out,
 		}))
 	}

@@ -236,11 +236,26 @@ func top(server string) error {
 	// Build/uptime header from soda_build_info + soda_uptime_seconds.
 	for _, g := range snap.Gauges {
 		if g.Name == "soda_build_info" {
-			fmt.Printf("sodad %s (%s), virtual uptime %.1fs\n\n",
+			fmt.Printf("sodad %s (%s), virtual uptime %.1fs\n",
 				g.Labels["module"], g.Labels["go"], snap.Gauge("soda_uptime_seconds"))
 			break
 		}
 	}
+	// Control-plane readiness from /healthz.
+	var hz api.HealthzView
+	if err := fetchJSON(server+"/healthz", &hz); err == nil {
+		if hz.HA {
+			fmt.Printf("control plane: %s, %s leads at epoch %d, journal %dB seq %d lag %d",
+				hz.Status, hz.Leader, hz.Epoch, hz.JournalBytes, hz.JournalSeq, hz.JournalLag)
+			if hz.Failovers > 0 {
+				fmt.Printf(", %d failover(s), last mttr %.3fs", hz.Failovers, hz.LastMTTRS)
+			}
+			fmt.Println()
+		} else {
+			fmt.Printf("control plane: %s, single master (no standby)\n", hz.Status)
+		}
+	}
+	fmt.Println()
 
 	ht := metrics.NewTable("HUP hosts", "host", "nodes", "primed", "torndown", "cache-hits",
 		"cpu-free(MHz)", "mem-free(MB)", "disk-free(MB)", "bw-free(Mbps)")

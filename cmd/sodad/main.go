@@ -39,6 +39,7 @@ func main() {
 	imageCache := flag.Bool("image-cache", false, "enable daemon-side master-image caching")
 	p2p := flag.Bool("p2p", false, "enable cooperative chunked image distribution (chunk stores + Master tracker; adds /images)")
 	chaosFlag := flag.Bool("chaos", false, "enable self-healing and attach the fault injector (adds /faults)")
+	ha := flag.Bool("ha", false, "enable control-plane HA: state journaling and a warm-standby Master (/healthz reports role, epoch, and journal lag)")
 	logLevel := flag.String("log-level", "info", "minimum console log level (debug|info|warn|error)")
 	flag.Parse()
 
@@ -123,6 +124,13 @@ func main() {
 		tb.EnableSelfHealing(soda.HealthConfig{})
 		tb.EnableChaos(*seed)
 	}
+	if *ha {
+		// Crash-consistent Master journal + warm standby with epoch-fenced
+		// takeover; /healthz reports the cluster's readiness.
+		if _, err := tb.EnableHA(soda.HAConfig{}); err != nil {
+			fatal("enabling HA: %v", err)
+		}
+	}
 
 	srv := api.NewServer(tb)
 	mux := http.NewServeMux()
@@ -150,6 +158,9 @@ func main() {
 	}
 	if *p2p {
 		boot.Infof("cooperative chunk distribution on; stores and holder map on %s/images", addr)
+	}
+	if *ha {
+		boot.Infof("control-plane HA on; role, epoch, and journal lag on %s/healthz", addr)
 	}
 	if err := http.ListenAndServe(*listen, mux); err != nil {
 		fatal("%v", err)

@@ -131,6 +131,7 @@ func (s *Server) Handler() http.Handler {
 	mux.HandleFunc("GET /v1/services/{name}/status", s.handleStatus)
 	mux.HandleFunc("POST /v1/services/{name}/probe", s.handleProbe)
 	mux.HandleFunc("GET /v1/hup", s.handleHUP)
+	mux.HandleFunc("GET /healthz", s.handleHealthz)
 	mux.HandleFunc("GET /images", s.handleImages)
 	mux.HandleFunc("GET /metrics", s.handleMetrics)
 	mux.HandleFunc("GET /trace", s.handleTrace)
@@ -143,6 +144,65 @@ func (s *Server) Handler() http.Handler {
 	mux.HandleFunc("GET /incidents/{id}", s.handleIncident)
 	mux.HandleFunc("POST /incidents", s.handleTriggerIncident)
 	return mux
+}
+
+// HealthzView is the body of GET /healthz: control-plane readiness.
+// Always 200 — readiness is judged from the fields, not the code: a
+// "degraded" status means the current leader is crash-stopped and (with
+// HA enabled) a takeover is pending or in flight.
+type HealthzView struct {
+	Status string `json:"status"` // "ok" | "degraded"
+	// HA reports whether a warm standby is armed.
+	HA bool `json:"ha"`
+	// Role is the primary Master's current role: "single" without HA,
+	// else "leader" or "standby" (after a failover demoted it).
+	Role string `json:"role"`
+	// Leader names the master holding the lease: "primary" or "standby".
+	Leader string `json:"leader,omitempty"`
+	// Epoch is the current leadership epoch (0 without HA).
+	Epoch uint64 `json:"epoch"`
+	// JournalLag is how many records the standby's streamed journal copy
+	// trails the durable log.
+	JournalLag uint64 `json:"journal_lag"`
+	// JournalBytes and JournalSeq size the durable journal.
+	JournalBytes int    `json:"journal_bytes"`
+	JournalSeq   uint64 `json:"journal_seq"`
+	// Failovers counts completed takeovers; LastMTTRS is the most recent
+	// control-plane mean-time-to-recovery in seconds.
+	Failovers int     `json:"failovers"`
+	LastMTTRS float64 `json:"last_failover_mttr_s,omitempty"`
+}
+
+// handleHealthz reports control-plane liveness and HA readiness:
+// leadership role, epoch, journal lag, and the failover history.
+func (s *Server) handleHealthz(w http.ResponseWriter, r *http.Request) {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	view := HealthzView{Status: "ok", Role: "single"}
+	if s.tb.Master.Halted() {
+		view.Status = "degraded"
+	}
+	if c := s.tb.Cluster; c != nil {
+		view.HA = true
+		view.Role = c.Role(s.tb.Master)
+		view.Leader = "primary"
+		if c.Leader() == s.tb.Standby {
+			view.Leader = "standby"
+		}
+		view.Status = "ok"
+		if c.Leader().Halted() {
+			view.Status = "degraded"
+		}
+		view.Epoch = c.Epoch()
+		view.JournalLag = c.JournalLag()
+		view.JournalBytes = c.Journal().Size()
+		view.JournalSeq = c.Journal().Seq()
+		if fos := c.Failovers(); len(fos) > 0 {
+			view.Failovers = len(fos)
+			view.LastMTTRS = fos[len(fos)-1].MTTR.Seconds()
+		}
+	}
+	writeJSON(w, http.StatusOK, view)
 }
 
 // HostHealthView is the wire form of the failure detector's view of one

@@ -45,6 +45,20 @@ const (
 	ImageFault
 	// ImageHeal clears an ImageFault.
 	ImageHeal
+	// MasterCrash crash-stops the control plane's current leader: it
+	// stops journaling, heartbeating the standby, and accepting calls.
+	// With an HA cluster wired, the warm standby detects the silence and
+	// takes over; without one the control plane is simply down.
+	MasterCrash
+	// MasterRestore resumes a crash-stopped Master. After a failover it
+	// comes back as a fenced ex-leader, not as the leader.
+	MasterRestore
+	// MasterPartition drops all traffic between the Master's machine
+	// (Host, default "master") and everyone else — daemon heartbeats,
+	// standby journal streaming, and command fan-out all stop.
+	MasterPartition
+	// MasterPartitionHeal reconnects a MasterPartition.
+	MasterPartitionHeal
 )
 
 // String names the kind.
@@ -70,6 +84,14 @@ func (k Kind) String() string {
 		return "image-fault"
 	case ImageHeal:
 		return "image-heal"
+	case MasterCrash:
+		return "master-crash"
+	case MasterRestore:
+		return "master-restore"
+	case MasterPartition:
+		return "master-partition"
+	case MasterPartitionHeal:
+		return "master-partition-heal"
 	}
 	return fmt.Sprintf("kind(%d)", int(k))
 }
@@ -117,6 +139,8 @@ func (f Fault) String() string {
 		s += fmt.Sprintf(" %s mode=%d", f.Image, int(f.Mode))
 	case ImageHeal:
 		s += " " + f.Image
+	case MasterPartition, MasterPartitionHeal:
+		s += " " + hostOr(f.Host, "master")
 	}
 	if f.Duration > 0 {
 		s += fmt.Sprintf(" for %v", f.Duration)
@@ -135,6 +159,10 @@ func (f Fault) key() string {
 		return "partition:" + f.Host + "|" + f.Peer
 	case ImageFault, ImageHeal:
 		return "image:" + f.Image
+	case MasterCrash, MasterRestore:
+		return "master"
+	case MasterPartition, MasterPartitionHeal:
+		return "master-partition:" + hostOr(f.Host, "master")
 	}
 	return ""
 }
@@ -169,6 +197,8 @@ type Config struct {
 	Master  *soda.Master
 	Daemons []*soda.Daemon
 	Repo    *image.Repository
+	// Cluster, when set, routes MasterCrash at the current HA leader.
+	Cluster *soda.Cluster
 	// Seed drives the injector's randomness (packet-loss draws).
 	Seed uint64
 }
@@ -180,6 +210,7 @@ type Injector struct {
 	master  *soda.Master
 	daemons []*soda.Daemon
 	repo    *image.Repository
+	cluster *soda.Cluster
 	rng     *sim.RNG
 
 	schedule    []Fault
@@ -202,6 +233,7 @@ func New(cfg Config) *Injector {
 		master:      cfg.Master,
 		daemons:     cfg.Daemons,
 		repo:        cfg.Repo,
+		cluster:     cfg.Cluster,
 		rng:         sim.NewRNG(cfg.Seed ^ 0xC4A05),
 		active:      make(map[string]Fault),
 		imageFaults: make(map[string]image.FaultKind),
@@ -217,6 +249,10 @@ func New(cfg Config) *Injector {
 	}
 	return inj
 }
+
+// SetCluster wires the HA cluster after construction (the cluster is
+// typically built after the injector on an existing testbed).
+func (inj *Injector) SetCluster(c *soda.Cluster) { inj.cluster = c }
 
 // Schedule adds a fault to the script. Panics after Arm.
 func (inj *Injector) Schedule(f Fault) *Injector {
@@ -264,6 +300,10 @@ func healOf(f Fault) (Fault, bool) {
 		h.Kind = PartitionHeal
 	case ImageFault:
 		h.Kind = ImageHeal
+	case MasterCrash:
+		h.Kind = MasterRestore
+	case MasterPartition:
+		h.Kind = MasterPartitionHeal
 	default:
 		return Fault{}, false
 	}
@@ -341,10 +381,55 @@ func (inj *Injector) apply(f Fault, healed bool) {
 		delete(inj.imageFaults, f.Image)
 		delete(inj.active, f.key())
 		note = "healed"
+	case MasterCrash:
+		switch {
+		case inj.cluster != nil:
+			inj.cluster.HaltLeader()
+			inj.active[f.key()] = f
+			note = fmt.Sprintf("leader halted (epoch %d)", inj.cluster.Epoch())
+		case inj.master != nil:
+			inj.master.Halt()
+			inj.active[f.key()] = f
+			note = "master halted (no standby)"
+		default:
+			note = "no master"
+		}
+	case MasterRestore:
+		switch {
+		case inj.cluster != nil:
+			// After a takeover the crashed ex-leader is the cluster's
+			// standby; resuming it does not regain leadership — its epoch
+			// is fenced at the daemons.
+			inj.cluster.Standby().Resume()
+			delete(inj.active, f.key())
+			note = "ex-leader resumed (fenced)"
+		case inj.master != nil:
+			inj.master.Resume()
+			delete(inj.active, f.key())
+			note = "master resumed"
+		default:
+			note = "no master"
+		}
+	case MasterPartition:
+		inj.net.Partition(hostOr(f.Host, "master"), "*")
+		inj.active[f.key()] = f
+		note = "isolated"
+	case MasterPartitionHeal:
+		inj.net.HealPartition(hostOr(f.Host, "master"), "*")
+		delete(inj.active, f.key())
+		note = "healed"
 	default:
 		note = "unknown kind"
 	}
 	inj.history = append(inj.history, Record{At: inj.k.Now(), Fault: f, Note: note, Healed: healed})
+}
+
+// hostOr defaults an empty host name.
+func hostOr(h, def string) string {
+	if h == "" {
+		return def
+	}
+	return h
 }
 
 // daemon finds a daemon by HUP host name.

@@ -44,9 +44,10 @@ type Config struct {
 
 // Well-known control-plane addresses on the testbed LAN.
 const (
-	MasterIP = simnet.IP("128.10.9.2")
-	AgentIP  = simnet.IP("128.10.9.3")
-	RepoIP   = simnet.IP("128.10.8.1")
+	MasterIP  = simnet.IP("128.10.9.2")
+	AgentIP   = simnet.IP("128.10.9.3")
+	StandbyIP = simnet.IP("128.10.9.4")
+	RepoIP    = simnet.IP("128.10.8.1")
 )
 
 // Testbed is a running HUP with its SODA control plane.
@@ -69,6 +70,10 @@ type Testbed struct {
 
 	// Chaos is nil until EnableChaos.
 	Chaos *chaos.Injector
+
+	// Standby and Cluster are nil until EnableHA.
+	Standby *soda.Master
+	Cluster *soda.Cluster
 
 	// Flight and FlightLog are nil until EnableFlightRecorder.
 	Flight    *flight.Recorder
@@ -274,6 +279,45 @@ func (tb *Testbed) EnableSelfHealing(cfg soda.HealthConfig) {
 	tb.Master.EnableHealth(cfg)
 }
 
+// EnableHA builds the warm-standby control plane: a second Master on
+// its own machine (StandbyIP), the crash-consistent journal on the
+// primary with frame-streaming to the standby, and the lease/epoch
+// failover protocol. Telemetry is enabled implicitly so the failover
+// counter, MTTR histogram, and journal gauges have a registry; a
+// flight recorder or chaos injector enabled earlier is wired through.
+// Idempotent; the config of the first call wins.
+func (tb *Testbed) EnableHA(cfg soda.HAConfig) (*soda.Cluster, error) {
+	if tb.Cluster != nil {
+		return tb.Cluster, nil
+	}
+	reg, _ := tb.EnableTelemetry()
+	nic, err := tb.Net.Attach("standby", 100)
+	if err != nil {
+		return nil, err
+	}
+	if err := nic.AddIP(StandbyIP); err != nil {
+		return nil, err
+	}
+	standby, err := soda.NewMaster(tb.Net, StandbyIP, tb.Daemons)
+	if err != nil {
+		return nil, err
+	}
+	standby.Instrument(reg, nil)
+	if tb.FlightLog != nil {
+		standby.SetFlightLogger(tb.FlightLog)
+	}
+	cluster, err := soda.NewCluster(tb.Net, tb.Master, standby, cfg)
+	if err != nil {
+		return nil, err
+	}
+	cluster.Instrument(reg)
+	if tb.Chaos != nil {
+		tb.Chaos.SetCluster(cluster)
+	}
+	tb.Standby, tb.Cluster = standby, cluster
+	return cluster, nil
+}
+
 // EnableChunkDistribution turns on cooperative content-addressed image
 // distribution: every daemon gains a chunk store and serve path, and the
 // Master acts as the tracker planning multi-source chunk fetches.
@@ -296,6 +340,7 @@ func (tb *Testbed) EnableChaos(seed uint64) *chaos.Injector {
 		Master:  tb.Master,
 		Daemons: tb.Daemons,
 		Repo:    tb.Repo,
+		Cluster: tb.Cluster,
 		Seed:    seed,
 	})
 	return tb.Chaos
@@ -381,6 +426,9 @@ func (tb *Testbed) EnableFlightRecorder(opt FlightOptions) (*flight.Recorder, *f
 	})
 	log := flight.NewLogger(rec)
 	master.SetFlightLogger(log)
+	if tb.Standby != nil {
+		tb.Standby.SetFlightLogger(log)
+	}
 
 	// Every SODA event becomes a ring record; failure-path events also
 	// open incidents, keyed per subject so a multi-host outage captures
@@ -389,7 +437,7 @@ func (tb *Testbed) EnableFlightRecorder(opt FlightOptions) (*flight.Recorder, *f
 		msg := ev.Kind.String()
 		level := flight.LevelInfo
 		switch ev.Kind {
-		case soda.EventRejected, soda.EventNodeFailed, soda.EventHostDead, soda.EventRecoveryFailed:
+		case soda.EventRejected, soda.EventNodeFailed, soda.EventHostDead, soda.EventRecoveryFailed, soda.EventMasterDown:
 			level = flight.LevelError
 		case soda.EventHostSuspected, soda.EventSLOViolation:
 			level = flight.LevelWarn
@@ -426,6 +474,10 @@ func (tb *Testbed) EnableFlightRecorder(opt FlightOptions) (*flight.Recorder, *f
 			rec.Trigger("host-dead", ev.Node, ev.Detail)
 		case soda.EventNodeRecovered:
 			rec.Trigger("node-recovered", ev.Service, ev.Detail)
+		case soda.EventMasterDown:
+			rec.Trigger("master-down", "master", ev.Detail)
+		case soda.EventFailover:
+			rec.Trigger("failover", "master", ev.Detail)
 		}
 	})
 

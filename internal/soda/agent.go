@@ -171,7 +171,7 @@ func (a *Agent) Billing(asp string) (*BillingAccount, bool) {
 	}
 	for name, span := range acct.open {
 		snap.open[name] = span
-		if u, live := a.master.UsageTotals(name); live {
+		if u, live := a.master.currentLeader().UsageTotals(name); live {
 			snap.addUsage(u)
 		}
 	}
@@ -231,9 +231,11 @@ func (a *Agent) ServiceCreation(credential string, spec ServiceSpec, onDone func
 		}
 		return
 	}
-	// The request crosses the LAN to the Master.
-	err = a.net.Transfer(a.IP, a.master.IP, 2048, func() {
-		a.master.CreateService(spec, func(svc *Service) {
+	// The request crosses the LAN to whichever Master currently leads
+	// (after a failover the standby holds the service table).
+	lead := a.master.currentLeader()
+	err = a.net.Transfer(a.IP, lead.IP, 2048, func() {
+		lead.CreateService(spec, func(svc *Service) {
 			a.openUsage(asp, spec.Name, svc.TotalCapacity())
 			if onDone != nil {
 				onDone(svc)
@@ -254,8 +256,9 @@ func (a *Agent) ServiceTeardown(credential, serviceName string, onDone func(), o
 		}
 		return
 	}
-	err = a.net.Transfer(a.IP, a.master.IP, 512, func() {
-		if err := a.master.TeardownService(serviceName); err != nil {
+	lead := a.master.currentLeader()
+	err = a.net.Transfer(a.IP, lead.IP, 512, func() {
+		if err := lead.TeardownService(serviceName); err != nil {
 			if onErr != nil {
 				onErr(err)
 			}
@@ -263,7 +266,7 @@ func (a *Agent) ServiceTeardown(credential, serviceName string, onDone func(), o
 		}
 		// The teardown unwatched the meters; fold the final metered
 		// totals into the owner's bill.
-		final, _ := a.master.SettledUsage(serviceName)
+		final, _ := lead.SettledUsage(serviceName)
 		a.closeUsage(asp, serviceName, final)
 		if onDone != nil {
 			onDone()
@@ -284,8 +287,9 @@ func (a *Agent) ServiceResizing(credential, serviceName string, newN int, onDone
 		}
 		return
 	}
-	err = a.net.Transfer(a.IP, a.master.IP, 512, func() {
-		a.master.ResizeService(serviceName, newN, func(svc *Service) {
+	lead := a.master.currentLeader()
+	err = a.net.Transfer(a.IP, lead.IP, 512, func() {
+		lead.ResizeService(serviceName, newN, func(svc *Service) {
 			a.openUsage(asp, serviceName, svc.TotalCapacity())
 			if onDone != nil {
 				onDone(svc)

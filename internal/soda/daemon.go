@@ -10,9 +10,17 @@ import (
 	"repro/internal/image"
 	"repro/internal/sim"
 	"repro/internal/simnet"
+	"repro/internal/svcswitch"
 	"repro/internal/telemetry"
 	"repro/internal/uml"
 )
+
+// ErrStaleEpoch rejects a command from a fenced (superseded) Master.
+// After a failover every daemon learns the new leadership epoch; a
+// revived or partitioned old leader still issuing commands at its old
+// epoch is refused, which is what keeps split-brain mutations out of
+// the hosts.
+var ErrStaleEpoch = errors.New("soda: stale-epoch command fenced")
 
 // AddressMode selects how a daemon gives virtual service nodes network
 // identities (§3.3 and its footnote 3).
@@ -70,6 +78,18 @@ type Daemon struct {
 	// crashSink, when set, receives guest-crash notifications (the
 	// Master's failure detector registers one per service node).
 	crashSink func(service, node, reason string)
+
+	// beatRNG jitters this daemon's heartbeat schedule and its
+	// post-failover resynchronization delay. A dedicated stream (distinct
+	// from the download-retry rng) so HA never perturbs existing
+	// randomness consumers.
+	beatRNG *sim.RNG
+	// fenceEpoch is the highest leadership epoch this daemon has
+	// observed; commands stamped with an older epoch are refused.
+	fenceEpoch uint64
+	// switches holds the service switches homed on this host's nodes —
+	// the live routing objects a new leader re-adopts at failover.
+	switches map[string]*HostedSwitch
 
 	// store is the content-addressed chunk cache (superseding the old
 	// whole-image master cache); nil until EnableChunkStore (which
@@ -160,9 +180,18 @@ func DefaultDownloadRetry() DownloadRetryConfig {
 // nodeRuntime is the daemon's bookkeeping for one virtual service node.
 type nodeRuntime struct {
 	info        NodeInfo
+	service     string
 	reservation *hostos.Reservation
 	diskMB      int
 	proxied     bool
+}
+
+// HostedSwitch is a service switch running in one of this host's nodes,
+// as handed over to a resynchronizing Master.
+type HostedSwitch struct {
+	Service string
+	Switch  *svcswitch.Switch
+	Config  *svcswitch.ConfigFile
 }
 
 // DaemonConfig wires one daemon to its host and network.
@@ -217,6 +246,8 @@ func NewDaemon(cfg DaemonConfig) (*Daemon, error) {
 		pending:  make(map[string]*pendingPrime),
 		rng:      cfg.RNG,
 		retry:    cfg.Retry,
+		beatRNG:  sim.NewRNG(0xBEA7 ^ uint64(cfg.UIDBase)),
+		switches: make(map[string]*HostedSwitch),
 	}
 	d.Instrument(nil)
 	return d, nil
@@ -479,6 +510,10 @@ type PrimeRequest struct {
 	// this node; the daemon and guest boot attach stage child spans to it
 	// (image.download, guest.boot, service.bootstrap).
 	Span *telemetry.Span
+	// Epoch is the issuing Master's leadership epoch; commands older than
+	// the daemon's fence are refused. 0 (unclustered) always passes a
+	// zero fence.
+	Epoch uint64
 }
 
 // Prime performs service priming (§3.3): reserve a slice, assign an IP
@@ -494,6 +529,11 @@ func (d *Daemon) Prime(req PrimeRequest, onDone func(NodeInfo), onErr func(error
 	}
 	if d.crashed {
 		fail(fmt.Errorf("soda: %s: daemon is down", d.host.Spec.Name))
+		return
+	}
+	if req.Epoch < d.fenceEpoch {
+		fail(fmt.Errorf("soda: %s: prime of %q at epoch %d < fence %d: %w",
+			d.host.Spec.Name, req.NodeName, req.Epoch, d.fenceEpoch, ErrStaleEpoch))
 		return
 	}
 	if req.Instances <= 0 {
@@ -628,7 +668,7 @@ func (d *Daemon) Prime(req PrimeRequest, onDone func(NodeInfo), onErr func(error
 				RAMDisk:        report.RAMDisk,
 				PressureFactor: report.PressureFactor,
 			}
-			d.nodes[req.NodeName] = &nodeRuntime{info: info, reservation: reservation, diskMB: sizeMB, proxied: proxied}
+			d.nodes[req.NodeName] = &nodeRuntime{info: info, service: req.ServiceName, reservation: reservation, diskMB: sizeMB, proxied: proxied}
 			d.Primed++
 			d.primedCtr.Inc()
 			d.liveNodes.Set(float64(len(d.nodes)))
@@ -711,6 +751,121 @@ func (d *Daemon) ResizeNode(nodeName string, m MachineConfig, newInstances int, 
 	return rt.info, nil
 }
 
+// TeardownAs is Teardown under the epoch fence: a stale Master's
+// teardown is refused instead of executed.
+func (d *Daemon) TeardownAs(epoch uint64, nodeName string) error {
+	if epoch < d.fenceEpoch {
+		return fmt.Errorf("soda: %s: teardown of %q at epoch %d < fence %d: %w",
+			d.host.Spec.Name, nodeName, epoch, d.fenceEpoch, ErrStaleEpoch)
+	}
+	return d.Teardown(nodeName)
+}
+
+// ResizeNodeAs is ResizeNode under the epoch fence.
+func (d *Daemon) ResizeNodeAs(epoch uint64, nodeName string, m MachineConfig, newInstances int, factor float64) (NodeInfo, error) {
+	if epoch < d.fenceEpoch {
+		return NodeInfo{}, fmt.Errorf("soda: %s: resize of %q at epoch %d < fence %d: %w",
+			d.host.Spec.Name, nodeName, epoch, d.fenceEpoch, ErrStaleEpoch)
+	}
+	return d.ResizeNode(nodeName, m, newInstances, factor)
+}
+
+// FenceEpoch returns the highest leadership epoch this daemon observed.
+func (d *Daemon) FenceEpoch() uint64 { return d.fenceEpoch }
+
+// ObserveEpoch raises the daemon's fence to the announced epoch and
+// repoints its chunk-plan coordinator at the new leader. Announcements
+// at or below the current fence are ignored (at-most-once, monotonic).
+func (d *Daemon) ObserveEpoch(epoch uint64, leader *Master) {
+	if epoch <= d.fenceEpoch {
+		return
+	}
+	d.fenceEpoch = epoch
+	if d.coord != nil && leader != nil {
+		d.coord = leader
+	}
+	d.flog.Info("epoch fence raised", telemetry.L("epoch", fmt.Sprint(epoch)))
+}
+
+// ResyncNode is one live node in a resynchronization report.
+type ResyncNode struct {
+	Service string
+	Info    NodeInfo
+}
+
+// ResyncChunks is one image's chunk holdings in a resynchronization
+// report. Only fully assembled images are reported — a fetch that was
+// mid-flight when the old leader died re-announces through the normal
+// fetch path instead.
+type ResyncChunks struct {
+	Image string
+	IDs   []uint64
+	Total int
+	Full  bool
+}
+
+// ResyncReport is everything a daemon tells a newly elected Master:
+// its live nodes (with guests), the service switches homed here, and
+// the image chunks it can serve to peers.
+type ResyncReport struct {
+	Nodes    []ResyncNode
+	Switches []HostedSwitch
+	Chunks   []ResyncChunks
+}
+
+// resyncReport assembles the daemon's answer to an epoch announcement.
+// All slices are name-sorted so same-seed runs report identically.
+func (d *Daemon) resyncReport() ResyncReport {
+	var rep ResyncReport
+	names := make([]string, 0, len(d.nodes))
+	for name := range d.nodes {
+		names = append(names, name)
+	}
+	sort.Strings(names)
+	for _, name := range names {
+		rt := d.nodes[name]
+		rep.Nodes = append(rep.Nodes, ResyncNode{Service: rt.service, Info: rt.info})
+	}
+	svcs := make([]string, 0, len(d.switches))
+	for name := range d.switches {
+		svcs = append(svcs, name)
+	}
+	sort.Strings(svcs)
+	for _, name := range svcs {
+		rep.Switches = append(rep.Switches, *d.switches[name])
+	}
+	held := d.heldImages()
+	imgs := make([]string, 0, len(held))
+	for name := range held {
+		imgs = append(imgs, name)
+	}
+	sort.Strings(imgs)
+	for _, name := range imgs {
+		h := held[name]
+		ids := append([]uint64(nil), h.ids...)
+		sort.Slice(ids, func(i, j int) bool { return ids[i] < ids[j] })
+		rep.Chunks = append(rep.Chunks, ResyncChunks{Image: name, IDs: ids, Total: h.total, Full: h.full})
+	}
+	return rep
+}
+
+// AdoptSwitch records that the named service's switch runs in one of
+// this host's nodes. The Master calls it at switch creation and after
+// every re-homing, so the daemon can hand the live object to a new
+// leader during resynchronization.
+func (d *Daemon) AdoptSwitch(service string, sw *svcswitch.Switch, cfg *svcswitch.ConfigFile) {
+	if d.switches == nil {
+		d.switches = make(map[string]*HostedSwitch)
+	}
+	d.switches[service] = &HostedSwitch{Service: service, Switch: sw, Config: cfg}
+}
+
+// DropSwitch forgets a hosted switch (teardown or re-homing elsewhere).
+func (d *Daemon) DropSwitch(service string) { delete(d.switches, service) }
+
+// HostedSwitches returns how many service switches are homed here.
+func (d *Daemon) HostedSwitches() int { return len(d.switches) }
+
 // NodeInfoFor returns the daemon's record of a node.
 func (d *Daemon) NodeInfoFor(nodeName string) (NodeInfo, bool) {
 	rt, ok := d.nodes[nodeName]
@@ -750,6 +905,9 @@ func (d *Daemon) Crash() {
 		return
 	}
 	d.crashed = true
+	// The switch processes hosted here die with the host; recovery (or a
+	// resynchronizing leader) re-homes them on survivors.
+	d.switches = make(map[string]*HostedSwitch)
 	d.flog.Error("daemon crash-stopped",
 		telemetry.L("nodes", fmt.Sprint(len(d.nodes))),
 		telemetry.L("pending", fmt.Sprint(len(d.pending))))

@@ -51,6 +51,15 @@ const (
 	// EventRecoveryFailed: the Master could not place a replacement node
 	// (no surviving capacity); it will retry after a back-off.
 	EventRecoveryFailed
+	// EventMasterDown: the standby's lease on the primary expired and a
+	// takeover began; the detail carries the new epoch.
+	EventMasterDown
+	// EventFailover: the standby finished taking over — journal replayed,
+	// daemons resynchronized; the detail carries the control-plane MTTR.
+	EventFailover
+	// EventDaemonResync: one daemon re-registered with the new leader and
+	// reported its live guests, switches, and chunks.
+	EventDaemonResync
 )
 
 // String names the kind.
@@ -84,6 +93,12 @@ func (k EventKind) String() string {
 		return "host-alive"
 	case EventRecoveryFailed:
 		return "recovery-failed"
+	case EventMasterDown:
+		return "master-down"
+	case EventFailover:
+		return "failover"
+	case EventDaemonResync:
+		return "daemon-resync"
 	}
 	return fmt.Sprintf("event(%d)", int(k))
 }

@@ -1,0 +1,288 @@
+package soda_test
+
+import (
+	"testing"
+
+	"repro/internal/hostos"
+	"repro/internal/hup"
+	"repro/internal/sim"
+	"repro/internal/soda"
+)
+
+// Control-plane HA tests: journal replay fidelity, warm-standby
+// takeover, epoch fencing of revived leaders, and same-seed
+// determinism of the jittered heartbeat and failover timelines.
+
+// fastHA is an HA configuration tight enough that a takeover completes
+// within a couple of virtual seconds.
+func fastHA() soda.HAConfig {
+	return soda.HAConfig{
+		BeatEvery:     100 * sim.Millisecond,
+		TakeoverAfter: 400 * sim.Millisecond,
+		CheckEvery:    50 * sim.Millisecond,
+		ResyncDelay:   50 * sim.Millisecond,
+	}
+}
+
+func haTestbed(t *testing.T, hosts []hostos.Spec) *hup.Testbed {
+	t.Helper()
+	tb, err := hup.New(hup.Config{Hosts: hosts, Seed: 42})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := tb.Agent.RegisterASP("bio-institute", "genome-key"); err != nil {
+		t.Fatal(err)
+	}
+	tb.EnableSelfHealing(fastDetector())
+	if _, err := tb.EnableHA(fastHA()); err != nil {
+		t.Fatal(err)
+	}
+	return tb
+}
+
+// runUntilFailover advances virtual time until the cluster's first
+// takeover completes (or the deadline passes).
+func runUntilFailover(t *testing.T, tb *hup.Testbed, deadline sim.Duration) soda.FailoverRecord {
+	t.Helper()
+	for waited := sim.Duration(0); waited < deadline; waited += 100 * sim.Millisecond {
+		tb.K.RunFor(100 * sim.Millisecond)
+		if fos := tb.Cluster.Failovers(); len(fos) > 0 {
+			return fos[0]
+		}
+	}
+	t.Fatal("no failover completed before the deadline")
+	return soda.FailoverRecord{}
+}
+
+func TestJournalReplayDigestMatchesLive(t *testing.T) {
+	tb := haTestbed(t, nil)
+	specA, _ := webSpec(tb, t, "alpha", 2)
+	if _, err := tb.CreateService("genome-key", specA); err != nil {
+		t.Fatal(err)
+	}
+	specB, _ := webSpec(tb, t, "beta", 1)
+	if _, err := tb.CreateService("genome-key", specB); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := tb.Resize("genome-key", "alpha", 3); err != nil {
+		t.Fatal(err)
+	}
+	if err := tb.Teardown("genome-key", "beta"); err != nil {
+		t.Fatal(err)
+	}
+	tb.K.RunFor(sim.Second)
+
+	live := tb.Master.StateDigest()
+	replayed, rep := soda.ReplayDigest(tb.Cluster.Journal().Bytes())
+	if rep.Truncated {
+		t.Fatalf("clean journal reported truncated: %s", rep.Reason)
+	}
+	if replayed != live {
+		t.Fatalf("replayed digest %s != live digest %s after %d record(s)",
+			replayed, live, rep.Records)
+	}
+}
+
+func TestFailoverTakeover(t *testing.T) {
+	tb := haTestbed(t, nil)
+	spec, _ := webSpec(tb, t, "web", 3)
+	svc, err := tb.CreateService("genome-key", spec)
+	if err != nil {
+		t.Fatal(err)
+	}
+	tb.K.RunFor(sim.Second)
+	preDigest := tb.Master.StateDigest()
+	preSwitch := svc.Switch
+	preRouted := svc.Switch.Routed()
+	preNodes := make(map[string]int, len(svc.Nodes))
+	for _, n := range svc.Nodes {
+		preNodes[n.NodeName] = n.Capacity
+	}
+
+	var down, over int
+	tb.Master.Observe(func(e soda.Event) {
+		switch e.Kind {
+		case soda.EventMasterDown:
+			down++
+		case soda.EventFailover:
+			over++
+		}
+	})
+	tb.Cluster.HaltLeader()
+	// The journal as it stood at the crash instant: replaying it must
+	// reconstruct the pre-crash state byte-for-byte.
+	crashJournal := append([]byte(nil), tb.Cluster.Journal().Bytes()...)
+	fo := runUntilFailover(t, tb, 10*sim.Second)
+
+	if got := tb.Cluster.Leader(); got != tb.Standby {
+		t.Fatal("standby did not become leader")
+	}
+	if fo.Epoch != 2 || tb.Cluster.Epoch() != 2 {
+		t.Fatalf("epoch = %d (record %d), want 2", tb.Cluster.Epoch(), fo.Epoch)
+	}
+	if fo.MTTR <= 0 || fo.MTTR > 5*sim.Second {
+		t.Fatalf("control-plane MTTR = %v, want (0, 5s]", fo.MTTR)
+	}
+	if fo.Resynced != len(tb.Daemons) {
+		t.Fatalf("resynced %d daemon(s), want %d", fo.Resynced, len(tb.Daemons))
+	}
+	if fo.Truncated {
+		t.Fatal("replay of an uncorrupted journal reported truncation")
+	}
+	if down != 1 || over != 1 {
+		t.Fatalf("events master-down=%d failover=%d, want 1/1", down, over)
+	}
+
+	// Replaying the crash-instant journal reconstructs the pre-crash
+	// state exactly.
+	if replayed, rep := soda.ReplayDigest(crashJournal); replayed != preDigest {
+		t.Fatalf("replayed digest %s != pre-crash %s (%d record(s))",
+			replayed, preDigest, rep.Records)
+	}
+	// The new leader reconstructed the same logical service (only the
+	// epoch advanced) and adopted the very switch object clients were
+	// routing through.
+	lead := tb.Cluster.Leader()
+	newSvc, ok := lead.Service("web")
+	if !ok {
+		t.Fatal("service lost across failover")
+	}
+	if len(newSvc.Nodes) != len(preNodes) {
+		t.Fatalf("nodes = %d after failover, want %d", len(newSvc.Nodes), len(preNodes))
+	}
+	for _, n := range newSvc.Nodes {
+		if cap, ok := preNodes[n.NodeName]; !ok || cap != n.Capacity {
+			t.Fatalf("node %s capacity %d does not match pre-crash set %v",
+				n.NodeName, n.Capacity, preNodes)
+		}
+		if n.Guest == nil || !n.Guest.Alive() {
+			t.Fatalf("node %s has no live guest after resync", n.NodeName)
+		}
+	}
+	if newSvc.Switch != preSwitch {
+		t.Fatal("failover replaced the live switch instead of adopting it")
+	}
+	if newSvc.Switch.Routed() < preRouted {
+		t.Fatal("switch routing counter went backwards")
+	}
+
+	// The new leader admits fresh work, reachable through the Agent.
+	spec2, _ := webSpec(tb, t, "web2", 1)
+	svc2, err := tb.CreateService("genome-key", spec2)
+	if err != nil {
+		t.Fatalf("post-failover creation failed: %v", err)
+	}
+	if svc2.State != soda.Active {
+		t.Fatalf("post-failover service state = %v", svc2.State)
+	}
+}
+
+func TestStaleEpochFenced(t *testing.T) {
+	tb := haTestbed(t, nil)
+	spec, _ := webSpec(tb, t, "web", 2)
+	if _, err := tb.CreateService("genome-key", spec); err != nil {
+		t.Fatal(err)
+	}
+	tb.Cluster.HaltLeader()
+	runUntilFailover(t, tb, 10*sim.Second)
+
+	for i, d := range tb.Daemons {
+		if got := d.FenceEpoch(); got != 2 {
+			t.Fatalf("daemon %d fence epoch = %d, want 2", i, got)
+		}
+	}
+
+	// The old leader comes back from its crash-stop. It is fenced: its
+	// commands carry epoch 1 and every daemon rejects them.
+	tb.Master.Resume()
+	preNodes := 0
+	for _, d := range tb.Daemons {
+		preNodes += d.Nodes()
+	}
+	spec2, _ := webSpec(tb, t, "stale", 1)
+	var serr error
+	done := false
+	tb.Master.CreateService(spec2,
+		func(*soda.Service) { done = true },
+		func(err error) { serr, done = err, true })
+	for !done && tb.K.Pending() > 0 {
+		tb.K.RunFor(sim.Second)
+	}
+	if serr == nil {
+		t.Fatal("fenced ex-leader created a service")
+	}
+	if _, ok := tb.Cluster.Leader().Service("stale"); ok {
+		t.Fatal("stale service visible on the real leader")
+	}
+	// No daemon kept a node of the fenced attempt.
+	postNodes := 0
+	for _, d := range tb.Daemons {
+		postNodes += d.Nodes()
+	}
+	if postNodes != preNodes {
+		t.Fatalf("fenced attempt changed hosted nodes: %d -> %d", preNodes, postNodes)
+	}
+}
+
+// TestTrackerRebuiltFromAnnounces is the chunk-tracker regression: after
+// the Master fails over, the new leader's holder map — rebuilt purely
+// from the daemons' resynchronization announces — must be identical to
+// the pre-crash occupancy.
+func TestTrackerRebuiltFromAnnounces(t *testing.T) {
+	tb, err := hup.New(hup.Config{Seed: 42})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := tb.Agent.RegisterASP("bio-institute", "genome-key"); err != nil {
+		t.Fatal(err)
+	}
+	tb.EnableSelfHealing(fastDetector())
+	tb.EnableChunkDistribution(soda.ChunkDistConfig{})
+	if _, err := tb.EnableHA(fastHA()); err != nil {
+		t.Fatal(err)
+	}
+	spec, _ := webSpec(tb, t, "web", 3)
+	if _, err := tb.CreateService("genome-key", spec); err != nil {
+		t.Fatal(err)
+	}
+	tb.K.RunFor(sim.Second)
+	pre := tb.Master.TrackerDigest()
+
+	tb.Cluster.HaltLeader()
+	runUntilFailover(t, tb, 10*sim.Second)
+	tb.K.RunFor(sim.Second)
+
+	if post := tb.Cluster.Leader().TrackerDigest(); post != pre {
+		t.Fatalf("rebuilt tracker digest %s != pre-crash %s", post, pre)
+	}
+}
+
+// TestHeartbeatJitterDeterministic runs the same seeded failover twice
+// and demands byte-identical journals and state digests: the per-daemon
+// heartbeat jitter and resync spread come from seeded streams, not from
+// wall-clock or map order.
+func TestHeartbeatJitterDeterministic(t *testing.T) {
+	run := func() (string, []byte, soda.FailoverRecord) {
+		tb := haTestbed(t, nil)
+		spec, _ := webSpec(tb, t, "web", 3)
+		if _, err := tb.CreateService("genome-key", spec); err != nil {
+			t.Fatal(err)
+		}
+		tb.K.RunFor(sim.Second)
+		tb.Cluster.HaltLeader()
+		fo := runUntilFailover(t, tb, 10*sim.Second)
+		tb.K.RunFor(sim.Second)
+		return tb.Cluster.Leader().StateDigest(), tb.Cluster.Journal().Bytes(), fo
+	}
+	d1, j1, f1 := run()
+	d2, j2, f2 := run()
+	if d1 != d2 {
+		t.Fatalf("same-seed state digests differ: %s vs %s", d1, d2)
+	}
+	if string(j1) != string(j2) {
+		t.Fatalf("same-seed journals differ: %d vs %d bytes", len(j1), len(j2))
+	}
+	if f1.MTTR != f2.MTTR || f1.At != f2.At {
+		t.Fatalf("same-seed failover timelines differ: %+v vs %+v", f1, f2)
+	}
+}

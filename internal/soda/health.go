@@ -34,6 +34,12 @@ type HealthConfig struct {
 	// pushed into every service switch (see svcswitch.HealthConfig).
 	EjectAfter int
 	ProbeAfter sim.Duration
+	// HeartbeatJitter spreads each daemon's next beat by ±frac of the
+	// period, drawn from the daemon's own seeded stream (default 0.1).
+	// Without it every daemon beats in lockstep, and a post-failover
+	// re-registration arrives as one synchronized burst at the new
+	// leader. Negative disables jitter.
+	HeartbeatJitter float64
 }
 
 // withDefaults fills zero fields with the standard tuning.
@@ -58,6 +64,12 @@ func (c HealthConfig) withDefaults() HealthConfig {
 	}
 	if c.ProbeAfter <= 0 {
 		c.ProbeAfter = sim.Second
+	}
+	if c.HeartbeatJitter == 0 {
+		c.HeartbeatJitter = 0.1
+	}
+	if c.HeartbeatJitter < 0 {
+		c.HeartbeatJitter = 0
 	}
 	return c
 }
@@ -168,19 +180,32 @@ func (m *Master) EnableHealth(cfg HealthConfig) {
 	for i, d := range m.daemons {
 		i, d := i, d
 		// Heartbeats: a crashed host stops sending; the beat itself rides
-		// the LAN so partitions and loss faults delay or drop it.
-		k.Every(cfg.HeartbeatEvery, func() {
-			if d.Crashed() {
-				return
+		// the LAN so partitions and loss faults delay or drop it. Each
+		// daemon self-schedules with seeded jitter (instead of a shared
+		// fixed-period ticker) so the fleet's beats de-phase — after a
+		// Master failover the re-registration traffic arrives spread out,
+		// not as one synchronized burst. Beats chase the current leader.
+		var beat func()
+		beat = func() {
+			if !d.Crashed() {
+				lead := m.currentLeader()
+				if !lead.halted {
+					_ = m.net.Transfer(d.HostIP, lead.IP, 64, func() { lead.heartbeat(i) })
+				}
 			}
-			_ = m.net.Transfer(d.HostIP, m.IP, 64, func() { m.heartbeat(i) })
-		})
+			k.After(d.beatRNG.JitterDuration(cfg.HeartbeatEvery, cfg.HeartbeatJitter), beat)
+		}
+		k.After(d.beatRNG.JitterDuration(cfg.HeartbeatEvery, cfg.HeartbeatJitter), beat)
 		// Guest-OS crash reports: the daemon noticed a single node die on
 		// an otherwise healthy host — no need to wait for a heartbeat
 		// deadline.
 		d.SetCrashSink(func(service, node, reason string) {
-			_ = m.net.Transfer(d.HostIP, m.IP, 128, func() {
-				m.nodeCrashed(service, node, reason)
+			lead := m.currentLeader()
+			if lead.halted {
+				return
+			}
+			_ = m.net.Transfer(d.HostIP, lead.IP, 128, func() {
+				lead.nodeCrashed(service, node, reason)
 			})
 		})
 	}
@@ -234,7 +259,7 @@ func (m *Master) Recoveries() []RecoveryRecord {
 // heartbeat records a beat from daemon i and clears any suspicion.
 func (m *Master) heartbeat(i int) {
 	h := m.health
-	if h == nil {
+	if h == nil || m.halted {
 		return
 	}
 	hs := &h.hosts[i]
@@ -253,7 +278,7 @@ func (m *Master) heartbeat(i int) {
 // checkLiveness is the detector tick: escalate silent hosts.
 func (m *Master) checkLiveness() {
 	h := m.health
-	if h == nil {
+	if h == nil || m.halted {
 		return
 	}
 	now := m.net.Kernel().Now()
@@ -320,7 +345,7 @@ func (m *Master) nodeCrashed(service, node, reason string) {
 		// The host is alive: tear the dead node's slice down so its
 		// reservation, bridged IP, and disk return to the pool before the
 		// replacement is placed.
-		_ = m.daemons[di].Teardown(node)
+		_ = m.daemons[di].TeardownAs(m.epoch, node)
 	}
 	m.recoverNodes(svc, []NodeInfo{info}, m.net.Kernel().Now(), "guest crash: "+reason)
 }
@@ -338,10 +363,13 @@ func (m *Master) recoverNodes(svc *Service, lost []NodeInfo, detectedAt sim.Time
 		if len(svc.Nodes) > 0 && svc.Nodes[0].NodeName == n.NodeName {
 			homeLost = true
 		}
-		entry := svcswitch.BackendEntry{IP: n.IP, Port: n.Port, Capacity: n.Capacity}
-		svc.Switch.Unbind(entry)
+		if svc.Switch != nil {
+			entry := svcswitch.BackendEntry{IP: n.IP, Port: n.Port, Capacity: n.Capacity}
+			svc.Switch.Unbind(entry)
+		}
 		svc.Config.RemoveEntry(n.IP, n.Port)
 		delete(svc.nodeDaemon, n.NodeName)
+		m.journal("node-failed", jNodeRef{Service: svc.Spec.Name, Name: n.NodeName})
 		m.emit(EventNodeFailed, svc.Spec.Name, n.NodeName,
 			fmt.Sprintf("%s (%s, cap %d)", cause, n.HostName, n.Capacity))
 		m.flog.Component("health").Error("node failed",
@@ -360,8 +388,9 @@ func (m *Master) recoverNodes(svc *Service, lost []NodeInfo, detectedAt sim.Time
 	// (and with it the clients' reference) stays, only the executing node
 	// changes. With no survivors the switch keeps pointing at the dead
 	// guest and drops requests until a replacement arrives.
-	if homeLost && len(svc.Nodes) > 0 {
+	if homeLost && len(svc.Nodes) > 0 && svc.Switch != nil {
 		svc.Switch.SetNode(&appsvc.GuestBackend{G: svc.Nodes[0].Guest})
+		m.homeSwitch(svc, svc.Nodes[0].NodeName)
 	}
 	// Re-watch so the meter stops reading dead guests' odometers.
 	m.watchService(svc)
@@ -428,11 +457,12 @@ func (m *Master) restoreCapacity(svc *Service, lost []NodeInfo, lostCap int, det
 				}
 				n := &svc.Nodes[i]
 				d := m.daemons[svc.nodeDaemon[n.NodeName]]
-				info, rerr := d.ResizeNode(n.NodeName, svc.Spec.Requirement.M, n.Capacity+1, m.Factor)
+				info, rerr := d.ResizeNodeAs(m.epoch, n.NodeName, svc.Spec.Requirement.M, n.Capacity+1, m.Factor)
 				if rerr != nil {
 					continue
 				}
 				n.Capacity = info.Capacity
+				m.journal("node-resized", jNodeRef{Service: svc.Spec.Name, Name: n.NodeName, Capacity: info.Capacity})
 				remaining--
 				progress = true
 			}
@@ -506,19 +536,27 @@ func (m *Master) restoreCapacity(svc *Service, lost []NodeInfo, lostCap int, det
 				Port:         servicePort(svc.Spec),
 				FanOut:       len(placements),
 				Span:         prime,
+				Epoch:        m.epoch,
 			}, func(info NodeInfo) {
 				prime.EndSpan()
 				svc.Nodes = append(svc.Nodes, info)
-				entry := svcswitch.BackendEntry{IP: info.IP, Port: info.Port, Capacity: info.Capacity}
-				if svc.Spec.Behavior != nil {
-					if hd := svc.Spec.Behavior(info.Guest); hd != nil {
-						svc.Switch.Bind(entry, hd)
+				m.journal("node-primed", jNodePrimed{
+					jNode:  jNodeOf(svc.Spec.Name, info, pl.Index),
+					NextID: svc.nextNodeID,
+				})
+				if svc.Switch != nil {
+					entry := svcswitch.BackendEntry{IP: info.IP, Port: info.Port, Capacity: info.Capacity}
+					if svc.Spec.Behavior != nil {
+						if hd := svc.Spec.Behavior(info.Guest); hd != nil {
+							svc.Switch.Bind(entry, hd)
+						}
 					}
-				}
-				// If the switch is still homed on a dead guest (the whole
-				// service was lost), adopt the replacement.
-				if !svc.Switch.Node().Alive() {
-					svc.Switch.SetNode(&appsvc.GuestBackend{G: info.Guest})
+					// If the switch is still homed on a dead guest (the whole
+					// service was lost), adopt the replacement.
+					if !svc.Switch.Node().Alive() {
+						svc.Switch.SetNode(&appsvc.GuestBackend{G: info.Guest})
+						m.homeSwitch(svc, info.NodeName)
+					}
 				}
 				mttr := m.net.Kernel().Now().Sub(detectedAt)
 				h.recoveriesCtr.Inc()

@@ -7,6 +7,7 @@ import (
 	"repro/internal/accounting"
 	"repro/internal/appsvc"
 	"repro/internal/flight"
+	"repro/internal/journal"
 	"repro/internal/reqtrace"
 	"repro/internal/simnet"
 	"repro/internal/svcswitch"
@@ -53,6 +54,17 @@ type Master struct {
 	// EnableRequestTracing. Each service switch gets its own collector,
 	// slow threshold derived from the service's SLO latency target.
 	reqTraces *reqtrace.Store
+
+	// High availability (see ha.go). jlog is the write-ahead journal the
+	// Master appends every state mutation to; nil for unclustered masters
+	// and for a fenced old leader. epoch is the leadership epoch stamped
+	// on daemon commands; halted marks a crash-stopped Master process;
+	// snapEvery is the journal compaction threshold.
+	jlog      *journal.Log
+	epoch     uint64
+	cluster   *Cluster
+	halted    bool
+	snapEvery int
 
 	// Telemetry. All fields are nil-safe: an uninstrumented Master pays
 	// only no-op calls.
@@ -129,7 +141,9 @@ func (m *Master) Instrument(reg *telemetry.Registry, tracer *telemetry.Tracer) {
 		tracer.OnEnd(func(sp *telemetry.Span) {
 			svcName, _ := sp.Attr("service")
 			node, _ := sp.Attr("node")
-			m.emit(EventSpanEnded, svcName, node, fmt.Sprintf("%s took %v", sp.Name, sp.Duration()))
+			// Route via the current leader so observers keep receiving span
+			// events after a failover moved them.
+			m.currentLeader().emit(EventSpanEnded, svcName, node, fmt.Sprintf("%s took %v", sp.Name, sp.Duration()))
 		})
 	}
 	m.admittedCtr = reg.Counter("soda_master_admitted_total")
@@ -177,7 +191,7 @@ func (m *Master) EnableAccounting(a *accounting.Accountant) {
 		a.SetLogger(m.flog.Component("accounting"))
 	}
 	a.OnViolation(func(v accounting.Violation) {
-		m.emit(EventSLOViolation, v.Service, "", v.Detail)
+		m.currentLeader().emit(EventSLOViolation, v.Service, "", v.Detail)
 	})
 	// Services already active (accounting enabled late) start metering
 	// from now.
@@ -236,6 +250,7 @@ func (m *Master) SettledUsage(name string) (accounting.Usage, bool) {
 	u, ok := m.settled[name]
 	if ok {
 		delete(m.settled, name)
+		m.journal("usage-claimed", jName{Service: name})
 	}
 	return u, ok
 }
@@ -336,11 +351,18 @@ func (m *Master) CollectAvailability() []HostAvail {
 // failure or if any priming step fails (already-primed nodes are rolled
 // back).
 func (m *Master) CreateService(spec ServiceSpec, onDone func(*Service), onErr func(error)) {
+	if m.halted {
+		if onErr != nil {
+			onErr(fmt.Errorf("soda: master is down"))
+		}
+		return
+	}
 	root := m.tracer.StartRoot("service.create", telemetry.L("service", spec.Name))
 	flog := m.flog.WithTrace(root.TraceID())
 	fail := func(err error) {
 		m.Rejected++
 		m.rejectedCtr.Inc()
+		m.journal("service-rejected", jName{Service: spec.Name})
 		m.emit(EventRejected, spec.Name, "", err.Error())
 		flog.Error("service rejected",
 			telemetry.L("service", spec.Name), telemetry.L("error", err.Error()))
@@ -371,6 +393,10 @@ func (m *Master) CreateService(spec ServiceSpec, onDone func(*Service), onErr fu
 	admission.EndSpan()
 	m.Admitted++
 	m.admittedCtr.Inc()
+	if m.cluster != nil {
+		m.cluster.cacheSpec(spec)
+	}
+	m.journal("service-admitted", specOf(spec))
 	m.emit(EventAdmitted, spec.Name, "",
 		fmt.Sprintf("<%d, M> over %d node(s), strategy %v", spec.Requirement.N, len(placements), m.Strategy))
 	flog.Info("service admitted",
@@ -400,6 +426,7 @@ func (m *Master) CreateService(spec ServiceSpec, onDone func(*Service), onErr fu
 		}
 		build.EndSpan()
 		svc.State = Active
+		m.journal("service-active", jName{Service: spec.Name})
 		root.EndSpan()
 		m.watchService(svc)
 		m.emit(EventServiceActive, spec.Name, "",
@@ -458,8 +485,13 @@ func (m *Master) primePlacements(svc *Service, placements []Placement, parent *t
 				Port:         servicePort(spec),
 				FanOut:       len(placements),
 				Span:         prime,
+				Epoch:        m.epoch,
 			}, func(info NodeInfo) {
 				prime.EndSpan()
+				m.journal("node-primed", jNodePrimed{
+					jNode:  jNodeOf(spec.Name, info, pl.Index),
+					NextID: svc.nextNodeID,
+				})
 				m.emit(EventNodePrimed, spec.Name, info.NodeName,
 					fmt.Sprintf("%s ip=%s cap=%d download=%.1fs boot=%.1fs",
 						info.HostName, info.IP, info.Capacity,
@@ -534,7 +566,21 @@ func (m *Master) buildSwitch(svc *Service) error {
 			}
 		}
 	}
+	m.homeSwitch(svc, svc.Nodes[0].NodeName)
 	return nil
+}
+
+// homeSwitch records that the service switch now runs in the named node:
+// the hosting daemon adopts the live switch object (so it can hand it to
+// a new leader during resynchronization) and the adoption is journaled.
+func (m *Master) homeSwitch(svc *Service, nodeName string) {
+	if di, ok := svc.nodeDaemon[nodeName]; ok {
+		for _, d := range m.daemons {
+			d.DropSwitch(svc.Spec.Name)
+		}
+		m.daemons[di].AdoptSwitch(svc.Spec.Name, svc.Switch, svc.Config)
+	}
+	m.journal("switch-homed", jNodeRef{Service: svc.Spec.Name, Name: nodeName})
 }
 
 // rollback tears down whatever priming already produced.
@@ -542,10 +588,11 @@ func (m *Master) rollback(svc *Service) {
 	for nodeName, di := range svc.nodeDaemon {
 		// Nodes that never finished priming are cleaned up by the daemon
 		// itself; Teardown only finds the finished ones.
-		_ = m.daemons[di].Teardown(nodeName)
+		_ = m.daemons[di].TeardownAs(m.epoch, nodeName)
 	}
 	svc.State = TornDown
 	delete(m.services, svc.Spec.Name)
+	m.journal("service-removed", jName{Service: svc.Spec.Name})
 	m.activeServices.Set(float64(len(m.services)))
 	m.flog.Warn("priming rolled back", telemetry.L("service", svc.Spec.Name))
 }
@@ -553,29 +600,38 @@ func (m *Master) rollback(svc *Service) {
 // TeardownService removes a hosted service entirely —
 // SODA_service_teardown (§4.1).
 func (m *Master) TeardownService(name string) error {
+	if m.halted {
+		return fmt.Errorf("soda: master is down")
+	}
 	svc, ok := m.services[name]
 	if !ok {
 		return fmt.Errorf("soda: no service %q", name)
 	}
 	sp := m.tracer.StartRoot("service.teardown", telemetry.L("service", name))
 	for _, n := range svc.Nodes {
-		d := m.daemons[svc.nodeDaemon[n.NodeName]]
+		di := svc.nodeDaemon[n.NodeName]
+		d := m.daemons[di]
 		if d.Crashed() {
 			// A crash-stopped host can't execute teardown — its guests are
 			// already dead and Restore sweeps the bookkeeping. Removing the
 			// service must not fail on it.
 			continue
 		}
-		if err := d.Teardown(n.NodeName); err != nil {
+		if err := d.TeardownAs(m.epoch, n.NodeName); err != nil {
 			sp.Fail(err)
 			return err
 		}
 	}
+	for _, d := range m.daemons {
+		d.DropSwitch(name)
+	}
 	svc.State = TornDown
 	delete(m.services, name)
+	m.journal("service-torndown", jName{Service: name})
 	if m.acct != nil {
 		if u, watched := m.acct.Unwatch(name); watched {
 			m.settled[name] = u
+			m.journal("usage-settled", jSettled{Service: name, Usage: u})
 		}
 	}
 	m.activeServices.Set(float64(len(m.services)))

@@ -94,10 +94,18 @@ func (m *Master) CreatePartitionedService(name string, comps []ComponentSpec, on
 	fail := func(err error) {
 		m.Rejected++
 		m.rejectedCtr.Inc()
+		m.journal("service-rejected", jName{Service: name})
 		root.Fail(err)
 		if onErr != nil {
 			onErr(err)
 		}
+	}
+	if m.halted {
+		root.Fail(fmt.Errorf("soda: master is down"))
+		if onErr != nil {
+			onErr(fmt.Errorf("soda: master is down"))
+		}
+		return
 	}
 	if name == "" {
 		fail(fmt.Errorf("soda: partitioned service without a name"))
@@ -125,6 +133,7 @@ func (m *Master) CreatePartitionedService(name string, comps []ComponentSpec, on
 	}
 	m.Admitted++
 	m.admittedCtr.Inc()
+	m.journal("request-admitted", jName{Service: name})
 
 	ps := &PartitionedService{
 		Name:       name,
@@ -176,6 +185,10 @@ func (m *Master) CreatePartitionedService(name string, comps []ComponentSpec, on
 			nodeDaemon: make(map[string]int),
 		}
 		m.services[subName] = svc
+		if m.cluster != nil {
+			m.cluster.cacheSpec(svc.Spec)
+		}
+		m.journal("component-admitted", specOf(svc.Spec))
 		m.primePlacements(svc, placements, comp, func(failed bool) {
 			if failed {
 				comp.Fail(fmt.Errorf("priming failed"))
@@ -186,6 +199,13 @@ func (m *Master) CreatePartitionedService(name string, comps []ComponentSpec, on
 			}
 			comp.EndSpan()
 			svc.State = Active
+			m.journal("service-active", jName{Service: subName})
+			if len(svc.Nodes) > 0 {
+				// The shared switch homes on the first component's first
+				// node; record each component's anchor so replayed state
+				// carries the same home metadata as a live capture.
+				m.journal("switch-homed", jNodeRef{Service: subName, Name: svc.Nodes[0].NodeName})
+			}
 			ps.Components[c.Component] = svc
 			createNext(i + 1)
 		})

@@ -22,6 +22,10 @@ func (m *Master) ResizeService(name string, newN int, onDone func(*Service), onE
 			onErr(err)
 		}
 	}
+	if m.halted {
+		fail(fmt.Errorf("soda: master is down"))
+		return
+	}
 	svc, ok := m.services[name]
 	if !ok {
 		fail(fmt.Errorf("soda: no service %q", name))
@@ -79,22 +83,25 @@ func (m *Master) shrink(svc *Service, delta int) error {
 			continue
 		}
 		newCap := n.Capacity - trim
-		d := m.daemons[svc.nodeDaemon[n.NodeName]]
+		nodeName := n.NodeName
+		d := m.daemons[svc.nodeDaemon[nodeName]]
 		entry := svcswitch.BackendEntry{IP: n.IP, Port: n.Port, Capacity: n.Capacity}
 		if newCap == 0 {
 			svc.Switch.Unbind(entry)
-			if err := d.Teardown(n.NodeName); err != nil {
+			if err := d.TeardownAs(m.epoch, nodeName); err != nil {
 				return err
 			}
-			delete(svc.nodeDaemon, n.NodeName)
+			delete(svc.nodeDaemon, nodeName)
 			svc.Nodes = append(svc.Nodes[:i], svc.Nodes[i+1:]...)
 			svc.Config.RemoveEntry(entry.IP, entry.Port)
+			m.journal("node-removed", jNodeRef{Service: svc.Spec.Name, Name: nodeName})
 		} else {
-			info, err := d.ResizeNode(n.NodeName, svc.Spec.Requirement.M, newCap, m.Factor)
+			info, err := d.ResizeNodeAs(m.epoch, n.NodeName, svc.Spec.Requirement.M, newCap, m.Factor)
 			if err != nil {
 				return err
 			}
 			n.Capacity = info.Capacity
+			m.journal("node-resized", jNodeRef{Service: svc.Spec.Name, Name: n.NodeName, Capacity: info.Capacity})
 			m.refreshConfig(svc)
 		}
 		delta -= trim
@@ -118,11 +125,12 @@ func (m *Master) grow(svc *Service, delta int, onDone func(*Service), onErr func
 			}
 			n := &svc.Nodes[i]
 			d := m.daemons[svc.nodeDaemon[n.NodeName]]
-			info, err := d.ResizeNode(n.NodeName, svc.Spec.Requirement.M, n.Capacity+1, m.Factor)
+			info, err := d.ResizeNodeAs(m.epoch, n.NodeName, svc.Spec.Requirement.M, n.Capacity+1, m.Factor)
 			if err != nil {
 				continue
 			}
 			n.Capacity = info.Capacity
+			m.journal("node-resized", jNodeRef{Service: svc.Spec.Name, Name: n.NodeName, Capacity: info.Capacity})
 			delta--
 			progress = true
 		}
@@ -188,8 +196,10 @@ func (m *Master) grow(svc *Service, delta int, onDone func(*Service), onErr func
 				Factor:       m.Factor,
 				GuestProfile: svc.Spec.GuestProfile,
 				Port:         servicePort(svc.Spec),
+				Epoch:        m.epoch,
 			}, func(info NodeInfo) {
 				svc.Nodes = append(svc.Nodes, info)
+				m.journal("node-primed", jNodePrimed{jNode: jNodeOf(svc.Spec.Name, info, pl.Index), NextID: svc.nextNodeID})
 				entry := svcswitch.BackendEntry{IP: info.IP, Port: info.Port, Capacity: info.Capacity}
 				if svc.Spec.Behavior != nil {
 					if h := svc.Spec.Behavior(info.Guest); h != nil {

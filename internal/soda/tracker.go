@@ -124,13 +124,14 @@ func (m *Master) EnableChunkDistribution(cfg ChunkDistConfig) {
 		d.EnableChunkStore()
 		d.attachChunkCoordinator(m, i)
 		// Seed the index with whatever the daemon already holds (images
-		// pre-warmed through the legacy cache path).
+		// pre-warmed through the legacy cache path). Seeds journal like
+		// live announces so replay reconstructs the same holder map.
 		for name, held := range d.heldImages() {
 			for _, id := range held.ids {
-				m.chunkDist.addHolder(name, id, i, held.total)
+				m.trackerAnnounce(i, name, held.total, id, false)
 			}
 			if held.full {
-				m.chunkDist.markFull(name, i, held.total)
+				m.trackerFull(i, name, held.total)
 			}
 		}
 	}
@@ -185,6 +186,15 @@ func (m *Master) daemonAlive(i int) bool {
 // else until the first fetcher announces.
 func (m *Master) planChunks(requester int, imageName string, total int, ids []uint64) []chunkPlanEntry {
 	t := m.chunkDist
+	if m.halted {
+		// A down Master plans nothing; the requester retries after its
+		// deferral delay and reaches whichever Master leads by then.
+		plan := make([]chunkPlanEntry, 0, len(ids))
+		for _, id := range ids {
+			plan = append(plan, chunkPlanEntry{ID: id, Src: SrcDefer})
+		}
+		return plan
+	}
 	now := m.net.Kernel().Now()
 	t.expire(now)
 	t.imageIndex(imageName, total)
@@ -228,11 +238,31 @@ func (m *Master) planChunks(requester int, imageName string, total int, ids []ui
 // announceChunk records that a daemon now holds a chunk, releasing its
 // assignment. full marks the image completely assembled on that host.
 func (m *Master) announceChunk(holder int, imageName string, total int, id uint64, full bool) {
+	if m.halted {
+		return // lost announce; the holder re-reports during resync
+	}
+	m.chunkDist.clearAssignment(assignKey{id: id, requester: holder})
+	m.trackerAnnounce(holder, imageName, total, id, full)
+}
+
+// trackerAnnounce indexes one held chunk and journals the mutation when
+// it changes tracker state (duplicate announces are no-ops on both the
+// index and the journal, keeping replay deterministic).
+func (m *Master) trackerAnnounce(holder int, imageName string, total int, id uint64, full bool) {
 	t := m.chunkDist
-	t.clearAssignment(assignKey{id: id, requester: holder})
-	t.addHolder(imageName, id, holder, total)
+	if t.addHolder(imageName, id, holder, total) {
+		m.journal("chunk-announce", jChunk{Image: imageName, Chunk: id, Daemon: holder, Total: total})
+	}
 	if full {
-		t.markFull(imageName, holder, total)
+		m.trackerFull(holder, imageName, total)
+	}
+}
+
+// trackerFull marks an image fully assembled on a host, journaling the
+// transition once.
+func (m *Master) trackerFull(holder int, imageName string, total int) {
+	if m.chunkDist.markFull(imageName, holder, total) {
+		m.journal("chunk-full", jChunk{Image: imageName, Daemon: holder, Total: total})
 	}
 }
 
@@ -240,6 +270,7 @@ func (m *Master) announceChunk(holder int, imageName string, total int, id uint6
 // store was dropped.
 func (m *Master) forgetHolder(holder int) {
 	t := m.chunkDist
+	m.journal("chunk-forget", jChunkRef{Daemon: holder})
 	for id, hs := range t.holders {
 		for i, h := range hs {
 			if h == holder {
@@ -311,21 +342,30 @@ func (t *chunkTracker) imageIndex(name string, total int) *imageHolders {
 	return ih
 }
 
-func (t *chunkTracker) addHolder(imageName string, id uint64, holder, total int) {
+// addHolder indexes holder for chunk id, reporting whether this was a
+// new entry (duplicates keep per-image counts consistent by no-op'ing).
+func (t *chunkTracker) addHolder(imageName string, id uint64, holder, total int) bool {
 	hs := t.holders[id]
 	pos := sort.SearchInts(hs, holder)
 	if pos < len(hs) && hs[pos] == holder {
-		return // already indexed; keep per-image counts consistent
+		return false
 	}
 	hs = append(hs, 0)
 	copy(hs[pos+1:], hs[pos:])
 	hs[pos] = holder
 	t.holders[id] = hs
 	t.imageIndex(imageName, total).perDaemon[holder]++
+	return true
 }
 
-func (t *chunkTracker) markFull(imageName string, holder, total int) {
-	t.imageIndex(imageName, total).full[holder] = true
+// markFull reports whether the holder newly transitioned to full.
+func (t *chunkTracker) markFull(imageName string, holder, total int) bool {
+	ih := t.imageIndex(imageName, total)
+	if ih.full[holder] {
+		return false
+	}
+	ih.full[holder] = true
+	return true
 }
 
 // ImageHolderView is one image's holder map as reported by the tracker.
