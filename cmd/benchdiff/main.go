@@ -1,0 +1,165 @@
+// Command benchdiff is the CI bench-regression gate: it compares a
+// freshly generated sodabench JSON report against a committed baseline
+// and fails when any gated metric regressed by more than the allowed
+// margin. Gated metrics are lower-is-better (latencies, overhead
+// percentages, MTTRs); improvements never fail the gate.
+//
+// Usage:
+//
+//	benchdiff -baseline ci/baselines/BENCH_flight.json -current BENCH_flight.json \
+//	          -keys overhead_pct,log_ns_per_record -max-regress 10 -abs-slack 2
+//
+// Each key is a dot path into the JSON report (nested objects allowed).
+// A current value passes while
+//
+//	current <= baseline × (1 + max-regress/100) + abs-slack
+//
+// -max-regress is the relative margin in percent (default 10, the CI
+// policy); -abs-slack adds an absolute allowance in the metric's own
+// unit for near-zero baselines, where a relative margin alone is
+// meaninglessly tight (an overhead of 0.4% jittering to 0.6% is not a
+// regression worth failing a build over).
+package main
+
+import (
+	"encoding/json"
+	"flag"
+	"fmt"
+	"os"
+	"strings"
+)
+
+// row is one gated metric's verdict.
+type row struct {
+	Key      string
+	Baseline float64
+	Current  float64
+	Allowed  float64
+	DeltaPct float64
+	OK       bool
+}
+
+func main() {
+	baselinePath := flag.String("baseline", "", "committed baseline JSON report")
+	currentPath := flag.String("current", "", "freshly generated JSON report")
+	keys := flag.String("keys", "", "comma-separated dot paths of gated lower-is-better metrics")
+	maxRegress := flag.Float64("max-regress", 10, "relative regression margin in percent")
+	absSlack := flag.Float64("abs-slack", 0, "absolute allowance added on top of the relative margin")
+	flag.Parse()
+
+	if *baselinePath == "" || *currentPath == "" || *keys == "" {
+		fmt.Fprintln(os.Stderr, "usage: benchdiff -baseline <file> -current <file> -keys k1,k2[,…] [-max-regress 10] [-abs-slack 0]")
+		os.Exit(2)
+	}
+	baseline, err := loadReport(*baselinePath)
+	if err != nil {
+		fmt.Fprintf(os.Stderr, "benchdiff: baseline: %v\n", err)
+		os.Exit(2)
+	}
+	current, err := loadReport(*currentPath)
+	if err != nil {
+		fmt.Fprintf(os.Stderr, "benchdiff: current: %v\n", err)
+		os.Exit(2)
+	}
+
+	rows, ok, err := compare(baseline, current, strings.Split(*keys, ","), *maxRegress, *absSlack)
+	if err != nil {
+		fmt.Fprintf(os.Stderr, "benchdiff: %v\n", err)
+		os.Exit(2)
+	}
+	fmt.Printf("benchdiff %s vs %s (margin %.0f%% + %.3g)\n",
+		*currentPath, *baselinePath, *maxRegress, *absSlack)
+	fmt.Printf("  %-28s %14s %14s %14s %9s  %s\n", "metric", "baseline", "current", "allowed", "delta", "verdict")
+	for _, r := range rows {
+		verdict := "ok"
+		if !r.OK {
+			verdict = "REGRESSED"
+		}
+		fmt.Printf("  %-28s %14.4g %14.4g %14.4g %+8.1f%%  %s\n",
+			r.Key, r.Baseline, r.Current, r.Allowed, r.DeltaPct, verdict)
+	}
+	if !ok {
+		fmt.Fprintln(os.Stderr, "benchdiff: FAILED: gated metric(s) regressed past the margin")
+		os.Exit(1)
+	}
+}
+
+// loadReport parses one JSON report into a generic tree.
+func loadReport(path string) (map[string]any, error) {
+	data, err := os.ReadFile(path)
+	if err != nil {
+		return nil, err
+	}
+	var m map[string]any
+	if err := json.Unmarshal(data, &m); err != nil {
+		return nil, fmt.Errorf("%s: %w", path, err)
+	}
+	return m, nil
+}
+
+// compare evaluates every gated key; the bool reports whether all passed.
+func compare(baseline, current map[string]any, keys []string, maxRegress, absSlack float64) ([]row, bool, error) {
+	rows := make([]row, 0, len(keys))
+	ok := true
+	for _, key := range keys {
+		key = strings.TrimSpace(key)
+		if key == "" {
+			continue
+		}
+		base, err := lookup(baseline, key)
+		if err != nil {
+			return nil, false, fmt.Errorf("baseline %w", err)
+		}
+		cur, err := lookup(current, key)
+		if err != nil {
+			return nil, false, fmt.Errorf("current %w", err)
+		}
+		// A negative baseline clamps to zero for the allowance: timing
+		// jitter can push a near-zero overhead below zero, and a -1 MTTR
+		// sentinel from a failed baseline run must not license anything —
+		// the current value then gates on abs-slack alone.
+		floor := base
+		if floor < 0 {
+			floor = 0
+		}
+		r := row{
+			Key:      key,
+			Baseline: base,
+			Current:  cur,
+			Allowed:  floor*(1+maxRegress/100) + absSlack,
+		}
+		if base != 0 {
+			r.DeltaPct = (cur - base) / base * 100
+		}
+		r.OK = cur <= r.Allowed
+		if !r.OK {
+			ok = false
+		}
+		rows = append(rows, r)
+	}
+	if len(rows) == 0 {
+		return nil, false, fmt.Errorf("no gated metrics named")
+	}
+	return rows, ok, nil
+}
+
+// lookup resolves a dot path to a numeric leaf.
+func lookup(m map[string]any, key string) (float64, error) {
+	parts := strings.Split(key, ".")
+	var cur any = m
+	for i, p := range parts {
+		obj, ok := cur.(map[string]any)
+		if !ok {
+			return 0, fmt.Errorf("metric %s: %s is not an object", key, strings.Join(parts[:i], "."))
+		}
+		cur, ok = obj[p]
+		if !ok {
+			return 0, fmt.Errorf("metric %s: no field %q", key, p)
+		}
+	}
+	v, ok := cur.(float64)
+	if !ok {
+		return 0, fmt.Errorf("metric %s: %T is not numeric", key, cur)
+	}
+	return v, nil
+}

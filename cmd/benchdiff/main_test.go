@@ -1,0 +1,92 @@
+package main
+
+import "testing"
+
+func report(pairs map[string]any) map[string]any { return pairs }
+
+func TestComparePassesWithinMargin(t *testing.T) {
+	base := report(map[string]any{"mttr_s": 1.0, "overhead_pct": 3.0})
+	cur := report(map[string]any{"mttr_s": 1.05, "overhead_pct": 3.2})
+	rows, ok, err := compare(base, cur, []string{"mttr_s", "overhead_pct"}, 10, 0)
+	if err != nil || !ok {
+		t.Fatalf("ok=%v err=%v rows=%+v", ok, err, rows)
+	}
+	if len(rows) != 2 || !rows[0].OK || !rows[1].OK {
+		t.Fatalf("rows = %+v", rows)
+	}
+}
+
+func TestCompareFailsPastMargin(t *testing.T) {
+	base := report(map[string]any{"mttr_s": 1.0})
+	cur := report(map[string]any{"mttr_s": 1.2})
+	rows, ok, err := compare(base, cur, []string{"mttr_s"}, 10, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if ok || rows[0].OK {
+		t.Fatalf("20%% regression passed a 10%% gate: %+v", rows)
+	}
+}
+
+func TestCompareImprovementAlwaysPasses(t *testing.T) {
+	base := report(map[string]any{"ns_op": 100.0})
+	cur := report(map[string]any{"ns_op": 40.0})
+	_, ok, err := compare(base, cur, []string{"ns_op"}, 0, 0)
+	if err != nil || !ok {
+		t.Fatalf("improvement failed the gate: ok=%v err=%v", ok, err)
+	}
+}
+
+func TestCompareAbsSlackCoversNearZeroBaselines(t *testing.T) {
+	base := report(map[string]any{"overhead_pct": 0.1})
+	cur := report(map[string]any{"overhead_pct": 1.5})
+	if _, ok, _ := compare(base, cur, []string{"overhead_pct"}, 10, 0); ok {
+		t.Fatal("relative-only gate passed a 15x regression")
+	}
+	if _, ok, _ := compare(base, cur, []string{"overhead_pct"}, 10, 2); !ok {
+		t.Fatal("abs slack of 2 points did not cover a 1.5 current")
+	}
+}
+
+func TestCompareNestedDotPath(t *testing.T) {
+	base := report(map[string]any{"stages": map[string]any{"route": 5.0}})
+	cur := report(map[string]any{"stages": map[string]any{"route": 5.1}})
+	rows, ok, err := compare(base, cur, []string{"stages.route"}, 10, 0)
+	if err != nil || !ok || rows[0].Baseline != 5.0 {
+		t.Fatalf("nested lookup: ok=%v err=%v rows=%+v", ok, err, rows)
+	}
+}
+
+func TestCompareNegativeBaselineClampsToZero(t *testing.T) {
+	// A -1 MTTR sentinel from a failed baseline run licenses nothing:
+	// any positive current value fails until the baseline is regenerated.
+	base := report(map[string]any{"mttr_s": -1.0})
+	cur := report(map[string]any{"mttr_s": 0.5})
+	rows, ok, err := compare(base, cur, []string{"mttr_s"}, 10, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if ok || rows[0].OK {
+		t.Fatalf("negative baseline licensed a positive current: %+v", rows)
+	}
+	// Jitter-negative overheads gate on the absolute slack alone.
+	base = report(map[string]any{"overhead_pct": -0.4})
+	cur = report(map[string]any{"overhead_pct": 1.1})
+	if _, ok, _ := compare(base, cur, []string{"overhead_pct"}, 10, 2); !ok {
+		t.Fatal("abs slack did not cover a jitter-negative baseline")
+	}
+}
+
+func TestCompareErrors(t *testing.T) {
+	base := report(map[string]any{"mttr_s": -1.0, "name": "x"})
+	cur := report(map[string]any{"mttr_s": 1.0, "name": "x"})
+	if _, _, err := compare(base, cur, []string{"ghost"}, 10, 0); err == nil {
+		t.Fatal("missing metric accepted")
+	}
+	if _, _, err := compare(base, cur, []string{"name"}, 10, 0); err == nil {
+		t.Fatal("non-numeric metric accepted")
+	}
+	if _, _, err := compare(base, cur, []string{""}, 10, 0); err == nil {
+		t.Fatal("empty key list accepted")
+	}
+}

@@ -1,0 +1,50 @@
+package main
+
+import (
+	"encoding/json"
+	"fmt"
+	"os"
+	"time"
+
+	"repro/internal/exp"
+)
+
+// autoscaleConfig parameterises the -autoscale smoke run: the closed-loop
+// demand-driven scaling experiment with an explicit seed and virtual
+// duration, emitting a JSON report for CI (BENCH_autoscale.json).
+type autoscaleConfig struct {
+	seed     uint64
+	duration time.Duration // virtual time, not wall time
+	out      string
+}
+
+// runAutoscaleCmd executes the autoscaling experiment and renders/saves
+// the report. The acceptance shape (ramp-driven scale-up before any SLO
+// latch, bounded oscillation, return to floor, journal replay fidelity,
+// determinism) gates the exit code — after the report is written, so CI
+// keeps the artifact for a failing run.
+func runAutoscaleCmd(cfg autoscaleConfig) int {
+	res, err := exp.RunAutoscaleWith(cfg.seed, cfg.duration)
+	if err != nil {
+		fmt.Fprintf(os.Stderr, "autoscale: %v\n", err)
+		return 1
+	}
+	fmt.Print(res.Render())
+	if cfg.out != "" {
+		data, err := json.MarshalIndent(res, "", "  ")
+		if err != nil {
+			fmt.Fprintf(os.Stderr, "autoscale: %v\n", err)
+			return 1
+		}
+		if err := os.WriteFile(cfg.out, append(data, '\n'), 0o644); err != nil {
+			fmt.Fprintf(os.Stderr, "autoscale: %v\n", err)
+			return 1
+		}
+		fmt.Printf("wrote %s\n", cfg.out)
+	}
+	if err := res.Shape(); err != nil {
+		fmt.Fprintf(os.Stderr, "autoscale: FAILED: %v\n", err)
+		return 1
+	}
+	return 0
+}

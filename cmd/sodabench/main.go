@@ -52,6 +52,16 @@
 // bytes, exactly-once origin streaming, and same-seed determinism:
 //
 //	sodabench -primescale -replicas 32 -seed 1 -out BENCH_prime.json
+//
+// -autoscale runs the closed-loop scaling smoke: a seeded demand ramp
+// saturates a small reservation and the run fails unless the controller
+// scales up on the utilization signal before the SLO evaluator latches,
+// rides out a host crash injected mid-scale-up, returns the service to
+// its floor without flapping once the ramp ends, reconstructs its state
+// from journal replay byte-for-byte, and reproduces the identical
+// timeline under the same seed. -duration is virtual time (use 60s):
+//
+//	sodabench -autoscale -seed 1 -duration 60s -out BENCH_autoscale.json
 package main
 
 import (
@@ -93,6 +103,7 @@ func experiments() []experiment {
 		{"flight", "flight recorder: routing hot-path overhead bare vs recording", func() (exp.Result, error) { return exp.RunFlightOverhead() }},
 		{"reqtrace", "request tracing: routing hot-path overhead bare vs tail sampler attached", func() (exp.Result, error) { return exp.RunReqtraceOverhead() }},
 		{"primescale", "cooperative chunked priming: 1 → 32 replicas, peer-sourced bytes, near-flat latency", func() (exp.Result, error) { return exp.RunPrimeScale(32, 1) }},
+		{"autoscale", "closed-loop autoscaling: demand ramp, host crash mid-scale-up, no-flap trough", func() (exp.Result, error) { return exp.RunAutoscale() }},
 	}
 }
 
@@ -105,6 +116,7 @@ func main() {
 	flightFlag := flag.Bool("flight", false, "run the flight-recorder overhead benchmark: routing hot path bare vs recording enabled")
 	reqtraceFlag := flag.Bool("reqtrace", false, "run the request-trace overhead benchmark: routing hot path bare vs tail sampler attached (unsampled)")
 	primeFlag := flag.Bool("primescale", false, "run the priming-at-scale smoke: chunked cooperative mass prime vs whole-image baseline")
+	autoscaleFlag := flag.Bool("autoscale", false, "run the closed-loop scaling smoke: demand ramp, host crash mid-scale-up, no-flap trough, journal replay fidelity")
 	replicas := flag.Int("replicas", 32, "primescale: replica host count for the mass prime")
 	flightOps := flag.Int("flight-ops", 100000, "flight: routed requests per trial")
 	flightTrials := flag.Int("flight-trials", 5, "flight: trials (minimum ns/op taken)")
@@ -138,6 +150,14 @@ func main() {
 		os.Exit(runPrimeScaleCmd(primeScaleConfig{
 			replicas: *replicas,
 			seed:     *seed,
+			out:      *out,
+		}))
+	}
+
+	if *autoscaleFlag {
+		os.Exit(runAutoscaleCmd(autoscaleConfig{
+			seed:     *seed,
+			duration: *duration,
 			out:      *out,
 		}))
 	}

@@ -23,6 +23,7 @@
 //	sodactl -server http://localhost:7083 incident show -id inc-1-host-dead
 //	sodactl -server http://localhost:7083 trace
 //	sodactl -server http://localhost:7083 trace    -id 42
+//	sodactl -server http://localhost:7083 autoscale
 package main
 
 import (
@@ -59,10 +60,11 @@ func main() {
 	level := flag.String("level", "", "minimum log level: debug|info|warn|error (logs)")
 	component := flag.String("component", "", "narrow logs to one component (logs)")
 	incidentID := flag.String("id", "", "incident id (incident show) or trace id (trace)")
+	autoscaleStanza := flag.String("autoscale", "", "autoscale policy stanza for create, e.g. \"min=1 max=4 target=0.6\"")
 	flag.Parse()
 
 	if flag.NArg() < 1 {
-		fmt.Fprintln(os.Stderr, "usage: sodactl [flags] publish|create|list|get|resize|status|usage|slo|probe|teardown|hup|top|faults|images|logs|incidents|incident|trace [flags]")
+		fmt.Fprintln(os.Stderr, "usage: sodactl [flags] publish|create|list|get|resize|status|usage|slo|probe|teardown|hup|top|faults|images|logs|incidents|incident|trace|autoscale [flags]")
 		os.Exit(2)
 	}
 	cmd := flag.Arg(0)
@@ -82,6 +84,7 @@ func main() {
 		err = do(http.MethodPost, *server+"/v1/services", api.CreateRequest{
 			Credential: *credential, Name: *name, Image: *imageName, N: *n, DatasetMB: *dataset,
 			SLOLatencyP99Ms: *sloP99Ms, SLOAvailability: *sloAvail, SLOMinCPUMHz: *sloMinCPU,
+			Autoscale: *autoscaleStanza,
 		})
 	case "list":
 		err = do(http.MethodGet, *server+"/v1/services", nil)
@@ -129,6 +132,8 @@ func main() {
 		err = incidentShow(*server, *incidentID)
 	case "trace":
 		err = trace(*server, *name, *tail, *incidentID)
+	case "autoscale":
+		err = autoscaleStatus(*server)
 	default:
 		fmt.Fprintf(os.Stderr, "sodactl: unknown command %q\n", cmd)
 		os.Exit(2)
@@ -217,6 +222,41 @@ func slo(server string) error {
 		return nil
 	}
 	fmt.Print(st.String())
+	return nil
+}
+
+// autoscaleStatus fetches /autoscale and renders every armed service's
+// controller state: capacity against bounds, completed moves, and any
+// in-flight resize.
+func autoscaleStatus(server string) error {
+	var view api.AutoscaleView
+	if err := fetchJSON(server+"/autoscale", &view); err != nil {
+		return err
+	}
+	if len(view.Services) == 0 {
+		fmt.Println("no services with an autoscale policy")
+		return nil
+	}
+	at := metrics.NewTable("Autoscalers", "service", "capacity", "bounds", "ups", "downs",
+		"blocked", "pending", "last-decision")
+	for _, v := range view.Services {
+		pending := "-"
+		if v.Pending {
+			pending = fmt.Sprintf("%s→%d", v.PendingDir, v.PendingTarget)
+		}
+		decision := v.LastDecision
+		if decision == "" {
+			decision = "-"
+		} else if v.LastDecisionSec > 0 {
+			decision = fmt.Sprintf("%s @%.1fs", decision, v.LastDecisionSec)
+		}
+		at.AddRowf(v.Service, v.Capacity, fmt.Sprintf("[%d,%d]", v.Min, v.Max),
+			v.Ups, v.Downs, v.Blocked, pending, decision)
+	}
+	fmt.Println(at.String())
+	for _, v := range view.Services {
+		fmt.Printf("policy %s: %s\n", v.Service, v.Policy)
+	}
 	return nil
 }
 

@@ -40,6 +40,7 @@ func main() {
 	p2p := flag.Bool("p2p", false, "enable cooperative chunked image distribution (chunk stores + Master tracker; adds /images)")
 	chaosFlag := flag.Bool("chaos", false, "enable self-healing and attach the fault injector (adds /faults)")
 	ha := flag.Bool("ha", false, "enable control-plane HA: state journaling and a warm-standby Master (/healthz reports role, epoch, and journal lag)")
+	autoscaleFlag := flag.Bool("autoscale", false, "enable the demand-driven autoscaling control loop for services created with an autoscale policy (adds /autoscale)")
 	logLevel := flag.String("log-level", "info", "minimum console log level (debug|info|warn|error)")
 	flag.Parse()
 
@@ -131,6 +132,12 @@ func main() {
 			fatal("enabling HA: %v", err)
 		}
 	}
+	if *autoscaleFlag {
+		// The closed loop reading utilization, SLO burn, drops, and slow
+		// traces, driving SODA_service_resizing; /autoscale serves its
+		// state. Enabled after HA so the ticker follows the lease.
+		tb.EnableAutoscaling(hup.AutoscaleOptions{})
+	}
 
 	srv := api.NewServer(tb)
 	mux := http.NewServeMux()
@@ -161,6 +168,9 @@ func main() {
 	}
 	if *ha {
 		boot.Infof("control-plane HA on; role, epoch, and journal lag on %s/healthz", addr)
+	}
+	if *autoscaleFlag {
+		boot.Infof("autoscaling on; pass \"autoscale\" in service creation, controller state on %s/autoscale", addr)
 	}
 	if err := http.ListenAndServe(*listen, mux); err != nil {
 		fatal("%v", err)

@@ -5,6 +5,14 @@
 // the Master's what-if API, and calls SODA_service_resizing to track a
 // diurnal load curve.
 //
+// Contrast with the platform-native loop (internal/soda/autoscale.go,
+// DESIGN.md §15): there the utility runs the controller itself against
+// its accounting meters under a declarative policy the ASP attaches at
+// creation (`Autoscale: "min=1 max=4 target=0.6"`), with journaled
+// decisions that survive Master failover. This example is what an ASP
+// builds when it wants its own policy — latency-threshold steps against
+// the public monitoring API, no platform support required.
+//
 // Run with: go run ./examples/autoscale
 package main
 

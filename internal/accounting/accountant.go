@@ -236,6 +236,42 @@ func (a *Accountant) Evaluate() {
 	}
 }
 
+// LoadSignals is the compact per-service view the autoscaler reads every
+// control tick: recent delivered CPU against the un-inflated
+// reservation, plus the SLO evaluator's burn state. It is a subset of
+// the full Usage report, cheap enough to gather per tick.
+type LoadSignals struct {
+	// RecentMHz is the meter's most recent delivered-CPU sample.
+	RecentMHz float64
+	// ReservedMHz is the service's current un-inflated CPU reservation
+	// (M.CPUMHz × total capacity).
+	ReservedMHz float64
+	// FastBurn and SlowBurn are the evaluator's burn rates; Violating is
+	// its latched breach state. All zero when the service has no SLO.
+	FastBurn, SlowBurn float64
+	Violating          bool
+}
+
+// Signals returns the named service's load signals for this instant.
+// The second result is false when the service is not watched.
+func (a *Accountant) Signals(service string) (LoadSignals, bool) {
+	a.mu.Lock()
+	defer a.mu.Unlock()
+	e, ok := a.services[service]
+	if !ok {
+		return LoadSignals{}, false
+	}
+	ls := LoadSignals{RecentMHz: e.meter.RecentMHz()}
+	if e.meter.reserved != nil {
+		ls.ReservedMHz = e.meter.reserved().CPUMHz
+	}
+	if e.eval != nil {
+		ls.FastBurn, ls.SlowBurn = e.eval.BurnRates()
+		ls.Violating = e.eval.latched
+	}
+	return ls, true
+}
+
 // Totals returns a service's cumulative usage.
 func (a *Accountant) Totals(service string) (Usage, bool) {
 	a.mu.Lock()

@@ -18,6 +18,7 @@ import (
 
 	"repro/internal/accounting"
 	"repro/internal/appsvc"
+	"repro/internal/autoscale"
 	"repro/internal/flight"
 	"repro/internal/hup"
 	"repro/internal/image"
@@ -48,6 +49,9 @@ type CreateRequest struct {
 	SLOLatencyP99Ms float64 `json:"slo_latency_p99_ms"`
 	SLOAvailability float64 `json:"slo_availability"`
 	SLOMinCPUMHz    float64 `json:"slo_min_cpu_mhz"`
+	// Autoscale is the demand-driven scaling policy in its stanza form
+	// ("max=4 target=0.7 up=30s ..."); empty leaves the service unscaled.
+	Autoscale string `json:"autoscale,omitempty"`
 }
 
 // SLO converts the request's objective fields to the switch's SLO form.
@@ -143,6 +147,7 @@ func (s *Server) Handler() http.Handler {
 	mux.HandleFunc("GET /incidents", s.handleIncidents)
 	mux.HandleFunc("GET /incidents/{id}", s.handleIncident)
 	mux.HandleFunc("POST /incidents", s.handleTriggerIncident)
+	mux.HandleFunc("GET /autoscale", s.handleAutoscale)
 	return mux
 }
 
@@ -418,6 +423,26 @@ func (s *Server) handleTriggerIncident(w http.ResponseWriter, r *http.Request) {
 	writeJSON(w, http.StatusAccepted, map[string]string{"id": id})
 }
 
+// AutoscaleView is the body of GET /autoscale: every armed service's
+// controller state, read from the current cluster leader.
+type AutoscaleView struct {
+	Services []soda.AutoscalerView `json:"services"`
+}
+
+// handleAutoscale reports the demand-driven control loop's state. 404
+// until autoscaling is enabled.
+func (s *Server) handleAutoscale(w http.ResponseWriter, r *http.Request) {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	if !s.tb.AutoscalingEnabled() {
+		writeErr(w, http.StatusNotFound, fmt.Errorf("api: autoscaling not enabled"))
+		return
+	}
+	writeJSON(w, http.StatusOK, AutoscaleView{
+		Services: s.tb.LeaderMaster().AutoscaleReport(),
+	})
+}
+
 // AccountView is the wire form of an ASP's bill.
 type AccountView struct {
 	ASP             string   `json:"asp"`
@@ -637,6 +662,14 @@ func (s *Server) handleCreate(w http.ResponseWriter, r *http.Request) {
 		writeErr(w, http.StatusNotFound, err)
 		return
 	}
+	var pol autoscale.Policy
+	if req.Autoscale != "" {
+		pol, err = autoscale.ParsePolicy(req.Autoscale)
+		if err != nil {
+			writeErr(w, http.StatusBadRequest, err)
+			return
+		}
+	}
 	wd := hup.NewWebDeployment(s.tb, appsvc.DefaultWebParams(dataset))
 	svc, err := s.tb.CreateService(req.Credential, soda.ServiceSpec{
 		Name:         req.Name,
@@ -646,6 +679,7 @@ func (s *Server) handleCreate(w http.ResponseWriter, r *http.Request) {
 		GuestProfile: img.SystemServices,
 		Behavior:     wd.Behavior(),
 		SLO:          req.SLO(),
+		Autoscale:    pol,
 	})
 	if err != nil {
 		writeErr(w, statusFor(err), err)

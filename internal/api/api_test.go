@@ -248,6 +248,63 @@ func TestAPIProbe(t *testing.T) {
 	}
 }
 
+func TestAPIAutoscale(t *testing.T) {
+	srv, tb := apiFixture(t)
+
+	// 404 until the control loop is enabled.
+	resp, err := http.Get(srv.URL + "/autoscale")
+	if err != nil {
+		t.Fatal(err)
+	}
+	resp.Body.Close()
+	if resp.StatusCode != http.StatusNotFound {
+		t.Fatalf("autoscale without loop = %d, want 404", resp.StatusCode)
+	}
+
+	tb.EnableAutoscaling(hup.AutoscaleOptions{})
+
+	// A malformed stanza is rejected before any placement happens.
+	post(t, srv.URL+"/v1/images", PublishRequest{Name: "web-img", SizeMB: 30, DatasetMB: 4})
+	bad := post(t, srv.URL+"/v1/services", CreateRequest{
+		Credential: "secret", Name: "web", Image: "web-img", N: 1,
+		Autoscale: "min=3 max=1",
+	})
+	if bad.StatusCode != http.StatusBadRequest {
+		t.Fatalf("bad stanza status = %d, want 400", bad.StatusCode)
+	}
+
+	good := post(t, srv.URL+"/v1/services", CreateRequest{
+		Credential: "secret", Name: "web", Image: "web-img", N: 1,
+		Autoscale: "min=1 max=4 target=0.6",
+	})
+	if good.StatusCode != http.StatusCreated {
+		t.Fatalf("create status = %d", good.StatusCode)
+	}
+
+	resp2, err := http.Get(srv.URL + "/autoscale")
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer resp2.Body.Close()
+	if resp2.StatusCode != http.StatusOK {
+		t.Fatalf("autoscale status = %d", resp2.StatusCode)
+	}
+	view := decode[AutoscaleView](t, resp2)
+	if len(view.Services) != 1 {
+		t.Fatalf("autoscale view = %+v, want one armed service", view)
+	}
+	v := view.Services[0]
+	if v.Service != "web" || v.Min != 1 || v.Max != 4 {
+		t.Fatalf("autoscaler view = %+v", v)
+	}
+	if v.Capacity < v.Min || v.Capacity > v.Max {
+		t.Fatalf("capacity %d outside policy bounds [%d,%d]", v.Capacity, v.Min, v.Max)
+	}
+	if !strings.Contains(v.Policy, "target=0.60") {
+		t.Fatalf("policy rendering = %q", v.Policy)
+	}
+}
+
 func TestAPIImages(t *testing.T) {
 	srv, tb := apiFixture(t)
 

@@ -1,0 +1,173 @@
+package autoscale
+
+import (
+	"testing"
+
+	"repro/internal/sim"
+)
+
+func testPolicy() Policy {
+	return Policy{Min: 1, Max: 8, TargetUtilization: 0.70, MaxStep: 2,
+		UpCooldown: 10 * sim.Second, DownCooldown: 30 * sim.Second}.Normalize()
+}
+
+func at(s float64) sim.Time { return sim.Time(s * float64(sim.Second)) }
+
+func TestNormalizeDefaults(t *testing.T) {
+	p := Policy{Max: 4}.Normalize()
+	if p.Min != 1 || p.TargetUtilization != 0.70 || p.MaxStep != 1 {
+		t.Fatalf("defaults not filled: %+v", p)
+	}
+	if p.HighWater <= p.TargetUtilization || p.LowWater >= p.TargetUtilization {
+		t.Fatalf("band does not bracket target: %+v", p)
+	}
+	if p.UpCooldown != 10*sim.Second || p.DownCooldown != 30*sim.Second {
+		t.Fatalf("cooldown defaults wrong: %+v", p)
+	}
+	if (Policy{}).Enabled() {
+		t.Fatal("zero policy reports enabled")
+	}
+}
+
+func TestValidate(t *testing.T) {
+	if err := (Policy{}).Validate(); err != nil {
+		t.Fatalf("zero policy invalid: %v", err)
+	}
+	bad := []Policy{
+		{Min: 2},                         // fields without max
+		{Min: 5, Max: 2},                 // max below min
+		{Max: 4, TargetUtilization: 1.2}, // target not below 1
+		{Max: 4, TargetUtilization: 0.5, LowWater: 0.6},  // low over target
+		{Max: 4, TargetUtilization: 0.5, HighWater: 0.4}, // high under target
+	}
+	for i, p := range bad {
+		if err := p.Validate(); err == nil {
+			t.Errorf("case %d: %+v validated", i, p)
+		}
+	}
+}
+
+func TestStringParseRoundTrip(t *testing.T) {
+	p := testPolicy()
+	q, err := ParsePolicy(p.String())
+	if err != nil {
+		t.Fatalf("parse %q: %v", p.String(), err)
+	}
+	if q != p {
+		t.Fatalf("round trip: got %+v want %+v", q, p)
+	}
+	if _, err := ParsePolicy("min=1 max=4 warp=9"); err == nil {
+		t.Fatal("unknown key accepted")
+	}
+	if _, err := ParsePolicy("max=banana"); err == nil {
+		t.Fatal("bad value accepted")
+	}
+}
+
+func TestDecideHoldsWithinBand(t *testing.T) {
+	p := testPolicy()
+	d := Decide(p, State{}, Signals{At: at(100), Capacity: 2, Utilization: 0.70})
+	if d.Dir != Hold {
+		t.Fatalf("got %v (%s), want hold", d.Dir, d.Reason)
+	}
+}
+
+func TestDecideScalesUpOnHighUtilization(t *testing.T) {
+	p := testPolicy()
+	d := Decide(p, State{}, Signals{At: at(100), Capacity: 2, Utilization: 0.95})
+	if d.Dir != Up {
+		t.Fatalf("got %v (%s), want up", d.Dir, d.Reason)
+	}
+	// Proportional: ceil(2*0.95/0.70) = 3.
+	if d.Target != 3 {
+		t.Fatalf("target %d, want 3", d.Target)
+	}
+}
+
+func TestDecideUrgentTakesFullStep(t *testing.T) {
+	p := testPolicy()
+	for _, sig := range []Signals{
+		{At: at(100), Capacity: 2, Utilization: 0.8, FastBurn: 5},
+		{At: at(100), Capacity: 2, Utilization: 0.5, Violating: true},
+		{At: at(100), Capacity: 2, Utilization: 0.5, DropDelta: 3},
+	} {
+		d := Decide(p, State{}, sig)
+		if d.Dir != Up || d.Target != 4 {
+			t.Fatalf("signals %+v: got %v target %d, want up to 4", sig, d.Dir, d.Target)
+		}
+	}
+}
+
+func TestDecideRespectsMaxAndCooldown(t *testing.T) {
+	p := testPolicy()
+	d := Decide(p, State{}, Signals{At: at(100), Capacity: 8, Utilization: 0.99})
+	if d.Dir != Blocked {
+		t.Fatalf("at max: got %v, want blocked", d.Dir)
+	}
+	d = Decide(p, State{LastUp: at(95)}, Signals{At: at(100), Capacity: 2, Utilization: 0.99})
+	if d.Dir != Blocked {
+		t.Fatalf("in cooldown: got %v, want blocked", d.Dir)
+	}
+	d = Decide(p, State{LastUp: at(80)}, Signals{At: at(100), Capacity: 2, Utilization: 0.99})
+	if d.Dir != Up {
+		t.Fatalf("cooldown expired: got %v, want up", d.Dir)
+	}
+}
+
+func TestDecideScalesDownWhenQuiet(t *testing.T) {
+	p := testPolicy()
+	d := Decide(p, State{LastUp: at(10), LastDown: at(20)},
+		Signals{At: at(100), Capacity: 4, Utilization: 0.10})
+	if d.Dir != Down {
+		t.Fatalf("got %v (%s), want down", d.Dir, d.Reason)
+	}
+	// Proportional says 1, but MaxStep 2 floors the move at 4-2=2.
+	if d.Target != 2 {
+		t.Fatalf("target %d, want 2", d.Target)
+	}
+}
+
+func TestDecideScaleDownGuards(t *testing.T) {
+	p := testPolicy()
+	// Recent scale-up: the spike's capacity must linger.
+	d := Decide(p, State{LastUp: at(90)}, Signals{At: at(100), Capacity: 4, Utilization: 0.1})
+	if d.Dir != Blocked {
+		t.Fatalf("post-up: got %v, want blocked", d.Dir)
+	}
+	// Recent scale-down: one step at a time.
+	d = Decide(p, State{LastDown: at(90)}, Signals{At: at(100), Capacity: 4, Utilization: 0.1})
+	if d.Dir != Blocked {
+		t.Fatalf("post-down: got %v, want blocked", d.Dir)
+	}
+	// Slow traces pin capacity even when the meter reads idle.
+	d = Decide(p, State{}, Signals{At: at(100), Capacity: 4, Utilization: 0.1, SlowTraceDelta: 2})
+	if d.Dir != Hold {
+		t.Fatalf("slow traces: got %v, want hold", d.Dir)
+	}
+	// At min: plain hold, not blocked.
+	d = Decide(p, State{}, Signals{At: at(100), Capacity: 1, Utilization: 0.0})
+	if d.Dir != Hold {
+		t.Fatalf("at min: got %v, want hold", d.Dir)
+	}
+}
+
+func TestDecideHoldsWhilePending(t *testing.T) {
+	p := testPolicy()
+	d := Decide(p, State{Pending: true, PendingTarget: 4},
+		Signals{At: at(100), Capacity: 2, Utilization: 0.99})
+	if d.Dir != Hold {
+		t.Fatalf("pending: got %v, want hold", d.Dir)
+	}
+}
+
+func TestDecideDeterministic(t *testing.T) {
+	p := testPolicy()
+	st := State{LastUp: at(42), Ups: 3}
+	sig := Signals{At: at(99), Capacity: 3, Utilization: 0.91, FastBurn: 0.4, SlowTraceDelta: 1}
+	first := Decide(p, st, sig)
+	for i := 0; i < 100; i++ {
+		if d := Decide(p, st, sig); d != first {
+			t.Fatalf("iteration %d: %+v != %+v", i, d, first)
+		}
+	}
+}

@@ -1,0 +1,13 @@
+package exp
+
+import "testing"
+
+func TestAutoscaleExperimentShape(t *testing.T) {
+	res, err := RunAutoscale()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := res.Shape(); err != nil {
+		t.Fatalf("%v\n%s", err, res.Render())
+	}
+}

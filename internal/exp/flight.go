@@ -52,7 +52,7 @@ func (n *flightBenchNode) ExecCPU(c cycles.Cycles, onDone func()) bool {
 	return true
 }
 func (n *flightBenchNode) SyscallCost(s cycles.Syscall) cycles.Cycles { return cycles.HostCost(s) }
-func (n *flightBenchNode) Alive() bool                               { return true }
+func (n *flightBenchNode) Alive() bool                                { return true }
 
 // flightBenchSwitch builds the 3-backend switch fixture the svcswitch
 // benchmarks use, instrumented with a live registry.

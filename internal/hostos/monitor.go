@@ -14,10 +14,10 @@ import (
 // the time series plotted in Figure 5. A share is the fraction of the
 // host's total cycle capacity a userid consumed during the sample window.
 type CPUMonitor struct {
-	h      *Host
-	period sim.Duration
-	uids   []int
-	series map[int]*metrics.TimeSeries
+	h       *Host
+	period  sim.Duration
+	uids    []int
+	series  map[int]*metrics.TimeSeries
 	last    map[int]float64
 	lastT   sim.Time
 	ticker  *sim.Ticker

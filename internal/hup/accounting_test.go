@@ -78,7 +78,7 @@ func TestAccountingPipelineTwoServices(t *testing.T) {
 				Name: r.name, ImageName: img.Name, Repository: RepoIP,
 				Requirement:  soda.Requirement{N: r.n, M: smallM()},
 				GuestProfile: img.SystemServices, Behavior: wd.Behavior(),
-				SLO:          slo,
+				SLO: slo,
 			})
 			if err != nil {
 				t.Fatalf("seed %d: create %s: %v", seed, r.name, err)

@@ -82,7 +82,8 @@ type Testbed struct {
 	// ReqTraces is nil until EnableRequestTracing.
 	ReqTraces *reqtrace.Store
 
-	clients int
+	clients     int
+	autoscaling bool
 }
 
 // New builds a testbed.
@@ -318,6 +319,50 @@ func (tb *Testbed) EnableHA(cfg soda.HAConfig) (*soda.Cluster, error) {
 	return cluster, nil
 }
 
+// AutoscaleOptions parameterises EnableAutoscaling.
+type AutoscaleOptions struct {
+	// TickEvery is the control-loop cadence (default 1s).
+	TickEvery sim.Duration
+}
+
+// EnableAutoscaling starts the demand-driven control loop: a kernel
+// timer ticks the Master's autoscaler at a fixed period, and every
+// service whose spec carries an enabled autoscale policy is driven
+// toward its target utilization (ISSUE: scale-up on burn/drops, scaled
+// down in troughs under hysteresis and cooldowns). Accounting is
+// enabled implicitly — the loop's utilization and burn-rate signals
+// come from it; request tracing and chaos remain optional extras.
+// The tick self-routes to the cluster leader, so under HA the same
+// timer keeps driving whichever Master currently holds the lease.
+// Idempotent; the cadence of the first call wins.
+func (tb *Testbed) EnableAutoscaling(opt AutoscaleOptions) {
+	if tb.autoscaling {
+		return
+	}
+	tb.autoscaling = true
+	tb.EnableAccounting(accounting.Options{})
+	tick := opt.TickEvery
+	if tick <= 0 {
+		tick = sim.Second
+	}
+	master := tb.Master
+	tb.K.Every(tick, func() { master.AutoscaleTick() })
+}
+
+// AutoscalingEnabled reports whether EnableAutoscaling has run.
+func (tb *Testbed) AutoscalingEnabled() bool { return tb.autoscaling }
+
+// LeaderMaster returns the Master currently holding the leadership
+// lease — the primary when HA is off or no failover has happened, the
+// adopted standby after one. Surfaces that read control-loop or
+// service state should consult it rather than Master directly.
+func (tb *Testbed) LeaderMaster() *soda.Master {
+	if tb.Cluster != nil {
+		return tb.Cluster.Leader()
+	}
+	return tb.Master
+}
+
 // EnableChunkDistribution turns on cooperative content-addressed image
 // distribution: every daemon gains a chunk store and serve path, and the
 // Master acts as the tracker planning multi-source chunk fetches.
@@ -478,6 +523,11 @@ func (tb *Testbed) EnableFlightRecorder(opt FlightOptions) (*flight.Recorder, *f
 			rec.Trigger("master-down", "master", ev.Detail)
 		case soda.EventFailover:
 			rec.Trigger("failover", "master", ev.Detail)
+		case soda.EventAutoscale:
+			// Capacity changes are exactly the context a post-hoc
+			// investigation wants around a load event; failures and
+			// blocks double as warnings above.
+			rec.Trigger("autoscale", ev.Service, ev.Detail)
 		}
 	})
 

@@ -175,6 +175,11 @@ type Collector struct {
 	retained *telemetry.Counter
 	evicted  *telemetry.Counter
 
+	// slowKept counts retentions whose verdict included KeptSlow — the
+	// autoscaler's "requests over the SLO threshold" pressure signal,
+	// uncontaminated by head samples.
+	slowKept atomic.Uint64
+
 	mu   sync.Mutex
 	ring []Record
 	next uint64 // total retained; ring slot = next % len(ring)
@@ -245,6 +250,9 @@ func (c *Collector) Offer(rec *Record) bool {
 	rec.Service = c.service
 	rec.Why = why
 	c.retained.Inc()
+	if why&KeptSlow != 0 {
+		c.slowKept.Add(1)
+	}
 	c.mu.Lock()
 	slot := c.next % uint64(len(c.ring))
 	if c.next >= uint64(len(c.ring)) && c.ring[slot].ID != 0 {
@@ -300,6 +308,17 @@ func (c *Collector) Retained() uint64 {
 	c.mu.Lock()
 	defer c.mu.Unlock()
 	return c.next
+}
+
+// RetainedSlow reports how many retained records qualified as slow
+// (TotalNs at or over the SLO-derived threshold). Head, error, and
+// retry retentions are excluded, so deltas of this counter measure
+// genuine over-threshold pressure. Nil-safe (0).
+func (c *Collector) RetainedSlow() uint64 {
+	if c == nil {
+		return 0
+	}
+	return c.slowKept.Load()
 }
 
 // Store owns the shared trace-ID sequence and one Collector per

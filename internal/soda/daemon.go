@@ -145,6 +145,9 @@ type Daemon struct {
 type pendingPrime struct {
 	uid       int
 	cancelled bool
+	// epoch is the leadership epoch of the Master that issued the prime;
+	// a fence rising past it cancels the prime (see ObserveEpoch).
+	epoch uint64
 }
 
 // DownloadRetryConfig tunes the daemon's image-download robustness:
@@ -598,7 +601,7 @@ func (d *Daemon) Prime(req PrimeRequest, onDone func(NodeInfo), onErr func(error
 	alloc.Annotate("ip", string(ip))
 	alloc.EndSpan()
 
-	p := &pendingPrime{uid: uid}
+	p := &pendingPrime{uid: uid, epoch: req.Epoch}
 	d.pending[req.NodeName] = p
 
 	abort := func(err error) {
@@ -783,6 +786,23 @@ func (d *Daemon) ObserveEpoch(epoch uint64, leader *Master) {
 	d.fenceEpoch = epoch
 	if d.coord != nil && leader != nil {
 		d.coord = leader
+	}
+	// A prime still in flight from a deposed epoch must not survive the
+	// fence: left alone it would finish as an orphan holding a slice the
+	// new leader believes free — capacity a re-issued resize then cannot
+	// place. Cancel it the way a mid-prime teardown does, so its own
+	// abort path reclaims the reservation, IP, and disk.
+	names := make([]string, 0, len(d.pending))
+	for name, p := range d.pending {
+		if p.epoch < epoch {
+			names = append(names, name)
+		}
+	}
+	sort.Strings(names)
+	for _, name := range names {
+		p := d.pending[name]
+		p.cancelled = true
+		d.host.KillUID(p.uid)
 	}
 	d.flog.Info("epoch fence raised", telemetry.L("epoch", fmt.Sprint(epoch)))
 }

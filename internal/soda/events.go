@@ -60,6 +60,10 @@ const (
 	// EventDaemonResync: one daemon re-registered with the new leader and
 	// reported its live guests, switches, and chunks.
 	EventDaemonResync
+	// EventAutoscale: the demand-driven control loop decided, completed,
+	// or was blocked from a capacity change; the detail carries the
+	// direction, targets, and the dominant signal.
+	EventAutoscale
 )
 
 // String names the kind.
@@ -99,6 +103,8 @@ func (k EventKind) String() string {
 		return "failover"
 	case EventDaemonResync:
 		return "daemon-resync"
+	case EventAutoscale:
+		return "autoscale"
 	}
 	return fmt.Sprintf("event(%d)", int(k))
 }

@@ -386,6 +386,19 @@ func (c *Cluster) rebuild(nl *Master, st *masterState) {
 		}
 		nl.services[js.Name] = svc
 	}
+	// Rebuild the autoscale controllers: the policy replays inside each
+	// service's journaled spec, the runtime state (cooldown clocks, move
+	// counters, pending resize) from the autoscale-* records. Entries for
+	// services rejected above are dropped — the service-rejected record
+	// just journaled removes them from the replayed form too.
+	nl.autos = make(map[string]*autoscaler)
+	for _, ja := range st.Autoscalers {
+		svc, ok := nl.services[ja.Service]
+		if !ok {
+			continue
+		}
+		nl.autos[ja.Service] = restoredAutoscaler(svc.Spec.Autoscale, ja)
+	}
 	nl.activeServices.Set(float64(len(nl.services)))
 }
 
@@ -529,6 +542,12 @@ func (c *Cluster) maybeComplete(nl *Master, rep journal.ReplayReport) {
 		telemetry.L("epoch", itoa(int(nl.epoch))),
 		telemetry.L("resynced", itoa(c.received)),
 		telemetry.L("mttr", mttr.String()))
+
+	// With every daemon resynced the adopted node sets are authoritative:
+	// re-drive any resize the old leader decided but never completed. The
+	// journaled target is absolute, so this is idempotent whether or not
+	// the old leader's commands landed.
+	nl.reissuePendingResizes()
 }
 
 // nodeIndex finds a node by name in a service's record.

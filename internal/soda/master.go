@@ -55,6 +55,11 @@ type Master struct {
 	// slow threshold derived from the service's SLO latency target.
 	reqTraces *reqtrace.Store
 
+	// autos holds the demand-driven scaling controller of every service
+	// whose spec enables one (see autoscale.go). The map always exists;
+	// controllers are armed at admission and dropped at teardown.
+	autos map[string]*autoscaler
+
 	// High availability (see ha.go). jlog is the write-ahead journal the
 	// Master appends every state mutation to; nil for unclustered masters
 	// and for a fenced old leader. epoch is the leadership epoch stamped
@@ -75,6 +80,9 @@ type Master struct {
 	rejectedCtr    *telemetry.Counter
 	tornDownCtr    *telemetry.Counter
 	activeServices *telemetry.Gauge
+	autoUpCtr      *telemetry.Counter
+	autoDownCtr    *telemetry.Counter
+	autoBlockedCtr *telemetry.Counter
 }
 
 // Service is the Master's record of one hosted application service: the
@@ -125,6 +133,7 @@ func NewMaster(net *simnet.Network, ip simnet.IP, daemons []*Daemon) (*Master, e
 		daemons:  daemons,
 		services: make(map[string]*Service),
 		settled:  make(map[string]accounting.Usage),
+		autos:    make(map[string]*autoscaler),
 	}, nil
 }
 
@@ -150,6 +159,9 @@ func (m *Master) Instrument(reg *telemetry.Registry, tracer *telemetry.Tracer) {
 	m.rejectedCtr = reg.Counter("soda_master_rejected_total")
 	m.tornDownCtr = reg.Counter("soda_master_torndown_total")
 	m.activeServices = reg.Gauge("soda_master_services")
+	m.autoUpCtr = reg.Counter("soda_autoscale_up_total")
+	m.autoDownCtr = reg.Counter("soda_autoscale_down_total")
+	m.autoBlockedCtr = reg.Counter("soda_autoscale_blocked_total")
 	m.admittedCtr.Add(int64(m.Admitted))
 	m.rejectedCtr.Add(int64(m.Rejected))
 	m.activeServices.Set(float64(len(m.services)))
@@ -409,6 +421,7 @@ func (m *Master) CreateService(spec ServiceSpec, onDone func(*Service), onErr fu
 		nodeDaemon: make(map[string]int),
 	}
 	m.services[spec.Name] = svc
+	m.armAutoscaler(spec)
 	m.activeServices.Set(float64(len(m.services)))
 
 	m.primePlacements(svc, placements, root, func(failed bool) {
@@ -539,6 +552,9 @@ func (m *Master) buildSwitch(svc *Service) error {
 			return err
 		}
 	}
+	if svc.Spec.Autoscale.Enabled() {
+		svc.Config.SetAutoscale(svc.Spec.Autoscale.String())
+	}
 	home := &appsvc.GuestBackend{G: svc.Nodes[0].Guest}
 	svc.Switch = svcswitch.New(m.net, home, svc.Config)
 	if m.reg != nil {
@@ -592,6 +608,7 @@ func (m *Master) rollback(svc *Service) {
 	}
 	svc.State = TornDown
 	delete(m.services, svc.Spec.Name)
+	delete(m.autos, svc.Spec.Name)
 	m.journal("service-removed", jName{Service: svc.Spec.Name})
 	m.activeServices.Set(float64(len(m.services)))
 	m.flog.Warn("priming rolled back", telemetry.L("service", svc.Spec.Name))
@@ -627,6 +644,7 @@ func (m *Master) TeardownService(name string) error {
 	}
 	svc.State = TornDown
 	delete(m.services, name)
+	delete(m.autos, name)
 	m.journal("service-torndown", jName{Service: name})
 	if m.acct != nil {
 		if u, watched := m.acct.Unwatch(name); watched {

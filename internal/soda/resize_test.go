@@ -1,0 +1,131 @@
+package soda_test
+
+import (
+	"strings"
+	"testing"
+
+	"repro/internal/hostos"
+	"repro/internal/hup"
+	"repro/internal/sim"
+	"repro/internal/workload"
+)
+
+// SODA_service_resizing error paths: the refusals must be precise about
+// why, must leave the service (and the hosts' reservations) exactly as
+// they were, and must keep the switch's home node alive through any
+// legal shrink.
+
+func TestResizeRefusalMessages(t *testing.T) {
+	tb := newTestbed(t)
+	spec, _ := webSpec(tb, t, "web", 1)
+	if _, err := tb.CreateService("genome-key", spec); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := tb.Resize("genome-key", "web", 0); err == nil ||
+		!strings.Contains(err.Error(), "use teardown") {
+		t.Fatalf("resize to 0 = %v, want a pointer at teardown", err)
+	}
+	if _, err := tb.Resize("genome-key", "ghost", 2); err == nil ||
+		!strings.Contains(err.Error(), `no service "ghost"`) {
+		t.Fatalf("resize of ghost = %v, want a no-service refusal", err)
+	}
+}
+
+func TestResizeAfterTeardownFails(t *testing.T) {
+	tb := newTestbed(t)
+	spec, _ := webSpec(tb, t, "web", 2)
+	if _, err := tb.CreateService("genome-key", spec); err != nil {
+		t.Fatal(err)
+	}
+	if err := tb.Teardown("genome-key", "web"); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := tb.Resize("genome-key", "web", 3); err == nil {
+		t.Fatal("resize of a torn-down service accepted")
+	}
+}
+
+func TestResizeOnHaltedMasterFails(t *testing.T) {
+	tb := haTestbed(t, nil)
+	spec, _ := webSpec(tb, t, "web", 1)
+	if _, err := tb.CreateService("genome-key", spec); err != nil {
+		t.Fatal(err)
+	}
+	halted := tb.Cluster.Leader()
+	tb.Cluster.HaltLeader()
+	var got error
+	halted.ResizeService("web", 2, nil, func(err error) { got = err })
+	if got == nil || !strings.Contains(got.Error(), "master is down") {
+		t.Fatalf("resize on halted master = %v, want a down refusal", got)
+	}
+}
+
+// TestResizeGrowNoEligibleHostLeavesStateIntact asks a single-host HUP,
+// whose host cannot fit a second memory-heavy slice in place or as a new
+// node, to grow. The refusal must name the placement failure and leave
+// capacity, state, and the host's free resources untouched.
+func TestResizeGrowNoEligibleHostLeavesStateIntact(t *testing.T) {
+	tb, err := hup.New(hup.Config{Hosts: []hostos.Spec{hostos.Seattle()}, Seed: 42})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := tb.Agent.RegisterASP("bio-institute", "genome-key"); err != nil {
+		t.Fatal(err)
+	}
+	spec, _ := webSpec(tb, t, "web", 1)
+	spec.Requirement.M.MemoryMB = 1100 // 2×1100 > seattle's 2048
+	svc, err := tb.CreateService("genome-key", spec)
+	if err != nil {
+		t.Fatal(err)
+	}
+	free := tb.Daemons[0].Availability()
+
+	if _, err := tb.Resize("genome-key", "web", 2); err == nil ||
+		!strings.Contains(err.Error(), "no HUP host can hold") {
+		t.Fatalf("impossible growth = %v, want a placement refusal", err)
+	}
+	if got := svc.TotalCapacity(); got != 1 {
+		t.Fatalf("capacity %d after refused growth, want 1", got)
+	}
+	if after := tb.Daemons[0].Availability(); after != free {
+		t.Fatalf("refused growth moved host availability %+v -> %+v", free, after)
+	}
+	// The service keeps serving as if the resize never happened.
+	gen := workload.NewGenerator(tb.K, hup.SwitchTarget{Switch: svc.Switch}, tb.AddClient(), sim.NewRNG(7))
+	done := false
+	gen.IssueN(20, func() { done = true })
+	tb.K.Run()
+	if !done || gen.Completed != 20 {
+		t.Fatalf("completed %d of 20 after refused resize", gen.Completed)
+	}
+}
+
+// TestResizeShrinkFloorsAtSwitchHome shrinks a spread service to a
+// single instance: every other node is torn down, but the switch's home
+// node survives at capacity one and keeps routing.
+func TestResizeShrinkFloorsAtSwitchHome(t *testing.T) {
+	tb := newTestbed(t)
+	spec, _ := webSpec(tb, t, "web", 3) // 2 on seattle + 1 on tacoma
+	svc, err := tb.CreateService("genome-key", spec)
+	if err != nil {
+		t.Fatal(err)
+	}
+	home := svc.Nodes[0].NodeName
+	resized, err := tb.Resize("genome-key", "web", 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(resized.Nodes) != 1 || resized.Nodes[0].NodeName != home {
+		t.Fatalf("shrink to 1 left nodes %+v, want only the home node %s", resized.Nodes, home)
+	}
+	if resized.Nodes[0].Capacity != 1 {
+		t.Fatalf("home node capacity %d, want the floor of 1", resized.Nodes[0].Capacity)
+	}
+	gen := workload.NewGenerator(tb.K, hup.SwitchTarget{Switch: resized.Switch}, tb.AddClient(), sim.NewRNG(7))
+	done := false
+	gen.IssueN(20, func() { done = true })
+	tb.K.Run()
+	if !done || gen.Completed != 20 {
+		t.Fatalf("completed %d of 20 after shrink to the home floor", gen.Completed)
+	}
+}

@@ -7,6 +7,7 @@ import (
 	"sort"
 
 	"repro/internal/accounting"
+	"repro/internal/autoscale"
 	"repro/internal/journal"
 	"repro/internal/simnet"
 	"repro/internal/svcswitch"
@@ -43,6 +44,9 @@ import (
 //	chunk-forget       jChunkRef   holder dropped its store
 //	chunk-reset        (none)      tracker rebuilt from scratch (failover)
 //	epoch              jEpoch      leadership epoch advanced
+//	autoscale-decision jAutoscale  controller committed to a resize (pending)
+//	autoscale-blocked  jAutoscale  controller wanted a move a guard refused
+//	autoscale-done     jAutoscale  pending resize completed or failed
 //	snapshot           masterState full state (journal.SnapshotType)
 
 // jName is the minimal service-scoped payload.
@@ -52,14 +56,15 @@ type jName struct {
 
 // jService is the journaled, logical form of a service spec.
 type jService struct {
-	Name         string          `json:"name"`
-	Image        string          `json:"image"`
-	Repository   string          `json:"repository"`
-	N            int             `json:"n"`
-	M            MachineConfig   `json:"m"`
-	GuestProfile []string        `json:"guest_profile,omitempty"`
-	Port         int             `json:"port,omitempty"`
-	SLO          svcswitch.SLO   `json:"slo,omitempty"`
+	Name         string           `json:"name"`
+	Image        string           `json:"image"`
+	Repository   string           `json:"repository"`
+	N            int              `json:"n"`
+	M            MachineConfig    `json:"m"`
+	GuestProfile []string         `json:"guest_profile,omitempty"`
+	Port         int              `json:"port,omitempty"`
+	SLO          svcswitch.SLO    `json:"slo,omitempty"`
+	Autoscale    autoscale.Policy `json:"autoscale"`
 }
 
 // jNode is the journaled form of one virtual service node binding.
@@ -126,6 +131,36 @@ type jEpoch struct {
 	Epoch uint64 `json:"epoch"`
 }
 
+// jAutoscale is one autoscaler mutation: a decision committing to a
+// resize, a guard-refused move, or a completion. The target is absolute
+// (total instances), which is what makes post-failover re-issue
+// idempotent.
+type jAutoscale struct {
+	Service string `json:"service"`
+	Dir     string `json:"dir"`
+	From    int    `json:"from,omitempty"`
+	To      int    `json:"to,omitempty"`
+	Reason  string `json:"reason,omitempty"`
+	AtNs    int64  `json:"at_ns"`
+	OK      bool   `json:"ok,omitempty"` // autoscale-done only
+}
+
+// jAutoscalerState is one service's autoscaler runtime state: cooldown
+// clocks, move counters, and the pending resize (if any). The policy
+// itself rides inside the service's jService, so arming replays from
+// service-admitted with no extra record.
+type jAutoscalerState struct {
+	Service       string `json:"service"`
+	LastUpNs      int64  `json:"last_up_ns,omitempty"`
+	LastDownNs    int64  `json:"last_down_ns,omitempty"`
+	Ups           uint64 `json:"ups,omitempty"`
+	Downs         uint64 `json:"downs,omitempty"`
+	Blocked       uint64 `json:"blocked,omitempty"`
+	Pending       bool   `json:"pending,omitempty"`
+	PendingTarget int    `json:"pending_target,omitempty"`
+	PendingDir    string `json:"pending_dir,omitempty"`
+}
+
 // jServiceState is one service's full journaled state.
 type jServiceState struct {
 	jService
@@ -149,12 +184,13 @@ type jHolder struct {
 // kept sorted so the JSON encoding — and therefore the digest — is
 // deterministic.
 type masterState struct {
-	Epoch    uint64          `json:"epoch"`
-	Admitted int             `json:"admitted"`
-	Rejected int             `json:"rejected"`
-	Services []jServiceState `json:"services,omitempty"`
-	Settled  []jSettled      `json:"settled,omitempty"`
-	Holders  []jHolder       `json:"holders,omitempty"`
+	Epoch       uint64             `json:"epoch"`
+	Admitted    int                `json:"admitted"`
+	Rejected    int                `json:"rejected"`
+	Services    []jServiceState    `json:"services,omitempty"`
+	Settled     []jSettled         `json:"settled,omitempty"`
+	Holders     []jHolder          `json:"holders,omitempty"`
+	Autoscalers []jAutoscalerState `json:"autoscalers,omitempty"`
 }
 
 // digest hashes the canonical JSON encoding.
@@ -176,7 +212,9 @@ func (s *masterState) service(name string) *jServiceState {
 	return nil
 }
 
-// specOf converts a live spec into its journaled form.
+// specOf converts a live spec into its journaled form. The autoscale
+// policy is journaled normalized so live arming, capture, and replay
+// all see identical field values.
 func specOf(spec ServiceSpec) jService {
 	return jService{
 		Name:         spec.Name,
@@ -187,6 +225,7 @@ func specOf(spec ServiceSpec) jService {
 		GuestProfile: spec.GuestProfile,
 		Port:         spec.Port,
 		SLO:          spec.SLO,
+		Autoscale:    spec.Autoscale.Normalize(),
 	}
 }
 
@@ -202,6 +241,7 @@ func (j jService) logicalSpec() ServiceSpec {
 		GuestProfile: j.GuestProfile,
 		Port:         j.Port,
 		SLO:          j.SLO,
+		Autoscale:    j.Autoscale,
 	}
 }
 
@@ -241,6 +281,14 @@ func (m *Master) captureState() *masterState {
 	}
 	sort.Slice(st.Settled, func(i, j int) bool { return st.Settled[i].Service < st.Settled[j].Service })
 	st.Holders = captureHolders(m.chunkDist)
+	autoNames := make([]string, 0, len(m.autos))
+	for n := range m.autos {
+		autoNames = append(autoNames, n)
+	}
+	sort.Strings(autoNames)
+	for _, n := range autoNames {
+		st.Autoscalers = append(st.Autoscalers, m.autos[n].captured(n))
+	}
 	return st
 }
 
@@ -320,6 +368,11 @@ func replayState(recs []journal.Record) *masterState {
 			}
 			if st.service(js.Name) == nil {
 				st.Services = append(st.Services, jServiceState{jService: js, State: int(Priming)})
+				if js.Autoscale.Enabled() {
+					// Arming is implicit in admission: the live Master creates
+					// the autoscaler the instant the spec is journaled.
+					st.Autoscalers = append(st.Autoscalers, jAutoscalerState{Service: js.Name})
+				}
 			}
 		case "request-admitted":
 			st.Admitted++
@@ -460,6 +513,44 @@ func replayState(recs []journal.Record) *masterState {
 			if json.Unmarshal(rec.Data, &je) == nil {
 				st.Epoch = je.Epoch
 			}
+		case "autoscale-decision":
+			var ja jAutoscale
+			if json.Unmarshal(rec.Data, &ja) == nil {
+				if a := st.autoscaler(ja.Service); a != nil {
+					a.Pending = true
+					a.PendingTarget = ja.To
+					a.PendingDir = ja.Dir
+				}
+			}
+		case "autoscale-blocked":
+			var ja jAutoscale
+			if json.Unmarshal(rec.Data, &ja) == nil {
+				if a := st.autoscaler(ja.Service); a != nil {
+					a.Blocked++
+				}
+			}
+		case "autoscale-done":
+			var ja jAutoscale
+			if json.Unmarshal(rec.Data, &ja) == nil {
+				if a := st.autoscaler(ja.Service); a != nil {
+					a.Pending = false
+					a.PendingTarget = 0
+					a.PendingDir = ""
+					if ja.Dir == "up" {
+						a.LastUpNs = ja.AtNs
+					} else {
+						a.LastDownNs = ja.AtNs
+					}
+					switch {
+					case !ja.OK:
+						a.Blocked++
+					case ja.Dir == "up":
+						a.Ups++
+					default:
+						a.Downs++
+					}
+				}
+			}
 		}
 	}
 	st.canonicalize()
@@ -493,11 +584,27 @@ func (s *masterState) announceHolder(jc jChunk) {
 	}
 }
 
-// removeService drops one service from the state.
+// autoscaler finds one service's autoscaler state, or nil.
+func (s *masterState) autoscaler(name string) *jAutoscalerState {
+	for i := range s.Autoscalers {
+		if s.Autoscalers[i].Service == name {
+			return &s.Autoscalers[i]
+		}
+	}
+	return nil
+}
+
+// removeService drops one service — and its autoscaler — from the state.
 func (s *masterState) removeService(name string) {
 	for i := range s.Services {
 		if s.Services[i].Name == name {
 			s.Services = append(s.Services[:i], s.Services[i+1:]...)
+			break
+		}
+	}
+	for i := range s.Autoscalers {
+		if s.Autoscalers[i].Service == name {
+			s.Autoscalers = append(s.Autoscalers[:i], s.Autoscalers[i+1:]...)
 			return
 		}
 	}
@@ -518,4 +625,5 @@ func (s *masterState) canonicalize() {
 		}
 		return s.Holders[i].Daemon < s.Holders[j].Daemon
 	})
+	sort.Slice(s.Autoscalers, func(i, j int) bool { return s.Autoscalers[i].Service < s.Autoscalers[j].Service })
 }

@@ -9,6 +9,7 @@ package soda
 import (
 	"fmt"
 
+	"repro/internal/autoscale"
 	"repro/internal/hostos"
 	"repro/internal/sim"
 	"repro/internal/simnet"
@@ -115,6 +116,11 @@ type ServiceSpec struct {
 	// against; the zero value disables evaluation (metering still runs).
 	// It is recorded in the service configuration file.
 	SLO svcswitch.SLO
+	// Autoscale is the demand-driven scaling policy the Master's control
+	// loop enforces for this service; the zero value disables
+	// autoscaling. It is recorded in the service configuration file as a
+	// "# autoscale" stanza.
+	Autoscale autoscale.Policy
 }
 
 // Validate reports the first problem with the spec, or nil.
@@ -128,6 +134,9 @@ func (s ServiceSpec) Validate() error {
 		return fmt.Errorf("soda: service %s without an image repository", s.Name)
 	}
 	if err := s.SLO.Validate(); err != nil {
+		return err
+	}
+	if err := s.Autoscale.Validate(); err != nil {
 		return err
 	}
 	return s.Requirement.Validate()

@@ -66,6 +66,11 @@ type ConfigFile struct {
 	version atomic.Int64
 	entries []BackendEntry // immutable once installed; replaced wholesale
 	slo     SLO            // service-level objective; zero = none
+	// autoscale is the rendered "# autoscale" stanza — the scaling
+	// policy's key=value form. The switch stores it as an opaque string
+	// (the policy type lives in internal/autoscale; the config file must
+	// not depend on it); empty means no autoscaling.
+	autoscale string
 }
 
 // NewConfigFile returns an empty configuration for a service.
@@ -168,6 +173,9 @@ func (c *ConfigFile) Render() string {
 	if slo := c.SLO(); slo.Enabled() {
 		fmt.Fprintf(&b, "# slo %s\n", slo)
 	}
+	if as := c.Autoscale(); as != "" {
+		fmt.Fprintf(&b, "# autoscale %s\n", as)
+	}
 	for _, e := range entries {
 		if e.Component != "" {
 			fmt.Fprintf(&b, "BackEnd %s %d %d %s\n", e.IP, e.Port, e.Capacity, e.Component)
@@ -176,6 +184,23 @@ func (c *ConfigFile) Render() string {
 		}
 	}
 	return b.String()
+}
+
+// SetAutoscale records the service's scaling-policy stanza (the
+// rendered key=value form; empty clears it). The version bumps so
+// consumers of the file notice the policy change.
+func (c *ConfigFile) SetAutoscale(stanza string) {
+	c.mu.Lock()
+	c.autoscale = stanza
+	c.version.Add(1)
+	c.mu.Unlock()
+}
+
+// Autoscale returns the scaling-policy stanza ("" = no autoscaling).
+func (c *ConfigFile) Autoscale() string {
+	c.mu.RLock()
+	defer c.mu.RUnlock()
+	return c.autoscale
 }
 
 // Components returns the distinct component names in the file, sorted,
@@ -219,6 +244,9 @@ func ParseConfig(s string) (*ConfigFile, error) {
 		if strings.HasPrefix(line, "#") {
 			if name, ok := parseHeader(line); ok {
 				c.ServiceName = name
+			}
+			if stanza, ok := strings.CutPrefix(strings.TrimSpace(strings.TrimPrefix(line, "#")), "autoscale "); ok {
+				c.autoscale = strings.TrimSpace(stanza)
 			}
 			continue
 		}

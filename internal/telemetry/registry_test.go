@@ -212,7 +212,7 @@ func TestRegistryConcurrency(t *testing.T) {
 func TestHistogramExemplars(t *testing.T) {
 	r := NewRegistry()
 	h := r.Histogram("lat_seconds", []float64{0.1, 1, 10})
-	h.ObserveTraced(0.05, 0xabc)  // bucket le=0.1
+	h.ObserveTraced(0.05, 0xabc) // bucket le=0.1
 	h.ObserveTraced(0.5, 0)      // no trace: bucket counted, no exemplar
 	h.ObserveTraced(50, 0xdef)   // overflow bucket (+Inf)
 	h.ObserveTraced(0.06, 0x123) // last writer wins in le=0.1
